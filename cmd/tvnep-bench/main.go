@@ -1,0 +1,145 @@
+// Command tvnep-bench regenerates the figures of the paper's computational
+// evaluation (Section VI, Figures 3–9) as text series: for every temporal
+// flexibility step it runs the configured scenarios and prints five-number
+// summaries of runtime, optimality gap, accepted requests, greedy quality
+// and objective improvement.
+//
+// Usage:
+//
+//	tvnep-bench                     # all figures, scaled-down default config
+//	tvnep-bench -fig 3              # only Figure 3
+//	tvnep-bench -seeds 8 -timelimit 60s
+//	tvnep-bench -paper              # the paper's exact (hour-per-solve!) setup
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"tvnep/internal/core"
+	"tvnep/internal/eval"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "figure to regenerate: 3..9, 'ablation', 'relax', or all")
+		seeds    = flag.Int("seeds", 0, "number of scenario seeds per flexibility (0 → config default)")
+		limit    = flag.Duration("timelimit", 0, "per-solve time limit (0 → config default)")
+		paper    = flag.Bool("paper", false, "use the paper's exact scale (very slow with this solver)")
+		rows     = flag.Int("rows", 0, "substrate grid rows override")
+		cols     = flag.Int("cols", 0, "substrate grid cols override")
+		requests = flag.Int("requests", 0, "requests per scenario override")
+		flexList = flag.String("flex", "", "comma-separated flexibility steps in minutes (default per config)")
+		verbose  = flag.Bool("v", false, "print per-solve progress")
+	)
+	flag.Parse()
+
+	cfg := eval.Default()
+	if *paper {
+		cfg = eval.Paper()
+	}
+	if *seeds > 0 {
+		cfg.Seeds = nil
+		for s := 1; s <= *seeds; s++ {
+			cfg.Seeds = append(cfg.Seeds, int64(s))
+		}
+	}
+	if *limit > 0 {
+		cfg.TimeLimit = *limit
+	}
+	if *rows > 0 {
+		cfg.Workload.GridRows = *rows
+	}
+	if *cols > 0 {
+		cfg.Workload.GridCols = *cols
+	}
+	if *requests > 0 {
+		cfg.Workload.NumRequests = *requests
+	}
+	if *flexList != "" {
+		cfg.FlexMinutes = nil
+		for _, tok := range strings.Split(*flexList, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bad -flex value:", err)
+				os.Exit(2)
+			}
+			cfg.FlexMinutes = append(cfg.FlexMinutes, v)
+		}
+	}
+
+	var progress *os.File
+	if *verbose {
+		progress = os.Stderr
+	}
+	want := map[string]bool{}
+	if *fig == "all" {
+		for _, f := range []string{"3", "4", "5", "6", "7", "8", "9"} {
+			want[f] = true
+		}
+	} else {
+		want[*fig] = true
+	}
+
+	fmt.Printf("# tvnep-bench: grid %dx%d, %d requests, %d seeds, flex %v min, time limit %v\n\n",
+		cfg.Workload.GridRows, cfg.Workload.GridCols, cfg.Workload.NumRequests,
+		len(cfg.Seeds), cfg.FlexMinutes, cfg.TimeLimit)
+
+	start := time.Now()
+	// Figures 3/4 need all three formulations; 8/9 only cΣ. Reuse records.
+	if want["3"] || want["4"] {
+		recs := cfg.AccessControlSweep([]core.Formulation{core.Delta, core.Sigma, core.CSigma}, progress)
+		if want["3"] {
+			eval.WriteSeries(os.Stdout, "Figure 3 — runtime of the MIP formulations vs temporal flexibility (access control)", eval.Figure3(recs, cfg))
+		}
+		if want["4"] {
+			eval.WriteSeries(os.Stdout, "Figure 4 — objective gap after the time limit vs temporal flexibility", eval.Figure4(recs, cfg))
+		}
+		if want["8"] {
+			eval.WriteSeries(os.Stdout, "Figure 8 — number of requests embedded by the cΣ-Model", eval.Figure8(recs, cfg))
+			want["8"] = false
+		}
+		if want["9"] {
+			eval.WriteSeries(os.Stdout, "Figure 9 — relative improvement of the access-control objective vs flexibility 0", eval.Figure9(recs, cfg))
+			want["9"] = false
+		}
+	}
+	if want["5"] || want["6"] {
+		recs := cfg.ObjectivesSweep(progress)
+		if want["5"] {
+			eval.WriteSeries(os.Stdout, "Figure 5 — runtime of the cΣ-Model under the fixed-set objectives", eval.Figure5(recs, cfg))
+		}
+		if want["6"] {
+			eval.WriteSeries(os.Stdout, "Figure 6 — gap of the cΣ-Model under the fixed-set objectives", eval.Figure6(recs, cfg))
+		}
+	}
+	if want["7"] || want["8"] || want["9"] {
+		recs := cfg.GreedySweep(progress)
+		if want["7"] {
+			eval.WriteSeries(os.Stdout, "Figure 7 — relative performance of greedy cΣ_A^G vs the cΣ-Model", eval.Figure7(recs, cfg))
+		}
+		if want["8"] {
+			eval.WriteSeries(os.Stdout, "Figure 8 — number of requests embedded by the cΣ-Model", eval.Figure8(recs, cfg))
+		}
+		if want["9"] {
+			eval.WriteSeries(os.Stdout, "Figure 9 — relative improvement of the access-control objective vs flexibility 0", eval.Figure9(recs, cfg))
+		}
+	}
+	if want["ablation"] {
+		recs, err := cfg.AblationSweep(progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ablation:", err)
+			os.Exit(1)
+		}
+		eval.WriteAblation(os.Stdout, recs, cfg)
+	}
+	if want["relax"] {
+		recs := cfg.RelaxationSweep(progress)
+		eval.WriteRelaxation(os.Stdout, recs, cfg)
+	}
+	fmt.Printf("# total bench time: %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,62 @@
+// Command tvnep-gen generates synthetic TVNEP scenarios following the
+// methodology of Section VI-A (grid substrate, star requests, Poisson
+// arrivals, Weibull durations) and writes them as JSON.
+//
+// Usage:
+//
+//	tvnep-gen -seed 1 -flex 120 -o scenario.json
+//	tvnep-gen -paper -seed 7            # the paper's 4×5/20-request scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tvnep/internal/workload"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "random seed")
+		flexMin  = flag.Float64("flex", 0, "temporal flexibility per request in minutes")
+		rows     = flag.Int("rows", 3, "substrate grid rows")
+		cols     = flag.Int("cols", 3, "substrate grid cols")
+		requests = flag.Int("requests", 8, "number of requests")
+		leaves   = flag.Int("leaves", 2, "star leaves per request")
+		paper    = flag.Bool("paper", false, "use the paper's exact scale (4×5 grid, 20 requests, 5-node stars)")
+		out      = flag.String("o", "-", "output file (- for stdout)")
+	)
+	flag.Parse()
+
+	cfg := workload.Default()
+	if *paper {
+		cfg = workload.PaperScale()
+	} else {
+		cfg.GridRows, cfg.GridCols = *rows, *cols
+		cfg.NumRequests = *requests
+		cfg.StarLeaves = *leaves
+	}
+	cfg.FlexibilityHr = *flexMin / 60
+
+	sc := workload.Generate(cfg, *seed)
+	if err := sc.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "generated scenario invalid:", err)
+		os.Exit(1)
+	}
+	data, err := sc.MarshalJSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *out == "-" {
+		fmt.Println(string(data))
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: %d requests on %d substrate nodes, horizon %.2f h\n",
+		*out, len(sc.Requests), sc.Substrate.NumNodes(), sc.Horizon)
+}

@@ -1,0 +1,142 @@
+// Command tvnep-solve solves one TVNEP scenario (JSON, as produced by
+// tvnep-gen) with a chosen formulation and objective, verifies the result
+// with the independent feasibility checker, and prints a report.
+//
+// Usage:
+//
+//	tvnep-solve -in scenario.json -model csigma -objective access
+//	tvnep-solve -in scenario.json -model csigma -greedy
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tvnep/internal/core"
+	"tvnep/internal/greedy"
+	"tvnep/internal/model"
+	"tvnep/internal/solution"
+	"tvnep/internal/workload"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "scenario JSON file (required)")
+		modelName = flag.String("model", "csigma", "formulation: delta | sigma | csigma")
+		objName   = flag.String("objective", "access", "objective: access | earliness | balance | disable | makespan")
+		useGreedy = flag.Bool("greedy", false, "run the greedy algorithm cΣ_A^G instead of the exact model")
+		limit     = flag.Duration("timelimit", time.Minute, "MIP time limit")
+		noCuts    = flag.Bool("nocuts", false, "disable temporal dependency graph cuts (cΣ only)")
+		noPre     = flag.Bool("nopresolve", false, "disable the activity-interval presolve (cΣ only)")
+		freeMap   = flag.Bool("freemap", false, "ignore the scenario's fixed node mapping and let the model place nodes")
+		timeline  = flag.Bool("timeline", false, "print the piecewise-constant substrate utilization timeline")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		fail(err)
+	}
+	var sc workload.Scenario
+	if err := json.Unmarshal(data, &sc); err != nil {
+		fail(err)
+	}
+	inst := &core.Instance{Sub: sc.Substrate, Reqs: sc.Requests, Horizon: sc.Horizon}
+	if err := inst.Validate(); err != nil {
+		fail(err)
+	}
+	mapping := sc.Mapping
+	if *freeMap {
+		mapping = nil
+	}
+
+	var form core.Formulation
+	switch strings.ToLower(*modelName) {
+	case "delta":
+		form = core.Delta
+	case "sigma":
+		form = core.Sigma
+	case "csigma":
+		form = core.CSigma
+	default:
+		fail(fmt.Errorf("unknown model %q", *modelName))
+	}
+	var obj core.Objective
+	switch strings.ToLower(*objName) {
+	case "access":
+		obj = core.AccessControl
+	case "earliness":
+		obj = core.MaxEarliness
+	case "balance":
+		obj = core.BalanceNodeLoad
+	case "disable":
+		obj = core.DisableLinks
+	case "makespan":
+		obj = core.MinMakespan
+	default:
+		fail(fmt.Errorf("unknown objective %q", *objName))
+	}
+
+	var sol *solution.Solution
+	start := time.Now()
+	if *useGreedy {
+		if obj != core.AccessControl {
+			fail(fmt.Errorf("the greedy algorithm supports the access objective only"))
+		}
+		var stats greedy.Stats
+		sol, stats, err = greedy.Solve(inst, mapping, greedy.Options{IterTimeLimit: *limit})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("algorithm: cΣ_A^G greedy (%d iterations, %d B&B nodes, %d LP iterations)\n",
+			stats.Iterations, stats.TotalBBNodes, stats.TotalLPIters)
+	} else {
+		b := core.Build(form, inst, core.BuildOptions{
+			Objective:       obj,
+			FixedMapping:    mapping,
+			DisableCuts:     *noCuts,
+			DisablePresolve: *noPre,
+		})
+		fmt.Printf("model: %v  objective: %v  vars=%d constrs=%d ints=%d\n",
+			form, obj, b.Model.NumVars(), b.Model.NumConstrs(), b.Model.NumIntVars())
+		var ms *model.Solution
+		sol, ms = b.Solve(&model.SolveOptions{TimeLimit: *limit})
+		fmt.Printf("status: %v  gap: %.4g  nodes: %d  lp-iterations: %d\n",
+			ms.Status, ms.Gap, ms.Nodes, ms.LPIterations)
+		if sol == nil {
+			fmt.Println("no feasible solution found within the limits")
+			os.Exit(1)
+		}
+	}
+	elapsed := time.Since(start)
+
+	if err := solution.Check(sc.Substrate, sc.Requests, sol); err != nil {
+		fail(fmt.Errorf("solution failed independent verification: %w", err))
+	}
+	fmt.Printf("runtime: %.3fs   objective: %.4f   accepted: %d/%d   verified: OK\n",
+		elapsed.Seconds(), sol.Objective, sol.NumAccepted(), len(sc.Requests))
+	for r, req := range sc.Requests {
+		status := "rejected"
+		if sol.Accepted[r] {
+			status = "accepted"
+		}
+		fmt.Printf("  %-6s %-8s start=%7.3f end=%7.3f window=[%.3f, %.3f] d=%.3f\n",
+			req.Name, status, sol.Start[r], sol.End[r], req.Earliest, req.Latest, req.Duration)
+	}
+	if *timeline {
+		fmt.Println()
+		solution.WriteTimeline(os.Stdout, sc.Substrate, sc.Requests, sol)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tvnep-solve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Quickstart: build a tiny Temporal VNet Embedding Problem by hand, solve
+// it to optimality with the cΣ-Model, and print the resulting schedule.
+//
+// Two virtual clusters compete for the same substrate node. Without
+// temporal flexibility only one fits; the scheduling slack granted below
+// lets the solver run them back to back and accept both — the paper's core
+// observation in its smallest form.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tvnep/internal/core"
+	"tvnep/internal/graph"
+	"tvnep/internal/solution"
+	"tvnep/internal/substrate"
+	"tvnep/internal/vnet"
+)
+
+func main() {
+	// Substrate: a 1×2 grid (two nodes, one bidirected link), node
+	// capacity 1, link capacity 1 (Table I).
+	sub := substrate.Grid(1, 2, 1, 1)
+
+	// Two single-VM requests, both demanding the full capacity of their
+	// host, each lasting 2 h with a 4 h window (Tables II and VI).
+	mkReq := func(name string) *vnet.Request {
+		return &vnet.Request{
+			Name:       name,
+			G:          graph.NewDigraph(1),
+			NodeDemand: []float64{1},
+			LinkDemand: []float64{},
+			Earliest:   0,
+			Duration:   2,
+			Latest:     4, // 2 h of temporal flexibility
+		}
+	}
+	reqs := []*vnet.Request{mkReq("red"), mkReq("blue")}
+
+	inst := &core.Instance{Sub: sub, Reqs: reqs, Horizon: 4}
+	if err := inst.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Both requests are pinned onto substrate node 0, as in the paper's
+	// evaluation; the solver decides *when* each runs.
+	built := core.BuildCSigma(inst, core.BuildOptions{
+		Objective:    core.AccessControl,
+		FixedMapping: vnet.NodeMapping{{0}, {0}},
+	})
+	fmt.Printf("cΣ-Model: %d variables, %d constraints, %d binaries\n",
+		built.Model.NumVars(), built.Model.NumConstrs(), built.Model.NumIntVars())
+
+	sol, ms := built.Solve(nil)
+	if sol == nil {
+		log.Fatalf("no solution (status %v)", ms.Status)
+	}
+	if err := solution.Check(sub, reqs, sol); err != nil {
+		log.Fatalf("solution failed verification: %v", err)
+	}
+
+	fmt.Printf("status: %v   objective (revenue): %.2f   accepted: %d/2\n",
+		ms.Status, sol.Objective, sol.NumAccepted())
+	for r, req := range reqs {
+		fmt.Printf("  %-5s runs [%.2f, %.2f] on substrate node %d\n",
+			req.Name, sol.Start[r], sol.End[r], sol.Hosts[r][0])
+	}
+	fmt.Println("\nWith zero flexibility (Latest = 2) the same instance accepts only one request:")
+	for _, req := range reqs {
+		req.Latest = 2
+	}
+	inst.Horizon = 2
+	built = core.BuildCSigma(inst, core.BuildOptions{
+		Objective:    core.AccessControl,
+		FixedMapping: vnet.NodeMapping{{0}, {0}},
+	})
+	sol, _ = built.Solve(nil)
+	fmt.Printf("  accepted: %d/2, objective %.2f\n", sol.NumAccepted(), sol.Objective)
+}

@@ -1,0 +1,3 @@
+module tvnep
+
+go 1.22

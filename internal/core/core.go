@@ -1,0 +1,264 @@
+// Package core implements the paper's primary contribution: the three
+// continuous-time mathematical-programming formulations of the Temporal
+// Virtual Network Embedding Problem —
+//
+//   - the Δ-Model (Section III-B): state *changes* at event points encoded
+//     with big-M conditional constraints,
+//   - the Σ-Model (Section III-C): explicit per-request state allocation
+//     variables with provably stronger LP relaxations,
+//   - the cΣ-Model (Section IV): the compactified Σ-Model with |R|+1 event
+//     points, temporal dependency graph cuts and the activity-interval
+//     state-space-reduction presolve,
+//
+// together with the four objective functions of Section IV-E.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"tvnep/internal/model"
+	"tvnep/internal/solution"
+	"tvnep/internal/substrate"
+	"tvnep/internal/vnet"
+)
+
+// Formulation identifies one of the paper's three MIP models.
+type Formulation int
+
+const (
+	// Delta is the state-change Δ-Model of Section III-B.
+	Delta Formulation = iota
+	// Sigma is the explicit-state Σ-Model of Section III-C.
+	Sigma
+	// CSigma is the compact state model cΣ of Section IV.
+	CSigma
+)
+
+// String implements fmt.Stringer.
+func (f Formulation) String() string {
+	switch f {
+	case Delta:
+		return "Δ"
+	case Sigma:
+		return "Σ"
+	case CSigma:
+		return "cΣ"
+	default:
+		return "?"
+	}
+}
+
+// Objective selects one of the objective functions of Section IV-E.
+type Objective int
+
+const (
+	// AccessControl maximizes provider revenue Σ x_R·d_R·Σ c_R(N_v),
+	// deciding which requests to accept.
+	AccessControl Objective = iota
+	// MaxEarliness maximizes the earliness fee over a fixed request set.
+	MaxEarliness
+	// BalanceNodeLoad maximizes the number of substrate nodes never loaded
+	// above fraction f of their capacity (fixed request set).
+	BalanceNodeLoad
+	// DisableLinks maximizes the number of substrate links that carry no
+	// flow over the whole horizon (fixed request set).
+	DisableLinks
+	// MinMakespan minimizes the time at which the last request finishes
+	// (fixed request set). The paper's contribution list names makespan
+	// minimization alongside the Section IV-E objectives; it attaches to
+	// all three formulations through the t⁻ variables alone.
+	MinMakespan
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	switch o {
+	case AccessControl:
+		return "access-control"
+	case MaxEarliness:
+		return "max-earliness"
+	case BalanceNodeLoad:
+		return "balance-node-load"
+	case DisableLinks:
+		return "disable-links"
+	case MinMakespan:
+		return "min-makespan"
+	default:
+		return "?"
+	}
+}
+
+// FixedSet reports whether the objective assumes all requests are embedded
+// (everything except access control).
+func (o Objective) FixedSet() bool { return o != AccessControl }
+
+// Instance is one TVNEP problem instance (Definition 2.1 inputs).
+type Instance struct {
+	Sub     *substrate.Network
+	Reqs    []*vnet.Request
+	Horizon float64 // T
+}
+
+// Validate checks the instance inputs.
+func (in *Instance) Validate() error {
+	if err := in.Sub.Validate(); err != nil {
+		return err
+	}
+	if in.Horizon <= 0 {
+		return fmt.Errorf("core: nonpositive horizon %v", in.Horizon)
+	}
+	for _, r := range in.Reqs {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		if r.Latest > in.Horizon+1e-9 {
+			return fmt.Errorf("core: request %s window exceeds horizon %v", r.Name, in.Horizon)
+		}
+	}
+	return nil
+}
+
+// BuildOptions configures a formulation build.
+type BuildOptions struct {
+	Objective Objective
+	// LoadFraction is f for BalanceNodeLoad (default 0.5).
+	LoadFraction float64
+	// FixedMapping, when non-nil, pins every virtual node to a substrate
+	// node a priori, as the paper's evaluation does (Section VI-A). When
+	// nil, binary node-mapping variables x_V are created.
+	FixedMapping vnet.NodeMapping
+	// DisableCuts turns the temporal dependency graph cuts (Constraints
+	// 19/20) off. cΣ only; used for ablations.
+	DisableCuts bool
+	// DisablePresolve turns the activity-interval state-space reduction
+	// off. cΣ only; used for ablations.
+	DisablePresolve bool
+	// ForceAccept / ForceReject pin x_R for individual requests (used by
+	// the greedy algorithm, Constraints 24/25). Indexed by request; nil is
+	// allowed.
+	ForceAccept []bool
+	ForceReject []bool
+}
+
+func (o BuildOptions) loadFraction() float64 {
+	if o.LoadFraction <= 0 || o.LoadFraction >= 1 {
+		return 0.5
+	}
+	return o.LoadFraction
+}
+
+// Built is a compiled formulation with its variable handles, ready to solve
+// (or to receive a custom objective, as the greedy algorithm does).
+type Built struct {
+	Model *model.Model
+	Kind  Formulation
+	Inst  *Instance
+	Opts  BuildOptions
+
+	// XR[r] decides whether request r is embedded (Table III).
+	XR []model.Var
+	// XV[r][v][s] maps virtual node v of request r onto substrate node s;
+	// nil when a fixed mapping is used.
+	XV [][][]model.Var
+	// XE[r][lv][ls] maps virtual link lv onto substrate link ls.
+	XE [][][]model.Var
+	// ChiPlus[r][i] / ChiMinus[r][i] map request starts/ends onto abstract
+	// event points (1-based event index i; entries outside the model's
+	// event range or cut windows are the zero Var).
+	ChiPlus, ChiMinus [][]model.Var
+	// TEvent[i] is t_{e_i} (1-based; index 0 unused).
+	TEvent []model.Var
+	// TPlus[r], TMinus[r] are the start/end times t⁺_R, t⁻_R.
+	TPlus, TMinus []model.Var
+
+	// numStates is the number of inter-event states of the formulation.
+	numStates int
+	// stateNodeLoad returns the total allocation expression on substrate
+	// node ns during state n (1-based); installed by each builder and used
+	// by the BalanceNodeLoad objective.
+	stateNodeLoad func(n, ns int) *model.LinExpr
+}
+
+// numReq is a convenience accessor.
+func (b *Built) numReq() int { return len(b.Inst.Reqs) }
+
+// Solve optimizes the built model and converts the result into a
+// solution.Solution. The raw model solution is returned alongside for
+// callers that need solver statistics or custom variable values.
+func (b *Built) Solve(opts *model.SolveOptions) (*solution.Solution, *model.Solution) {
+	ms := b.Model.Optimize(opts)
+	return b.Extract(ms), ms
+}
+
+// Extract converts a model solution into a solution.Solution. Returns nil
+// when the model solution carries no feasible assignment.
+func (b *Built) Extract(ms *model.Solution) *solution.Solution {
+	if !ms.HasSolution {
+		return nil
+	}
+	k := b.numReq()
+	sub := b.Inst.Sub
+	sol := &solution.Solution{
+		Accepted:  make([]bool, k),
+		Start:     make([]float64, k),
+		End:       make([]float64, k),
+		Hosts:     make([][]int, k),
+		Flows:     make([][][]float64, k),
+		Objective: ms.Obj,
+		Bound:     ms.Bound,
+		Gap:       ms.Gap,
+		Optimal:   ms.Status == 0 && ms.Gap == 0, // mip.StatusOptimal
+		Nodes:     ms.Nodes,
+		Runtime:   ms.Runtime,
+	}
+	for r, req := range b.Inst.Reqs {
+		sol.Accepted[r] = ms.Value(b.XR[r]) > 0.5
+		sol.Start[r] = ms.Value(b.TPlus[r])
+		sol.End[r] = ms.Value(b.TMinus[r])
+		// Clean rounding: enforce exact duration from the extracted start.
+		sol.End[r] = sol.Start[r] + req.Duration
+		if b.Opts.FixedMapping != nil {
+			sol.Hosts[r] = append([]int(nil), b.Opts.FixedMapping[r]...)
+		} else {
+			hosts := make([]int, req.G.N)
+			for v := 0; v < req.G.N; v++ {
+				bestS, bestVal := 0, math.Inf(-1)
+				for s := 0; s < sub.NumNodes(); s++ {
+					if val := ms.Value(b.XV[r][v][s]); val > bestVal {
+						bestS, bestVal = s, val
+					}
+				}
+				hosts[v] = bestS
+			}
+			sol.Hosts[r] = hosts
+		}
+		flows := make([][]float64, req.G.NumEdges())
+		for lv := range flows {
+			flows[lv] = make([]float64, sub.NumLinks())
+			for ls := 0; ls < sub.NumLinks(); ls++ {
+				f := ms.Value(b.XE[r][lv][ls])
+				if f < 1e-9 {
+					f = 0
+				}
+				flows[lv][ls] = f
+			}
+		}
+		sol.Flows[r] = flows
+	}
+	return sol
+}
+
+// Build dispatches to the requested formulation.
+func Build(f Formulation, inst *Instance, opts BuildOptions) *Built {
+	switch f {
+	case Delta:
+		return BuildDelta(inst, opts)
+	case Sigma:
+		return BuildSigma(inst, opts)
+	case CSigma:
+		return BuildCSigma(inst, opts)
+	default:
+		panic(fmt.Sprintf("core: unknown formulation %d", int(f)))
+	}
+}

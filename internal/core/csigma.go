@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+
+	"tvnep/internal/depgraph"
+	"tvnep/internal/model"
+)
+
+// BuildCSigma constructs the compact state model cΣ of Section IV:
+// |R|+1 event points, starts bijective on e_1…e_|R|, ends many-to-one on
+// e_2…e_|R|+1, explicit per-request state allocations on the |R| states,
+// temporal dependency graph cuts (19)/(20) and the activity-interval
+// presolve unless disabled.
+func BuildCSigma(inst *Instance, opts BuildOptions) *Built {
+	k := len(inst.Reqs)
+	b := &Built{
+		Model: model.New("cSigma", model.Maximize),
+		Kind:  CSigma,
+		Inst:  inst,
+		Opts:  opts,
+	}
+	m := b.Model
+	T := inst.Horizon
+	numEvents := k + 1
+
+	buildEmbedding(b)
+	buildTimeVars(b, numEvents)
+
+	dg := depgraph.Build(inst.Reqs)
+
+	// Event windows: with cuts enabled, χ variables exist only inside the
+	// Constraint-(19) windows; otherwise over the full legal ranges.
+	startWin := make([]depgraph.Window, k)
+	endWin := make([]depgraph.Window, k)
+	for r := 0; r < k; r++ {
+		if opts.DisableCuts {
+			startWin[r] = depgraph.Window{Lo: 1, Hi: k}
+			endWin[r] = depgraph.Window{Lo: 2, Hi: k + 1}
+		} else {
+			startWin[r] = dg.StartWindow[r]
+			endWin[r] = dg.EndWindow[r]
+		}
+	}
+
+	// Event mapping variables (Table VII restricted to the cΣ ranges).
+	b.ChiPlus = make([][]model.Var, k)
+	b.ChiMinus = make([][]model.Var, k)
+	for r := 0; r < k; r++ {
+		b.ChiPlus[r] = make([]model.Var, numEvents+1)
+		b.ChiMinus[r] = make([]model.Var, numEvents+2)
+		for i := startWin[r].Lo; i <= startWin[r].Hi; i++ {
+			b.ChiPlus[r][i] = m.Binary(fmt.Sprintf("chi+[%d][%d]", r, i))
+		}
+		for i := endWin[r].Lo; i <= endWin[r].Hi; i++ {
+			b.ChiMinus[r][i] = m.Binary(fmt.Sprintf("chi-[%d][%d]", r, i))
+		}
+		// (10)/(19): each start on exactly one event in its window.
+		m.AddEQ(chiSumUpTo(b.ChiPlus[r], numEvents), 1, fmt.Sprintf("start1[%d]", r))
+		// (11)/(19): each end on exactly one event in its window.
+		m.AddEQ(chiSumUpTo(b.ChiMinus[r], numEvents+1), 1, fmt.Sprintf("end1[%d]", r))
+		// End strictly after start: Σ_{j≤i} χ⁻ ≤ Σ_{j≤i−1} χ⁺.
+		for i := 2; i <= k; i++ {
+			lhs := chiSumUpTo(b.ChiMinus[r], i)
+			if lhs.Len() == 0 {
+				continue
+			}
+			lhs.AddExpr(-1, chiSumUpTo(b.ChiPlus[r], i-1))
+			m.AddLE(lhs, 0, fmt.Sprintf("order[%d][%d]", r, i))
+		}
+	}
+	// (12): every event e_1…e_k hosts exactly one request start.
+	for i := 1; i <= k; i++ {
+		sum := model.Expr()
+		for r := 0; r < k; r++ {
+			if b.ChiPlus[r][i].Valid() {
+				sum.Add(1, b.ChiPlus[r][i])
+			}
+		}
+		m.AddEQ(sum, 1, fmt.Sprintf("event1[%d]", i))
+	}
+
+	// Constraint (20): pairwise precedence cuts from the dependency graph.
+	if !opts.DisableCuts {
+		for _, pr := range dg.Precedences() {
+			chiV := b.ChiPlus[depgraph.RequestOf(pr.V)]
+			winV := startWin[depgraph.RequestOf(pr.V)]
+			if !depgraph.IsStartNode(pr.V) {
+				chiV = b.ChiMinus[depgraph.RequestOf(pr.V)]
+				winV = endWin[depgraph.RequestOf(pr.V)]
+			}
+			chiW := b.ChiPlus[depgraph.RequestOf(pr.W)]
+			winW := startWin[depgraph.RequestOf(pr.W)]
+			if !depgraph.IsStartNode(pr.W) {
+				chiW = b.ChiMinus[depgraph.RequestOf(pr.W)]
+				winW = endWin[depgraph.RequestOf(pr.W)]
+			}
+			hi := winW.Hi
+			if lim := winV.Hi + pr.Gap - 1; lim < hi {
+				hi = lim
+			}
+			for i := winW.Lo; i <= hi; i++ {
+				lhs := chiSumUpTo(chiW, i)
+				if lhs.Len() == 0 {
+					continue
+				}
+				lhs.AddExpr(-1, chiSumUpTo(chiV, i-pr.Gap))
+				m.AddLE(lhs, 0, fmt.Sprintf("prec[%d][%d][%d]", pr.V, pr.W, i))
+			}
+		}
+	}
+
+	// State allocations (Tables VIII/IX, compactified). State s_n spans
+	// [e_n, e_{n+1}]; request r is active there iff its start is at an
+	// event ≤ n and its end at an event ≥ n+1.
+	activity := func(r, n int) depgraph.Activity {
+		if opts.DisablePresolve {
+			// Without presolve every request may be active in every state
+			// permitted by its χ ranges; windows still bound it when cuts
+			// are on, so derive from the active windows.
+			if n < startWin[r].Lo || n > endWin[r].Hi-1 {
+				return depgraph.Never
+			}
+			return depgraph.Maybe
+		}
+		return dg.ActivityAt(r, n)
+	}
+
+	aVars := make(map[[3]int]model.Var) // (r, state, resource) → a
+	nRes := b.resourceCount()
+	for n := 1; n <= k; n++ {
+		for rsc := 0; rsc < nRes; rsc++ {
+			capRsc := b.resourceCap(rsc)
+			capacity := model.Expr()
+			any := false
+			for r := 0; r < k; r++ {
+				switch activity(r, n) {
+				case depgraph.Never:
+					continue
+				case depgraph.Always:
+					// Presolve of Section IV-C: the request is provably
+					// active; its allocation joins Constraint (9) directly
+					// and needs no a variable.
+					alloc := b.allocExpr(r, rsc)
+					if alloc.Len() > 0 {
+						capacity.AddExpr(1, alloc)
+						any = true
+					}
+				case depgraph.Maybe:
+					alloc := b.allocExpr(r, rsc)
+					if alloc.Len() == 0 {
+						continue
+					}
+					a := m.Continuous(fmt.Sprintf("a[%d][%d][%d]", r, n, rsc), 0, model.Inf())
+					aVars[[3]int{r, n, rsc}] = a
+					// (7): a ≥ alloc − c·(1 − Σc(r, e_n)) with
+					// Σc = Σ_{j≤n} χ⁺ − Σ_{j≤n} χ⁻, i.e.
+					// a − alloc − c·Σχ⁺ + c·Σχ⁻ ≥ −c.
+					con := model.Expr().Add(1, a)
+					con.AddExpr(-1, alloc)
+					con.AddExpr(-capRsc, chiSumUpTo(b.ChiPlus[r], n))
+					con.AddExpr(capRsc, chiSumUpTo(b.ChiMinus[r], n))
+					m.AddGE(con, -capRsc, fmt.Sprintf("state[%d][%d][%d]", r, n, rsc))
+					capacity.Add(1, a)
+					any = true
+				}
+			}
+			if any {
+				// (9): total state allocation within capacity.
+				m.AddLE(capacity, capRsc, fmt.Sprintf("cap[%d][%d]", n, rsc))
+			}
+		}
+	}
+
+	// Temporal attachment (Table XIII), restricted to the active windows.
+	for r := 0; r < k; r++ {
+		for i := startWin[r].Lo; i <= startWin[r].Hi; i++ {
+			// (14): t⁺ ≤ t_{e_i} + (1 − Σ_{j≤i} χ⁺)·T
+			e14 := model.Expr().Add(1, b.TPlus[r]).Add(-1, b.TEvent[i])
+			e14.AddExpr(T, chiSumUpTo(b.ChiPlus[r], i))
+			m.AddLE(e14, T, fmt.Sprintf("t14[%d][%d]", r, i))
+			// (15): t⁺ ≥ t_{e_i} − (1 − Σ_{j≥i} χ⁺)·T
+			e15 := model.Expr().Add(1, b.TPlus[r]).Add(-1, b.TEvent[i])
+			e15.AddExpr(-T, chiSumFrom(b.ChiPlus[r], i))
+			m.AddGE(e15, -T, fmt.Sprintf("t15[%d][%d]", r, i))
+		}
+		for i := endWin[r].Lo; i <= endWin[r].Hi; i++ {
+			// (16): t⁻ ≤ t_{e_i} + (1 − Σ_{2≤j≤i} χ⁻)·T
+			e16 := model.Expr().Add(1, b.TMinus[r]).Add(-1, b.TEvent[i])
+			e16.AddExpr(T, chiSumUpTo(b.ChiMinus[r], i))
+			m.AddLE(e16, T, fmt.Sprintf("t16[%d][%d]", r, i))
+			// (17): t⁻ ≥ t_{e_{i−1}} − (1 − Σ_{j≥i} χ⁻)·T
+			e17 := model.Expr().Add(1, b.TMinus[r]).Add(-1, b.TEvent[i-1])
+			e17.AddExpr(-T, chiSumFrom(b.ChiMinus[r], i))
+			m.AddGE(e17, -T, fmt.Sprintf("t17[%d][%d]", r, i))
+		}
+	}
+
+	// Node-load accessor for the BalanceNodeLoad objective.
+	b.numStates = k
+	b.stateNodeLoad = func(n, ns int) *model.LinExpr {
+		load := model.Expr()
+		for r := 0; r < k; r++ {
+			switch activity(r, n) {
+			case depgraph.Always:
+				load.AddExpr(1, b.allocExpr(r, ns))
+			case depgraph.Maybe:
+				if a, ok := aVars[[3]int{r, n, ns}]; ok {
+					load.Add(1, a)
+				}
+			}
+		}
+		return load
+	}
+
+	applyObjective(b)
+	return b
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"tvnep/internal/model"
+	"tvnep/internal/workload"
+)
+
+// TestDebugTiming is a diagnostic: per-formulation solve statistics on the
+// random cross-model scenario family. Run it explicitly with
+// TVNEP_DEBUG_TIMING=1 (it deliberately drives the Δ-Model into its
+// timeout, which takes tens of seconds).
+func TestDebugTiming(t *testing.T) {
+	if os.Getenv("TVNEP_DEBUG_TIMING") == "" {
+		t.Skip("set TVNEP_DEBUG_TIMING=1 to run the timing diagnostic")
+	}
+	cfg := workload.Config{
+		GridRows: 2, GridCols: 2, NodeCap: 2, LinkCap: 2,
+		NumRequests: 3, StarLeaves: 1,
+		DemandLow: 0.5, DemandHigh: 1.5,
+		MeanInterArr: 1.5, WeibullShape: 2, WeibullScale: 2,
+		FlexibilityHr: 1.5,
+	}
+	for seed := int64(1); seed <= 2; seed++ {
+		sc := workload.Generate(cfg, seed)
+		inst := &Instance{Sub: sc.Substrate, Reqs: sc.Requests, Horizon: sc.Horizon}
+		opts := BuildOptions{Objective: AccessControl, FixedMapping: sc.Mapping}
+		for _, f := range []Formulation{CSigma, Sigma, Delta} {
+			start := time.Now()
+			b := Build(f, inst, opts)
+			buildTime := time.Since(start)
+			_, ms := b.Solve(&model.SolveOptions{TimeLimit: 20 * time.Second})
+			t.Logf("seed %d %v: vars=%d constrs=%d ints=%d build=%v status=%v obj=%v gap=%.3g nodes=%d lpiters=%d time=%v",
+				seed, f, b.Model.NumVars(), b.Model.NumConstrs(), b.Model.NumIntVars(),
+				buildTime, ms.Status, ms.Obj, ms.Gap, ms.Nodes, ms.LPIterations, ms.Runtime)
+		}
+	}
+}

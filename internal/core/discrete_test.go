@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"tvnep/internal/solution"
+	"tvnep/internal/substrate"
+	"tvnep/internal/vnet"
+	"tvnep/internal/workload"
+)
+
+func TestDiscreteMatchesContinuousOnGridFriendlyInstance(t *testing.T) {
+	// Integral data aligned to the slot grid: discrete and continuous
+	// optima must coincide.
+	inst, opts := pairInstance(2) // durations 2, window [0,4]
+	db := BuildDiscrete(inst, opts, 1.0)
+	sol, ms := db.Solve(nil)
+	if ms.Status != 0 {
+		t.Fatalf("status %v", ms.Status)
+	}
+	if sol.NumAccepted() != 2 || math.Abs(sol.Objective-4) > 1e-6 {
+		t.Fatalf("discrete: accepted %d obj %v, want 2 / 4", sol.NumAccepted(), sol.Objective)
+	}
+	if err := solution.Check(inst.Sub, inst.Reqs, sol); err != nil {
+		t.Fatalf("discrete solution rejected by checker: %v", err)
+	}
+}
+
+func TestDiscreteLosesOffGridSolutions(t *testing.T) {
+	// Two 1.5h jobs in a [0,3] window on one unit-capacity node: the
+	// continuous model schedules them back to back (accept both), but a
+	// 1h grid must round each job up to 2 slots → only one fits.
+	sub := substrate.Grid(1, 2, 1, 1)
+	reqs := []*vnet.Request{
+		singleNodeReq("a", 1, 0, 1.5, 3),
+		singleNodeReq("b", 1, 0, 1.5, 3),
+	}
+	inst := &Instance{Sub: sub, Reqs: reqs, Horizon: 3}
+	opts := BuildOptions{Objective: AccessControl, FixedMapping: vnet.NodeMapping{{0}, {0}}}
+
+	cont := BuildCSigma(inst, opts)
+	csol, cms := cont.Solve(nil)
+	if cms.Status != 0 || csol.NumAccepted() != 2 {
+		t.Fatalf("continuous: status %v accepted %d, want 2", cms.Status, csol.NumAccepted())
+	}
+
+	db := BuildDiscrete(inst, opts, 1.0)
+	dsol, dms := db.Solve(nil)
+	if dms.Status != 0 {
+		t.Fatalf("discrete: status %v", dms.Status)
+	}
+	if dsol.NumAccepted() >= csol.NumAccepted() {
+		t.Fatalf("discretization should lose here: discrete %d vs continuous %d",
+			dsol.NumAccepted(), csol.NumAccepted())
+	}
+}
+
+func TestDiscreteConvergesWithFinerGrid(t *testing.T) {
+	// The same off-grid instance recovers the continuous optimum once the
+	// slot length divides the durations.
+	sub := substrate.Grid(1, 2, 1, 1)
+	reqs := []*vnet.Request{
+		singleNodeReq("a", 1, 0, 1.5, 3),
+		singleNodeReq("b", 1, 0, 1.5, 3),
+	}
+	inst := &Instance{Sub: sub, Reqs: reqs, Horizon: 3}
+	opts := BuildOptions{Objective: AccessControl, FixedMapping: vnet.NodeMapping{{0}, {0}}}
+	db := BuildDiscrete(inst, opts, 0.5)
+	sol, ms := db.Solve(nil)
+	if ms.Status != 0 || sol.NumAccepted() != 2 {
+		t.Fatalf("fine grid: status %v accepted %d, want 2", ms.Status, sol.NumAccepted())
+	}
+	if err := solution.Check(inst.Sub, inst.Reqs, sol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiscreteNeverBeatsContinuous(t *testing.T) {
+	// Property over random workloads: the slotted optimum is a lower bound
+	// on the continuous optimum (every slotted schedule is feasible for the
+	// continuous model).
+	wl := workload.Config{
+		GridRows: 2, GridCols: 2, NodeCap: 2, LinkCap: 2,
+		NumRequests: 3, StarLeaves: 1,
+		DemandLow: 0.5, DemandHigh: 1.5,
+		MeanInterArr: 1, WeibullShape: 2, WeibullScale: 2,
+		FlexibilityHr: 2,
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		sc := workload.Generate(wl, seed)
+		inst := &Instance{Sub: sc.Substrate, Reqs: sc.Requests, Horizon: sc.Horizon}
+		opts := BuildOptions{Objective: AccessControl, FixedMapping: sc.Mapping}
+		cont := BuildCSigma(inst, opts)
+		csol, cms := cont.Solve(nil)
+		if cms.Status != 0 {
+			t.Fatalf("seed %d: continuous status %v", seed, cms.Status)
+		}
+		db := BuildDiscrete(inst, opts, 1.0)
+		dsol, dms := db.Solve(nil)
+		if dms.Status != 0 {
+			t.Fatalf("seed %d: discrete status %v", seed, dms.Status)
+		}
+		if dsol.Objective > csol.Objective+1e-5 {
+			t.Fatalf("seed %d: discrete %v beats continuous %v", seed, dsol.Objective, csol.Objective)
+		}
+		if err := solution.Check(inst.Sub, inst.Reqs, dsol); err != nil {
+			t.Fatalf("seed %d: discrete solution infeasible: %v", seed, err)
+		}
+	}
+}
+
+func TestDiscreteMakespan(t *testing.T) {
+	sub := substrate.Grid(1, 2, 1, 1)
+	reqs := []*vnet.Request{
+		singleNodeReq("a", 1, 0, 2, 10),
+		singleNodeReq("b", 1, 0, 2, 10),
+	}
+	inst := &Instance{Sub: sub, Reqs: reqs, Horizon: 10}
+	db := BuildDiscrete(inst, BuildOptions{
+		Objective: MinMakespan, FixedMapping: vnet.NodeMapping{{0}, {0}},
+	}, 1.0)
+	sol, ms := db.Solve(nil)
+	if ms.Status != 0 {
+		t.Fatalf("status %v", ms.Status)
+	}
+	if mk := math.Max(sol.End[0], sol.End[1]); math.Abs(mk-4) > 1e-6 {
+		t.Fatalf("makespan %v, want 4", mk)
+	}
+}
+
+func TestDiscreteRejectsUnsupportedObjective(t *testing.T) {
+	inst, opts := pairInstance(1)
+	opts.Objective = BalanceNodeLoad
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsupported objective did not panic")
+		}
+	}()
+	BuildDiscrete(inst, opts, 1.0)
+}
+
+func TestDiscreteModelGrowsWithGrid(t *testing.T) {
+	// The paper's motivation in numbers: halving the slot length roughly
+	// doubles the discrete model, while the continuous cΣ-Model size is
+	// grid-independent.
+	inst, opts := pairInstance(2)
+	coarse := BuildDiscrete(inst, opts, 1.0)
+	fine := BuildDiscrete(inst, opts, 0.25)
+	if fine.Model.NumVars() <= coarse.Model.NumVars() {
+		t.Fatalf("finer grid did not grow the model: %d vs %d",
+			fine.Model.NumVars(), coarse.Model.NumVars())
+	}
+	if fine.NumSlots != 4*coarse.NumSlots {
+		t.Fatalf("slots %d vs %d", fine.NumSlots, coarse.NumSlots)
+	}
+	cont := BuildCSigma(inst, opts)
+	if cont.Model.NumVars() >= fine.Model.NumVars() {
+		t.Fatalf("cΣ (%d vars) should be smaller than the fine discrete model (%d vars)",
+			cont.Model.NumVars(), fine.Model.NumVars())
+	}
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+
+	"tvnep/internal/model"
+)
+
+// buildEmbedding creates the time-invariant embedding machinery shared by
+// all three formulations: the acceptance variables x_R (Table III), node
+// mapping variables x_V (or a fixed mapping), link-flow variables x_E, and
+// Constraints (1) and (2) of Table IV.
+func buildEmbedding(b *Built) {
+	m := b.Model
+	inst := b.Inst
+	sub := inst.Sub
+	k := b.numReq()
+
+	b.XR = make([]model.Var, k)
+	b.XE = make([][][]model.Var, k)
+	if b.Opts.FixedMapping == nil {
+		b.XV = make([][][]model.Var, k)
+	}
+
+	for r, req := range inst.Reqs {
+		b.XR[r] = m.Binary(fmt.Sprintf("xR[%d]", r))
+		// Pin acceptance when the objective or the caller demands it.
+		forced := b.Opts.Objective.FixedSet()
+		if b.Opts.ForceAccept != nil && r < len(b.Opts.ForceAccept) && b.Opts.ForceAccept[r] {
+			forced = true
+		}
+		if forced {
+			m.Fix(b.XR[r], 1)
+		}
+		if b.Opts.ForceReject != nil && r < len(b.Opts.ForceReject) && b.Opts.ForceReject[r] {
+			m.Fix(b.XR[r], 0)
+		}
+
+		if b.XV != nil {
+			// Free node mapping: Constraint (1) — every virtual node sits
+			// on exactly one substrate node iff the request is embedded.
+			b.XV[r] = make([][]model.Var, req.G.N)
+			for v := 0; v < req.G.N; v++ {
+				b.XV[r][v] = make([]model.Var, sub.NumNodes())
+				sum := model.Expr()
+				for s := 0; s < sub.NumNodes(); s++ {
+					b.XV[r][v][s] = m.Binary(fmt.Sprintf("xV[%d][%d][%d]", r, v, s))
+					sum.Add(1, b.XV[r][v][s])
+				}
+				sum.Add(-1, b.XR[r])
+				m.AddEQ(sum, 0, fmt.Sprintf("map[%d][%d]", r, v))
+			}
+		}
+
+		// Link flow variables and Constraint (2): a splittable unit flow
+		// from host(u) to host(v) for every virtual link (u,v), scaled by
+		// the acceptance decision.
+		b.XE[r] = make([][]model.Var, req.G.NumEdges())
+		for lv := 0; lv < req.G.NumEdges(); lv++ {
+			b.XE[r][lv] = make([]model.Var, sub.NumLinks())
+			for ls := 0; ls < sub.NumLinks(); ls++ {
+				b.XE[r][lv][ls] = m.Continuous(fmt.Sprintf("xE[%d][%d][%d]", r, lv, ls), 0, 1)
+			}
+			u, v := req.G.Edge(lv)
+			for ns := 0; ns < sub.NumNodes(); ns++ {
+				bal := model.Expr()
+				for _, e := range sub.G.Out(ns) {
+					bal.Add(1, b.XE[r][lv][e])
+				}
+				for _, e := range sub.G.In(ns) {
+					bal.Add(-1, b.XE[r][lv][e])
+				}
+				if b.XV != nil {
+					bal.Add(-1, b.XV[r][u][ns])
+					bal.Add(1, b.XV[r][v][ns])
+					m.AddEQ(bal, 0, fmt.Sprintf("flow[%d][%d][%d]", r, lv, ns))
+				} else {
+					hostU, hostV := b.Opts.FixedMapping[r][u], b.Opts.FixedMapping[r][v]
+					coef := 0.0
+					if ns == hostU {
+						coef += 1
+					}
+					if ns == hostV {
+						coef -= 1
+					}
+					bal.Add(-coef, b.XR[r])
+					m.AddEQ(bal, 0, fmt.Sprintf("flow[%d][%d][%d]", r, lv, ns))
+				}
+			}
+		}
+	}
+}
+
+// allocNodeExpr returns the macro alloc_V(R, N_s) of Table V as a linear
+// expression.
+func (b *Built) allocNodeExpr(r, ns int) *model.LinExpr {
+	req := b.Inst.Reqs[r]
+	e := model.Expr()
+	if b.XV != nil {
+		for v := 0; v < req.G.N; v++ {
+			e.Add(req.NodeDemand[v], b.XV[r][v][ns])
+		}
+		return e
+	}
+	total := 0.0
+	for v, host := range b.Opts.FixedMapping[r] {
+		if host == ns {
+			total += req.NodeDemand[v]
+		}
+	}
+	if total != 0 {
+		e.Add(total, b.XR[r])
+	}
+	return e
+}
+
+// allocLinkExpr returns the macro alloc_E(R, L_s) of Table V.
+func (b *Built) allocLinkExpr(r, ls int) *model.LinExpr {
+	req := b.Inst.Reqs[r]
+	e := model.Expr()
+	for lv := 0; lv < req.G.NumEdges(); lv++ {
+		if d := req.LinkDemand[lv]; d != 0 {
+			e.Add(d, b.XE[r][lv][ls])
+		}
+	}
+	return e
+}
+
+// resourceCount returns |V_S| + |E_S|; resources are indexed nodes first,
+// then links.
+func (b *Built) resourceCount() int { return b.Inst.Sub.NumNodes() + b.Inst.Sub.NumLinks() }
+
+// resourceCap returns c_S of resource index rsc.
+func (b *Built) resourceCap(rsc int) float64 {
+	sub := b.Inst.Sub
+	if rsc < sub.NumNodes() {
+		return sub.NodeCap[rsc]
+	}
+	return sub.LinkCap[rsc-sub.NumNodes()]
+}
+
+// allocExpr returns alloc_V or alloc_E for a unified resource index.
+func (b *Built) allocExpr(r, rsc int) *model.LinExpr {
+	sub := b.Inst.Sub
+	if rsc < sub.NumNodes() {
+		return b.allocNodeExpr(r, rsc)
+	}
+	return b.allocLinkExpr(r, rsc-sub.NumNodes())
+}
+
+// buildTimeVars creates t_{e_i} (1-based, numEvents of them), t⁺_R, t⁻_R
+// with their domain bounds, and the monotonicity constraint (13).
+func buildTimeVars(b *Built, numEvents int) {
+	m := b.Model
+	T := b.Inst.Horizon
+	b.TEvent = make([]model.Var, numEvents+1) // index 0 unused
+	for i := 1; i <= numEvents; i++ {
+		b.TEvent[i] = m.Continuous(fmt.Sprintf("t_e[%d]", i), 0, T)
+	}
+	for i := 1; i < numEvents; i++ {
+		// (13): t_{e_i} ≤ t_{e_{i+1}}
+		m.AddLE(model.Expr().Add(1, b.TEvent[i]).Add(-1, b.TEvent[i+1]), 0,
+			fmt.Sprintf("mono[%d]", i))
+	}
+	k := b.numReq()
+	b.TPlus = make([]model.Var, k)
+	b.TMinus = make([]model.Var, k)
+	for r, req := range b.Inst.Reqs {
+		// max() guards against negative-epsilon flexibilities from float
+		// rounding in t^s + d + flex.
+		b.TPlus[r] = m.Continuous(fmt.Sprintf("t+[%d]", r),
+			req.Earliest, max(req.Earliest, req.LatestStart()))
+		b.TMinus[r] = m.Continuous(fmt.Sprintf("t-[%d]", r),
+			req.EarliestEnd(), max(req.EarliestEnd(), req.Latest))
+		// (18): t⁻ − t⁺ = d
+		m.AddEQ(model.Expr().Add(1, b.TMinus[r]).Add(-1, b.TPlus[r]), req.Duration,
+			fmt.Sprintf("dur[%d]", r))
+	}
+}
+
+// chiSumUpTo returns Σ_{j≤i} χ[r][j] over the variables that exist.
+func chiSumUpTo(chi []model.Var, i int) *model.LinExpr {
+	e := model.Expr()
+	for j := 1; j <= i && j < len(chi); j++ {
+		if chi[j].Valid() {
+			e.Add(1, chi[j])
+		}
+	}
+	return e
+}
+
+// chiSumFrom returns Σ_{j≥i} χ[r][j] over the variables that exist.
+func chiSumFrom(chi []model.Var, i int) *model.LinExpr {
+	e := model.Expr()
+	for j := i; j < len(chi); j++ {
+		if j >= 1 && chi[j].Valid() {
+			e.Add(1, chi[j])
+		}
+	}
+	return e
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"tvnep/internal/substrate"
+	"tvnep/internal/vnet"
+)
+
+func TestMinMakespanSerializesTightly(t *testing.T) {
+	// Two 2h jobs forced onto one node: minimum makespan is 4 (back to
+	// back, starting immediately), even though the window extends to 10.
+	sub := substrate.Grid(1, 2, 1, 1)
+	reqs := []*vnet.Request{
+		singleNodeReq("a", 1, 0, 2, 10),
+		singleNodeReq("b", 1, 0, 2, 10),
+	}
+	inst := &Instance{Sub: sub, Reqs: reqs, Horizon: 10}
+	opts := BuildOptions{Objective: MinMakespan, FixedMapping: vnet.NodeMapping{{0}, {0}}}
+	for _, f := range []Formulation{CSigma, Sigma, Delta} {
+		b := Build(f, inst, opts)
+		sol, ms := b.Solve(nil)
+		if ms.Status != 0 {
+			t.Fatalf("%v: status %v", f, ms.Status)
+		}
+		makespan := math.Max(sol.End[0], sol.End[1])
+		if math.Abs(makespan-4) > 1e-5 {
+			t.Fatalf("%v: makespan %v, want 4", f, makespan)
+		}
+		// Objective is −makespan by construction.
+		if math.Abs(sol.Objective-(-4)) > 1e-5 {
+			t.Fatalf("%v: objective %v, want -4", f, sol.Objective)
+		}
+	}
+}
+
+func TestMinMakespanParallelWhenPossible(t *testing.T) {
+	// Same two jobs with capacity for both: makespan collapses to 2.
+	sub := substrate.Grid(1, 2, 2, 1)
+	reqs := []*vnet.Request{
+		singleNodeReq("a", 1, 0, 2, 10),
+		singleNodeReq("b", 1, 0, 2, 10),
+	}
+	inst := &Instance{Sub: sub, Reqs: reqs, Horizon: 10}
+	b := BuildCSigma(inst, BuildOptions{Objective: MinMakespan, FixedMapping: vnet.NodeMapping{{0}, {0}}})
+	sol, ms := b.Solve(nil)
+	if ms.Status != 0 {
+		t.Fatalf("status %v", ms.Status)
+	}
+	if mk := math.Max(sol.End[0], sol.End[1]); math.Abs(mk-2) > 1e-5 {
+		t.Fatalf("makespan %v, want 2", mk)
+	}
+}
+
+func TestMinMakespanRespectsArrivals(t *testing.T) {
+	// A job arriving at t=5 lower-bounds the makespan at 5 + d.
+	sub := substrate.Grid(1, 2, 1, 1)
+	late := singleNodeReq("late", 1, 5, 1, 10)
+	inst := &Instance{Sub: sub, Reqs: []*vnet.Request{late}, Horizon: 10}
+	b := BuildCSigma(inst, BuildOptions{Objective: MinMakespan, FixedMapping: vnet.NodeMapping{{0}}})
+	sol, ms := b.Solve(nil)
+	if ms.Status != 0 {
+		t.Fatalf("status %v", ms.Status)
+	}
+	if math.Abs(sol.End[0]-6) > 1e-5 {
+		t.Fatalf("end %v, want 6", sol.End[0])
+	}
+}
+
+func TestObjectiveStringIncludesMakespan(t *testing.T) {
+	if MinMakespan.String() != "min-makespan" {
+		t.Fatal("string missing")
+	}
+	if !MinMakespan.FixedSet() {
+		t.Fatal("makespan must be a fixed-set objective")
+	}
+}

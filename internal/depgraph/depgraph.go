@@ -1,0 +1,210 @@
+// Package depgraph builds the temporal dependency graph of Section IV-C:
+// a DAG over the start/end checkpoints of all requests whose edges encode
+// provable temporal precedences. From it we derive the event-index windows
+// of the temporal dependency graph cuts (Constraint 19), the pairwise
+// precedence distances used by Constraint 20, and the activity-interval
+// classification that powers the state-space-reduction presolve.
+//
+// Event indexing follows the cΣ-Model (Section IV): events e_1 … e_{|R|+1},
+// request starts bijectively on e_1 … e_{|R|}, request ends (many-to-one)
+// on e_2 … e_{|R|+1}.
+package depgraph
+
+import (
+	"math"
+
+	"tvnep/internal/graph"
+	"tvnep/internal/vnet"
+)
+
+// StartNode returns the dependency-graph node id of (request r, start).
+func StartNode(r int) int { return 2 * r }
+
+// EndNode returns the dependency-graph node id of (request r, end).
+func EndNode(r int) int { return 2*r + 1 }
+
+// IsStartNode reports whether dependency node v is a start checkpoint.
+func IsStartNode(v int) bool { return v%2 == 0 }
+
+// RequestOf returns the request index of dependency node v.
+func RequestOf(v int) int { return v / 2 }
+
+// Window is an inclusive range of event indices (1-based, as in the paper).
+type Window struct{ Lo, Hi int }
+
+// Empty reports whether the window contains no event.
+func (w Window) Empty() bool { return w.Lo > w.Hi }
+
+// Contains reports whether event index i lies in the window.
+func (w Window) Contains(i int) bool { return i >= w.Lo && i <= w.Hi }
+
+// Graph is the temporal dependency graph plus the derived cut data.
+type Graph struct {
+	NumReq int
+	G      *graph.Digraph // 2·NumReq nodes; see StartNode/EndNode
+
+	// Dist[v][w] is the maximum number of *start* checkpoints on any
+	// v→…→w path, counting v itself if it is a start; NegInf when w is
+	// unreachable from v; 0 on the diagonal. This matches dist_max of
+	// Section IV-C (edge weight 1 when the edge's tail is a start).
+	Dist [][]float64
+
+	// StartWindow[r] and EndWindow[r] are the event windows of
+	// Constraint (19) for the cΣ event structure.
+	StartWindow []Window
+	EndWindow   []Window
+}
+
+// Build constructs the dependency graph for the request set. Beyond the
+// paper's latest(v) < earliest(w) edges it adds the always-valid edge
+// (R,start)→(R,end) for every request, which lets Observations 1–3 of the
+// paper be applied uniformly.
+func Build(reqs []*vnet.Request) *Graph {
+	k := len(reqs)
+	dg := &Graph{NumReq: k, G: graph.NewDigraph(2 * k)}
+
+	earliest := func(v int) float64 {
+		r := reqs[RequestOf(v)]
+		if IsStartNode(v) {
+			return r.Earliest
+		}
+		return r.EarliestEnd()
+	}
+	latest := func(v int) float64 {
+		r := reqs[RequestOf(v)]
+		if IsStartNode(v) {
+			return r.LatestStart()
+		}
+		return r.Latest
+	}
+	// tieEps guards against float-dust precedences: schedules produced by
+	// LP solves are only accurate to the solver's feasibility tolerance, so
+	// two checkpoints closer than this are treated as unordered. Dropping
+	// an edge only weakens the cuts; it never cuts off a solution.
+	const tieEps = 1e-6
+	for v := 0; v < 2*k; v++ {
+		for w := 0; w < 2*k; w++ {
+			if v == w || RequestOf(v) == RequestOf(w) {
+				continue
+			}
+			if latest(v) < earliest(w)-tieEps {
+				dg.G.AddEdge(v, w)
+			}
+		}
+	}
+	for r := 0; r < k; r++ {
+		dg.G.AddEdge(StartNode(r), EndNode(r))
+	}
+
+	// Edge weight 1 iff the tail is a start checkpoint.
+	dg.Dist = dg.G.LongestDistances(func(e int) float64 {
+		u, _ := dg.G.Edge(e)
+		if IsStartNode(u) {
+			return 1
+		}
+		return 0
+	})
+
+	dg.StartWindow = make([]Window, k)
+	dg.EndWindow = make([]Window, k)
+	for r := 0; r < k; r++ {
+		sLo := 1 + dg.startAncestors(StartNode(r))
+		sHi := k - dg.startDescendants(StartNode(r))
+		dg.StartWindow[r] = Window{Lo: sLo, Hi: sHi}
+
+		eLo := 1 + dg.startAncestors(EndNode(r)) // own start counted → ≥ 2
+		eHi := k + 1 - dg.startDescendants(EndNode(r))
+		if eLo < 2 {
+			eLo = 2
+		}
+		dg.EndWindow[r] = Window{Lo: eLo, Hi: eHi}
+	}
+	return dg
+}
+
+// startAncestors counts start checkpoints u ≠ v with a path u→v.
+func (dg *Graph) startAncestors(v int) int {
+	n := 0
+	for u := 0; u < dg.G.N; u++ {
+		if u != v && IsStartNode(u) && !math.IsInf(dg.Dist[u][v], -1) {
+			n++
+		}
+	}
+	return n
+}
+
+// startDescendants counts start checkpoints w ≠ v with a path v→w.
+func (dg *Graph) startDescendants(v int) int {
+	n := 0
+	for w := 0; w < dg.G.N; w++ {
+		if w != v && IsStartNode(w) && !math.IsInf(dg.Dist[v][w], -1) {
+			n++
+		}
+	}
+	return n
+}
+
+// Feasible reports whether every checkpoint has a non-empty event window.
+// An empty window proves that no schedule exists in which all 2·|R| event
+// checkpoints receive consistent event indices.
+func (dg *Graph) Feasible() bool {
+	for r := 0; r < dg.NumReq; r++ {
+		if dg.StartWindow[r].Empty() || dg.EndWindow[r].Empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// Precedence holds one Constraint-(20) cut: checkpoint V must be mapped at
+// least Gap event indices before checkpoint W.
+type Precedence struct {
+	V, W int // dependency-graph node ids
+	Gap  int // dist_max(V, W) ≥ 1
+}
+
+// Precedences enumerates all ordered pairs with positive longest distance,
+// i.e. the index pairs for which Constraint (20) is non-vacuous.
+func (dg *Graph) Precedences() []Precedence {
+	var out []Precedence
+	for v := 0; v < dg.G.N; v++ {
+		for w := 0; w < dg.G.N; w++ {
+			if v == w {
+				continue
+			}
+			d := dg.Dist[v][w]
+			if !math.IsInf(d, -1) && d >= 1 {
+				out = append(out, Precedence{V: v, W: w, Gap: int(d)})
+			}
+		}
+	}
+	return out
+}
+
+// Activity classifies request r's relationship with state s_n (the interval
+// between events e_n and e_{n+1}, 1 ≤ n ≤ |R|).
+type Activity int
+
+const (
+	// Never: r cannot be active during the state.
+	Never Activity = iota
+	// Maybe: r may or may not be active depending on the event mapping.
+	Maybe
+	// Always: r is provably active during the state under every feasible
+	// event mapping (its allocation can be added as a constant — the
+	// presolve of Section IV-C).
+	Always
+)
+
+// ActivityAt returns the classification of request r in state s_n.
+func (dg *Graph) ActivityAt(r, n int) Activity {
+	sw, ew := dg.StartWindow[r], dg.EndWindow[r]
+	// Active in s_n ⟺ startEvent ≤ n and endEvent ≥ n+1.
+	if n < sw.Lo || n > ew.Hi-1 {
+		return Never
+	}
+	if n >= sw.Hi && n <= ew.Lo-1 {
+		return Always
+	}
+	return Maybe
+}

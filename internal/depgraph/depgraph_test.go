@@ -1,0 +1,188 @@
+package depgraph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tvnep/internal/vnet"
+)
+
+// mkReq builds a single-node request with the given temporal parameters.
+func mkReq(name string, earliest, duration, latest float64) *vnet.Request {
+	r := vnet.Star(name, 1, true, 1, 1)
+	r.Earliest = earliest
+	r.Duration = duration
+	r.Latest = latest
+	return r
+}
+
+func TestDisjointRequestsFullyOrdered(t *testing.T) {
+	// R0 in [0, 2], R1 in [10, 12]: every R0 checkpoint precedes every R1
+	// checkpoint.
+	reqs := []*vnet.Request{mkReq("a", 0, 2, 2), mkReq("b", 10, 2, 12)}
+	dg := Build(reqs)
+	if !dg.Feasible() {
+		t.Fatal("feasible scenario reported infeasible")
+	}
+	// R0's start must be event 1, R1's start event 2.
+	if dg.StartWindow[0] != (Window{1, 1}) {
+		t.Fatalf("StartWindow[0] = %v, want {1 1}", dg.StartWindow[0])
+	}
+	if dg.StartWindow[1] != (Window{2, 2}) {
+		t.Fatalf("StartWindow[1] = %v, want {2 2}", dg.StartWindow[1])
+	}
+	// R0's end precedes R1's start: end window of R0 is exactly event 2.
+	if dg.EndWindow[0] != (Window{2, 2}) {
+		t.Fatalf("EndWindow[0] = %v, want {2 2}", dg.EndWindow[0])
+	}
+	// R1's end can only be the final event 3.
+	if dg.EndWindow[1] != (Window{3, 3}) {
+		t.Fatalf("EndWindow[1] = %v, want {3 3}", dg.EndWindow[1])
+	}
+}
+
+func TestOverlappingRequestsUnordered(t *testing.T) {
+	reqs := []*vnet.Request{mkReq("a", 0, 2, 10), mkReq("b", 0, 2, 10)}
+	dg := Build(reqs)
+	if dg.StartWindow[0] != (Window{1, 2}) || dg.StartWindow[1] != (Window{1, 2}) {
+		t.Fatalf("start windows %v %v, want {1 2} both", dg.StartWindow[0], dg.StartWindow[1])
+	}
+	if dg.EndWindow[0] != (Window{2, 3}) || dg.EndWindow[1] != (Window{2, 3}) {
+		t.Fatalf("end windows %v %v, want {2 3} both", dg.EndWindow[0], dg.EndWindow[1])
+	}
+}
+
+func TestOwnStartEndEdgeAlwaysPresent(t *testing.T) {
+	// Large flexibility: latest(start) = 10−1 = 9 > earliest(end) = 1, so
+	// the paper's condition does not create the start→end edge; Build must
+	// add it explicitly.
+	reqs := []*vnet.Request{mkReq("a", 0, 1, 10)}
+	dg := Build(reqs)
+	if !dg.G.HasEdge(StartNode(0), EndNode(0)) {
+		t.Fatal("missing explicit start→end edge")
+	}
+	if dg.EndWindow[0].Lo != 2 {
+		t.Fatalf("EndWindow.Lo = %d, want 2", dg.EndWindow[0].Lo)
+	}
+}
+
+func TestSymmetryExample(t *testing.T) {
+	// Section IV-D: k requests of duration slightly above half the window
+	// [0,2] must all start before any ends.
+	k := 4
+	var reqs []*vnet.Request
+	for i := 0; i < k; i++ {
+		d := 1 + 1/float64(int(1)<<uint(i+1))
+		reqs = append(reqs, mkReq(fmt.Sprintf("r%d", i), 0, d, 2))
+	}
+	dg := Build(reqs)
+	for i := 0; i < k; i++ {
+		// Every start precedes every other request's end (pairwise overlap
+		// is forced), so all ends are mapped on the last event k+1.
+		if dg.EndWindow[i].Lo != k+1 {
+			t.Fatalf("EndWindow[%d] = %v, want Lo = %d", i, dg.EndWindow[i], k+1)
+		}
+	}
+}
+
+func TestPrecedences(t *testing.T) {
+	reqs := []*vnet.Request{mkReq("a", 0, 2, 2), mkReq("b", 10, 2, 12)}
+	dg := Build(reqs)
+	found := false
+	for _, pr := range dg.Precedences() {
+		if pr.V == StartNode(0) && pr.W == StartNode(1) {
+			found = true
+			if pr.Gap < 1 {
+				t.Fatalf("gap %d < 1", pr.Gap)
+			}
+		}
+		if pr.Gap < 1 {
+			t.Fatalf("precedence with gap %d", pr.Gap)
+		}
+	}
+	if !found {
+		t.Fatal("missing precedence start(a) → start(b)")
+	}
+}
+
+func TestActivityClassification(t *testing.T) {
+	// Two sequential requests: R0 always active in state 1, R1 in state 2.
+	reqs := []*vnet.Request{mkReq("a", 0, 2, 2), mkReq("b", 10, 2, 12)}
+	dg := Build(reqs)
+	if got := dg.ActivityAt(0, 1); got != Always {
+		t.Fatalf("R0 in s1 = %v, want Always", got)
+	}
+	if got := dg.ActivityAt(0, 2); got != Never {
+		t.Fatalf("R0 in s2 = %v, want Never", got)
+	}
+	if got := dg.ActivityAt(1, 1); got != Never {
+		t.Fatalf("R1 in s1 = %v, want Never", got)
+	}
+	if got := dg.ActivityAt(1, 2); got != Always {
+		t.Fatalf("R1 in s2 = %v, want Always", got)
+	}
+}
+
+func TestActivityMaybe(t *testing.T) {
+	reqs := []*vnet.Request{mkReq("a", 0, 2, 10), mkReq("b", 0, 2, 10)}
+	dg := Build(reqs)
+	for r := 0; r < 2; r++ {
+		for n := 1; n <= 2; n++ {
+			if got := dg.ActivityAt(r, n); got != Maybe {
+				t.Fatalf("R%d in s%d = %v, want Maybe", r, n, got)
+			}
+		}
+	}
+}
+
+func TestWindowHelpers(t *testing.T) {
+	w := Window{2, 4}
+	if w.Empty() || !w.Contains(2) || !w.Contains(4) || w.Contains(1) || w.Contains(5) {
+		t.Fatalf("window helpers broken for %v", w)
+	}
+	if !(Window{3, 2}).Empty() {
+		t.Fatal("empty window not detected")
+	}
+}
+
+func TestNodeHelpers(t *testing.T) {
+	if StartNode(3) != 6 || EndNode(3) != 7 {
+		t.Fatal("node ids wrong")
+	}
+	if !IsStartNode(6) || IsStartNode(7) {
+		t.Fatal("IsStartNode wrong")
+	}
+	if RequestOf(6) != 3 || RequestOf(7) != 3 {
+		t.Fatal("RequestOf wrong")
+	}
+}
+
+// Property: windows are always within the legal event ranges and the
+// structure is acyclic for random feasible workloads.
+func TestRandomWorkloadsWindowsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(10)
+		var reqs []*vnet.Request
+		for i := 0; i < k; i++ {
+			e := rng.Float64() * 20
+			d := 0.5 + rng.Float64()*4
+			flex := rng.Float64() * 6
+			reqs = append(reqs, mkReq(fmt.Sprintf("r%d", i), e, d, e+d+flex))
+		}
+		dg := Build(reqs)
+		if !dg.Feasible() {
+			t.Fatalf("trial %d: feasible-by-construction scenario reported infeasible", trial)
+		}
+		for r := 0; r < k; r++ {
+			sw, ew := dg.StartWindow[r], dg.EndWindow[r]
+			if sw.Lo < 1 || sw.Hi > k {
+				t.Fatalf("trial %d: start window %v outside [1,%d]", trial, sw, k)
+			}
+			if ew.Lo < 2 || ew.Hi > k+1 {
+				t.Fatalf("trial %d: end window %v outside [2,%d]", trial, ew, k+1)
+			}
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+
+	"tvnep/internal/core"
+	"tvnep/internal/model"
+	"tvnep/internal/solution"
+)
+
+// AblationVariant names one cΣ configuration in the cuts/presolve ablation.
+type AblationVariant struct {
+	Name            string
+	DisableCuts     bool
+	DisablePresolve bool
+}
+
+// AblationVariants enumerates the four cΣ configurations of DESIGN.md §6.
+func AblationVariants() []AblationVariant {
+	return []AblationVariant{
+		{Name: "cΣ full", DisableCuts: false, DisablePresolve: false},
+		{Name: "cΣ no-cuts", DisableCuts: true, DisablePresolve: false},
+		{Name: "cΣ no-presolve", DisableCuts: false, DisablePresolve: true},
+		{Name: "cΣ bare", DisableCuts: true, DisablePresolve: true},
+	}
+}
+
+// AblationRecord extends Record with model-size statistics.
+type AblationRecord struct {
+	Record
+	Variant    string
+	NumVars    int
+	NumConstrs int
+	NumInts    int
+}
+
+// AblationSweep quantifies the contribution of the temporal dependency
+// graph cuts and of the activity-interval presolve (Section IV-C): it
+// solves every scenario with the four cΣ variants and records runtimes,
+// node counts and model sizes. Variants must (and are verified to) agree on
+// the optimum whenever both solve to proven optimality.
+func (c Config) AblationSweep(progress io.Writer) ([]AblationRecord, error) {
+	var out []AblationRecord
+	for _, flex := range c.FlexMinutes {
+		for _, seed := range c.Seeds {
+			inst, mapping := c.scenario(flex, seed)
+			best := map[string]float64{}
+			for _, v := range AblationVariants() {
+				b := core.BuildCSigma(inst, core.BuildOptions{
+					Objective:       core.AccessControl,
+					FixedMapping:    mapping,
+					DisableCuts:     v.DisableCuts,
+					DisablePresolve: v.DisablePresolve,
+				})
+				sol, ms := b.Solve(&model.SolveOptions{TimeLimit: c.TimeLimit})
+				rec := AblationRecord{
+					Record: Record{
+						FlexMin: flex, Seed: seed, Form: core.CSigma,
+						Obj: core.AccessControl, Algo: "mip",
+						Runtime: ms.Runtime, Gap: ms.Gap,
+						Nodes: ms.Nodes, LPIters: ms.LPIterations,
+						Optimal: ms.Status == 0,
+					},
+					Variant:    v.Name,
+					NumVars:    b.Model.NumVars(),
+					NumConstrs: b.Model.NumConstrs(),
+					NumInts:    b.Model.NumIntVars(),
+				}
+				if sol != nil {
+					rec.Value = sol.Objective
+					rec.Accepted = sol.NumAccepted()
+					rec.Feasible = solution.Check(inst.Sub, inst.Reqs, sol) == nil
+				}
+				if rec.Optimal {
+					best[v.Name] = rec.Value
+				}
+				out = append(out, rec)
+				if progress != nil {
+					fmt.Fprintf(progress, "flex=%3.0f seed=%2d %-14s obj=%7.2f time=%7.2fs nodes=%5d vars=%d rows=%d\n",
+						flex, seed, v.Name, rec.Value, rec.Runtime.Seconds(), rec.Nodes, rec.NumVars, rec.NumConstrs)
+				}
+			}
+			// Cross-variant sanity: proven optima must agree.
+			var ref float64
+			first := true
+			for name, v := range best {
+				if first {
+					ref, first = v, false
+					continue
+				}
+				if diff := v - ref; diff > 1e-5 || diff < -1e-5 {
+					return out, fmt.Errorf("ablation mismatch at flex=%v seed=%d: %s=%v vs ref=%v",
+						flex, seed, name, v, ref)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// WriteAblation renders the ablation results grouped by variant.
+func WriteAblation(w io.Writer, recs []AblationRecord, cfg Config) {
+	fmt.Fprintln(w, "# Ablation — cΣ with/without dependency-graph cuts and presolve")
+	for _, v := range AblationVariants() {
+		fmt.Fprintf(w, "## %s\n", v.Name)
+		fmt.Fprintf(w, "%10s %12s %12s %10s %10s %10s\n", "flex_min", "med_time_s", "med_nodes", "med_vars", "med_rows", "solved")
+		for _, flex := range cfg.FlexMinutes {
+			var times, nodes, vars, rows []float64
+			solved, total := 0, 0
+			for _, r := range recs {
+				if r.Variant != v.Name || r.FlexMin != flex {
+					continue
+				}
+				total++
+				if r.Optimal {
+					solved++
+					times = append(times, r.Runtime.Seconds())
+				} else {
+					times = append(times, cfg.TimeLimit.Seconds())
+				}
+				nodes = append(nodes, float64(r.Nodes))
+				vars = append(vars, float64(r.NumVars))
+				rows = append(rows, float64(r.NumConstrs))
+			}
+			fmt.Fprintf(w, "%10.0f %12.4g %12.4g %10.4g %10.4g %7d/%d\n",
+				flex, median(times), median(nodes), median(vars), median(rows), solved, total)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	if n := len(cp); n%2 == 1 {
+		return cp[n/2]
+	} else {
+		return (cp[n/2-1] + cp[n/2]) / 2
+	}
+}

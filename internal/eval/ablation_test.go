@@ -1,0 +1,87 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"tvnep/internal/workload"
+)
+
+func TestAblationSweep(t *testing.T) {
+	wl := workload.Config{
+		GridRows: 2, GridCols: 2, NodeCap: 2, LinkCap: 2,
+		NumRequests: 3, StarLeaves: 1,
+		DemandLow: 0.5, DemandHigh: 1.5,
+		MeanInterArr: 1, WeibullShape: 2, WeibullScale: 2,
+	}
+	cfg := Config{
+		Workload:    wl,
+		FlexMinutes: []float64{0, 120},
+		Seeds:       []int64{1, 2},
+		TimeLimit:   20 * time.Second,
+	}
+	recs, err := cfg.AblationSweep(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 flex × 2 seeds × 4 variants.
+	if len(recs) != 16 {
+		t.Fatalf("%d records, want 16", len(recs))
+	}
+	// The full model must never be larger than the bare model.
+	byKey := map[string]AblationRecord{}
+	for _, r := range recs {
+		byKey[r.Variant+string(rune(int(r.FlexMin)))+string(rune(r.Seed))] = r
+	}
+	for _, flex := range cfg.FlexMinutes {
+		for _, seed := range cfg.Seeds {
+			var full, bare *AblationRecord
+			for i := range recs {
+				r := &recs[i]
+				if r.FlexMin != flex || r.Seed != seed {
+					continue
+				}
+				switch r.Variant {
+				case "cΣ full":
+					full = r
+				case "cΣ bare":
+					bare = r
+				}
+			}
+			if full == nil || bare == nil {
+				t.Fatal("missing variants")
+			}
+			if full.NumVars > bare.NumVars {
+				t.Fatalf("flex=%v seed=%d: full model has more variables (%d) than bare (%d)",
+					flex, seed, full.NumVars, bare.NumVars)
+			}
+			if !full.Optimal || !bare.Optimal {
+				t.Fatalf("flex=%v seed=%d: tiny ablation instance not solved to optimality", flex, seed)
+			}
+			if !full.Feasible || !bare.Feasible {
+				t.Fatalf("flex=%v seed=%d: ablation solution failed the checker", flex, seed)
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	WriteAblation(&buf, recs, cfg)
+	out := buf.String()
+	if !strings.Contains(out, "cΣ full") || !strings.Contains(out, "cΣ bare") {
+		t.Fatalf("ablation report incomplete:\n%s", out)
+	}
+}
+
+func TestMedianHelper(t *testing.T) {
+	if median(nil) != 0 {
+		t.Fatal("median(nil) != 0")
+	}
+	if median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median wrong")
+	}
+	if median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Fatal("even median wrong")
+	}
+}

@@ -1,0 +1,249 @@
+// Package eval is the computational-evaluation harness of Section VI: it
+// sweeps temporal flexibility over a family of random scenarios and records,
+// per (flexibility, seed, algorithm), the solve statistics from which every
+// figure of the paper (Figures 3–9) is regenerated.
+package eval
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"tvnep/internal/core"
+	"tvnep/internal/greedy"
+	"tvnep/internal/model"
+	"tvnep/internal/solution"
+	"tvnep/internal/stats"
+	"tvnep/internal/vnet"
+	"tvnep/internal/workload"
+)
+
+// Config drives a sweep.
+type Config struct {
+	Workload workload.Config
+	// FlexMinutes is the x-axis of every figure: the scheduling slack (in
+	// "minutes" of scenario time, 60 min = 1 h) granted to every request.
+	FlexMinutes []float64
+	// Seeds identifies the independent scenarios per flexibility step
+	// (the paper uses 24).
+	Seeds []int64
+	// TimeLimit bounds each MIP solve (the paper uses one hour).
+	TimeLimit time.Duration
+}
+
+// Default returns a configuration sized for the pure-Go solver: the paper's
+// distributions on a smaller grid with fewer requests, a sweep of 0–300
+// minutes in 60-minute steps, and short per-solve limits.
+func Default() Config {
+	wl := workload.Default()
+	wl.GridRows, wl.GridCols = 2, 2
+	wl.NumRequests = 5
+	wl.StarLeaves = 2
+	return Config{
+		Workload:    wl,
+		FlexMinutes: []float64{0, 60, 120, 180, 240, 300},
+		Seeds:       []int64{1, 2, 3, 4, 5},
+		TimeLimit:   60 * time.Second,
+	}
+}
+
+// Paper returns the paper's exact evaluation setup (Section VI-A): 4×5
+// grid, 20 requests, flexibility 0–300 min in 30-minute steps, 24 seeds,
+// one-hour time limit. Running it with this repository's solver takes far
+// longer than with Gurobi; it exists for completeness.
+func Paper() Config {
+	flex := make([]float64, 11)
+	seeds := make([]int64, 24)
+	for i := range flex {
+		flex[i] = float64(30 * i)
+	}
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	return Config{
+		Workload:    workload.PaperScale(),
+		FlexMinutes: flex,
+		Seeds:       seeds,
+		TimeLimit:   time.Hour,
+	}
+}
+
+// Record is one solve outcome.
+type Record struct {
+	FlexMin  float64
+	Seed     int64
+	Form     core.Formulation
+	Obj      core.Objective
+	Algo     string // "mip" or "greedy"
+	Runtime  time.Duration
+	Gap      float64 // relative branch-and-bound gap; +Inf if no solution
+	Value    float64 // objective value achieved (0 if none)
+	Accepted int
+	Optimal  bool
+	Feasible bool // independent checker verdict (false when no solution)
+	Nodes    int
+	LPIters  int
+}
+
+// scenario builds the core instance for (flexMin, seed).
+func (c Config) scenario(flexMin float64, seed int64) (*core.Instance, vnet.NodeMapping) {
+	wl := c.Workload
+	wl.FlexibilityHr = flexMin / 60
+	sc := workload.Generate(wl, seed)
+	return &core.Instance{Sub: sc.Substrate, Reqs: sc.Requests, Horizon: sc.Horizon}, sc.Mapping
+}
+
+// solveOne runs a single MIP solve and converts it into a Record.
+func (c Config) solveOne(f core.Formulation, obj core.Objective, inst *core.Instance,
+	mapping vnet.NodeMapping, flexMin float64, seed int64) Record {
+	b := core.Build(f, inst, core.BuildOptions{Objective: obj, FixedMapping: mapping})
+	sol, ms := b.Solve(&model.SolveOptions{TimeLimit: c.TimeLimit})
+	rec := Record{
+		FlexMin: flexMin, Seed: seed, Form: f, Obj: obj, Algo: "mip",
+		Runtime: ms.Runtime, Gap: ms.Gap, Nodes: ms.Nodes, LPIters: ms.LPIterations,
+		Optimal: ms.Status == 0,
+	}
+	if sol != nil {
+		rec.Value = sol.Objective
+		rec.Accepted = sol.NumAccepted()
+		rec.Feasible = solution.Check(inst.Sub, inst.Reqs, sol) == nil
+	}
+	return rec
+}
+
+// AccessControlSweep solves every (flexibility, seed) scenario under the
+// access-control objective with each formulation. It yields the data behind
+// Figures 3, 4, 8 and 9.
+func (c Config) AccessControlSweep(forms []core.Formulation, progress io.Writer) []Record {
+	var out []Record
+	for _, flex := range c.FlexMinutes {
+		for _, seed := range c.Seeds {
+			inst, mapping := c.scenario(flex, seed)
+			for _, f := range forms {
+				rec := c.solveOne(f, core.AccessControl, inst, mapping, flex, seed)
+				out = append(out, rec)
+				if progress != nil {
+					fmt.Fprintf(progress, "flex=%3.0f seed=%2d %-2v obj=%7.2f gap=%6.3g time=%8.2fs nodes=%d\n",
+						flex, seed, f, rec.Value, rec.Gap, rec.Runtime.Seconds(), rec.Nodes)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ObjectivesSweep runs the cΣ-Model under the three fixed-set objectives of
+// Section IV-E (earliness, node-load balance, link disabling) for every
+// scenario, embedding the request set accepted by an access-control
+// pre-pass (the paper's Figure 8 reports exactly that set size). Data for
+// Figures 5 and 6.
+func (c Config) ObjectivesSweep(progress io.Writer) []Record {
+	var out []Record
+	for _, flex := range c.FlexMinutes {
+		for _, seed := range c.Seeds {
+			inst, mapping := c.scenario(flex, seed)
+			pre := core.BuildCSigma(inst, core.BuildOptions{
+				Objective: core.AccessControl, FixedMapping: mapping,
+			})
+			preSol, _ := pre.Solve(&model.SolveOptions{TimeLimit: c.TimeLimit})
+			if preSol == nil {
+				continue
+			}
+			// Restrict to the accepted set.
+			var reqs []*vnet.Request
+			var subMap vnet.NodeMapping
+			for r, acc := range preSol.Accepted {
+				if acc {
+					reqs = append(reqs, inst.Reqs[r])
+					subMap = append(subMap, mapping[r])
+				}
+			}
+			if len(reqs) == 0 {
+				continue
+			}
+			sub := &core.Instance{Sub: inst.Sub, Reqs: reqs, Horizon: inst.Horizon}
+			for _, obj := range []core.Objective{core.MaxEarliness, core.BalanceNodeLoad, core.DisableLinks} {
+				rec := c.solveOne(core.CSigma, obj, sub, subMap, flex, seed)
+				rec.Accepted = len(reqs)
+				out = append(out, rec)
+				if progress != nil {
+					fmt.Fprintf(progress, "flex=%3.0f seed=%2d cΣ %-18v obj=%7.2f gap=%6.3g time=%8.2fs\n",
+						flex, seed, rec.Obj, rec.Value, rec.Gap, rec.Runtime.Seconds())
+				}
+			}
+		}
+	}
+	return out
+}
+
+// GreedySweep runs cΣ_A^G and the optimal cΣ-Model side by side on every
+// scenario (Figure 7 reports the relative performance).
+func (c Config) GreedySweep(progress io.Writer) []Record {
+	var out []Record
+	for _, flex := range c.FlexMinutes {
+		for _, seed := range c.Seeds {
+			inst, mapping := c.scenario(flex, seed)
+			opt := c.solveOne(core.CSigma, core.AccessControl, inst, mapping, flex, seed)
+			out = append(out, opt)
+
+			start := time.Now()
+			gsol, gstats, err := greedy.Solve(inst, mapping, greedy.Options{IterTimeLimit: c.TimeLimit})
+			rec := Record{
+				FlexMin: flexMin(flex), Seed: seed, Form: core.CSigma,
+				Obj: core.AccessControl, Algo: "greedy",
+				Runtime: time.Since(start),
+				Nodes:   gstats.TotalBBNodes, LPIters: gstats.TotalLPIters,
+			}
+			if err == nil && gsol != nil {
+				rec.Value = gsol.Objective
+				rec.Accepted = gsol.NumAccepted()
+				rec.Feasible = solution.Check(inst.Sub, inst.Reqs, gsol) == nil
+			}
+			out = append(out, rec)
+			if progress != nil {
+				fmt.Fprintf(progress, "flex=%3.0f seed=%2d greedy obj=%7.2f (opt %7.2f) time=%8.2fs\n",
+					flex, seed, rec.Value, opt.Value, rec.Runtime.Seconds())
+			}
+		}
+	}
+	return out
+}
+
+func flexMin(v float64) float64 { return v }
+
+// Series is one plottable line: per x-value summary statistics over seeds.
+type Series struct {
+	Label     string
+	X         []float64
+	Summaries []stats.Summary
+}
+
+// collect groups values of records matching pred by flexibility.
+func collect(records []Record, xs []float64, pred func(Record) bool, val func(Record) float64) (series []float64, sums []stats.Summary) {
+	var out []stats.Summary
+	for _, x := range xs {
+		var sample []float64
+		for _, r := range records {
+			if r.FlexMin == x && pred(r) {
+				sample = append(sample, val(r))
+			}
+		}
+		out = append(out, stats.Summarize(sample))
+	}
+	return xs, out
+}
+
+// WriteSeries renders series as an aligned text table.
+func WriteSeries(w io.Writer, title string, series []Series) {
+	fmt.Fprintf(w, "# %s\n", title)
+	for _, s := range series {
+		fmt.Fprintf(w, "## %s\n", s.Label)
+		fmt.Fprintf(w, "%10s %12s %12s %12s %12s %12s %8s\n", "flex_min", "min", "q1", "median", "q3", "max", "n")
+		for i, x := range s.X {
+			sm := s.Summaries[i]
+			fmt.Fprintf(w, "%10.0f %12.4g %12.4g %12.4g %12.4g %12.4g %8d\n",
+				x, sm.Min, sm.Q1, sm.Median, sm.Q3, sm.Max, sm.N)
+		}
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,206 @@
+// Package graph provides directed-graph utilities used across the TVNEP
+// library: adjacency bookkeeping, grid/star generators, reachability,
+// topological sorting, and all-pairs longest distances on DAGs (the
+// Floyd–Warshall variant the temporal dependency graph cuts of Section IV-C
+// rely on).
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Digraph is a directed graph on nodes 0..N-1 with parallel-edge-free edges.
+type Digraph struct {
+	N     int
+	edges [][2]int32
+	out   [][]int32 // edge indices leaving each node
+	in    [][]int32 // edge indices entering each node
+	seen  map[[2]int32]bool
+}
+
+// NewDigraph creates a digraph with n nodes and no edges.
+func NewDigraph(n int) *Digraph {
+	return &Digraph{
+		N:    n,
+		out:  make([][]int32, n),
+		in:   make([][]int32, n),
+		seen: make(map[[2]int32]bool),
+	}
+}
+
+// NumEdges reports the number of edges.
+func (g *Digraph) NumEdges() int { return len(g.edges) }
+
+// AddEdge inserts the directed edge u→v and returns its index. Duplicate
+// edges and self-loops panic: the substrate and request topologies of the
+// paper contain neither.
+func (g *Digraph) AddEdge(u, v int) int {
+	if u < 0 || u >= g.N || v < 0 || v >= g.N {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.N))
+	}
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at %d", u))
+	}
+	key := [2]int32{int32(u), int32(v)}
+	if g.seen[key] {
+		panic(fmt.Sprintf("graph: duplicate edge (%d,%d)", u, v))
+	}
+	g.seen[key] = true
+	idx := len(g.edges)
+	g.edges = append(g.edges, key)
+	g.out[u] = append(g.out[u], int32(idx))
+	g.in[v] = append(g.in[v], int32(idx))
+	return idx
+}
+
+// Edge returns the endpoints of edge e.
+func (g *Digraph) Edge(e int) (u, v int) {
+	return int(g.edges[e][0]), int(g.edges[e][1])
+}
+
+// Out returns the indices of edges leaving u (shared slice; do not mutate).
+func (g *Digraph) Out(u int) []int32 { return g.out[u] }
+
+// In returns the indices of edges entering v (shared slice; do not mutate).
+func (g *Digraph) In(v int) []int32 { return g.in[v] }
+
+// HasEdge reports whether u→v exists.
+func (g *Digraph) HasEdge(u, v int) bool { return g.seen[[2]int32{int32(u), int32(v)}] }
+
+// Grid returns a directed rows×cols grid: every pair of 4-neighbour nodes is
+// connected by edges in both directions (the paper's substrate topology).
+// Node (r,c) has index r*cols + c.
+func Grid(rows, cols int) *Digraph {
+	g := NewDigraph(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(id(r, c), id(r, c+1))
+				g.AddEdge(id(r, c+1), id(r, c))
+			}
+			if r+1 < rows {
+				g.AddEdge(id(r, c), id(r+1, c))
+				g.AddEdge(id(r+1, c), id(r, c))
+			}
+		}
+	}
+	return g
+}
+
+// Star returns a star on 1+leaves nodes with node 0 as center. If inward is
+// true all edges point towards the center, otherwise away from it (the two
+// request topologies of Section VI-A).
+func Star(leaves int, inward bool) *Digraph {
+	g := NewDigraph(1 + leaves)
+	for l := 1; l <= leaves; l++ {
+		if inward {
+			g.AddEdge(l, 0)
+		} else {
+			g.AddEdge(0, l)
+		}
+	}
+	return g
+}
+
+// Chain returns a directed path 0→1→…→n-1.
+func Chain(n int) *Digraph {
+	g := NewDigraph(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// TopoSort returns a topological order of the nodes, or ok=false if the
+// graph contains a cycle.
+func (g *Digraph) TopoSort() (order []int, ok bool) {
+	indeg := make([]int, g.N)
+	for v := 0; v < g.N; v++ {
+		indeg[v] = len(g.in[v])
+	}
+	queue := make([]int, 0, g.N)
+	for v := 0; v < g.N; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, e := range g.out[v] {
+			_, w := g.Edge(int(e))
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	return order, len(order) == g.N
+}
+
+// Reachable returns the set of nodes reachable from src (excluding src
+// unless it lies on a cycle).
+func (g *Digraph) Reachable(src int) []bool {
+	vis := make([]bool, g.N)
+	stack := []int{src}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.out[v] {
+			_, w := g.Edge(int(e))
+			if !vis[w] {
+				vis[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return vis
+}
+
+// NegInf marks "unreachable" in LongestDistances results.
+var NegInf = math.Inf(-1)
+
+// LongestDistances computes all-pairs longest path lengths on a DAG with
+// the given edge weights, using the Floyd–Warshall scheme on negated
+// weights as in the paper (Section IV-C). dist[u][v] = NegInf when v is not
+// reachable from u; dist[u][u] = 0. Panics if the graph is cyclic.
+func (g *Digraph) LongestDistances(weight func(e int) float64) [][]float64 {
+	if _, ok := g.TopoSort(); !ok {
+		panic("graph: LongestDistances requires a DAG")
+	}
+	n := g.N
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+		for j := range dist[i] {
+			dist[i][j] = NegInf
+		}
+		dist[i][i] = 0
+	}
+	for e := range g.edges {
+		u, v := g.Edge(e)
+		w := weight(e)
+		if w > dist[u][v] {
+			dist[u][v] = w
+		}
+	}
+	for k := 0; k < n; k++ {
+		dk := dist[k]
+		for i := 0; i < n; i++ {
+			dik := dist[i][k]
+			if math.IsInf(dik, -1) {
+				continue
+			}
+			di := dist[i]
+			for j := 0; j < n; j++ {
+				if c := dik + dk[j]; c > di[j] {
+					di[j] = c
+				}
+			}
+		}
+	}
+	return dist
+}

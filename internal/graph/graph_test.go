@@ -1,0 +1,192 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGridShape(t *testing.T) {
+	// The paper's 4×5 grid: 20 nodes, 62 directed edges.
+	g := Grid(4, 5)
+	if g.N != 20 {
+		t.Fatalf("nodes = %d, want 20", g.N)
+	}
+	if g.NumEdges() != 62 {
+		t.Fatalf("edges = %d, want 62 (paper, Section VI-A)", g.NumEdges())
+	}
+}
+
+func TestGridSmall(t *testing.T) {
+	g := Grid(3, 3)
+	if g.N != 9 || g.NumEdges() != 24 {
+		t.Fatalf("3x3 grid: %d nodes %d edges, want 9, 24", g.N, g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || !g.HasEdge(0, 3) {
+		t.Fatal("grid adjacency broken")
+	}
+	if g.HasEdge(0, 4) {
+		t.Fatal("diagonal edge should not exist")
+	}
+}
+
+func TestStar(t *testing.T) {
+	in := Star(4, true)
+	if in.N != 5 || in.NumEdges() != 4 {
+		t.Fatalf("star: %d nodes %d edges", in.N, in.NumEdges())
+	}
+	for e := 0; e < 4; e++ {
+		_, v := in.Edge(e)
+		if v != 0 {
+			t.Fatalf("inward star edge %d does not point to center", e)
+		}
+	}
+	out := Star(3, false)
+	for e := 0; e < 3; e++ {
+		u, _ := out.Edge(e)
+		if u != 0 {
+			t.Fatalf("outward star edge %d does not leave center", e)
+		}
+	}
+}
+
+func TestChainTopoSort(t *testing.T) {
+	g := Chain(5)
+	order, ok := g.TopoSort()
+	if !ok {
+		t.Fatal("chain reported cyclic")
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("topo order %v, want identity", order)
+		}
+	}
+}
+
+func TestTopoSortCycle(t *testing.T) {
+	g := NewDigraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	if _, ok := g.TopoSort(); ok {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := NewDigraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	vis := g.Reachable(0)
+	if !vis[1] || !vis[2] || vis[3] || vis[0] {
+		t.Fatalf("reachable from 0 = %v", vis)
+	}
+}
+
+func TestLongestDistances(t *testing.T) {
+	// 0→1→2 and 0→2, weights: edge from 0: 1, from 1: 2.
+	g := NewDigraph(3)
+	e01 := g.AddEdge(0, 1)
+	e12 := g.AddEdge(1, 2)
+	e02 := g.AddEdge(0, 2)
+	w := map[int]float64{e01: 1, e12: 2, e02: 1}
+	dist := g.LongestDistances(func(e int) float64 { return w[e] })
+	if dist[0][2] != 3 { // 0→1→2 beats direct 0→2
+		t.Fatalf("dist[0][2] = %v, want 3", dist[0][2])
+	}
+	if dist[0][1] != 1 || dist[1][2] != 2 {
+		t.Fatalf("dist = %v", dist)
+	}
+	if !math.IsInf(dist[2][0], -1) {
+		t.Fatalf("dist[2][0] = %v, want -Inf", dist[2][0])
+	}
+	if dist[1][1] != 0 {
+		t.Fatalf("diagonal not 0")
+	}
+}
+
+func TestLongestDistancesPanicsOnCycle(t *testing.T) {
+	g := NewDigraph(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on cyclic graph")
+		}
+	}()
+	g.LongestDistances(func(int) float64 { return 1 })
+}
+
+func TestDuplicateEdgePanics(t *testing.T) {
+	g := NewDigraph(2)
+	g.AddEdge(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on duplicate edge")
+		}
+	}()
+	g.AddEdge(0, 1)
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	g := NewDigraph(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on self loop")
+		}
+	}()
+	g.AddEdge(1, 1)
+}
+
+func TestInOutConsistency(t *testing.T) {
+	g := Grid(2, 3)
+	// Total out-degree == total in-degree == edges.
+	tot := 0
+	for v := 0; v < g.N; v++ {
+		tot += len(g.Out(v))
+	}
+	if tot != g.NumEdges() {
+		t.Fatalf("out-degree sum %d != edges %d", tot, g.NumEdges())
+	}
+	tot = 0
+	for v := 0; v < g.N; v++ {
+		tot += len(g.In(v))
+	}
+	if tot != g.NumEdges() {
+		t.Fatalf("in-degree sum %d != edges %d", tot, g.NumEdges())
+	}
+}
+
+// Property: grid edge count formula 2·(r(c−1) + c(r−1)).
+func TestQuickGridEdgeCount(t *testing.T) {
+	f := func(a, b uint8) bool {
+		r := int(a%5) + 1
+		c := int(b%5) + 1
+		g := Grid(r, c)
+		want := 2 * (r*(c-1) + c*(r-1))
+		return g.NumEdges() == want && g.N == r*c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: grids of any size are strongly-connected enough that node 0
+// reaches every other node.
+func TestQuickGridReachability(t *testing.T) {
+	f := func(a, b uint8) bool {
+		r := int(a%4) + 1
+		c := int(b%4) + 1
+		g := Grid(r, c)
+		vis := g.Reachable(0)
+		for v := 1; v < g.N; v++ {
+			if !vis[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

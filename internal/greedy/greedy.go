@@ -1,0 +1,201 @@
+// Package greedy implements Algorithm cΣ_A^G of Section V: a fast
+// polynomial-time heuristic for the access-control objective. Requests are
+// processed in order of earliest possible start; each iteration solves a
+// small cΣ model in which every previously decided request has a fixed
+// schedule, with the objective
+//
+//	max  T·x_R(L[i]) + (T − t⁻_{L[i]})
+//
+// which accepts the request whenever possible and otherwise/additionally
+// finishes it as early as possible. Accepted requests keep their assigned
+// schedule in all later iterations (Constraint 24); rejected requests stay
+// rejected (Constraint 25) with their times fixed as Definition 2.1
+// requires. Link allocations are re-optimized in every iteration.
+package greedy
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"tvnep/internal/core"
+	"tvnep/internal/model"
+	"tvnep/internal/solution"
+	"tvnep/internal/vnet"
+)
+
+// Options tunes the greedy run.
+type Options struct {
+	// IterTimeLimit bounds each per-request MIP solve (default 30 s; the
+	// models are tiny because all but one request is fixed).
+	IterTimeLimit time.Duration
+	// DisableCuts / DisablePresolve are passed through to the cΣ builder
+	// (for ablations).
+	DisableCuts     bool
+	DisablePresolve bool
+}
+
+// Stats reports per-run statistics.
+type Stats struct {
+	Iterations    int
+	TotalRuntime  time.Duration
+	MaxIterTime   time.Duration
+	TotalLPIters  int
+	TotalBBNodes  int
+	AcceptedCount int
+}
+
+// ErrNoMapping is returned when no fixed node mapping is supplied; the
+// algorithm (as in the paper) requires node mappings as input.
+var ErrNoMapping = errors.New("greedy: cΣ_A^G requires a fixed node mapping")
+
+// Solve runs cΣ_A^G on the instance. The returned solution is indexed like
+// inst.Reqs.
+func Solve(inst *core.Instance, mapping vnet.NodeMapping, opts Options) (*solution.Solution, Stats, error) {
+	var stats Stats
+	if mapping == nil {
+		return nil, stats, ErrNoMapping
+	}
+	if opts.IterTimeLimit <= 0 {
+		opts.IterTimeLimit = 30 * time.Second
+	}
+	start := time.Now()
+	k := len(inst.Reqs)
+
+	// Working copies: accepted requests get their windows pinned to the
+	// assigned schedule, rejected ones to their earliest slot.
+	work := make([]*vnet.Request, k)
+	for r, req := range inst.Reqs {
+		cp := *req
+		work[r] = &cp
+	}
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return inst.Reqs[order[a]].Earliest < inst.Reqs[order[b]].Earliest
+	})
+
+	accepted := make([]bool, k)
+	rejected := make([]bool, k)
+	var last *solution.Solution
+	var considered []int // original indices, in processing order
+
+	for _, cur := range order {
+		considered = append(considered, cur)
+		subReqs := make([]*vnet.Request, len(considered))
+		subMap := make(vnet.NodeMapping, len(considered))
+		forceAccept := make([]bool, len(considered))
+		forceReject := make([]bool, len(considered))
+		curSub := -1
+		for i, orig := range considered {
+			subReqs[i] = work[orig]
+			subMap[i] = mapping[orig]
+			forceAccept[i] = accepted[orig]
+			forceReject[i] = rejected[orig]
+			if orig == cur {
+				curSub = i
+			}
+		}
+		subInst := &core.Instance{Sub: inst.Sub, Reqs: subReqs, Horizon: inst.Horizon}
+		b := core.BuildCSigma(subInst, core.BuildOptions{
+			Objective:       core.AccessControl, // placeholder; replaced below
+			FixedMapping:    subMap,
+			ForceAccept:     forceAccept,
+			ForceReject:     forceReject,
+			DisableCuts:     opts.DisableCuts,
+			DisablePresolve: opts.DisablePresolve,
+		})
+		// Objective (21): max T·x_R(cur) + (T − t⁻_cur).
+		T := inst.Horizon
+		b.Model.SetObjective(model.Expr().
+			Add(T, b.XR[curSub]).
+			Add(-1, b.TMinus[curSub]).
+			AddConst(T))
+
+		iterStart := time.Now()
+		sol, ms := b.Solve(&model.SolveOptions{TimeLimit: opts.IterTimeLimit})
+		iterTime := time.Since(iterStart)
+		stats.Iterations++
+		stats.TotalLPIters += ms.LPIterations
+		stats.TotalBBNodes += ms.Nodes
+		if iterTime > stats.MaxIterTime {
+			stats.MaxIterTime = iterTime
+		}
+
+		acceptCur := sol != nil && sol.Accepted[curSub]
+		if sol == nil {
+			// Retry with the current request explicitly rejected; the
+			// remaining fixed-schedule system is feasible by induction.
+			forceReject[curSub] = true
+			b = core.BuildCSigma(subInst, core.BuildOptions{
+				Objective:       core.AccessControl,
+				FixedMapping:    subMap,
+				ForceAccept:     forceAccept,
+				ForceReject:     forceReject,
+				DisableCuts:     opts.DisableCuts,
+				DisablePresolve: opts.DisablePresolve,
+			})
+			b.Model.SetObjective(model.Expr().Add(-1, b.TMinus[curSub]).AddConst(T))
+			sol, _ = b.Solve(&model.SolveOptions{TimeLimit: opts.IterTimeLimit})
+			if sol == nil {
+				return nil, stats, errors.New("greedy: fixed-schedule subproblem infeasible (solver failure)")
+			}
+		}
+		if acceptCur {
+			accepted[cur] = true
+			// Pin the schedule exactly. Pinned times are LP-tolerance
+			// accurate; the tie-epsilon in the dependency graph keeps
+			// later subproblems from treating ulp-level orderings as hard
+			// precedences.
+			work[cur].Earliest = sol.Start[curSub]
+			work[cur].Latest = sol.End[curSub]
+			stats.AcceptedCount++
+		} else {
+			rejected[cur] = true
+			work[cur].Latest = work[cur].Earliest + work[cur].Duration
+		}
+		last = remapSolution(sol, considered, k)
+	}
+	stats.TotalRuntime = time.Since(start)
+	if last == nil { // zero requests
+		last = &solution.Solution{}
+	}
+	// Recompute the access-control objective of the final solution.
+	last.Objective = 0
+	for r, req := range inst.Reqs {
+		if last.Accepted[r] {
+			last.Objective += req.Duration * req.TotalNodeDemand()
+		}
+	}
+	return last, stats, nil
+}
+
+// remapSolution expands a subproblem solution (indexed by `considered`)
+// into full-instance indexing. Requests not yet considered are marked
+// rejected with zeroed times; callers only read the final, complete
+// iteration.
+func remapSolution(sub *solution.Solution, considered []int, k int) *solution.Solution {
+	out := &solution.Solution{
+		Accepted:  make([]bool, k),
+		Start:     make([]float64, k),
+		End:       make([]float64, k),
+		Hosts:     make([][]int, k),
+		Flows:     make([][][]float64, k),
+		Objective: sub.Objective,
+		Bound:     sub.Bound,
+		Gap:       sub.Gap,
+		Optimal:   sub.Optimal,
+		Nodes:     sub.Nodes,
+		Runtime:   sub.Runtime,
+	}
+	for i, orig := range considered {
+		out.Accepted[orig] = sub.Accepted[i]
+		out.Start[orig] = sub.Start[i]
+		out.End[orig] = sub.End[i]
+		out.Hosts[orig] = sub.Hosts[i]
+		out.Flows[orig] = sub.Flows[i]
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package greedy
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"tvnep/internal/core"
+	"tvnep/internal/graph"
+	"tvnep/internal/model"
+	"tvnep/internal/solution"
+	"tvnep/internal/substrate"
+	"tvnep/internal/vnet"
+	"tvnep/internal/workload"
+)
+
+func singleNodeReq(name string, demand, earliest, duration, latest float64) *vnet.Request {
+	return &vnet.Request{
+		Name:       name,
+		G:          graph.NewDigraph(1),
+		NodeDemand: []float64{demand},
+		LinkDemand: []float64{},
+		Earliest:   earliest,
+		Duration:   duration,
+		Latest:     latest,
+	}
+}
+
+func TestGreedyAcceptsSequentialPair(t *testing.T) {
+	sub := substrate.Grid(1, 2, 1, 1)
+	reqs := []*vnet.Request{
+		singleNodeReq("a", 1, 0, 2, 4),
+		singleNodeReq("b", 1, 0, 2, 4),
+	}
+	inst := &core.Instance{Sub: sub, Reqs: reqs, Horizon: 4}
+	mapping := vnet.NodeMapping{{0}, {0}}
+	sol, stats, err := Solve(inst, mapping, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.NumAccepted() != 2 {
+		t.Fatalf("accepted %d, want 2", sol.NumAccepted())
+	}
+	if stats.Iterations != 2 || stats.AcceptedCount != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if err := solution.Check(sub, reqs, sol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyRejectsWhenForced(t *testing.T) {
+	sub := substrate.Grid(1, 2, 1, 1)
+	reqs := []*vnet.Request{
+		singleNodeReq("a", 1, 0, 2, 2),
+		singleNodeReq("b", 1, 0, 2, 2),
+	}
+	inst := &core.Instance{Sub: sub, Reqs: reqs, Horizon: 2}
+	sol, _, err := Solve(inst, vnet.NodeMapping{{0}, {0}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.NumAccepted() != 1 {
+		t.Fatalf("accepted %d, want 1 (overlap forced)", sol.NumAccepted())
+	}
+	if err := solution.Check(sub, reqs, sol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyStartsEarly(t *testing.T) {
+	// The objective prefers early completion: a lone flexible request must
+	// start at its earliest time.
+	sub := substrate.Grid(1, 2, 1, 1)
+	reqs := []*vnet.Request{singleNodeReq("a", 1, 1, 2, 10)}
+	inst := &core.Instance{Sub: sub, Reqs: reqs, Horizon: 10}
+	sol, _, err := Solve(inst, vnet.NodeMapping{{0}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Start[0]-1) > 1e-5 {
+		t.Fatalf("start %v, want 1", sol.Start[0])
+	}
+}
+
+func TestGreedyRequiresMapping(t *testing.T) {
+	inst := &core.Instance{Sub: substrate.Grid(1, 2, 1, 1), Horizon: 1}
+	if _, _, err := Solve(inst, nil, Options{}); err != ErrNoMapping {
+		t.Fatalf("err = %v, want ErrNoMapping", err)
+	}
+}
+
+func TestGreedyNeverBeatsOptimal(t *testing.T) {
+	// Greedy is a heuristic: objective ≤ cΣ optimum, solution feasible.
+	cfg := workload.Config{
+		GridRows: 2, GridCols: 2, NodeCap: 2, LinkCap: 2,
+		NumRequests: 4, StarLeaves: 1,
+		DemandLow: 0.5, DemandHigh: 1.5,
+		MeanInterArr: 1, WeibullShape: 2, WeibullScale: 2,
+		FlexibilityHr: 1,
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		sc := workload.Generate(cfg, seed)
+		inst := &core.Instance{Sub: sc.Substrate, Reqs: sc.Requests, Horizon: sc.Horizon}
+		gsol, _, err := Solve(inst, sc.Mapping, Options{IterTimeLimit: 10 * time.Second})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := solution.Check(sc.Substrate, sc.Requests, gsol); err != nil {
+			t.Fatalf("seed %d: greedy solution infeasible: %v", seed, err)
+		}
+		b := core.BuildCSigma(inst, core.BuildOptions{
+			Objective: core.AccessControl, FixedMapping: sc.Mapping,
+		})
+		osol, ms := b.Solve(&model.SolveOptions{TimeLimit: 60 * time.Second})
+		if ms.Status != 0 {
+			t.Fatalf("seed %d: optimal solve status %v", seed, ms.Status)
+		}
+		if gsol.Objective > osol.Objective+1e-5 {
+			t.Fatalf("seed %d: greedy %v beats optimum %v", seed, gsol.Objective, osol.Objective)
+		}
+	}
+}
+
+func TestGreedyEmptyInstance(t *testing.T) {
+	inst := &core.Instance{Sub: substrate.Grid(1, 2, 1, 1), Horizon: 1}
+	sol, stats, err := Solve(inst, vnet.NodeMapping{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Iterations != 0 || sol.NumAccepted() != 0 {
+		t.Fatalf("empty instance: %+v", stats)
+	}
+}

@@ -1,0 +1,128 @@
+package lp
+
+import "math"
+
+// dual runs dual simplex iterations from a (dual-feasible) basis until
+// primal feasibility is restored, primal infeasibility is proven, or the
+// iteration budget is exhausted. The MIP solver uses this to re-solve after
+// branching tightens variable bounds. Reduced costs are maintained
+// incrementally (see reduced.go); each iteration costs O(m + nnz).
+func (s *solver) dual(maxIters int) iterStatus {
+	feas := s.opts.FeasTol
+	for ; s.iters < maxIters; s.iters++ {
+		if s.iters&63 == 0 && s.pastDeadline() {
+			return iterLimit
+		}
+		if !s.dValid {
+			s.recomputeReducedCosts()
+		}
+		// Select the leaving row: the most primal-infeasible basic variable.
+		r, worst := -1, feas
+		below := false
+		for i := 0; i < s.m; i++ {
+			j := s.basis[i]
+			if v := s.lb[j] - s.xB[i]; v > worst {
+				r, worst, below = i, v, true
+			}
+			if v := s.xB[i] - s.ub[j]; v > worst {
+				r, worst, below = i, v, false
+			}
+		}
+		if r == -1 {
+			// Certify: basic values may have drifted through incremental
+			// updates; recompute them once before declaring feasibility.
+			if s.xbFresh {
+				return iterOptimal
+			}
+			s.computeXB()
+			s.xbFresh = true
+			continue
+		}
+		// Tableau row r over the nonbasic columns.
+		s.pivotRow(r)
+
+		// Dual ratio test: choose entering q minimizing |d_q / alphaRow_q|
+		// among sign-eligible nonbasic columns.
+		q, bestRatio, bestAbs := -1, math.Inf(1), 0.0
+		for j := 0; j < s.N; j++ {
+			st := s.vstat[j]
+			if st == vsBasic || s.lb[j] == s.ub[j] {
+				continue
+			}
+			a := s.arow[j]
+			if math.Abs(a) <= pivTol {
+				continue
+			}
+			// Eligibility: moving x_j from its bound must push x_B(r)
+			// toward the violated bound. Δx_B(r) = −a·Δx_j.
+			ok := false
+			switch st {
+			case vsLower: // Δx_j ≥ 0
+				ok = (below && a < 0) || (!below && a > 0)
+			case vsUpper: // Δx_j ≤ 0
+				ok = (below && a > 0) || (!below && a < 0)
+			case vsFree:
+				ok = true
+			}
+			if !ok {
+				continue
+			}
+			ratio := math.Abs(s.d[j]) / math.Abs(a)
+			if s.bland {
+				if q == -1 || ratio < bestRatio-1e-12 || (ratio <= bestRatio+1e-12 && j < q) {
+					q, bestRatio, bestAbs = j, ratio, math.Abs(a)
+				}
+			} else if ratio < bestRatio-1e-10 || (ratio <= bestRatio+1e-10 && math.Abs(a) > bestAbs) {
+				q, bestRatio, bestAbs = j, ratio, math.Abs(a)
+			}
+		}
+		if q == -1 {
+			// The violated row cannot be repaired: primal infeasible —
+			// but only if the violation is real and not drift; certify
+			// with freshly recomputed basic values and basis inverse.
+			if s.xbFresh && s.sincefac == 0 {
+				return iterInfeasible
+			}
+			if err := s.refactor(); err != nil {
+				return iterNumeric
+			}
+			s.computeXB()
+			s.xbFresh = true
+			s.dValid = false
+			continue
+		}
+		s.ftran(q, s.alpha)
+		if math.Abs(s.alpha[r]) <= pivTol {
+			// Numerical disagreement between the row and column view;
+			// refactorize and retry once, otherwise give up.
+			if err := s.refactor(); err != nil {
+				return iterNumeric
+			}
+			s.computeXB()
+			s.dValid = false
+			s.ftran(q, s.alpha)
+			if math.Abs(s.alpha[r]) <= pivTol {
+				return iterNumeric
+			}
+			s.recomputeReducedCosts()
+			s.pivotRow(r)
+		}
+		// Move x_q so that x_B(r) lands exactly on its violated bound.
+		leavingCol := int(s.basis[r])
+		target := s.lb[leavingCol]
+		leaveStat := vsLower
+		if !below {
+			target = s.ub[leavingCol]
+			leaveStat = vsUpper
+		}
+		s.applyPivotToReducedCosts(q, leavingCol)
+		deltaQ := (s.xB[r] - target) / s.alpha[r]
+		enterVal := s.colValue(q) + deltaQ
+		for i := 0; i < s.m; i++ {
+			s.xB[i] -= deltaQ * s.alpha[i]
+		}
+		s.pivot(q, r, s.alpha, enterVal, leaveStat)
+		s.noteProgress(math.Abs(deltaQ))
+	}
+	return iterLimit
+}

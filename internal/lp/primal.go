@@ -1,0 +1,292 @@
+package lp
+
+import "math"
+
+// iterStatus is the outcome of a simplex phase.
+type iterStatus int
+
+const (
+	iterOptimal iterStatus = iota
+	iterUnbounded
+	iterLimit
+	iterInfeasible // dual simplex: primal infeasibility proven
+	iterNumeric    // irrecoverable numerical trouble
+)
+
+// crashBasis installs the initial slack/artificial basis for a cold start
+// and configures phase-1 bounds and costs for the artificials that are
+// needed. It returns true if any artificial carries a nonzero value (i.e. a
+// phase 1 is required).
+func (s *solver) crashBasis() bool {
+	n, m := s.inst.n, s.m
+	// All structural columns nonbasic at their natural bound.
+	for j := 0; j < n; j++ {
+		s.vstat[j] = s.defaultStatus(j)
+		s.inBasis[j] = -1
+	}
+	// Row activities under that assignment.
+	act := make([]float64, m)
+	for j := 0; j < n; j++ {
+		v := 0.0
+		switch s.vstat[j] {
+		case vsLower:
+			v = s.lb[j]
+		case vsUpper:
+			v = s.ub[j]
+		}
+		if v == 0 {
+			continue
+		}
+		for k, r := range s.inst.colIdx[j] {
+			act[r] += s.inst.colVal[j][k] * v
+		}
+	}
+	needPhase1 := false
+	for i := 0; i < m; i++ {
+		slack := n + i
+		art := s.nm + i
+		s.cost[art] = 0
+		lo, hi := s.lb[slack], s.ub[slack]
+		switch {
+		case act[i] >= lo-1e-12 && act[i] <= hi+1e-12:
+			// Slack absorbs the activity: basic.
+			s.basis[i] = int32(slack)
+			s.inBasis[slack] = int32(i)
+			s.vstat[slack] = vsBasic
+			s.vstat[art] = vsLower
+			s.lb[art], s.ub[art] = 0, 0
+			s.xB[i] = act[i]
+			s.binv[i*m+i] = -1 // slack column is −e_i
+		default:
+			// Clamp the slack to its nearest bound; artificial covers the
+			// residual. Artificial column is +e_i, so z_i = act_i − s_i.
+			var sv float64
+			if act[i] < lo {
+				sv = lo
+			} else {
+				sv = hi
+			}
+			if math.IsInf(sv, 0) {
+				// One-sided row violated on its open side cannot happen:
+				// an infinite bound cannot be violated.
+				sv = 0
+			}
+			s.vstat[slack] = vsLower
+			if sv == hi && sv != lo {
+				s.vstat[slack] = vsUpper
+			}
+			// Row equation: act_i − s_i + z_i = 0 → z_i = s_i − act_i.
+			res := sv - act[i]
+			s.basis[i] = int32(art)
+			s.inBasis[art] = int32(i)
+			s.vstat[art] = vsBasic
+			s.xB[i] = res
+			if res >= 0 {
+				s.lb[art], s.ub[art] = 0, Inf
+				s.cost[art] = 1
+			} else {
+				s.lb[art], s.ub[art] = math.Inf(-1), 0
+				s.cost[art] = -1
+			}
+			s.binv[i*m+i] = 1 // artificial column is +e_i
+			needPhase1 = true
+		}
+	}
+	return needPhase1
+}
+
+// phase1Objective sums the absolute values of the artificial variables.
+func (s *solver) phase1Objective() float64 {
+	sum := 0.0
+	for j := s.nm; j < s.N; j++ {
+		sum += math.Abs(s.colValue(j))
+	}
+	return sum
+}
+
+// sealArtificials fixes every artificial to zero after a successful phase 1.
+func (s *solver) sealArtificials() {
+	for j := s.nm; j < s.N; j++ {
+		s.lb[j], s.ub[j] = 0, 0
+		if s.vstat[j] != vsBasic {
+			s.vstat[j] = vsLower
+		}
+	}
+}
+
+// priceEntering selects an entering column using the maintained reduced
+// costs, returning (-1, 0) at optimality.
+func (s *solver) priceEntering() (int, float64) {
+	tol := s.opts.OptTol
+	best, bestScore := -1, tol
+	for j := 0; j < s.N; j++ {
+		st := s.vstat[j]
+		if st == vsBasic || s.lb[j] == s.ub[j] {
+			continue // fixed columns can never move
+		}
+		d := s.d[j]
+		var score float64
+		switch st {
+		case vsLower:
+			score = -d
+		case vsUpper:
+			score = d
+		case vsFree:
+			score = math.Abs(d)
+		}
+		if score <= tol {
+			continue
+		}
+		if s.bland {
+			return j, d // Bland: first eligible index
+		}
+		if score > bestScore {
+			best, bestScore = j, score
+		}
+	}
+	if best == -1 {
+		return -1, 0
+	}
+	return best, s.d[best]
+}
+
+// primal runs primal simplex iterations with the current cost vector until
+// optimality, unboundedness or the iteration budget is exhausted.
+func (s *solver) primal(maxIters int) iterStatus {
+	feas := s.opts.FeasTol
+	for ; s.iters < maxIters; s.iters++ {
+		if s.iters&63 == 0 && s.pastDeadline() {
+			return iterLimit
+		}
+		if !s.dValid {
+			s.recomputeReducedCosts()
+		}
+		q, dq := s.priceEntering()
+		if q == -1 {
+			// Certify: incremental reduced costs may have drifted, so a
+			// claimed optimum must survive a fresh recomputation.
+			if s.dFresh {
+				return iterOptimal
+			}
+			s.recomputeReducedCosts()
+			continue
+		}
+		// Movement direction of the entering variable.
+		dir := 1.0
+		switch s.vstat[q] {
+		case vsUpper:
+			dir = -1
+		case vsFree:
+			if dq > 0 {
+				dir = -1
+			}
+		}
+		s.ftran(q, s.alpha)
+
+		// Ratio test. t is the allowed movement of x_q along dir.
+		t := math.Inf(1)
+		if !math.IsInf(s.lb[q], -1) && !math.IsInf(s.ub[q], 1) {
+			t = s.ub[q] - s.lb[q] // bound-flip distance
+		}
+		leave, leaveStat := -1, vsLower
+		leaveAbs := 0.0
+		for i := 0; i < s.m; i++ {
+			a := s.alpha[i]
+			if math.Abs(a) <= pivTol {
+				continue
+			}
+			bi := int(s.basis[i])
+			delta := -dir * a // rate of change of x_B(i)
+			var ratio float64
+			var st int8
+			if delta < 0 {
+				if math.IsInf(s.lb[bi], -1) {
+					continue
+				}
+				ratio = (s.xB[i] - s.lb[bi] + feas) / -delta
+				st = vsLower
+			} else {
+				if math.IsInf(s.ub[bi], 1) {
+					continue
+				}
+				ratio = (s.ub[bi] - s.xB[i] + feas) / delta
+				st = vsUpper
+			}
+			if ratio < 0 {
+				ratio = 0
+			}
+			better := ratio < t-1e-10
+			tie := !better && ratio <= t+1e-10
+			if s.bland {
+				if better || (tie && (leave == -1 || bi < int(s.basis[leave]))) {
+					t, leave, leaveStat, leaveAbs = ratio, i, st, math.Abs(a)
+				}
+			} else if better || (tie && math.Abs(a) > leaveAbs) {
+				t, leave, leaveStat, leaveAbs = ratio, i, st, math.Abs(a)
+			}
+		}
+		if math.IsInf(t, 1) {
+			return iterUnbounded
+		}
+		// Remove the feasibility-tolerance slack we added to the ratios.
+		if t > 0 && leave >= 0 {
+			bi := int(s.basis[leave])
+			var exact float64
+			if leaveStat == vsLower {
+				exact = (s.xB[leave] - s.lb[bi]) / (dir * s.alpha[leave])
+			} else {
+				exact = (s.ub[bi] - s.xB[leave]) / (-dir * s.alpha[leave])
+			}
+			if exact < 0 {
+				exact = 0
+			}
+			t = exact
+		}
+		flipDist := math.Inf(1)
+		if !math.IsInf(s.lb[q], -1) && !math.IsInf(s.ub[q], 1) {
+			flipDist = s.ub[q] - s.lb[q]
+		}
+		if flipDist <= t || leave == -1 {
+			// Bound flip: x_q travels to its opposite bound.
+			t = flipDist
+			if math.IsInf(t, 1) {
+				return iterUnbounded
+			}
+			for i := 0; i < s.m; i++ {
+				s.xB[i] -= dir * t * s.alpha[i]
+			}
+			s.xbFresh = false
+			if s.vstat[q] == vsLower {
+				s.vstat[q] = vsUpper
+			} else {
+				s.vstat[q] = vsLower
+			}
+			s.noteProgress(t)
+			continue
+		}
+		// Basis change: update reduced costs via the pivot row BEFORE the
+		// basis swap, then apply the pivot.
+		s.pivotRow(leave)
+		s.applyPivotToReducedCosts(q, int(s.basis[leave]))
+		enterVal := s.colValue(q) + dir*t
+		for i := 0; i < s.m; i++ {
+			s.xB[i] -= dir * t * s.alpha[i]
+		}
+		s.pivot(q, leave, s.alpha, enterVal, leaveStat)
+		s.noteProgress(t)
+	}
+	return iterLimit
+}
+
+// noteProgress tracks degeneracy and enables Bland's rule on long stalls.
+func (s *solver) noteProgress(step float64) {
+	if step <= 1e-12 {
+		s.stall++
+		if s.stall > stallLimit {
+			s.bland = true
+		}
+	} else {
+		s.stall = 0
+		s.bland = false
+	}
+}

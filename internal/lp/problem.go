@@ -1,0 +1,219 @@
+// Package lp implements a linear-programming solver: a bounded-variable
+// revised simplex method with a two-phase primal algorithm, a dual simplex
+// for warm-started re-solves (used heavily by the branch-and-bound MIP
+// solver in internal/mip), Bland's rule as an anti-cycling fallback and
+// periodic basis refactorization for numerical stability.
+//
+// Problems are stated over structural columns x with bounds l ≤ x ≤ u and
+// ranged rows rlb ≤ a·x ≤ rub; internally every row receives a slack
+// ("row activity") variable so the system becomes A·x − s = 0.
+package lp
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Inf is the canonical infinity used for absent bounds.
+var Inf = math.Inf(1)
+
+// Sense describes the optimization direction of a Problem.
+type Sense int
+
+const (
+	// Minimize the objective (the internal canonical form).
+	Minimize Sense = iota
+	// Maximize the objective.
+	Maximize
+)
+
+// Problem is a builder for an LP in the form
+//
+//	opt  c·x + offset
+//	s.t. rlb_i ≤ a_i·x ≤ rub_i   for every row i
+//	     lb_j ≤ x_j ≤ ub_j       for every column j
+type Problem struct {
+	Sense     Sense
+	Obj       []float64 // length = number of columns
+	ObjOffset float64
+	ColLB     []float64
+	ColUB     []float64
+	ColName   []string
+
+	RowLB   []float64
+	RowUB   []float64
+	RowName []string
+	rows    []sparseRow
+}
+
+type sparseRow struct {
+	idx []int32
+	val []float64
+}
+
+// NewProblem returns an empty minimization problem.
+func NewProblem() *Problem { return &Problem{Sense: Minimize} }
+
+// NumCols reports the number of structural columns.
+func (p *Problem) NumCols() int { return len(p.Obj) }
+
+// NumRows reports the number of rows.
+func (p *Problem) NumRows() int { return len(p.rows) }
+
+// AddCol appends a column with the given objective coefficient and bounds,
+// returning its index. lb may be -Inf and ub may be +Inf.
+func (p *Problem) AddCol(obj, lb, ub float64, name string) int {
+	if lb > ub {
+		panic(fmt.Sprintf("lp: column %q has lb %v > ub %v", name, lb, ub))
+	}
+	p.Obj = append(p.Obj, obj)
+	p.ColLB = append(p.ColLB, lb)
+	p.ColUB = append(p.ColUB, ub)
+	p.ColName = append(p.ColName, name)
+	return len(p.Obj) - 1
+}
+
+// AddRow appends a ranged row rlb ≤ Σ val_k·x_{idx_k} ≤ rub and returns its
+// index. Duplicate column indices within one row are merged.
+func (p *Problem) AddRow(idx []int32, val []float64, rlb, rub float64, name string) int {
+	if len(idx) != len(val) {
+		panic("lp: AddRow index/value length mismatch")
+	}
+	if rlb > rub {
+		panic(fmt.Sprintf("lp: row %q has rlb %v > rub %v", name, rlb, rub))
+	}
+	merged := map[int32]float64{}
+	order := make([]int32, 0, len(idx))
+	for k, j := range idx {
+		if int(j) < 0 || int(j) >= p.NumCols() {
+			panic(fmt.Sprintf("lp: row %q references column %d out of range [0,%d)", name, j, p.NumCols()))
+		}
+		if _, seen := merged[j]; !seen {
+			order = append(order, j)
+		}
+		merged[j] += val[k]
+	}
+	r := sparseRow{}
+	for _, j := range order {
+		if v := merged[j]; v != 0 {
+			r.idx = append(r.idx, j)
+			r.val = append(r.val, v)
+		}
+	}
+	p.rows = append(p.rows, r)
+	p.RowLB = append(p.RowLB, rlb)
+	p.RowUB = append(p.RowUB, rub)
+	p.RowName = append(p.RowName, name)
+	return len(p.rows) - 1
+}
+
+// AddLE appends the row a·x ≤ rhs.
+func (p *Problem) AddLE(idx []int32, val []float64, rhs float64, name string) int {
+	return p.AddRow(idx, val, math.Inf(-1), rhs, name)
+}
+
+// AddGE appends the row a·x ≥ rhs.
+func (p *Problem) AddGE(idx []int32, val []float64, rhs float64, name string) int {
+	return p.AddRow(idx, val, rhs, Inf, name)
+}
+
+// AddEQ appends the row a·x = rhs.
+func (p *Problem) AddEQ(idx []int32, val []float64, rhs float64, name string) int {
+	return p.AddRow(idx, val, rhs, rhs, name)
+}
+
+// Row returns the coefficient slices of row i (shared storage; do not
+// mutate).
+func (p *Problem) Row(i int) ([]int32, []float64) { return p.rows[i].idx, p.rows[i].val }
+
+// Status reports the outcome of a solve.
+type Status int
+
+const (
+	// StatusOptimal means an optimal basic solution was found.
+	StatusOptimal Status = iota
+	// StatusInfeasible means the constraints admit no solution.
+	StatusInfeasible
+	// StatusUnbounded means the objective is unbounded over the feasible set.
+	StatusUnbounded
+	// StatusIterLimit means the iteration limit was hit before convergence.
+	StatusIterLimit
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusIterLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("lp.Status(%d)", int(s))
+	}
+}
+
+// Basis is a snapshot of a simplex basis usable for warm starts.
+type Basis struct {
+	Basic  []int32 // column index basic in each row position
+	Status []int8  // per-column nonbasic status (see vstatus constants)
+}
+
+// Clone deep-copies the basis.
+func (b *Basis) Clone() *Basis {
+	if b == nil {
+		return nil
+	}
+	out := &Basis{Basic: make([]int32, len(b.Basic)), Status: make([]int8, len(b.Status))}
+	copy(out.Basic, b.Basic)
+	copy(out.Status, b.Status)
+	return out
+}
+
+// Result holds the outcome of an LP solve.
+type Result struct {
+	Status     Status
+	Obj        float64   // objective in the problem's original sense
+	X          []float64 // structural column values (valid when Optimal)
+	Duals      []float64 // row duals (minimization convention)
+	Iterations int
+	Basis      *Basis // final basis snapshot (valid when Optimal or Infeasible-by-dual)
+}
+
+// Options tunes a solve.
+type Options struct {
+	MaxIters  int    // 0 → automatic (20000 + 50·(rows+cols))
+	WarmBasis *Basis // if non-nil, attempt a dual-simplex warm start
+	FeasTol   float64
+	OptTol    float64
+	// Deadline aborts the solve (StatusIterLimit) once passed. Zero means
+	// no deadline. Checked every few dozen iterations.
+	Deadline time.Time
+}
+
+func (o *Options) withDefaults(rows, cols int) Options {
+	out := Options{}
+	if o != nil {
+		out = *o
+	}
+	if out.MaxIters <= 0 {
+		out.MaxIters = 20000 + 50*(rows+cols)
+	}
+	if out.FeasTol <= 0 {
+		out.FeasTol = 1e-7
+	}
+	if out.OptTol <= 0 {
+		out.OptTol = 1e-7
+	}
+	return out
+}
+
+// Solve solves the problem from scratch (or from opts.WarmBasis when given).
+func Solve(p *Problem, opts *Options) Result {
+	inst := NewInstance(p)
+	return inst.Solve(opts)
+}

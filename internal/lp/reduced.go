@@ -1,0 +1,56 @@
+package lp
+
+// Incrementally maintained reduced costs. Recomputing duals from scratch is
+// O(m²) per iteration; the standard product-form update after a pivot is
+// O(m + nnz), which dominates overall solver speed on the TVNEP models.
+
+// recomputeReducedCosts refreshes s.d from the current basis: O(m² + nnz).
+func (s *solver) recomputeReducedCosts() {
+	s.computeDuals()
+	for j := 0; j < s.N; j++ {
+		if s.vstat[j] == vsBasic {
+			s.d[j] = 0
+			continue
+		}
+		s.d[j] = s.reducedCost(j)
+	}
+	s.dValid = true
+	s.dFresh = true
+}
+
+// pivotRow fills s.arow[j] = (e_r·B⁻¹)·A_j for every nonbasic column j
+// (the r-th row of the simplex tableau restricted to nonbasic columns).
+func (s *solver) pivotRow(r int) {
+	s.btranRow(r, s.rho)
+	for j := 0; j < s.N; j++ {
+		if s.vstat[j] == vsBasic {
+			continue
+		}
+		idx, val := s.col(j)
+		a := 0.0
+		for k, row := range idx {
+			a += s.rho[row] * val[k]
+		}
+		s.arow[j] = a
+	}
+}
+
+// applyPivotToReducedCosts updates s.d for the pivot in which column q
+// enters at row r (whose basic variable `leaving` exits). Must run after
+// pivotRow(r) and BEFORE the basis swap (it relies on the pre-pivot
+// nonbasic set). The dual update is y' = y + θ·e_r·B⁻¹ with θ = d_q/α_rq,
+// hence d_j' = d_j − θ·α_row_j, d_leaving' = −θ and d_q' = 0.
+func (s *solver) applyPivotToReducedCosts(q, leaving int) {
+	theta := s.d[q] / s.arow[q]
+	for j := 0; j < s.N; j++ {
+		if s.vstat[j] == vsBasic || j == q {
+			continue
+		}
+		if a := s.arow[j]; a != 0 {
+			s.d[j] -= theta * a
+		}
+	}
+	s.d[leaving] = -theta
+	s.d[q] = 0
+	s.dFresh = false
+}

@@ -1,0 +1,503 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"tvnep/internal/linalg"
+)
+
+// Nonbasic/basic variable statuses. Exported values appear in Basis
+// snapshots; keep them stable.
+const (
+	vsLower int8 = iota // nonbasic at lower bound
+	vsUpper             // nonbasic at upper bound
+	vsFree              // nonbasic free variable, held at value 0
+	vsBasic             // basic
+)
+
+const (
+	pivTol     = 1e-9  // minimum pivot magnitude
+	dropTol    = 1e-12 // entries below this are treated as zero in updates
+	stallLimit = 400   // degenerate iterations before switching to Bland's rule
+)
+
+// refactorEvery returns the number of product-form updates tolerated before
+// a scheduled refactorization. Refactorization costs O(m³) while updates
+// cost O(m²), so larger bases amortize it over proportionally more pivots.
+func refactorEvery(m int) int {
+	if n := m / 2; n > 120 {
+		return n
+	}
+	return 120
+}
+
+// Instance is a solvable snapshot of a Problem with mutable column bounds.
+// It caches the sparse column-wise matrix; the branch-and-bound solver
+// mutates bounds between solves instead of rebuilding the problem.
+type Instance struct {
+	p *Problem
+	n int // structural columns
+	m int // rows
+
+	colIdx [][]int32 // structural columns only
+	colVal [][]float64
+
+	lb, ub []float64 // length n+m: structural bounds then row (slack) bounds
+	objMin []float64 // minimization costs for structural columns
+	negate bool      // true if original sense was Maximize
+
+	// Basis-inverse cache: the inverses matching the basis snapshots most
+	// recently returned by solves on this instance. Warm starts that adopt
+	// exactly one of those snapshots (the common branch-and-bound case:
+	// both children reuse the parent's final basis) skip the O(m³)
+	// refactorization. A small ring suffices because siblings are solved
+	// close together. Instances are not safe for concurrent use.
+	cache    [4]binvCacheEntry
+	cachePos int
+}
+
+type binvCacheEntry struct {
+	key  *Basis
+	binv []float64
+}
+
+// cachedBinv returns the cached inverse for the snapshot, or nil.
+func (inst *Instance) cachedBinv(b *Basis) []float64 {
+	for i := range inst.cache {
+		if inst.cache[i].key == b {
+			return inst.cache[i].binv
+		}
+	}
+	return nil
+}
+
+// storeBinv remembers the inverse for a snapshot.
+func (inst *Instance) storeBinv(b *Basis, binv []float64) {
+	e := &inst.cache[inst.cachePos]
+	inst.cachePos = (inst.cachePos + 1) % len(inst.cache)
+	e.key = b
+	if cap(e.binv) < len(binv) {
+		e.binv = make([]float64, len(binv))
+	}
+	e.binv = e.binv[:len(binv)]
+	copy(e.binv, binv)
+}
+
+// NewInstance compiles p into column-major form.
+func NewInstance(p *Problem) *Instance {
+	n, m := p.NumCols(), p.NumRows()
+	inst := &Instance{
+		p: p, n: n, m: m,
+		colIdx: make([][]int32, n),
+		colVal: make([][]float64, n),
+		lb:     make([]float64, n+m),
+		ub:     make([]float64, n+m),
+		objMin: make([]float64, n),
+		negate: p.Sense == Maximize,
+	}
+	copy(inst.lb, p.ColLB)
+	copy(inst.ub, p.ColUB)
+	for i := 0; i < m; i++ {
+		inst.lb[n+i] = p.RowLB[i]
+		inst.ub[n+i] = p.RowUB[i]
+	}
+	for j := 0; j < n; j++ {
+		inst.objMin[j] = p.Obj[j]
+		if inst.negate {
+			inst.objMin[j] = -p.Obj[j]
+		}
+	}
+	// Transpose rows into columns.
+	counts := make([]int, n)
+	for i := 0; i < m; i++ {
+		idx, _ := p.Row(i)
+		for _, j := range idx {
+			counts[j]++
+		}
+	}
+	for j := 0; j < n; j++ {
+		inst.colIdx[j] = make([]int32, 0, counts[j])
+		inst.colVal[j] = make([]float64, 0, counts[j])
+	}
+	for i := 0; i < m; i++ {
+		idx, val := p.Row(i)
+		for k, j := range idx {
+			inst.colIdx[j] = append(inst.colIdx[j], int32(i))
+			inst.colVal[j] = append(inst.colVal[j], val[k])
+		}
+	}
+	return inst
+}
+
+// NumCols reports the number of structural columns.
+func (inst *Instance) NumCols() int { return inst.n }
+
+// NumRows reports the number of rows.
+func (inst *Instance) NumRows() int { return inst.m }
+
+// SetColBounds overrides the bounds of structural column j.
+func (inst *Instance) SetColBounds(j int, lb, ub float64) {
+	if lb > ub {
+		panic(fmt.Sprintf("lp: SetColBounds(%d) lb %v > ub %v", j, lb, ub))
+	}
+	inst.lb[j], inst.ub[j] = lb, ub
+}
+
+// ColBounds returns the current bounds of structural column j.
+func (inst *Instance) ColBounds(j int) (lb, ub float64) { return inst.lb[j], inst.ub[j] }
+
+// solver holds the transient simplex state for one solve.
+type solver struct {
+	inst *Instance
+	m    int // rows
+	nm   int // structural + slack columns
+	N    int // total columns including m permanent artificials
+
+	lb, ub  []float64 // length N
+	cost    []float64 // active phase costs, length N
+	real    []float64 // phase-2 costs, length N
+	vstat   []int8    // length N
+	basis   []int32   // length m
+	inBasis []int32   // length N, row position or -1
+
+	binv []float64 // column-major m×m basis inverse: binv[k*m+i] = B⁻¹[i][k]
+	xB   []float64 // basic variable values
+
+	// workspaces
+	alpha []float64
+	y     []float64
+	rho   []float64
+	work  []float64
+
+	// Incrementally maintained reduced costs (see reduced.go).
+	d       []float64
+	arow    []float64
+	dValid  bool
+	dFresh  bool // d recomputed from scratch since the last pivot
+	xbFresh bool // xB recomputed from scratch since the last pivot
+
+	opts       Options
+	iters      int
+	bland      bool
+	stall      int
+	sincefac   int
+	lastPivotQ int
+}
+
+func newSolver(inst *Instance, opts Options) *solver {
+	n, m := inst.n, inst.m
+	s := &solver{
+		inst: inst, m: m, nm: n + m, N: n + 2*m,
+		lb: make([]float64, n+2*m), ub: make([]float64, n+2*m),
+		cost: make([]float64, n+2*m), real: make([]float64, n+2*m),
+		vstat: make([]int8, n+2*m), basis: make([]int32, m),
+		inBasis: make([]int32, n+2*m),
+		binv:    make([]float64, m*m),
+		xB:      make([]float64, m),
+		alpha:   make([]float64, m), y: make([]float64, m),
+		rho: make([]float64, m), work: make([]float64, m),
+		d: make([]float64, n+2*m), arow: make([]float64, n+2*m),
+		opts: opts, lastPivotQ: -1,
+	}
+	copy(s.lb, inst.lb)
+	copy(s.ub, inst.ub)
+	copy(s.real, inst.objMin) // slacks and artificials cost 0
+	// Artificials default to fixed at zero; phase-1 setup relaxes the ones
+	// it needs.
+	for j := s.nm; j < s.N; j++ {
+		s.lb[j], s.ub[j] = 0, 0
+	}
+	for j := range s.inBasis {
+		s.inBasis[j] = -1
+	}
+	return s
+}
+
+// col returns the sparse column j of the full matrix [A | −I | +I].
+func (s *solver) col(j int) ([]int32, []float64) {
+	switch {
+	case j < s.inst.n:
+		return s.inst.colIdx[j], s.inst.colVal[j]
+	case j < s.nm:
+		r := int32(j - s.inst.n)
+		return []int32{r}, []float64{-1}
+	default:
+		r := int32(j - s.nm)
+		return []int32{r}, []float64{1}
+	}
+}
+
+// colValue returns the current value of column j.
+func (s *solver) colValue(j int) float64 {
+	switch s.vstat[j] {
+	case vsLower:
+		return s.lb[j]
+	case vsUpper:
+		return s.ub[j]
+	case vsFree:
+		return 0
+	default:
+		return s.xB[s.inBasis[j]]
+	}
+}
+
+// defaultStatus returns the natural nonbasic status for column j.
+func (s *solver) defaultStatus(j int) int8 {
+	lb, ub := s.lb[j], s.ub[j]
+	switch {
+	case !math.IsInf(lb, -1):
+		return vsLower
+	case !math.IsInf(ub, 1):
+		return vsUpper
+	default:
+		return vsFree
+	}
+}
+
+// ftran computes alpha ← B⁻¹·A_j.
+func (s *solver) ftran(j int, alpha []float64) {
+	for i := range alpha {
+		alpha[i] = 0
+	}
+	idx, val := s.col(j)
+	m := s.m
+	for k, r := range idx {
+		linalg.Axpy(val[k], s.binv[int(r)*m:int(r)*m+m], alpha)
+	}
+}
+
+// computeDuals fills s.y with yᵀ = c_Bᵀ·B⁻¹ for the active phase costs.
+func (s *solver) computeDuals() {
+	m := s.m
+	cB := s.work[:m]
+	for i := 0; i < m; i++ {
+		cB[i] = s.cost[s.basis[i]]
+	}
+	for k := 0; k < m; k++ {
+		s.y[k] = linalg.Dot(cB, s.binv[k*m:k*m+m])
+	}
+}
+
+// reducedCost returns d_j = c_j − yᵀ·A_j using the currently computed duals.
+func (s *solver) reducedCost(j int) float64 {
+	d := s.cost[j]
+	idx, val := s.col(j)
+	for k, r := range idx {
+		d -= s.y[r] * val[k]
+	}
+	return d
+}
+
+// btranRow fills rho with row r of B⁻¹.
+func (s *solver) btranRow(r int, rho []float64) {
+	m := s.m
+	for k := 0; k < m; k++ {
+		rho[k] = s.binv[k*m+r]
+	}
+}
+
+// computeXB recomputes the basic values from scratch:
+// x_B = −B⁻¹·(Σ nonbasic A_j·value_j).
+func (s *solver) computeXB() {
+	m := s.m
+	rhs := s.work[:m]
+	for i := range rhs {
+		rhs[i] = 0
+	}
+	for j := 0; j < s.N; j++ {
+		if s.vstat[j] == vsBasic {
+			continue
+		}
+		v := s.colValue(j)
+		if v == 0 {
+			continue
+		}
+		idx, val := s.col(j)
+		for k, r := range idx {
+			rhs[r] += val[k] * v
+		}
+	}
+	for i := range s.xB {
+		s.xB[i] = 0
+	}
+	for k := 0; k < m; k++ {
+		if rhs[k] != 0 {
+			linalg.Axpy(-rhs[k], s.binv[k*m:k*m+m], s.xB)
+		}
+	}
+}
+
+// refactor rebuilds the basis inverse from scratch. Returns linalg.ErrSingular
+// if the basis matrix is singular.
+func (s *solver) refactor() error {
+	m := s.m
+	if m == 0 {
+		return nil
+	}
+	B := linalg.NewDense(m, m)
+	for pos := 0; pos < m; pos++ {
+		idx, val := s.col(int(s.basis[pos]))
+		for k, r := range idx {
+			B.Set(int(r), pos, val[k])
+		}
+	}
+	inv, err := linalg.Invert(B)
+	if err != nil {
+		return err
+	}
+	// inv is row-major B⁻¹; store column-major.
+	for k := 0; k < m; k++ {
+		dst := s.binv[k*m : k*m+m]
+		for i := 0; i < m; i++ {
+			dst[i] = inv.At(i, k)
+		}
+	}
+	s.sincefac = 0
+	return nil
+}
+
+// updateBinv applies the pivot (entering column with ftran vector alpha,
+// leaving row r) to the explicit inverse.
+func (s *solver) updateBinv(alpha []float64, r int) {
+	m := s.m
+	ar := alpha[r]
+	for k := 0; k < m; k++ {
+		c := s.binv[k*m : k*m+m]
+		cr := c[r]
+		if cr == 0 {
+			continue
+		}
+		pr := cr / ar
+		if math.Abs(pr) < dropTol {
+			c[r] = 0
+			continue
+		}
+		for i := range c {
+			c[i] -= alpha[i] * pr
+		}
+		c[r] = pr
+	}
+	s.sincefac++
+}
+
+// pivot makes column q basic in row r. enterVal is the new value of x_q and
+// leaveStat the nonbasic status assigned to the leaving variable.
+func (s *solver) pivot(q int, r int, alpha []float64, enterVal float64, leaveStat int8) {
+	leaving := int(s.basis[r])
+	s.vstat[leaving] = leaveStat
+	s.inBasis[leaving] = -1
+	s.basis[r] = int32(q)
+	s.inBasis[q] = int32(r)
+	s.vstat[q] = vsBasic
+	s.updateBinv(alpha, r)
+	s.xB[r] = enterVal
+	s.lastPivotQ = q
+	s.xbFresh = false
+	if s.sincefac >= refactorEvery(s.m) {
+		if err := s.refactor(); err == nil {
+			s.computeXB()
+			s.dValid = false // refresh reduced costs against numerical drift
+		}
+	}
+}
+
+// snapshot extracts a warm-startable basis (all N columns, including
+// artificials, so a later solver of the same instance can adopt it).
+func (s *solver) snapshot() *Basis {
+	b := &Basis{Basic: make([]int32, s.m), Status: make([]int8, s.N)}
+	copy(b.Basic, s.basis)
+	copy(b.Status, s.vstat)
+	return b
+}
+
+// adoptBasis installs a snapshot, refactorizes and recomputes basic values.
+func (s *solver) adoptBasis(b *Basis) bool {
+	if b == nil || len(b.Basic) != s.m || len(b.Status) != s.N {
+		return false
+	}
+	seen := make(map[int32]bool, s.m)
+	for _, j := range b.Basic {
+		if int(j) < 0 || int(j) >= s.N || seen[j] {
+			return false
+		}
+		seen[j] = true
+	}
+	copy(s.basis, b.Basic)
+	copy(s.vstat, b.Status)
+	for j := range s.inBasis {
+		s.inBasis[j] = -1
+	}
+	for pos, j := range s.basis {
+		s.inBasis[j] = int32(pos)
+		s.vstat[j] = vsBasic
+	}
+	usedCache := false
+	if cached := s.inst.cachedBinv(b); cached != nil && len(cached) == s.m*s.m {
+		// The inverse depends only on the basis columns, which match the
+		// cached snapshot exactly; bound changes do not invalidate it.
+		copy(s.binv, cached)
+		usedCache = true
+		DebugCacheHits++
+	}
+	// Repair nonbasic statuses that reference bounds which no longer exist
+	// (possible after branching tightened/removed a bound).
+	for j := 0; j < s.N; j++ {
+		if s.vstat[j] == vsBasic {
+			continue
+		}
+		switch s.vstat[j] {
+		case vsLower:
+			if math.IsInf(s.lb[j], -1) {
+				s.vstat[j] = s.defaultStatus(j)
+			}
+		case vsUpper:
+			if math.IsInf(s.ub[j], 1) {
+				s.vstat[j] = s.defaultStatus(j)
+			}
+		case vsFree:
+			if !math.IsInf(s.lb[j], -1) || !math.IsInf(s.ub[j], 1) {
+				s.vstat[j] = s.defaultStatus(j)
+			}
+		}
+	}
+	if !usedCache {
+		if err := s.refactor(); err != nil {
+			return false
+		}
+	}
+	s.computeXB()
+	return true
+}
+
+// objValue returns the current phase-2 objective (minimization form, no
+// offset).
+func (s *solver) objValue() float64 {
+	obj := 0.0
+	for j := 0; j < s.inst.n; j++ {
+		obj += s.real[j] * s.colValue(j)
+	}
+	return obj
+}
+
+// pastDeadline reports whether the solve's deadline has passed.
+func (s *solver) pastDeadline() bool {
+	return !s.opts.Deadline.IsZero() && time.Now().After(s.opts.Deadline)
+}
+
+// primalInfeasibility returns the largest bound violation among basic
+// variables.
+func (s *solver) primalInfeasibility() float64 {
+	worst := 0.0
+	for i := 0; i < s.m; i++ {
+		j := s.basis[i]
+		if v := s.lb[j] - s.xB[i]; v > worst {
+			worst = v
+		}
+		if v := s.xB[i] - s.ub[j]; v > worst {
+			worst = v
+		}
+	}
+	return worst
+}

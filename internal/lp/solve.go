@@ -1,0 +1,143 @@
+package lp
+
+import "math"
+
+// Solve optimizes the instance under its current column bounds. If
+// opts.WarmBasis is set and compatible, a dual-simplex warm start is
+// attempted first; any failure falls back to a cold two-phase primal solve.
+func (inst *Instance) Solve(opts *Options) Result {
+	o := opts.withDefaults(inst.m, inst.n)
+
+	if o.WarmBasis != nil {
+		if res, ok := inst.solveWarm(o); ok {
+			return res
+		}
+	}
+	return inst.solveCold(o)
+}
+
+// Debug counters (not synchronized; read between single-threaded solves
+// only). They quantify how often warm starts succeed and how often the
+// basis-inverse cache avoids refactorization.
+var (
+	DebugWarmAttempts int
+	DebugWarmOK       int
+	DebugCacheHits    int
+)
+
+// solveWarm attempts a dual-simplex warm start. The boolean result reports
+// whether the attempt produced a conclusive answer.
+func (inst *Instance) solveWarm(o Options) (Result, bool) {
+	DebugWarmAttempts++
+	s := newSolver(inst, o)
+	copy(s.cost, s.real)
+	if !s.adoptBasis(o.WarmBasis) {
+		return Result{}, false
+	}
+	DebugWarmOK++
+	st := s.dual(o.MaxIters)
+	switch st {
+	case iterOptimal:
+		// Polish: the dual run restored primal feasibility; a short primal
+		// run certifies optimality (usually zero iterations).
+		st2 := s.primal(o.MaxIters)
+		switch st2 {
+		case iterOptimal:
+			return s.result(StatusOptimal), true
+		case iterUnbounded:
+			return s.result(StatusUnbounded), true
+		default:
+			return Result{}, false
+		}
+	case iterInfeasible:
+		return s.result(StatusInfeasible), true
+	default:
+		return Result{}, false // numeric trouble or limit: retry cold
+	}
+}
+
+// solveCold runs the two-phase primal algorithm from the slack/artificial
+// crash basis.
+func (inst *Instance) solveCold(o Options) Result {
+	s := newSolver(inst, o)
+	needPhase1 := s.crashBasis()
+	if needPhase1 {
+		// Phase 1: costs were installed by crashBasis (±1 on artificials).
+		st := s.primal(o.MaxIters)
+		if st == iterLimit {
+			return s.result(StatusIterLimit)
+		}
+		if s.phase1Objective() > 1e-6 {
+			return s.result(StatusInfeasible)
+		}
+	}
+	s.sealArtificials()
+	for j := range s.cost {
+		s.cost[j] = s.real[j]
+	}
+	s.dValid = false // phase costs changed
+	st := s.primal(o.MaxIters)
+	switch st {
+	case iterOptimal:
+		// Guard against drift: verify primal feasibility; repair once via
+		// refactorization + dual cleanup if needed.
+		if err := s.refactor(); err == nil {
+			s.computeXB()
+		}
+		if s.primalInfeasibility() > 10*o.FeasTol {
+			if s.dual(o.MaxIters) == iterOptimal {
+				s.primal(o.MaxIters)
+			}
+		}
+		return s.result(StatusOptimal)
+	case iterUnbounded:
+		return s.result(StatusUnbounded)
+	default:
+		return s.result(StatusIterLimit)
+	}
+}
+
+// result packages the solver state into a Result.
+func (s *solver) result(status Status) Result {
+	inst := s.inst
+	res := Result{Status: status, Iterations: s.iters}
+	if status == StatusOptimal {
+		res.X = make([]float64, inst.n)
+		for j := 0; j < inst.n; j++ {
+			v := s.colValue(j)
+			// Snap to bounds within tolerance for clean downstream use.
+			if !math.IsInf(s.lb[j], -1) && math.Abs(v-s.lb[j]) < 1e-9 {
+				v = s.lb[j]
+			} else if !math.IsInf(s.ub[j], 1) && math.Abs(v-s.ub[j]) < 1e-9 {
+				v = s.ub[j]
+			}
+			res.X[j] = v
+		}
+		obj := inst.p.ObjOffset
+		min := 0.0
+		for j := 0; j < inst.n; j++ {
+			min += s.real[j] * res.X[j]
+		}
+		if inst.negate {
+			obj -= min
+		} else {
+			obj += min
+		}
+		res.Obj = obj
+		s.computeDuals()
+		res.Duals = make([]float64, s.m)
+		copy(res.Duals, s.y)
+		if inst.negate {
+			for i := range res.Duals {
+				res.Duals[i] = -res.Duals[i]
+			}
+		}
+	}
+	if status == StatusOptimal || status == StatusInfeasible {
+		res.Basis = s.snapshot()
+		// Remember the inverse for this snapshot so warm starts from it
+		// (both branch-and-bound children) skip refactorization.
+		inst.storeBinv(res.Basis, s.binv)
+	}
+	return res
+}

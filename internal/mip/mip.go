@@ -1,0 +1,455 @@
+// Package mip implements a mixed-integer programming solver: LP-relaxation
+// based branch-and-bound with best-first node selection, warm-started
+// dual-simplex re-solves, a rounding primal heuristic and time/node/gap
+// limits. It plays the role Gurobi plays in the paper's evaluation.
+package mip
+
+import (
+	"container/heap"
+	"math"
+	"time"
+
+	"tvnep/internal/lp"
+)
+
+// Problem couples an LP with integrality markers.
+type Problem struct {
+	LP      *lp.Problem
+	Integer []bool // len == LP.NumCols(); true → column must be integral
+}
+
+// NewProblem wraps an LP builder; mark integer columns via SetInteger.
+func NewProblem(p *lp.Problem) *Problem {
+	return &Problem{LP: p, Integer: make([]bool, p.NumCols())}
+}
+
+// SetInteger marks column j as integral. The Integer slice is grown on
+// demand so columns may be added to the LP after construction.
+func (p *Problem) SetInteger(j int) {
+	for len(p.Integer) <= j {
+		p.Integer = append(p.Integer, false)
+	}
+	p.Integer[j] = true
+}
+
+// Status reports the outcome of a MIP solve.
+type Status int
+
+const (
+	// StatusOptimal means the incumbent is proven optimal within GapTol.
+	StatusOptimal Status = iota
+	// StatusInfeasible means no integral solution exists.
+	StatusInfeasible
+	// StatusUnbounded means the relaxation (and thus the MIP, if feasible)
+	// is unbounded.
+	StatusUnbounded
+	// StatusLimit means a time/node/iteration limit stopped the search; an
+	// incumbent may or may not exist (check HasSolution).
+	StatusLimit
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusLimit:
+		return "limit"
+	default:
+		return "unknown"
+	}
+}
+
+// Options tunes the branch-and-bound search.
+type Options struct {
+	TimeLimit time.Duration // 0 → none
+	NodeLimit int           // 0 → none
+	GapTol    float64       // relative optimality gap, default 1e-6
+	IntTol    float64       // integrality tolerance, default 1e-6
+	// HeuristicEvery runs the rounding heuristic at every k-th node
+	// (default 50; 0 disables except at the root).
+	HeuristicEvery int
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{}
+	if o != nil {
+		out = *o
+	}
+	if out.GapTol <= 0 {
+		out.GapTol = 1e-6
+	}
+	if out.IntTol <= 0 {
+		out.IntTol = 1e-6
+	}
+	if out.HeuristicEvery == 0 {
+		out.HeuristicEvery = 50
+	}
+	return out
+}
+
+// Result reports the outcome of a solve. Obj, Bound and Gap are expressed in
+// the problem's original optimization sense.
+type Result struct {
+	Status       Status
+	HasSolution  bool
+	Obj          float64   // incumbent objective (valid if HasSolution)
+	Bound        float64   // best proven bound on the optimum
+	Gap          float64   // relative gap; +Inf when no incumbent exists
+	X            []float64 // incumbent solution
+	Nodes        int
+	LPIterations int
+	Runtime      time.Duration
+}
+
+// node is a branch-and-bound node: a chain of bound overrides on top of the
+// root relaxation.
+type node struct {
+	parent *node
+	col    int // branched column (-1 at root)
+	lo, hi float64
+	depth  int
+	bound  float64 // parent LP bound (minimization sense)
+	basis  *lp.Basis
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].bound != h[j].bound {
+		return h[i].bound < h[j].bound
+	}
+	return h[i].depth > h[j].depth // plunge on ties
+}
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+type searcher struct {
+	prob     *Problem
+	inst     *lp.Instance
+	opts     Options
+	minimize bool
+
+	rootLB, rootUB []float64
+
+	incumbent    []float64
+	incumbentMin float64 // minimization-sense incumbent objective
+	hasInc       bool
+
+	open  nodeHeap
+	nodes int
+	iters int
+
+	deadline time.Time
+	hasDL    bool
+}
+
+// Solve runs branch and bound.
+func Solve(p *Problem, opts *Options) Result {
+	start := time.Now()
+	o := opts.withDefaults()
+	s := &searcher{
+		prob:         p,
+		inst:         lp.NewInstance(p.LP),
+		opts:         o,
+		minimize:     p.LP.Sense == lp.Minimize,
+		incumbentMin: math.Inf(1),
+	}
+	n := p.LP.NumCols()
+	for len(p.Integer) < n {
+		p.Integer = append(p.Integer, false)
+	}
+	s.rootLB = make([]float64, n)
+	s.rootUB = make([]float64, n)
+	for j := 0; j < n; j++ {
+		s.rootLB[j], s.rootUB[j] = s.inst.ColBounds(j)
+	}
+	if o.TimeLimit > 0 {
+		s.deadline = start.Add(o.TimeLimit)
+		s.hasDL = true
+	}
+
+	status := s.run()
+	res := Result{
+		Status:       status,
+		HasSolution:  s.hasInc,
+		Nodes:        s.nodes,
+		LPIterations: s.iters,
+		Runtime:      time.Since(start),
+	}
+	bound := s.globalBoundMin()
+	if s.hasInc {
+		res.X = s.incumbent
+		res.Obj = s.fromMin(s.incumbentMin)
+		res.Gap = relGap(s.incumbentMin, bound)
+	} else {
+		res.Gap = math.Inf(1)
+	}
+	res.Bound = s.fromMin(bound)
+	if status == StatusOptimal && s.hasInc {
+		res.Gap = 0
+		res.Bound = res.Obj
+	}
+	return res
+}
+
+// toMin converts an original-sense objective to minimization sense.
+func (s *searcher) toMin(v float64) float64 {
+	if s.minimize {
+		return v
+	}
+	return -v
+}
+
+func (s *searcher) fromMin(v float64) float64 { return s.toMin(v) } // involution
+
+// relGap computes the relative optimality gap between an incumbent and a
+// bound (both minimization-sense).
+func relGap(inc, bound float64) float64 {
+	if math.IsInf(inc, 1) {
+		return math.Inf(1)
+	}
+	d := inc - bound
+	if d <= 0 {
+		return 0
+	}
+	den := math.Max(math.Abs(inc), math.Abs(bound))
+	if den < 1e-10 {
+		den = 1e-10
+	}
+	return d / den
+}
+
+// globalBoundMin is the best minimization-sense bound over all open nodes
+// (or the incumbent when the tree is exhausted).
+func (s *searcher) globalBoundMin() float64 {
+	best := s.incumbentMin
+	if len(s.open) > 0 && s.open[0].bound < best {
+		best = s.open[0].bound
+	}
+	return best
+}
+
+func (s *searcher) timedOut() bool { return s.hasDL && time.Now().After(s.deadline) }
+
+// applyBounds installs the node's bound-override chain onto the instance.
+// It reports false when the chain produces an empty interval (the node is
+// trivially infeasible).
+func (s *searcher) applyBounds(nd *node) bool {
+	n := len(s.rootLB)
+	for j := 0; j < n; j++ {
+		s.inst.SetColBounds(j, s.rootLB[j], s.rootUB[j])
+	}
+	// Walk the chain root→leaf so deeper overrides win.
+	var chain []*node
+	for c := nd; c != nil && c.col >= 0; c = c.parent {
+		chain = append(chain, c)
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		c := chain[i]
+		lo, hi := s.inst.ColBounds(c.col)
+		if c.lo > lo {
+			lo = c.lo
+		}
+		if c.hi < hi {
+			hi = c.hi
+		}
+		if lo > hi {
+			return false
+		}
+		s.inst.SetColBounds(c.col, lo, hi)
+	}
+	return true
+}
+
+// fractional returns the index of the integer column to branch on, or -1 if
+// x is integral. Selection: most fractional, ties broken by larger absolute
+// objective coefficient.
+func (s *searcher) fractional(x []float64) int {
+	best, bestScore := -1, s.opts.IntTol
+	for j, isInt := range s.prob.Integer {
+		if !isInt {
+			continue
+		}
+		f := math.Abs(x[j] - math.Round(x[j]))
+		if f <= s.opts.IntTol {
+			continue
+		}
+		score := 0.5 - math.Abs(f-0.5) // distance from integrality, peak at 0.5
+		score += 1e-6 * math.Abs(s.prob.LP.Obj[j])
+		if score > bestScore {
+			best, bestScore = j, score
+		}
+	}
+	return best
+}
+
+// tryIncumbent records x as the new incumbent if it improves.
+func (s *searcher) tryIncumbent(x []float64, objMin float64) bool {
+	if objMin >= s.incumbentMin-1e-9 {
+		return false
+	}
+	s.incumbent = append([]float64(nil), x...)
+	// Round the integer components exactly.
+	for j, isInt := range s.prob.Integer {
+		if isInt {
+			s.incumbent[j] = math.Round(s.incumbent[j])
+		}
+	}
+	s.incumbentMin = objMin
+	s.hasInc = true
+	return true
+}
+
+// roundingHeuristic fixes all integer columns to their rounded LP values and
+// re-solves the LP over the continuous columns. On success the result is a
+// feasible integral solution.
+func (s *searcher) roundingHeuristic(nd *node, x []float64) {
+	savedLB := make([]float64, len(x))
+	savedUB := make([]float64, len(x))
+	touched := false
+	for j, isInt := range s.prob.Integer {
+		if !isInt {
+			continue
+		}
+		lo, hi := s.inst.ColBounds(j)
+		savedLB[j], savedUB[j] = lo, hi
+		v := math.Round(x[j])
+		if v < lo {
+			v = math.Ceil(lo)
+		}
+		if v > hi {
+			v = math.Floor(hi)
+		}
+		if v < lo || v > hi {
+			// No integral point in range; restore and abort.
+			for k := 0; k < j; k++ {
+				if s.prob.Integer[k] {
+					s.inst.SetColBounds(k, savedLB[k], savedUB[k])
+				}
+			}
+			return
+		}
+		s.inst.SetColBounds(j, v, v)
+		touched = true
+	}
+	if touched {
+		lpo := lp.Options{WarmBasis: nd.basis}
+		if s.hasDL {
+			lpo.Deadline = s.deadline
+		}
+		res := s.inst.Solve(&lpo)
+		s.iters += res.Iterations
+		if res.Status == lp.StatusOptimal {
+			s.tryIncumbent(res.X, s.toMin(res.Obj))
+		}
+	}
+	for j, isInt := range s.prob.Integer {
+		if isInt {
+			s.inst.SetColBounds(j, savedLB[j], savedUB[j])
+		}
+	}
+}
+
+func (s *searcher) run() Status {
+	root := &node{col: -1, bound: math.Inf(-1)}
+	heap.Push(&s.open, root)
+
+	for len(s.open) > 0 {
+		nd := heap.Pop(&s.open).(*node)
+		// Dive: after branching, continue immediately with one child while
+		// the LP instance's basis-inverse cache is hot; the sibling goes to
+		// the heap. This is the classic best-first + plunging hybrid.
+		for nd != nil {
+			if s.timedOut() || (s.opts.NodeLimit > 0 && s.nodes >= s.opts.NodeLimit) {
+				// Re-park the dive node so the reported global bound stays
+				// valid.
+				heap.Push(&s.open, nd)
+				return StatusLimit
+			}
+			// Bound-based pruning against the current incumbent.
+			if s.hasInc && nd.bound >= s.incumbentMin-1e-9 {
+				break
+			}
+			if s.hasInc && relGap(s.incumbentMin, math.Min(nd.bound, s.globalBoundMin())) <= s.opts.GapTol {
+				return StatusOptimal
+			}
+			s.nodes++
+			if !s.applyBounds(nd) {
+				break // empty bound interval: infeasible by construction
+			}
+			var lpo lp.Options
+			if nd.basis != nil {
+				lpo.WarmBasis = nd.basis
+			}
+			if s.hasDL {
+				lpo.Deadline = s.deadline
+			}
+			res := s.inst.Solve(&lpo)
+			s.iters += res.Iterations
+			switch res.Status {
+			case lp.StatusInfeasible:
+				nd = nil
+				continue
+			case lp.StatusUnbounded:
+				if nd.col == -1 {
+					return StatusUnbounded
+				}
+				nd = nil // should not happen below the root; treat as cut off
+				continue
+			case lp.StatusIterLimit:
+				// The node's relaxation did not converge; the search can no
+				// longer prove optimality, so stop with what we have.
+				return StatusLimit
+			}
+			objMin := s.toMin(res.Obj)
+			if s.hasInc && objMin >= s.incumbentMin-1e-9 {
+				break // dominated
+			}
+			branchCol := s.fractional(res.X)
+			if branchCol == -1 {
+				s.tryIncumbent(res.X, objMin)
+				break
+			}
+			if s.opts.HeuristicEvery > 0 && (s.nodes == 1 || s.nodes%s.opts.HeuristicEvery == 0) {
+				s.roundingHeuristic(nd, res.X) // restores node bounds internally
+			}
+			v := res.X[branchCol]
+			down := &node{
+				parent: nd, col: branchCol,
+				lo: math.Inf(-1), hi: math.Floor(v),
+				depth: nd.depth + 1, bound: objMin, basis: res.Basis,
+			}
+			up := &node{
+				parent: nd, col: branchCol,
+				lo: math.Ceil(v), hi: math.Inf(1),
+				depth: nd.depth + 1, bound: objMin, basis: res.Basis,
+			}
+			// Dive towards the side the fractional value leans to; park the
+			// other child on the heap.
+			dive, park := down, up
+			if v-math.Floor(v) > 0.5 {
+				dive, park = up, down
+			}
+			heap.Push(&s.open, park)
+			nd = dive
+		}
+	}
+	if s.hasInc {
+		return StatusOptimal
+	}
+	return StatusInfeasible
+}

@@ -1,0 +1,280 @@
+// Package model provides a small algebraic modeling layer over the LP/MIP
+// solvers (a deliberately minimal analogue of the Gurobi API the paper's
+// formulations were originally written against): named variables, linear
+// expressions, ranged constraints, and objective senses.
+package model
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"tvnep/internal/lp"
+	"tvnep/internal/mip"
+)
+
+// Inf returns the +infinity bound value.
+func Inf() float64 { return math.Inf(1) }
+
+// Sense of the objective.
+type Sense int
+
+const (
+	// Minimize the objective.
+	Minimize Sense = iota
+	// Maximize the objective.
+	Maximize
+)
+
+// Var is a handle to a model variable.
+type Var struct {
+	idx int
+	m   *Model
+}
+
+// Index returns the variable's column index.
+func (v Var) Index() int { return v.idx }
+
+// Name returns the variable's name.
+func (v Var) Name() string { return v.m.lp.ColName[v.idx] }
+
+// Valid reports whether the handle refers to a variable.
+func (v Var) Valid() bool { return v.m != nil }
+
+// LinExpr is a linear expression Σ coef_i·var_i + constant.
+type LinExpr struct {
+	vars  []int
+	coefs []float64
+	Const float64
+}
+
+// Expr creates an empty linear expression.
+func Expr() *LinExpr { return &LinExpr{} }
+
+// Term creates the expression coef·v.
+func Term(coef float64, v Var) *LinExpr { return Expr().Add(coef, v) }
+
+// Add appends coef·v to the expression and returns it for chaining.
+func (e *LinExpr) Add(coef float64, v Var) *LinExpr {
+	e.vars = append(e.vars, v.idx)
+	e.coefs = append(e.coefs, coef)
+	return e
+}
+
+// AddConst adds a constant and returns the expression for chaining.
+func (e *LinExpr) AddConst(c float64) *LinExpr {
+	e.Const += c
+	return e
+}
+
+// AddExpr adds scale·other to the expression.
+func (e *LinExpr) AddExpr(scale float64, other *LinExpr) *LinExpr {
+	for k, vi := range other.vars {
+		e.vars = append(e.vars, vi)
+		e.coefs = append(e.coefs, scale*other.coefs[k])
+	}
+	e.Const += scale * other.Const
+	return e
+}
+
+// Len returns the number of (unmerged) terms.
+func (e *LinExpr) Len() int { return len(e.vars) }
+
+// Model is an optimization model under construction.
+type Model struct {
+	Name    string
+	lp      *lp.Problem
+	integer []bool
+	sense   Sense
+}
+
+// New creates an empty model with the given objective sense.
+func New(name string, sense Sense) *Model {
+	m := &Model{Name: name, lp: lp.NewProblem(), sense: sense}
+	if sense == Maximize {
+		m.lp.Sense = lp.Maximize
+	}
+	return m
+}
+
+// NumVars reports the number of variables.
+func (m *Model) NumVars() int { return m.lp.NumCols() }
+
+// NumConstrs reports the number of constraints.
+func (m *Model) NumConstrs() int { return m.lp.NumRows() }
+
+// NumIntVars reports the number of integer (incl. binary) variables.
+func (m *Model) NumIntVars() int {
+	c := 0
+	for _, b := range m.integer {
+		if b {
+			c++
+		}
+	}
+	return c
+}
+
+// Continuous adds a continuous variable with the given bounds and zero
+// objective coefficient.
+func (m *Model) Continuous(name string, lb, ub float64) Var {
+	idx := m.lp.AddCol(0, lb, ub, name)
+	m.integer = append(m.integer, false)
+	return Var{idx: idx, m: m}
+}
+
+// Binary adds a {0,1} variable.
+func (m *Model) Binary(name string) Var {
+	idx := m.lp.AddCol(0, 0, 1, name)
+	m.integer = append(m.integer, true)
+	return Var{idx: idx, m: m}
+}
+
+// IntegerVar adds a general integer variable.
+func (m *Model) IntegerVar(name string, lb, ub float64) Var {
+	idx := m.lp.AddCol(0, lb, ub, name)
+	m.integer = append(m.integer, true)
+	return Var{idx: idx, m: m}
+}
+
+// SetBounds overrides a variable's bounds.
+func (m *Model) SetBounds(v Var, lb, ub float64) {
+	if lb > ub {
+		panic(fmt.Sprintf("model: SetBounds(%s): lb %v > ub %v", v.Name(), lb, ub))
+	}
+	m.lp.ColLB[v.idx] = lb
+	m.lp.ColUB[v.idx] = ub
+}
+
+// Fix pins a variable to a single value.
+func (m *Model) Fix(v Var, val float64) { m.SetBounds(v, val, val) }
+
+// Bounds returns a variable's bounds.
+func (m *Model) Bounds(v Var) (lb, ub float64) { return m.lp.ColLB[v.idx], m.lp.ColUB[v.idx] }
+
+// SetObjCoef sets the objective coefficient of v (replacing any previous
+// value).
+func (m *Model) SetObjCoef(v Var, coef float64) { m.lp.Obj[v.idx] = coef }
+
+// SetObjective replaces the whole objective with the expression.
+func (m *Model) SetObjective(e *LinExpr) {
+	for j := range m.lp.Obj {
+		m.lp.Obj[j] = 0
+	}
+	for k, vi := range e.vars {
+		m.lp.Obj[vi] += e.coefs[k]
+	}
+	m.lp.ObjOffset = e.Const
+}
+
+func (m *Model) rowFromExpr(e *LinExpr) ([]int32, []float64) {
+	idx := make([]int32, len(e.vars))
+	for k, vi := range e.vars {
+		idx[k] = int32(vi)
+	}
+	return idx, e.coefs
+}
+
+// AddLE adds the constraint e ≤ rhs.
+func (m *Model) AddLE(e *LinExpr, rhs float64, name string) int {
+	idx, val := m.rowFromExpr(e)
+	return m.lp.AddLE(idx, val, rhs-e.Const, name)
+}
+
+// AddGE adds the constraint e ≥ rhs.
+func (m *Model) AddGE(e *LinExpr, rhs float64, name string) int {
+	idx, val := m.rowFromExpr(e)
+	return m.lp.AddGE(idx, val, rhs-e.Const, name)
+}
+
+// AddEQ adds the constraint e = rhs.
+func (m *Model) AddEQ(e *LinExpr, rhs float64, name string) int {
+	idx, val := m.rowFromExpr(e)
+	return m.lp.AddEQ(idx, val, rhs-e.Const, name)
+}
+
+// AddRange adds lo ≤ e ≤ hi.
+func (m *Model) AddRange(e *LinExpr, lo, hi float64, name string) int {
+	idx, val := m.rowFromExpr(e)
+	return m.lp.AddRow(idx, val, lo-e.Const, hi-e.Const, name)
+}
+
+// Solution is the result of optimizing a model.
+type Solution struct {
+	Status       mip.Status
+	HasSolution  bool
+	Obj          float64
+	Bound        float64
+	Gap          float64
+	Nodes        int
+	LPIterations int
+	Runtime      time.Duration
+	x            []float64
+}
+
+// Value returns the solution value of v (NaN when no solution exists).
+func (s *Solution) Value(v Var) float64 {
+	if !s.HasSolution || v.idx >= len(s.x) {
+		return math.NaN()
+	}
+	return s.x[v.idx]
+}
+
+// ValueOf returns the solution value of an expression.
+func (s *Solution) ValueOf(e *LinExpr) float64 {
+	val := e.Const
+	for k, vi := range e.vars {
+		val += e.coefs[k] * s.x[vi]
+	}
+	return val
+}
+
+// SolveOptions re-exports the MIP limits.
+type SolveOptions = mip.Options
+
+// Optimize solves the model as a MIP.
+func (m *Model) Optimize(opts *SolveOptions) *Solution {
+	mp := mip.NewProblem(m.lp)
+	for j, isInt := range m.integer {
+		if isInt {
+			mp.SetInteger(j)
+		}
+	}
+	res := mip.Solve(mp, opts)
+	return &Solution{
+		Status:       res.Status,
+		HasSolution:  res.HasSolution,
+		Obj:          res.Obj,
+		Bound:        res.Bound,
+		Gap:          res.Gap,
+		Nodes:        res.Nodes,
+		LPIterations: res.LPIterations,
+		Runtime:      res.Runtime,
+		x:            res.X,
+	}
+}
+
+// Relax solves the LP relaxation (integrality dropped).
+func (m *Model) Relax() *Solution {
+	res := lp.Solve(m.lp, nil)
+	sol := &Solution{
+		LPIterations: res.Iterations,
+	}
+	switch res.Status {
+	case lp.StatusOptimal:
+		sol.Status = mip.StatusOptimal
+		sol.HasSolution = true
+		sol.Obj = res.Obj
+		sol.Bound = res.Obj
+		sol.x = res.X
+	case lp.StatusInfeasible:
+		sol.Status = mip.StatusInfeasible
+		sol.Gap = math.Inf(1)
+	case lp.StatusUnbounded:
+		sol.Status = mip.StatusUnbounded
+		sol.Gap = math.Inf(1)
+	default:
+		sol.Status = mip.StatusLimit
+		sol.Gap = math.Inf(1)
+	}
+	return sol
+}

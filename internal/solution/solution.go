@@ -1,0 +1,199 @@
+// Package solution defines the output format of every TVNEP solver in this
+// repository and an independent feasibility checker that verifies
+// Definition 2.1 directly by an event sweep — deliberately written against
+// the problem statement rather than any of the MIP formulations, so model
+// bugs cannot hide from it.
+package solution
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"tvnep/internal/substrate"
+	"tvnep/internal/vnet"
+)
+
+// Solution is a (candidate) solution to a TVNEP instance.
+type Solution struct {
+	// Accepted[r] reports whether request r is embedded (x_R).
+	Accepted []bool
+	// Start[r], End[r] are t⁺_R and t⁻_R. Definition 2.1 fixes them for
+	// every request, accepted or not.
+	Start, End []float64
+	// Hosts[r][v] is the substrate node hosting virtual node v of request r
+	// (meaningful when accepted).
+	Hosts [][]int
+	// Flows[r][lv][ls] is the fraction of virtual link lv of request r
+	// routed over substrate link ls (splittable flows, x_E ∈ [0,1]).
+	Flows [][][]float64
+
+	// Solver metadata.
+	Objective float64
+	Bound     float64
+	Gap       float64
+	Optimal   bool
+	Nodes     int
+	Runtime   time.Duration
+}
+
+// NumAccepted counts embedded requests.
+func (s *Solution) NumAccepted() int {
+	n := 0
+	for _, a := range s.Accepted {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// Checker options.
+const (
+	timeTol = 1e-5
+	capTol  = 1e-5
+	flowTol = 1e-5
+)
+
+// Check verifies the solution against Definition 2.1: temporal windows,
+// durations, per-virtual-link unit flows, and node/link capacities at every
+// point in time. It returns nil iff the solution is feasible.
+func Check(sub *substrate.Network, reqs []*vnet.Request, sol *Solution) error {
+	k := len(reqs)
+	if len(sol.Accepted) != k || len(sol.Start) != k || len(sol.End) != k {
+		return fmt.Errorf("solution: slice lengths do not match %d requests", k)
+	}
+	for r, req := range reqs {
+		if err := checkTemporal(req, sol, r); err != nil {
+			return err
+		}
+		if !sol.Accepted[r] {
+			continue
+		}
+		if err := checkEmbedding(sub, req, sol, r); err != nil {
+			return err
+		}
+	}
+	return checkCapacities(sub, reqs, sol)
+}
+
+func checkTemporal(req *vnet.Request, sol *Solution, r int) error {
+	st, en := sol.Start[r], sol.End[r]
+	if math.Abs((en-st)-req.Duration) > timeTol {
+		return fmt.Errorf("request %s: scheduled duration %v != d=%v", req.Name, en-st, req.Duration)
+	}
+	if st < req.Earliest-timeTol {
+		return fmt.Errorf("request %s: starts at %v before earliest %v", req.Name, st, req.Earliest)
+	}
+	if en > req.Latest+timeTol {
+		return fmt.Errorf("request %s: ends at %v after latest %v", req.Name, en, req.Latest)
+	}
+	return nil
+}
+
+func checkEmbedding(sub *substrate.Network, req *vnet.Request, sol *Solution, r int) error {
+	if len(sol.Hosts) <= r || len(sol.Hosts[r]) != req.G.N {
+		return fmt.Errorf("request %s: missing host assignment", req.Name)
+	}
+	for v, host := range sol.Hosts[r] {
+		if host < 0 || host >= sub.NumNodes() {
+			return fmt.Errorf("request %s: virtual node %d hosted on invalid node %d", req.Name, v, host)
+		}
+	}
+	if len(sol.Flows) <= r || len(sol.Flows[r]) != req.G.NumEdges() {
+		return fmt.Errorf("request %s: missing flow assignment", req.Name)
+	}
+	for lv := 0; lv < req.G.NumEdges(); lv++ {
+		u, v := req.G.Edge(lv)
+		flow := sol.Flows[r][lv]
+		if len(flow) != sub.NumLinks() {
+			return fmt.Errorf("request %s link %d: flow over %d links, substrate has %d", req.Name, lv, len(flow), sub.NumLinks())
+		}
+		src, dst := sol.Hosts[r][u], sol.Hosts[r][v]
+		for ls, f := range flow {
+			if f < -flowTol || f > 1+flowTol {
+				return fmt.Errorf("request %s link %d: flow %v on substrate link %d outside [0,1]", req.Name, lv, f, ls)
+			}
+		}
+		// Flow conservation: one unit from src to dst.
+		for ns := 0; ns < sub.NumNodes(); ns++ {
+			bal := 0.0
+			for _, e := range sub.G.Out(ns) {
+				bal += flow[e]
+			}
+			for _, e := range sub.G.In(ns) {
+				bal -= flow[e]
+			}
+			want := 0.0
+			if ns == src {
+				want += 1
+			}
+			if ns == dst {
+				want -= 1
+			}
+			if math.Abs(bal-want) > flowTol {
+				return fmt.Errorf("request %s link %d: flow balance %v at substrate node %d, want %v",
+					req.Name, lv, bal, ns, want)
+			}
+		}
+	}
+	return nil
+}
+
+// checkCapacities sweeps the intervals between consecutive event times and
+// verifies the open-interval allocation condition of Definition 2.1.
+func checkCapacities(sub *substrate.Network, reqs []*vnet.Request, sol *Solution) error {
+	var events []float64
+	for r := range reqs {
+		if sol.Accepted[r] {
+			events = append(events, sol.Start[r], sol.End[r])
+		}
+	}
+	if len(events) == 0 {
+		return nil
+	}
+	sort.Float64s(events)
+	for i := 0; i+1 < len(events); i++ {
+		if events[i+1]-events[i] < 1e-12 {
+			continue
+		}
+		mid := (events[i] + events[i+1]) / 2
+		if err := checkInstant(sub, reqs, sol, mid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkInstant(sub *substrate.Network, reqs []*vnet.Request, sol *Solution, t float64) error {
+	nodeLoad := make([]float64, sub.NumNodes())
+	linkLoad := make([]float64, sub.NumLinks())
+	for r, req := range reqs {
+		if !sol.Accepted[r] || t <= sol.Start[r] || t >= sol.End[r] {
+			continue
+		}
+		for v, host := range sol.Hosts[r] {
+			nodeLoad[host] += req.NodeDemand[v]
+		}
+		for lv := 0; lv < req.G.NumEdges(); lv++ {
+			demand := req.LinkDemand[lv]
+			for ls, f := range sol.Flows[r][lv] {
+				if f > flowTol {
+					linkLoad[ls] += demand * f
+				}
+			}
+		}
+	}
+	for ns, load := range nodeLoad {
+		if load > sub.NodeCap[ns]+capTol {
+			return fmt.Errorf("t=%v: substrate node %d loaded %v > capacity %v", t, ns, load, sub.NodeCap[ns])
+		}
+	}
+	for ls, load := range linkLoad {
+		if load > sub.LinkCap[ls]+capTol {
+			return fmt.Errorf("t=%v: substrate link %d loaded %v > capacity %v", t, ls, load, sub.LinkCap[ls])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package solution
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"tvnep/internal/substrate"
+	"tvnep/internal/vnet"
+)
+
+// TimelineSegment describes substrate utilization during one interval in
+// which allocations are constant.
+type TimelineSegment struct {
+	Start, End float64
+	// NodeLoad[s] / LinkLoad[l] are absolute allocations.
+	NodeLoad []float64
+	LinkLoad []float64
+	// Active lists the indices of requests running in the segment.
+	Active []int
+}
+
+// PeakNodeUtil returns the maximum node utilization (load/capacity) of the
+// segment, or 0 for an empty substrate.
+func (seg *TimelineSegment) PeakNodeUtil(sub *substrate.Network) float64 {
+	peak := 0.0
+	for s, load := range seg.NodeLoad {
+		if c := sub.NodeCap[s]; c > 0 {
+			if u := load / c; u > peak {
+				peak = u
+			}
+		}
+	}
+	return peak
+}
+
+// PeakLinkUtil returns the maximum link utilization of the segment.
+func (seg *TimelineSegment) PeakLinkUtil(sub *substrate.Network) float64 {
+	peak := 0.0
+	for l, load := range seg.LinkLoad {
+		if c := sub.LinkCap[l]; c > 0 {
+			if u := load / c; u > peak {
+				peak = u
+			}
+		}
+	}
+	return peak
+}
+
+// Timeline computes the piecewise-constant substrate utilization of a
+// solution: one segment per interval between consecutive request start/end
+// events (the same decomposition Definition 2.1's feasibility condition
+// rests on). Only accepted requests contribute.
+func Timeline(sub *substrate.Network, reqs []*vnet.Request, sol *Solution) []TimelineSegment {
+	var events []float64
+	for r := range reqs {
+		if sol.Accepted[r] {
+			events = append(events, sol.Start[r], sol.End[r])
+		}
+	}
+	if len(events) == 0 {
+		return nil
+	}
+	sort.Float64s(events)
+	// Deduplicate.
+	uniq := events[:1]
+	for _, t := range events[1:] {
+		if t-uniq[len(uniq)-1] > 1e-12 {
+			uniq = append(uniq, t)
+		}
+	}
+	var out []TimelineSegment
+	for i := 0; i+1 < len(uniq); i++ {
+		seg := TimelineSegment{
+			Start:    uniq[i],
+			End:      uniq[i+1],
+			NodeLoad: make([]float64, sub.NumNodes()),
+			LinkLoad: make([]float64, sub.NumLinks()),
+		}
+		mid := (seg.Start + seg.End) / 2
+		for r, req := range reqs {
+			if !sol.Accepted[r] || mid <= sol.Start[r] || mid >= sol.End[r] {
+				continue
+			}
+			seg.Active = append(seg.Active, r)
+			for v, host := range sol.Hosts[r] {
+				seg.NodeLoad[host] += req.NodeDemand[v]
+			}
+			for lv := 0; lv < req.G.NumEdges(); lv++ {
+				d := req.LinkDemand[lv]
+				for ls, f := range sol.Flows[r][lv] {
+					if f > 1e-9 {
+						seg.LinkLoad[ls] += d * f
+					}
+				}
+			}
+		}
+		out = append(out, seg)
+	}
+	return out
+}
+
+// WriteTimeline renders the timeline as an aligned text table (one row per
+// segment) — a quick way to eyeball a schedule.
+func WriteTimeline(w io.Writer, sub *substrate.Network, reqs []*vnet.Request, sol *Solution) {
+	segs := Timeline(sub, reqs, sol)
+	fmt.Fprintf(w, "%10s %10s %8s %14s %14s  %s\n",
+		"start", "end", "active", "peak node util", "peak link util", "requests")
+	for _, seg := range segs {
+		names := make([]string, 0, len(seg.Active))
+		for _, r := range seg.Active {
+			names = append(names, reqs[r].Name)
+		}
+		fmt.Fprintf(w, "%10.3f %10.3f %8d %13.1f%% %13.1f%%  %v\n",
+			seg.Start, seg.End, len(seg.Active),
+			100*seg.PeakNodeUtil(sub), 100*seg.PeakLinkUtil(sub), names)
+	}
+}

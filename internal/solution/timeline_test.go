@@ -1,0 +1,111 @@
+package solution
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"tvnep/internal/graph"
+	"tvnep/internal/substrate"
+	"tvnep/internal/vnet"
+)
+
+func timelineFixture() (*substrate.Network, []*vnet.Request, *Solution) {
+	sub := substrate.Grid(1, 2, 2, 2)
+	mk := func(name string, start, dur float64) (*vnet.Request, int) {
+		return &vnet.Request{
+			Name: name, G: graph.NewDigraph(1),
+			NodeDemand: []float64{1}, LinkDemand: []float64{},
+			Earliest: 0, Duration: dur, Latest: 100,
+		}, 0
+	}
+	r1, _ := mk("a", 0, 4)
+	r2, _ := mk("b", 2, 4)
+	sol := &Solution{
+		Accepted: []bool{true, true},
+		Start:    []float64{0, 2},
+		End:      []float64{4, 6},
+		Hosts:    [][]int{{0}, {0}},
+		Flows:    [][][]float64{{}, {}},
+	}
+	return sub, []*vnet.Request{r1, r2}, sol
+}
+
+func TestTimelineSegments(t *testing.T) {
+	sub, reqs, sol := timelineFixture()
+	segs := Timeline(sub, reqs, sol)
+	// Events at 0, 2, 4, 6 → 3 segments.
+	if len(segs) != 3 {
+		t.Fatalf("%d segments, want 3", len(segs))
+	}
+	// Segment [2,4] has both requests on node 0 → load 2.
+	mid := segs[1]
+	if mid.Start != 2 || mid.End != 4 {
+		t.Fatalf("middle segment [%v,%v]", mid.Start, mid.End)
+	}
+	if len(mid.Active) != 2 || mid.NodeLoad[0] != 2 {
+		t.Fatalf("middle segment active=%v load=%v", mid.Active, mid.NodeLoad)
+	}
+	if u := mid.PeakNodeUtil(sub); math.Abs(u-1) > 1e-9 {
+		t.Fatalf("peak util %v, want 1", u)
+	}
+	// Outer segments carry one request each.
+	if len(segs[0].Active) != 1 || len(segs[2].Active) != 1 {
+		t.Fatalf("outer segments: %v / %v", segs[0].Active, segs[2].Active)
+	}
+}
+
+func TestTimelineEmptyAndRejected(t *testing.T) {
+	sub, reqs, sol := timelineFixture()
+	sol.Accepted = []bool{false, false}
+	if segs := Timeline(sub, reqs, sol); segs != nil {
+		t.Fatalf("timeline of empty schedule: %v", segs)
+	}
+}
+
+func TestTimelineLinkLoads(t *testing.T) {
+	sub := substrate.Grid(1, 2, 2, 2)
+	g := graph.NewDigraph(2)
+	g.AddEdge(0, 1)
+	req := &vnet.Request{
+		Name: "x", G: g,
+		NodeDemand: []float64{1, 1}, LinkDemand: []float64{1.5},
+		Earliest: 0, Duration: 2, Latest: 2,
+	}
+	var e01 int
+	for e := 0; e < sub.NumLinks(); e++ {
+		if u, v := sub.G.Edge(e); u == 0 && v == 1 {
+			e01 = e
+		}
+	}
+	flows := make([]float64, sub.NumLinks())
+	flows[e01] = 1
+	sol := &Solution{
+		Accepted: []bool{true}, Start: []float64{0}, End: []float64{2},
+		Hosts: [][]int{{0, 1}}, Flows: [][][]float64{{flows}},
+	}
+	segs := Timeline(sub, []*vnet.Request{req}, sol)
+	if len(segs) != 1 {
+		t.Fatalf("%d segments", len(segs))
+	}
+	if segs[0].LinkLoad[e01] != 1.5 {
+		t.Fatalf("link load %v, want 1.5", segs[0].LinkLoad[e01])
+	}
+	if u := segs[0].PeakLinkUtil(sub); math.Abs(u-0.75) > 1e-9 {
+		t.Fatalf("peak link util %v, want 0.75", u)
+	}
+}
+
+func TestWriteTimeline(t *testing.T) {
+	sub, reqs, sol := timelineFixture()
+	var buf bytes.Buffer
+	WriteTimeline(&buf, sub, reqs, sol)
+	out := buf.String()
+	if !strings.Contains(out, "peak node util") || !strings.Contains(out, "[a b]") {
+		t.Fatalf("timeline output incomplete:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 4 { // header + 3 rows
+		t.Fatalf("unexpected row count:\n%s", out)
+	}
+}

@@ -1,0 +1,72 @@
+// Package stats provides the small descriptive-statistics helpers the
+// evaluation harness uses to summarize per-flexibility result distributions
+// (the box plots of Figures 3–9).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary is a five-number summary plus mean of a sample.
+type Summary struct {
+	N                        int
+	Min, Q1, Median, Q3, Max float64
+	Mean                     float64
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the sample using linear
+// interpolation between order statistics. NaN for empty input.
+func Quantile(sample []float64, q float64) float64 {
+	if len(sample) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(sample []float64) float64 {
+	if len(sample) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, v := range sample {
+		s += v
+	}
+	return s / float64(len(sample))
+}
+
+// Summarize computes the five-number summary of a sample.
+func Summarize(sample []float64) Summary {
+	return Summary{
+		N:      len(sample),
+		Min:    Quantile(sample, 0),
+		Q1:     Quantile(sample, 0.25),
+		Median: Quantile(sample, 0.5),
+		Q3:     Quantile(sample, 0.75),
+		Max:    Quantile(sample, 1),
+		Mean:   Mean(sample),
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.3g q1=%.3g med=%.3g q3=%.3g max=%.3g mean=%.3g",
+		s.N, s.Min, s.Q1, s.Median, s.Q3, s.Max, s.Mean)
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantileKnown(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(s, c.q); got != c.want {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	s := []float64{0, 10}
+	if got := Quantile(s, 0.5); got != 5 {
+		t.Fatalf("median of {0,10} = %v, want 5", got)
+	}
+}
+
+func TestQuantileUnsortedInput(t *testing.T) {
+	s := []float64{5, 1, 3, 2, 4}
+	if got := Quantile(s, 0.5); got != 3 {
+		t.Fatalf("median = %v, want 3", got)
+	}
+	// Input must not be mutated.
+	if s[0] != 5 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	if !math.IsNaN(Quantile(nil, 0.5)) || !math.IsNaN(Mean(nil)) {
+		t.Fatal("empty sample should give NaN")
+	}
+	sum := Summarize(nil)
+	if sum.N != 0 || !math.IsNaN(sum.Median) {
+		t.Fatalf("empty summary = %+v", sum)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 || s.Median != 2.5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+// Property: quantiles are monotone in q and bracketed by min/max.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = rng.NormFloat64() * 10
+		}
+		sorted := append([]float64(nil), s...)
+		sort.Float64s(sorted)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0001; q += 0.1 {
+			v := Quantile(s, math.Min(q, 1))
+			if v < prev-1e-12 || v < sorted[0]-1e-12 || v > sorted[n-1]+1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

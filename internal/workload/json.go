@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"tvnep/internal/graph"
+	"tvnep/internal/substrate"
+	"tvnep/internal/vnet"
+)
+
+// scenarioJSON is the on-disk format used by the cmd/ tools.
+type scenarioJSON struct {
+	Substrate substrateJSON `json:"substrate"`
+	Requests  []requestJSON `json:"requests"`
+	Mapping   [][]int       `json:"mapping,omitempty"`
+	Horizon   float64       `json:"horizon"`
+	Seed      int64         `json:"seed,omitempty"`
+}
+
+type substrateJSON struct {
+	Nodes    int       `json:"nodes"`
+	Edges    [][2]int  `json:"edges"`
+	NodeCaps []float64 `json:"node_caps"`
+	LinkCaps []float64 `json:"link_caps"`
+}
+
+type requestJSON struct {
+	Name        string    `json:"name"`
+	Nodes       int       `json:"nodes"`
+	Edges       [][2]int  `json:"edges"`
+	NodeDemands []float64 `json:"node_demands"`
+	LinkDemands []float64 `json:"link_demands"`
+	Duration    float64   `json:"duration"`
+	Earliest    float64   `json:"earliest"`
+	Latest      float64   `json:"latest"`
+}
+
+// MarshalJSON implements json.Marshaler for Scenario.
+func (sc *Scenario) MarshalJSON() ([]byte, error) {
+	out := scenarioJSON{
+		Horizon: sc.Horizon,
+		Seed:    sc.Seed,
+		Mapping: sc.Mapping,
+	}
+	out.Substrate = substrateJSON{
+		Nodes:    sc.Substrate.NumNodes(),
+		NodeCaps: sc.Substrate.NodeCap,
+		LinkCaps: sc.Substrate.LinkCap,
+	}
+	for e := 0; e < sc.Substrate.NumLinks(); e++ {
+		u, v := sc.Substrate.G.Edge(e)
+		out.Substrate.Edges = append(out.Substrate.Edges, [2]int{u, v})
+	}
+	for _, r := range sc.Requests {
+		rj := requestJSON{
+			Name:        r.Name,
+			Nodes:       r.G.N,
+			NodeDemands: r.NodeDemand,
+			LinkDemands: r.LinkDemand,
+			Duration:    r.Duration,
+			Earliest:    r.Earliest,
+			Latest:      r.Latest,
+		}
+		for e := 0; e < r.G.NumEdges(); e++ {
+			u, v := r.G.Edge(e)
+			rj.Edges = append(rj.Edges, [2]int{u, v})
+		}
+		out.Requests = append(out.Requests, rj)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// UnmarshalJSON implements json.Unmarshaler for Scenario.
+func (sc *Scenario) UnmarshalJSON(data []byte) error {
+	var in scenarioJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	g := graph.NewDigraph(in.Substrate.Nodes)
+	for _, e := range in.Substrate.Edges {
+		g.AddEdge(e[0], e[1])
+	}
+	sub := &substrate.Network{G: g, NodeCap: in.Substrate.NodeCaps, LinkCap: in.Substrate.LinkCaps}
+	if err := sub.Validate(); err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	sc.Substrate = sub
+	sc.Requests = nil
+	for _, rj := range in.Requests {
+		rg := graph.NewDigraph(rj.Nodes)
+		for _, e := range rj.Edges {
+			rg.AddEdge(e[0], e[1])
+		}
+		r := &vnet.Request{
+			Name:       rj.Name,
+			G:          rg,
+			NodeDemand: rj.NodeDemands,
+			LinkDemand: rj.LinkDemands,
+			Duration:   rj.Duration,
+			Earliest:   rj.Earliest,
+			Latest:     rj.Latest,
+		}
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("workload: %w", err)
+		}
+		sc.Requests = append(sc.Requests, r)
+	}
+	sc.Mapping = in.Mapping
+	sc.Horizon = in.Horizon
+	sc.Seed = in.Seed
+	return sc.validateLoose()
+}
+
+// validateLoose checks everything except the mapping (which is optional in
+// files: tools can run with free node mappings).
+func (sc *Scenario) validateLoose() error {
+	if sc.Mapping == nil {
+		return nil
+	}
+	return sc.Validate()
+}

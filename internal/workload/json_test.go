@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := Generate(Default(), 13)
+	data, err := orig.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Scenario
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Substrate.NumNodes() != orig.Substrate.NumNodes() ||
+		back.Substrate.NumLinks() != orig.Substrate.NumLinks() {
+		t.Fatal("substrate shape changed through JSON")
+	}
+	if len(back.Requests) != len(orig.Requests) {
+		t.Fatal("request count changed")
+	}
+	for i, r := range orig.Requests {
+		b := back.Requests[i]
+		if r.Name != b.Name || r.Duration != b.Duration ||
+			r.Earliest != b.Earliest || r.Latest != b.Latest {
+			t.Fatalf("request %d temporal data changed", i)
+		}
+		if r.G.NumEdges() != b.G.NumEdges() {
+			t.Fatalf("request %d topology changed", i)
+		}
+		for v := range r.NodeDemand {
+			if r.NodeDemand[v] != b.NodeDemand[v] {
+				t.Fatalf("request %d node demand changed", i)
+			}
+		}
+		for e := range r.LinkDemand {
+			if r.LinkDemand[e] != b.LinkDemand[e] {
+				t.Fatalf("request %d link demand changed", i)
+			}
+		}
+		for v := range orig.Mapping[i] {
+			if orig.Mapping[i][v] != back.Mapping[i][v] {
+				t.Fatalf("mapping %d changed", i)
+			}
+		}
+	}
+	if back.Horizon != orig.Horizon || back.Seed != orig.Seed {
+		t.Fatal("scalar fields changed")
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Substrate edge orientation must survive too.
+	for e := 0; e < orig.Substrate.NumLinks(); e++ {
+		u1, v1 := orig.Substrate.G.Edge(e)
+		u2, v2 := back.Substrate.G.Edge(e)
+		if u1 != u2 || v1 != v2 {
+			t.Fatalf("edge %d reordered: (%d,%d) vs (%d,%d)", e, u1, v1, u2, v2)
+		}
+	}
+}
+
+func TestJSONRejectsCorruptData(t *testing.T) {
+	cases := map[string]string{
+		"not json":         `{`,
+		"bad request":      `{"substrate":{"nodes":1,"edges":[],"node_caps":[1],"link_caps":[]},"requests":[{"name":"x","nodes":1,"node_demands":[1],"link_demands":[],"duration":-1,"earliest":0,"latest":1}],"horizon":1}`,
+		"negative caps":    `{"substrate":{"nodes":1,"edges":[],"node_caps":[-1],"link_caps":[]},"requests":[],"horizon":1}`,
+		"cap len mismatch": `{"substrate":{"nodes":2,"edges":[],"node_caps":[1],"link_caps":[]},"requests":[],"horizon":1}`,
+	}
+	for name, payload := range cases {
+		var sc Scenario
+		if err := json.Unmarshal([]byte(payload), &sc); err == nil {
+			t.Fatalf("%s: corrupt payload accepted", name)
+		}
+	}
+}
+
+func TestJSONOmitsEmptyMapping(t *testing.T) {
+	sc := Generate(Default(), 1)
+	sc.Mapping = nil
+	data, err := sc.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"mapping"`) {
+		t.Fatal("nil mapping serialized")
+	}
+	var back Scenario
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Mapping != nil {
+		t.Fatal("mapping materialized from nothing")
+	}
+}

@@ -1,0 +1,144 @@
+// Package workload generates the synthetic evaluation scenarios of
+// Section VI-A: star-topology requests arriving by a Poisson process with
+// Weibull-distributed durations and uniform resource demands, plus the a
+// priori random node mappings the paper fixes before solving.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tvnep/internal/substrate"
+	"tvnep/internal/vnet"
+)
+
+// Config describes one scenario family. The zero value is not useful; use
+// Default() (the paper's parameters, scaled) or PaperScale().
+type Config struct {
+	// Substrate.
+	GridRows, GridCols int
+	NodeCap, LinkCap   float64
+
+	// Requests.
+	NumRequests   int
+	StarLeaves    int     // 4 in the paper (5-node stars)
+	DemandLow     float64 // uniform demand interval [DemandLow, DemandHigh]
+	DemandHigh    float64
+	MeanInterArr  float64 // hours; Poisson process with this mean gap
+	WeibullShape  float64 // 2 in the paper
+	WeibullScale  float64 // 4 in the paper (≈3.5 h mean duration)
+	FlexibilityHr float64 // scheduling slack added to every window (x-axis of all figures)
+}
+
+// Default returns the evaluation configuration scaled for the pure-Go MIP
+// solver (see DESIGN.md §2): 3×3 grid, 8 requests, 3-node stars.
+func Default() Config {
+	return Config{
+		GridRows: 3, GridCols: 3, NodeCap: 3.5, LinkCap: 5,
+		NumRequests: 8, StarLeaves: 2,
+		DemandLow: 1, DemandHigh: 2,
+		MeanInterArr: 1, WeibullShape: 2, WeibullScale: 4,
+	}
+}
+
+// PaperScale returns the paper's exact scenario: 4×5 grid, 20 requests,
+// 5-node stars.
+func PaperScale() Config {
+	c := Default()
+	c.GridRows, c.GridCols = 4, 5
+	c.NumRequests = 20
+	c.StarLeaves = 4
+	return c
+}
+
+// Scenario is one generated problem instance.
+type Scenario struct {
+	Substrate *substrate.Network
+	Requests  []*vnet.Request
+	Mapping   vnet.NodeMapping // fixed a priori node placements
+	Horizon   float64          // time horizon T
+	Seed      int64
+}
+
+// Weibull samples a Weibull(shape k, scale λ) variate by inverse transform.
+func Weibull(rng *rand.Rand, shape, scale float64) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return scale * math.Pow(-math.Log(u), 1/shape)
+}
+
+// Exponential samples an exponential variate with the given mean.
+func Exponential(rng *rand.Rand, mean float64) float64 {
+	return rng.ExpFloat64() * mean
+}
+
+// Generate builds a scenario from cfg deterministically from seed.
+func Generate(cfg Config, seed int64) *Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	sub := substrate.Grid(cfg.GridRows, cfg.GridCols, cfg.NodeCap, cfg.LinkCap)
+
+	sc := &Scenario{Substrate: sub, Seed: seed}
+	arrival := 0.0
+	maxEnd := 0.0
+	for i := 0; i < cfg.NumRequests; i++ {
+		arrival += Exponential(rng, cfg.MeanInterArr)
+		duration := Weibull(rng, cfg.WeibullShape, cfg.WeibullScale)
+		if duration < 0.1 {
+			duration = 0.1
+		}
+		inward := rng.Intn(2) == 0
+		r := vnet.Star(fmt.Sprintf("R%d", i), cfg.StarLeaves, inward, 0, 0)
+		for v := range r.NodeDemand {
+			r.NodeDemand[v] = cfg.DemandLow + rng.Float64()*(cfg.DemandHigh-cfg.DemandLow)
+		}
+		for e := range r.LinkDemand {
+			r.LinkDemand[e] = cfg.DemandLow + rng.Float64()*(cfg.DemandHigh-cfg.DemandLow)
+		}
+		r.Duration = duration
+		r.Earliest = arrival
+		r.Latest = arrival + duration + cfg.FlexibilityHr
+		sc.Requests = append(sc.Requests, r)
+		if r.Latest > maxEnd {
+			maxEnd = r.Latest
+		}
+
+		// A priori uniform node mapping (Section VI-A).
+		mapping := make([]int, r.G.N)
+		for v := range mapping {
+			mapping[v] = rng.Intn(sub.NumNodes())
+		}
+		sc.Mapping = append(sc.Mapping, mapping)
+	}
+	sc.Horizon = maxEnd
+	return sc
+}
+
+// Validate checks every request of the scenario.
+func (sc *Scenario) Validate() error {
+	if err := sc.Substrate.Validate(); err != nil {
+		return err
+	}
+	if len(sc.Mapping) != len(sc.Requests) {
+		return fmt.Errorf("workload: %d mappings for %d requests", len(sc.Mapping), len(sc.Requests))
+	}
+	for i, r := range sc.Requests {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		if len(sc.Mapping[i]) != r.G.N {
+			return fmt.Errorf("workload: mapping %d has %d entries for %d virtual nodes", i, len(sc.Mapping[i]), r.G.N)
+		}
+		for _, host := range sc.Mapping[i] {
+			if host < 0 || host >= sc.Substrate.NumNodes() {
+				return fmt.Errorf("workload: mapping %d targets substrate node %d out of range", i, host)
+			}
+		}
+		if r.Latest > sc.Horizon+1e-9 {
+			return fmt.Errorf("workload: request %d ends after horizon", i)
+		}
+	}
+	return nil
+}

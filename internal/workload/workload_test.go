@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Default(), 42)
+	b := Generate(Default(), 42)
+	if len(a.Requests) != len(b.Requests) {
+		t.Fatal("nondeterministic request count")
+	}
+	for i := range a.Requests {
+		if a.Requests[i].Earliest != b.Requests[i].Earliest ||
+			a.Requests[i].Duration != b.Requests[i].Duration {
+			t.Fatalf("request %d differs between identical seeds", i)
+		}
+		for v := range a.Mapping[i] {
+			if a.Mapping[i][v] != b.Mapping[i][v] {
+				t.Fatalf("mapping %d differs between identical seeds", i)
+			}
+		}
+	}
+}
+
+func TestGenerateDiffersAcrossSeeds(t *testing.T) {
+	a := Generate(Default(), 1)
+	b := Generate(Default(), 2)
+	same := true
+	for i := range a.Requests {
+		if a.Requests[i].Duration != b.Requests[i].Duration {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical durations")
+	}
+}
+
+func TestGenerateValidates(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		sc := Generate(Default(), seed)
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestPaperScaleShape(t *testing.T) {
+	sc := Generate(PaperScale(), 7)
+	if sc.Substrate.NumNodes() != 20 || sc.Substrate.NumLinks() != 62 {
+		t.Fatalf("substrate %d nodes %d links, want 20, 62", sc.Substrate.NumNodes(), sc.Substrate.NumLinks())
+	}
+	if len(sc.Requests) != 20 {
+		t.Fatalf("%d requests, want 20", len(sc.Requests))
+	}
+	for _, r := range sc.Requests {
+		if r.G.N != 5 {
+			t.Fatalf("request %s has %d nodes, want 5", r.Name, r.G.N)
+		}
+	}
+}
+
+func TestFlexibilityApplied(t *testing.T) {
+	cfg := Default()
+	cfg.FlexibilityHr = 3
+	sc := Generate(cfg, 5)
+	for _, r := range sc.Requests {
+		if math.Abs(r.Flexibility()-3) > 1e-9 {
+			t.Fatalf("request %s flexibility %v, want 3", r.Name, r.Flexibility())
+		}
+	}
+}
+
+func TestZeroFlexibility(t *testing.T) {
+	sc := Generate(Default(), 5)
+	for _, r := range sc.Requests {
+		if math.Abs(r.Flexibility()) > 1e-9 {
+			t.Fatalf("request %s flexibility %v, want 0", r.Name, r.Flexibility())
+		}
+	}
+}
+
+func TestDemandsInRange(t *testing.T) {
+	cfg := Default()
+	sc := Generate(cfg, 9)
+	for _, r := range sc.Requests {
+		for _, d := range r.NodeDemand {
+			if d < cfg.DemandLow || d > cfg.DemandHigh {
+				t.Fatalf("node demand %v outside [%v,%v]", d, cfg.DemandLow, cfg.DemandHigh)
+			}
+		}
+		for _, d := range r.LinkDemand {
+			if d < cfg.DemandLow || d > cfg.DemandHigh {
+				t.Fatalf("link demand %v outside [%v,%v]", d, cfg.DemandLow, cfg.DemandHigh)
+			}
+		}
+	}
+}
+
+func TestWeibullMoments(t *testing.T) {
+	// Weibull(2, 4) has mean 4·Γ(1.5) = 4·(√π/2) ≈ 3.545 (the paper's
+	// "approximately 3.5 hours").
+	rng := rand.New(rand.NewSource(1))
+	n := 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += Weibull(rng, 2, 4)
+	}
+	mean := sum / float64(n)
+	want := 4 * math.Sqrt(math.Pi) / 2
+	if math.Abs(mean-want) > 0.05 {
+		t.Fatalf("Weibull(2,4) sample mean %v, want ≈ %v", mean, want)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += Exponential(rng, 1.5)
+	}
+	if mean := sum / float64(n); math.Abs(mean-1.5) > 0.03 {
+		t.Fatalf("Exponential(mean 1.5) sample mean %v", mean)
+	}
+}
+
+func TestArrivalsMonotone(t *testing.T) {
+	sc := Generate(Default(), 3)
+	for i := 1; i < len(sc.Requests); i++ {
+		if sc.Requests[i].Earliest < sc.Requests[i-1].Earliest {
+			t.Fatal("arrival times not monotone")
+		}
+	}
+}
+
+// Property: all generated scenarios validate and their horizon covers every
+// request window.
+func TestQuickScenarioInvariants(t *testing.T) {
+	f := func(seed int64, flexRaw uint8) bool {
+		cfg := Default()
+		cfg.FlexibilityHr = float64(flexRaw%12) / 2
+		sc := Generate(cfg, seed)
+		if sc.Validate() != nil {
+			return false
+		}
+		for _, r := range sc.Requests {
+			if r.Latest > sc.Horizon+1e-9 || r.Duration <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
