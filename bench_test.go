@@ -9,6 +9,7 @@
 package tvnep
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -30,7 +31,7 @@ func benchConfig() eval.Config {
 		Workload:    wl,
 		FlexMinutes: []float64{0, 120},
 		Seeds:       []int64{1, 2},
-		TimeLimit:   10 * time.Second,
+		Solve:       model.SolveOptions{TimeLimit: 10 * time.Second},
 	}
 }
 
@@ -76,7 +77,7 @@ func slug(s string) string {
 func BenchmarkFig3Runtime(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		recs := cfg.AccessControlSweep([]core.Formulation{core.Delta, core.Sigma, core.CSigma}, nil)
+		recs := cfg.AccessControlSweep(context.Background(), []core.Formulation{core.Delta, core.Sigma, core.CSigma}, nil)
 		if i == 0 {
 			reportSeries(b, eval.Figure3(recs, cfg), "median_runtime_s")
 		}
@@ -88,7 +89,7 @@ func BenchmarkFig3Runtime(b *testing.B) {
 func BenchmarkFig4Gap(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		recs := cfg.AccessControlSweep([]core.Formulation{core.Delta, core.Sigma, core.CSigma}, nil)
+		recs := cfg.AccessControlSweep(context.Background(), []core.Formulation{core.Delta, core.Sigma, core.CSigma}, nil)
 		if i == 0 {
 			reportSeries(b, eval.Figure4(recs, cfg), "median_gap_pct")
 		}
@@ -100,7 +101,7 @@ func BenchmarkFig4Gap(b *testing.B) {
 func BenchmarkFig5ObjectivesRuntime(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		recs := cfg.ObjectivesSweep(nil)
+		recs := cfg.ObjectivesSweep(context.Background(), nil)
 		if i == 0 {
 			reportSeries(b, eval.Figure5(recs, cfg), "median_runtime_s")
 		}
@@ -112,7 +113,7 @@ func BenchmarkFig5ObjectivesRuntime(b *testing.B) {
 func BenchmarkFig6ObjectivesGap(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		recs := cfg.ObjectivesSweep(nil)
+		recs := cfg.ObjectivesSweep(context.Background(), nil)
 		if i == 0 {
 			reportSeries(b, eval.Figure6(recs, cfg), "median_gap_pct")
 		}
@@ -124,7 +125,7 @@ func BenchmarkFig6ObjectivesGap(b *testing.B) {
 func BenchmarkFig7GreedyQuality(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		recs := cfg.GreedySweep(nil)
+		recs := cfg.GreedySweep(context.Background(), nil)
 		if i == 0 {
 			reportSeries(b, eval.Figure7(recs, cfg), "median_gap_pct")
 		}
@@ -136,7 +137,7 @@ func BenchmarkFig7GreedyQuality(b *testing.B) {
 func BenchmarkFig8Accepted(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		recs := cfg.AccessControlSweep([]core.Formulation{core.CSigma}, nil)
+		recs := cfg.AccessControlSweep(context.Background(), []core.Formulation{core.CSigma}, nil)
 		if i == 0 {
 			reportSeries(b, eval.Figure8(recs, cfg), "median_accepted")
 		}
@@ -148,7 +149,7 @@ func BenchmarkFig8Accepted(b *testing.B) {
 func BenchmarkFig9Improvement(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		recs := cfg.AccessControlSweep([]core.Formulation{core.CSigma}, nil)
+		recs := cfg.AccessControlSweep(context.Background(), []core.Formulation{core.CSigma}, nil)
 		if i == 0 {
 			reportSeries(b, eval.Figure9(recs, cfg), "median_improvement_pct")
 		}
@@ -173,8 +174,8 @@ func benchCSigmaVariant(b *testing.B, noCuts, noPresolve bool) {
 			DisableCuts:     noCuts,
 			DisablePresolve: noPresolve,
 		})
-		sol, ms := built.Solve(&model.SolveOptions{TimeLimit: 30 * time.Second})
-		if sol == nil || ms.Status != 0 {
+		sol, ms := built.Solve(context.Background(), model.NewSolveOptions(model.WithTimeLimit(30*time.Second)))
+		if sol == nil || ms.Status != model.StatusOptimal {
 			b.Fatalf("variant solve failed: %v", ms.Status)
 		}
 		if i == 0 {
@@ -210,7 +211,7 @@ func BenchmarkGreedyEndToEnd(b *testing.B) {
 	inst := &core.Instance{Sub: sc.Substrate, Reqs: sc.Requests, Horizon: sc.Horizon}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := greedy.Solve(inst, sc.Mapping, greedy.Options{}); err != nil {
+		if _, _, err := greedy.Solve(context.Background(), inst, sc.Mapping, greedy.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -258,3 +259,30 @@ func BenchmarkLPRelaxationCSigma(b *testing.B) {
 		}
 	}
 }
+
+// --- Worker-pool scaling benchmarks ---
+
+// benchSweepWorkers runs the cΣ access-control sweep with a fixed worker
+// count. Comparing BenchmarkSweepWorkers1 against BenchmarkSweepWorkersCPU
+// quantifies the parallel speedup of the evaluation engine; on a machine
+// with W ≥ 4 cores the sweep (16 independent scenarios) is expected to run
+// ≥ 2× faster with the pool than serially.
+func benchSweepWorkers(b *testing.B, workers int) {
+	cfg := benchConfig()
+	cfg.FlexMinutes = []float64{0, 60, 120, 180}
+	cfg.Seeds = []int64{1, 2, 3, 4}
+	cfg.Solve.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs := cfg.AccessControlSweep(context.Background(), []core.Formulation{core.CSigma}, nil)
+		if len(recs) != len(cfg.FlexMinutes)*len(cfg.Seeds) {
+			b.Fatalf("%d records", len(recs))
+		}
+	}
+}
+
+// BenchmarkSweepWorkers1 is the serial baseline.
+func BenchmarkSweepWorkers1(b *testing.B) { benchSweepWorkers(b, 1) }
+
+// BenchmarkSweepWorkersCPU uses one worker per CPU (the default).
+func BenchmarkSweepWorkersCPU(b *testing.B) { benchSweepWorkers(b, 0) }

@@ -4,24 +4,34 @@
 // summaries of runtime, optimality gap, accepted requests, greedy quality
 // and objective improvement.
 //
+// Scenarios are solved concurrently on a bounded worker pool (-workers,
+// default one worker per CPU); records and progress output keep the serial
+// order regardless of the worker count. Ctrl-C cancels every in-flight
+// solve cooperatively.
+//
 // Usage:
 //
 //	tvnep-bench                     # all figures, scaled-down default config
 //	tvnep-bench -fig 3              # only Figure 3
 //	tvnep-bench -seeds 8 -timelimit 60s
+//	tvnep-bench -workers 4 -v       # four concurrent scenario solves
+//	tvnep-bench -progress           # stream incumbent/node updates to stderr
 //	tvnep-bench -paper              # the paper's exact (hour-per-solve!) setup
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
 
 	"tvnep/internal/core"
 	"tvnep/internal/eval"
+	"tvnep/internal/model"
 )
 
 func main() {
@@ -29,14 +39,21 @@ func main() {
 		fig      = flag.String("fig", "all", "figure to regenerate: 3..9, 'ablation', 'relax', or all")
 		seeds    = flag.Int("seeds", 0, "number of scenario seeds per flexibility (0 → config default)")
 		limit    = flag.Duration("timelimit", 0, "per-solve time limit (0 → config default)")
+		workers  = flag.Int("workers", 0, "concurrent scenario solves (0 → one per CPU)")
 		paper    = flag.Bool("paper", false, "use the paper's exact scale (very slow with this solver)")
 		rows     = flag.Int("rows", 0, "substrate grid rows override")
 		cols     = flag.Int("cols", 0, "substrate grid cols override")
 		requests = flag.Int("requests", 0, "requests per scenario override")
 		flexList = flag.String("flex", "", "comma-separated flexibility steps in minutes (default per config)")
 		verbose  = flag.Bool("v", false, "print per-solve progress")
+		progFlag = flag.Bool("progress", false, "stream branch-and-bound progress (incumbents, node counts) to stderr")
 	)
 	flag.Parse()
+
+	// Ctrl-C cancels the sweep cooperatively: every in-flight solve returns
+	// with model.StatusCancelled and the summaries cover what finished.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	cfg := eval.Default()
 	if *paper {
@@ -49,8 +66,9 @@ func main() {
 		}
 	}
 	if *limit > 0 {
-		cfg.TimeLimit = *limit
+		cfg.Solve.TimeLimit = *limit
 	}
+	cfg.Solve.Workers = *workers
 	if *rows > 0 {
 		cfg.Workload.GridRows = *rows
 	}
@@ -71,6 +89,22 @@ func main() {
 			cfg.FlexMinutes = append(cfg.FlexMinutes, v)
 		}
 	}
+	counters := &eval.Counters{}
+	cfg.Counters = counters
+	if *progFlag {
+		// The callback fires from whichever worker goroutine owns the solve;
+		// lines may interleave between concurrent solves but each line is
+		// written in one call.
+		cfg.Solve.Progress = func(p model.Progress) {
+			if p.NewIncumbent {
+				fmt.Fprintf(os.Stderr, "  [b&b] incumbent %.4f (bound %.4f, gap %.3g, %d nodes, %v)\n",
+					p.Incumbent, p.Bound, p.Gap, p.Nodes, p.Elapsed.Round(time.Millisecond))
+			} else {
+				fmt.Fprintf(os.Stderr, "  [b&b] %d nodes open=%d lp_iters=%d (%v)\n",
+					p.Nodes, p.Open, p.LPIterations, p.Elapsed.Round(time.Millisecond))
+			}
+		}
+	}
 
 	var progress *os.File
 	if *verbose {
@@ -85,14 +119,14 @@ func main() {
 		want[*fig] = true
 	}
 
-	fmt.Printf("# tvnep-bench: grid %dx%d, %d requests, %d seeds, flex %v min, time limit %v\n\n",
+	fmt.Printf("# tvnep-bench: grid %dx%d, %d requests, %d seeds, flex %v min, time limit %v, workers %d\n\n",
 		cfg.Workload.GridRows, cfg.Workload.GridCols, cfg.Workload.NumRequests,
-		len(cfg.Seeds), cfg.FlexMinutes, cfg.TimeLimit)
+		len(cfg.Seeds), cfg.FlexMinutes, cfg.Solve.TimeLimit, *workers)
 
 	start := time.Now()
 	// Figures 3/4 need all three formulations; 8/9 only cΣ. Reuse records.
 	if want["3"] || want["4"] {
-		recs := cfg.AccessControlSweep([]core.Formulation{core.Delta, core.Sigma, core.CSigma}, progress)
+		recs := cfg.AccessControlSweep(ctx, []core.Formulation{core.Delta, core.Sigma, core.CSigma}, progress)
 		if want["3"] {
 			eval.WriteSeries(os.Stdout, "Figure 3 — runtime of the MIP formulations vs temporal flexibility (access control)", eval.Figure3(recs, cfg))
 		}
@@ -109,7 +143,7 @@ func main() {
 		}
 	}
 	if want["5"] || want["6"] {
-		recs := cfg.ObjectivesSweep(progress)
+		recs := cfg.ObjectivesSweep(ctx, progress)
 		if want["5"] {
 			eval.WriteSeries(os.Stdout, "Figure 5 — runtime of the cΣ-Model under the fixed-set objectives", eval.Figure5(recs, cfg))
 		}
@@ -118,7 +152,7 @@ func main() {
 		}
 	}
 	if want["7"] || want["8"] || want["9"] {
-		recs := cfg.GreedySweep(progress)
+		recs := cfg.GreedySweep(ctx, progress)
 		if want["7"] {
 			eval.WriteSeries(os.Stdout, "Figure 7 — relative performance of greedy cΣ_A^G vs the cΣ-Model", eval.Figure7(recs, cfg))
 		}
@@ -130,7 +164,7 @@ func main() {
 		}
 	}
 	if want["ablation"] {
-		recs, err := cfg.AblationSweep(progress)
+		recs, err := cfg.AblationSweep(ctx, progress)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ablation:", err)
 			os.Exit(1)
@@ -138,8 +172,13 @@ func main() {
 		eval.WriteAblation(os.Stdout, recs, cfg)
 	}
 	if want["relax"] {
-		recs := cfg.RelaxationSweep(progress)
+		recs := cfg.RelaxationSweep(ctx, progress)
 		eval.WriteRelaxation(os.Stdout, recs, cfg)
 	}
+	fmt.Printf("# aggregate: %v\n", counters)
 	fmt.Printf("# total bench time: %v\n", time.Since(start).Round(time.Millisecond))
+	if ctx.Err() != nil {
+		fmt.Println("# sweep interrupted — summaries cover completed solves only")
+		os.Exit(130)
+	}
 }

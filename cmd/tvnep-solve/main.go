@@ -9,10 +9,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -34,8 +36,12 @@ func main() {
 		noPre     = flag.Bool("nopresolve", false, "disable the activity-interval presolve (cΣ only)")
 		freeMap   = flag.Bool("freemap", false, "ignore the scenario's fixed node mapping and let the model place nodes")
 		timeline  = flag.Bool("timeline", false, "print the piecewise-constant substrate utilization timeline")
+		progFlag  = flag.Bool("progress", false, "stream branch-and-bound progress (incumbents, node counts) to stderr")
 	)
 	flag.Parse()
+	// Ctrl-C cancels the solve cooperatively (status: cancelled).
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -84,6 +90,19 @@ func main() {
 		fail(fmt.Errorf("unknown objective %q", *objName))
 	}
 
+	solveOpts := model.NewSolveOptions(model.WithTimeLimit(*limit))
+	if *progFlag {
+		solveOpts.Progress = func(p model.Progress) {
+			if p.NewIncumbent {
+				fmt.Fprintf(os.Stderr, "  [b&b] incumbent %.4f (bound %.4f, gap %.3g, %d nodes, %v)\n",
+					p.Incumbent, p.Bound, p.Gap, p.Nodes, p.Elapsed.Round(time.Millisecond))
+			} else {
+				fmt.Fprintf(os.Stderr, "  [b&b] %d nodes open=%d lp_iters=%d (%v)\n",
+					p.Nodes, p.Open, p.LPIterations, p.Elapsed.Round(time.Millisecond))
+			}
+		}
+	}
+
 	var sol *solution.Solution
 	start := time.Now()
 	if *useGreedy {
@@ -91,7 +110,7 @@ func main() {
 			fail(fmt.Errorf("the greedy algorithm supports the access objective only"))
 		}
 		var stats greedy.Stats
-		sol, stats, err = greedy.Solve(inst, mapping, greedy.Options{IterTimeLimit: *limit})
+		sol, stats, err = greedy.Solve(ctx, inst, mapping, greedy.Options{Solve: *solveOpts})
 		if err != nil {
 			fail(err)
 		}
@@ -107,7 +126,7 @@ func main() {
 		fmt.Printf("model: %v  objective: %v  vars=%d constrs=%d ints=%d\n",
 			form, obj, b.Model.NumVars(), b.Model.NumConstrs(), b.Model.NumIntVars())
 		var ms *model.Solution
-		sol, ms = b.Solve(&model.SolveOptions{TimeLimit: *limit})
+		sol, ms = b.Solve(ctx, solveOpts)
 		fmt.Printf("status: %v  gap: %.4g  nodes: %d  lp-iterations: %d\n",
 			ms.Status, ms.Gap, ms.Nodes, ms.LPIterations)
 		if sol == nil {

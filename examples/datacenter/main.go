@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -32,7 +33,7 @@ func solveExact(sc *workload.Scenario) *solution.Solution {
 		Objective:    core.AccessControl,
 		FixedMapping: sc.Mapping,
 	})
-	sol, ms := b.Solve(&model.SolveOptions{TimeLimit: 90 * time.Second})
+	sol, ms := b.Solve(context.Background(), model.NewSolveOptions(model.WithTimeLimit(90*time.Second)))
 	if sol == nil {
 		log.Fatalf("exact solve failed: %v", ms.Status)
 	}
@@ -72,7 +73,7 @@ func main() {
 
 	fmt.Println("\n== Flexible requests, greedy cΣ_A^G ==")
 	inst := &core.Instance{Sub: flex.Substrate, Reqs: flex.Requests, Horizon: flex.Horizon}
-	gsol, gstats, err := greedy.Solve(inst, flex.Mapping, greedy.Options{})
+	gsol, gstats, err := greedy.Solve(context.Background(), inst, flex.Mapping, greedy.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

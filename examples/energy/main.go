@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -51,7 +52,7 @@ func solve(reqs []*vnet.Request, horizon float64) {
 		Objective:    core.DisableLinks,
 		FixedMapping: mapping,
 	})
-	sol, ms := b.Solve(&model.SolveOptions{TimeLimit: 60 * time.Second})
+	sol, ms := b.Solve(context.Background(), model.NewSolveOptions(model.WithTimeLimit(60*time.Second)))
 	if sol == nil {
 		log.Fatalf("solve failed: %v", ms.Status)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -54,7 +55,7 @@ func main() {
 	fmt.Printf("cΣ-Model: %d variables, %d constraints, %d binaries\n",
 		built.Model.NumVars(), built.Model.NumConstrs(), built.Model.NumIntVars())
 
-	sol, ms := built.Solve(nil)
+	sol, ms := built.Solve(context.Background(), nil)
 	if sol == nil {
 		log.Fatalf("no solution (status %v)", ms.Status)
 	}
@@ -77,6 +78,6 @@ func main() {
 		Objective:    core.AccessControl,
 		FixedMapping: vnet.NodeMapping{{0}, {0}},
 	})
-	sol, _ = built.Solve(nil)
+	sol, _ = built.Solve(context.Background(), nil)
 	fmt.Printf("  accepted: %d/2, objective %.2f\n", sol.NumAccepted(), sol.Objective)
 }

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -186,8 +187,10 @@ func (b *Built) numReq() int { return len(b.Inst.Reqs) }
 // Solve optimizes the built model and converts the result into a
 // solution.Solution. The raw model solution is returned alongside for
 // callers that need solver statistics or custom variable values.
-func (b *Built) Solve(opts *model.SolveOptions) (*solution.Solution, *model.Solution) {
-	ms := b.Model.Optimize(opts)
+// Cancelling ctx stops the solve cooperatively with
+// model.StatusCancelled; a nil ctx is treated as context.Background().
+func (b *Built) Solve(ctx context.Context, opts *model.SolveOptions) (*solution.Solution, *model.Solution) {
+	ms := b.Model.Optimize(ctx, opts)
 	return b.Extract(ms), ms
 }
 
@@ -208,16 +211,24 @@ func (b *Built) Extract(ms *model.Solution) *solution.Solution {
 		Objective: ms.Obj,
 		Bound:     ms.Bound,
 		Gap:       ms.Gap,
-		Optimal:   ms.Status == 0 && ms.Gap == 0, // mip.StatusOptimal
+		Optimal:   ms.Status == model.StatusOptimal && ms.Gap == 0,
 		Nodes:     ms.Nodes,
 		Runtime:   ms.Runtime,
 	}
 	for r, req := range b.Inst.Reqs {
 		sol.Accepted[r] = ms.Value(b.XR[r]) > 0.5
 		sol.Start[r] = ms.Value(b.TPlus[r])
-		sol.End[r] = ms.Value(b.TMinus[r])
-		// Clean rounding: enforce exact duration from the extracted start.
+		// Clean rounding: the schedule end is derived from the extracted
+		// start and the exact duration. The model's own t⁻ is LP-tolerance
+		// accurate; if it disagrees beyond tolerance something is wrong
+		// with the formulation, so record a warning instead of silently
+		// preferring one of the two values.
 		sol.End[r] = sol.Start[r] + req.Duration
+		if tMinus := ms.Value(b.TMinus[r]); math.Abs(tMinus-sol.End[r]) > 1e-5 {
+			sol.Warnings = append(sol.Warnings, fmt.Sprintf(
+				"request %s: model end time t⁻=%.9g disagrees with start+duration=%.9g",
+				req.Name, tMinus, sol.End[r]))
+		}
 		if b.Opts.FixedMapping != nil {
 			sol.Hosts[r] = append([]int(nil), b.Opts.FixedMapping[r]...)
 		} else {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -65,7 +66,7 @@ func TestRejectedRequestTimesStillValid(t *testing.T) {
 	// extracted times must respect window and duration.
 	inst, opts := pairInstance(0) // capacity admits only one
 	b := BuildCSigma(inst, opts)
-	sol, _ := b.Solve(nil)
+	sol, _ := b.Solve(context.Background(), nil)
 	if sol.NumAccepted() != 1 {
 		t.Fatalf("accepted %d", sol.NumAccepted())
 	}
@@ -87,8 +88,8 @@ func TestFreeMappingRejectsOversizedRequest(t *testing.T) {
 	small := singleNodeReq("small", 1, 0, 1, 4)
 	inst := &Instance{Sub: sub, Reqs: []*vnet.Request{big, small}, Horizon: 4}
 	b := BuildCSigma(inst, BuildOptions{Objective: AccessControl})
-	sol, ms := b.Solve(nil)
-	if ms.Status != 0 {
+	sol, ms := b.Solve(context.Background(), nil)
+	if ms.Status != model.StatusOptimal {
 		t.Fatalf("status %v", ms.Status)
 	}
 	if sol.Accepted[0] {
@@ -157,8 +158,8 @@ func TestGapReportedOnTimeout(t *testing.T) {
 	sc := workload.Generate(wl, 2)
 	inst := &Instance{Sub: sc.Substrate, Reqs: sc.Requests, Horizon: sc.Horizon}
 	b := BuildCSigma(inst, BuildOptions{Objective: AccessControl, FixedMapping: sc.Mapping})
-	_, ms := b.Solve(&model.SolveOptions{TimeLimit: 1}) // 1 ns
-	if ms.Status == 0 {
+	_, ms := b.Solve(context.Background(), &model.SolveOptions{TimeLimit: 1}) // 1 ns
+	if ms.Status == model.StatusOptimal {
 		t.Fatal("1 ns budget reported optimal")
 	}
 	if ms.Gap < 0 {
@@ -171,7 +172,7 @@ func TestCheckerCatchesCorruptedSolution(t *testing.T) {
 	// checker notices (i.e. the tests' safety net is alive).
 	inst, opts := pairInstance(2)
 	b := BuildCSigma(inst, opts)
-	sol, _ := b.Solve(nil)
+	sol, _ := b.Solve(context.Background(), nil)
 	if err := solution.Check(inst.Sub, inst.Reqs, sol); err != nil {
 		t.Fatalf("valid solution rejected: %v", err)
 	}
@@ -199,8 +200,8 @@ func TestDeltaBalanceObjective(t *testing.T) {
 	want := math.NaN()
 	for _, f := range []Formulation{CSigma, Delta} {
 		b := Build(f, inst, opts)
-		sol, ms := b.Solve(nil)
-		if ms.Status != 0 {
+		sol, ms := b.Solve(context.Background(), nil)
+		if ms.Status != model.StatusOptimal {
 			t.Fatalf("%v: %v", f, ms.Status)
 		}
 		if math.IsNaN(want) {

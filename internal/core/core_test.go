@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -48,8 +49,8 @@ func solveAll(t *testing.T, inst *Instance, opts BuildOptions) map[Formulation]*
 	out := map[Formulation]*solution.Solution{}
 	for _, f := range []Formulation{Delta, Sigma, CSigma} {
 		b := Build(f, inst, opts)
-		sol, ms := b.Solve(nil)
-		if ms.Status != 0 { // mip.StatusOptimal
+		sol, ms := b.Solve(context.Background(), nil)
+		if ms.Status != model.StatusOptimal { // mip.StatusOptimal
 			t.Fatalf("%v: status %v", f, ms.Status)
 		}
 		if sol == nil {
@@ -148,8 +149,8 @@ func TestFreeNodeMapping(t *testing.T) {
 	inst := &Instance{Sub: sub, Reqs: reqs, Horizon: 2}
 	opts := BuildOptions{Objective: AccessControl} // free mapping
 	b := BuildCSigma(inst, opts)
-	sol, ms := b.Solve(nil)
-	if ms.Status != 0 {
+	sol, ms := b.Solve(context.Background(), nil)
+	if ms.Status != model.StatusOptimal {
 		t.Fatalf("status %v", ms.Status)
 	}
 	if sol.NumAccepted() != 2 {
@@ -174,8 +175,8 @@ func TestCutsAndPresolveAblation(t *testing.T) {
 		o.DisableCuts = !variant.cuts
 		o.DisablePresolve = !variant.presolve
 		b := BuildCSigma(inst, o)
-		sol, ms := b.Solve(nil)
-		if ms.Status != 0 {
+		sol, ms := b.Solve(context.Background(), nil)
+		if ms.Status != model.StatusOptimal {
 			t.Fatalf("variant %+v: status %v", variant, ms.Status)
 		}
 		if math.IsNaN(want) {
@@ -197,8 +198,8 @@ func TestMaxEarlinessSchedulesEarly(t *testing.T) {
 	opts := BuildOptions{Objective: MaxEarliness, FixedMapping: vnet.NodeMapping{{0}}}
 	for _, f := range []Formulation{Delta, Sigma, CSigma} {
 		b := Build(f, inst, opts)
-		sol, ms := b.Solve(nil)
-		if ms.Status != 0 {
+		sol, ms := b.Solve(context.Background(), nil)
+		if ms.Status != model.StatusOptimal {
 			t.Fatalf("%v: status %v", f, ms.Status)
 		}
 		if math.Abs(sol.Start[0]-1) > 1e-5 {
@@ -244,8 +245,8 @@ func TestBalanceNodeLoad(t *testing.T) {
 	}
 	for _, f := range []Formulation{Sigma, CSigma, Delta} {
 		b := Build(f, inst, opts)
-		sol, ms := b.Solve(nil)
-		if ms.Status != 0 {
+		sol, ms := b.Solve(context.Background(), nil)
+		if ms.Status != model.StatusOptimal {
 			t.Fatalf("%v: status %v", f, ms.Status)
 		}
 		// Node 0 carries full load (demand 1 = cap): F[0] = 0.
@@ -271,8 +272,8 @@ func TestDisableLinks(t *testing.T) {
 	}
 	for _, f := range []Formulation{Sigma, CSigma, Delta} {
 		b := Build(f, inst, opts)
-		sol, ms := b.Solve(nil)
-		if ms.Status != 0 {
+		sol, ms := b.Solve(context.Background(), nil)
+		if ms.Status != model.StatusOptimal {
 			t.Fatalf("%v: status %v", f, ms.Status)
 		}
 		// 2 links total (0→1, 1→0); flow needs 0→1 only → 1 disabled.
@@ -286,8 +287,8 @@ func TestForceAcceptReject(t *testing.T) {
 	inst, opts := pairInstance(0) // only one fits
 	opts.ForceReject = []bool{true, false}
 	b := BuildCSigma(inst, opts)
-	sol, ms := b.Solve(nil)
-	if ms.Status != 0 {
+	sol, ms := b.Solve(context.Background(), nil)
+	if ms.Status != model.StatusOptimal {
 		t.Fatalf("status %v", ms.Status)
 	}
 	if sol.Accepted[0] || !sol.Accepted[1] {
@@ -297,8 +298,8 @@ func TestForceAcceptReject(t *testing.T) {
 	opts = BuildOptions{Objective: AccessControl, FixedMapping: vnet.NodeMapping{{0}, {0}},
 		ForceAccept: []bool{true, false}}
 	b = BuildCSigma(inst, opts)
-	sol, ms = b.Solve(nil)
-	if ms.Status != 0 {
+	sol, ms = b.Solve(context.Background(), nil)
+	if ms.Status != model.StatusOptimal {
 		t.Fatalf("status %v", ms.Status)
 	}
 	if !sol.Accepted[0] {
@@ -312,8 +313,8 @@ func TestInfeasibleFixedSet(t *testing.T) {
 	inst, _ := pairInstance(0)
 	opts := BuildOptions{Objective: MaxEarliness, FixedMapping: vnet.NodeMapping{{0}, {0}}}
 	b := BuildCSigma(inst, opts)
-	_, ms := b.Solve(nil)
-	if ms.Status != 1 { // mip.StatusInfeasible
+	_, ms := b.Solve(context.Background(), nil)
+	if ms.Status != model.StatusInfeasible { // mip.StatusInfeasible
 		t.Fatalf("status %v, want infeasible", ms.Status)
 	}
 }
@@ -337,8 +338,8 @@ func TestCrossModelEquivalenceRandom(t *testing.T) {
 		want := math.NaN()
 		for _, f := range []Formulation{CSigma, Sigma, Delta} {
 			b := Build(f, inst, opts)
-			sol, ms := b.Solve(&model.SolveOptions{TimeLimit: 30 * time.Second})
-			if ms.Status != 0 {
+			sol, ms := b.Solve(context.Background(), &model.SolveOptions{TimeLimit: 30 * time.Second})
+			if ms.Status != model.StatusOptimal {
 				t.Fatalf("seed %d %v: status %v", seed, f, ms.Status)
 			}
 			if err := solution.Check(inst.Sub, inst.Reqs, sol); err != nil {
@@ -369,8 +370,8 @@ func TestSigmaCSigmaEquivalenceRandom(t *testing.T) {
 		want := math.NaN()
 		for _, f := range []Formulation{CSigma, Sigma} {
 			b := Build(f, inst, opts)
-			sol, ms := b.Solve(&model.SolveOptions{TimeLimit: 60 * time.Second})
-			if ms.Status != 0 {
+			sol, ms := b.Solve(context.Background(), &model.SolveOptions{TimeLimit: 60 * time.Second})
+			if ms.Status != model.StatusOptimal {
 				t.Fatalf("seed %d %v: status %v", seed, f, ms.Status)
 			}
 			if err := solution.Check(inst.Sub, inst.Reqs, sol); err != nil {

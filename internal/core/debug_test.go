@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"os"
 	"testing"
 	"time"
@@ -32,7 +33,7 @@ func TestDebugTiming(t *testing.T) {
 			start := time.Now()
 			b := Build(f, inst, opts)
 			buildTime := time.Since(start)
-			_, ms := b.Solve(&model.SolveOptions{TimeLimit: 20 * time.Second})
+			_, ms := b.Solve(context.Background(), &model.SolveOptions{TimeLimit: 20 * time.Second})
 			t.Logf("seed %d %v: vars=%d constrs=%d ints=%d build=%v status=%v obj=%v gap=%.3g nodes=%d lpiters=%d time=%v",
 				seed, f, b.Model.NumVars(), b.Model.NumConstrs(), b.Model.NumIntVars(),
 				buildTime, ms.Status, ms.Obj, ms.Gap, ms.Nodes, ms.LPIterations, ms.Runtime)

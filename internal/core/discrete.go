@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -140,8 +141,9 @@ func BuildDiscrete(inst *Instance, opts BuildOptions, slotLen float64) *Discrete
 }
 
 // Solve optimizes the discrete model and extracts a solution (the slotted
-// schedule is exact, so the continuous checker applies unchanged).
-func (db *DiscreteBuilt) Solve(opts *model.SolveOptions) (*solution.Solution, *model.Solution) {
-	ms := db.Model.Optimize(opts)
+// schedule is exact, so the continuous checker applies unchanged). A nil
+// ctx is treated as context.Background().
+func (db *DiscreteBuilt) Solve(ctx context.Context, opts *model.SolveOptions) (*solution.Solution, *model.Solution) {
+	ms := db.Model.Optimize(ctx, opts)
 	return db.Built.Extract(ms), ms
 }

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
+	"tvnep/internal/model"
 	"tvnep/internal/solution"
 	"tvnep/internal/substrate"
 	"tvnep/internal/vnet"
@@ -15,8 +17,8 @@ func TestDiscreteMatchesContinuousOnGridFriendlyInstance(t *testing.T) {
 	// optima must coincide.
 	inst, opts := pairInstance(2) // durations 2, window [0,4]
 	db := BuildDiscrete(inst, opts, 1.0)
-	sol, ms := db.Solve(nil)
-	if ms.Status != 0 {
+	sol, ms := db.Solve(context.Background(), nil)
+	if ms.Status != model.StatusOptimal {
 		t.Fatalf("status %v", ms.Status)
 	}
 	if sol.NumAccepted() != 2 || math.Abs(sol.Objective-4) > 1e-6 {
@@ -40,14 +42,14 @@ func TestDiscreteLosesOffGridSolutions(t *testing.T) {
 	opts := BuildOptions{Objective: AccessControl, FixedMapping: vnet.NodeMapping{{0}, {0}}}
 
 	cont := BuildCSigma(inst, opts)
-	csol, cms := cont.Solve(nil)
-	if cms.Status != 0 || csol.NumAccepted() != 2 {
+	csol, cms := cont.Solve(context.Background(), nil)
+	if cms.Status != model.StatusOptimal || csol.NumAccepted() != 2 {
 		t.Fatalf("continuous: status %v accepted %d, want 2", cms.Status, csol.NumAccepted())
 	}
 
 	db := BuildDiscrete(inst, opts, 1.0)
-	dsol, dms := db.Solve(nil)
-	if dms.Status != 0 {
+	dsol, dms := db.Solve(context.Background(), nil)
+	if dms.Status != model.StatusOptimal {
 		t.Fatalf("discrete: status %v", dms.Status)
 	}
 	if dsol.NumAccepted() >= csol.NumAccepted() {
@@ -67,8 +69,8 @@ func TestDiscreteConvergesWithFinerGrid(t *testing.T) {
 	inst := &Instance{Sub: sub, Reqs: reqs, Horizon: 3}
 	opts := BuildOptions{Objective: AccessControl, FixedMapping: vnet.NodeMapping{{0}, {0}}}
 	db := BuildDiscrete(inst, opts, 0.5)
-	sol, ms := db.Solve(nil)
-	if ms.Status != 0 || sol.NumAccepted() != 2 {
+	sol, ms := db.Solve(context.Background(), nil)
+	if ms.Status != model.StatusOptimal || sol.NumAccepted() != 2 {
 		t.Fatalf("fine grid: status %v accepted %d, want 2", ms.Status, sol.NumAccepted())
 	}
 	if err := solution.Check(inst.Sub, inst.Reqs, sol); err != nil {
@@ -92,13 +94,13 @@ func TestDiscreteNeverBeatsContinuous(t *testing.T) {
 		inst := &Instance{Sub: sc.Substrate, Reqs: sc.Requests, Horizon: sc.Horizon}
 		opts := BuildOptions{Objective: AccessControl, FixedMapping: sc.Mapping}
 		cont := BuildCSigma(inst, opts)
-		csol, cms := cont.Solve(nil)
-		if cms.Status != 0 {
+		csol, cms := cont.Solve(context.Background(), nil)
+		if cms.Status != model.StatusOptimal {
 			t.Fatalf("seed %d: continuous status %v", seed, cms.Status)
 		}
 		db := BuildDiscrete(inst, opts, 1.0)
-		dsol, dms := db.Solve(nil)
-		if dms.Status != 0 {
+		dsol, dms := db.Solve(context.Background(), nil)
+		if dms.Status != model.StatusOptimal {
 			t.Fatalf("seed %d: discrete status %v", seed, dms.Status)
 		}
 		if dsol.Objective > csol.Objective+1e-5 {
@@ -120,8 +122,8 @@ func TestDiscreteMakespan(t *testing.T) {
 	db := BuildDiscrete(inst, BuildOptions{
 		Objective: MinMakespan, FixedMapping: vnet.NodeMapping{{0}, {0}},
 	}, 1.0)
-	sol, ms := db.Solve(nil)
-	if ms.Status != 0 {
+	sol, ms := db.Solve(context.Background(), nil)
+	if ms.Status != model.StatusOptimal {
 		t.Fatalf("status %v", ms.Status)
 	}
 	if mk := math.Max(sol.End[0], sol.End[1]); math.Abs(mk-4) > 1e-6 {

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
+	"tvnep/internal/model"
 	"tvnep/internal/substrate"
 	"tvnep/internal/vnet"
 )
@@ -20,8 +22,8 @@ func TestMinMakespanSerializesTightly(t *testing.T) {
 	opts := BuildOptions{Objective: MinMakespan, FixedMapping: vnet.NodeMapping{{0}, {0}}}
 	for _, f := range []Formulation{CSigma, Sigma, Delta} {
 		b := Build(f, inst, opts)
-		sol, ms := b.Solve(nil)
-		if ms.Status != 0 {
+		sol, ms := b.Solve(context.Background(), nil)
+		if ms.Status != model.StatusOptimal {
 			t.Fatalf("%v: status %v", f, ms.Status)
 		}
 		makespan := math.Max(sol.End[0], sol.End[1])
@@ -44,8 +46,8 @@ func TestMinMakespanParallelWhenPossible(t *testing.T) {
 	}
 	inst := &Instance{Sub: sub, Reqs: reqs, Horizon: 10}
 	b := BuildCSigma(inst, BuildOptions{Objective: MinMakespan, FixedMapping: vnet.NodeMapping{{0}, {0}}})
-	sol, ms := b.Solve(nil)
-	if ms.Status != 0 {
+	sol, ms := b.Solve(context.Background(), nil)
+	if ms.Status != model.StatusOptimal {
 		t.Fatalf("status %v", ms.Status)
 	}
 	if mk := math.Max(sol.End[0], sol.End[1]); math.Abs(mk-2) > 1e-5 {
@@ -59,8 +61,8 @@ func TestMinMakespanRespectsArrivals(t *testing.T) {
 	late := singleNodeReq("late", 1, 5, 1, 10)
 	inst := &Instance{Sub: sub, Reqs: []*vnet.Request{late}, Horizon: 10}
 	b := BuildCSigma(inst, BuildOptions{Objective: MinMakespan, FixedMapping: vnet.NodeMapping{{0}}})
-	sol, ms := b.Solve(nil)
-	if ms.Status != 0 {
+	sol, ms := b.Solve(context.Background(), nil)
+	if ms.Status != model.StatusOptimal {
 		t.Fatalf("status %v", ms.Status)
 	}
 	if math.Abs(sol.End[0]-6) > 1e-5 {

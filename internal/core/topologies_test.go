@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
+	"tvnep/internal/model"
 	"tvnep/internal/solution"
 	"tvnep/internal/substrate"
 	"tvnep/internal/vnet"
@@ -23,8 +25,8 @@ func TestChainRequestEmbeds(t *testing.T) {
 		Objective:    AccessControl,
 		FixedMapping: vnet.NodeMapping{{0, 1, 3}},
 	})
-	sol, ms := b.Solve(nil)
-	if ms.Status != 0 || !sol.Accepted[0] {
+	sol, ms := b.Solve(context.Background(), nil)
+	if ms.Status != model.StatusOptimal || !sol.Accepted[0] {
 		t.Fatalf("chain not embedded: %v", ms.Status)
 	}
 	if err := solution.Check(sub, inst.Reqs, sol); err != nil {
@@ -38,8 +40,8 @@ func TestCliqueRequestEmbedsFreeMapping(t *testing.T) {
 	r.Earliest, r.Duration, r.Latest = 0, 1, 2
 	inst := &Instance{Sub: sub, Reqs: []*vnet.Request{r}, Horizon: 2}
 	b := BuildCSigma(inst, BuildOptions{Objective: AccessControl}) // free placement
-	sol, ms := b.Solve(nil)
-	if ms.Status != 0 {
+	sol, ms := b.Solve(context.Background(), nil)
+	if ms.Status != model.StatusOptimal {
 		t.Fatalf("status %v", ms.Status)
 	}
 	if !sol.Accepted[0] {
@@ -63,8 +65,8 @@ func TestMixedTopologiesCompete(t *testing.T) {
 		Objective:    AccessControl,
 		FixedMapping: vnet.NodeMapping{{0, 1, 2}, {0, 1}},
 	})
-	sol, ms := b.Solve(nil)
-	if ms.Status != 0 {
+	sol, ms := b.Solve(context.Background(), nil)
+	if ms.Status != model.StatusOptimal {
 		t.Fatalf("status %v", ms.Status)
 	}
 	if sol.NumAccepted() != 2 {

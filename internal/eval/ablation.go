@@ -1,8 +1,10 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"strings"
 
 	"tvnep/internal/core"
 	"tvnep/internal/model"
@@ -40,11 +42,21 @@ type AblationRecord struct {
 // solves every scenario with the four cΣ variants and records runtimes,
 // node counts and model sizes. Variants must (and are verified to) agree on
 // the optimum whenever both solve to proven optimality.
-func (c Config) AblationSweep(progress io.Writer) ([]AblationRecord, error) {
+func (c Config) AblationSweep(ctx context.Context, progress io.Writer) ([]AblationRecord, error) {
+	type ablResult struct {
+		recs []AblationRecord
+		log  string
+		err  error
+	}
+	keys := c.pairs()
 	var out []AblationRecord
-	for _, flex := range c.FlexMinutes {
-		for _, seed := range c.Seeds {
+	var firstErr error
+	runOrdered(ctx, c.Solve.Workers, len(keys),
+		func(ctx context.Context, i int) ablResult {
+			flex, seed := keys[i].flex, keys[i].seed
 			inst, mapping := c.scenario(flex, seed)
+			var log strings.Builder
+			var res ablResult
 			best := map[string]float64{}
 			for _, v := range AblationVariants() {
 				b := core.BuildCSigma(inst, core.BuildOptions{
@@ -53,14 +65,15 @@ func (c Config) AblationSweep(progress io.Writer) ([]AblationRecord, error) {
 					DisableCuts:     v.DisableCuts,
 					DisablePresolve: v.DisablePresolve,
 				})
-				sol, ms := b.Solve(&model.SolveOptions{TimeLimit: c.TimeLimit})
+				sol, ms := b.Solve(ctx, &c.Solve)
+				c.count(ms)
 				rec := AblationRecord{
 					Record: Record{
 						FlexMin: flex, Seed: seed, Form: core.CSigma,
 						Obj: core.AccessControl, Algo: "mip",
 						Runtime: ms.Runtime, Gap: ms.Gap,
 						Nodes: ms.Nodes, LPIters: ms.LPIterations,
-						Optimal: ms.Status == 0,
+						Optimal: ms.Status == model.StatusOptimal,
 					},
 					Variant:    v.Name,
 					NumVars:    b.Model.NumVars(),
@@ -75,11 +88,9 @@ func (c Config) AblationSweep(progress io.Writer) ([]AblationRecord, error) {
 				if rec.Optimal {
 					best[v.Name] = rec.Value
 				}
-				out = append(out, rec)
-				if progress != nil {
-					fmt.Fprintf(progress, "flex=%3.0f seed=%2d %-14s obj=%7.2f time=%7.2fs nodes=%5d vars=%d rows=%d\n",
-						flex, seed, v.Name, rec.Value, rec.Runtime.Seconds(), rec.Nodes, rec.NumVars, rec.NumConstrs)
-				}
+				res.recs = append(res.recs, rec)
+				fmt.Fprintf(&log, "flex=%3.0f seed=%2d %-14s obj=%7.2f time=%7.2fs nodes=%5d vars=%d rows=%d\n",
+					flex, seed, v.Name, rec.Value, rec.Runtime.Seconds(), rec.Nodes, rec.NumVars, rec.NumConstrs)
 			}
 			// Cross-variant sanity: proven optima must agree.
 			var ref float64
@@ -90,13 +101,24 @@ func (c Config) AblationSweep(progress io.Writer) ([]AblationRecord, error) {
 					continue
 				}
 				if diff := v - ref; diff > 1e-5 || diff < -1e-5 {
-					return out, fmt.Errorf("ablation mismatch at flex=%v seed=%d: %s=%v vs ref=%v",
+					res.err = fmt.Errorf("ablation mismatch at flex=%v seed=%d: %s=%v vs ref=%v",
 						flex, seed, name, v, ref)
+					break
 				}
 			}
-		}
-	}
-	return out, nil
+			res.log = log.String()
+			return res
+		},
+		func(_ int, r ablResult) {
+			out = append(out, r.recs...)
+			if progress != nil && r.log != "" {
+				io.WriteString(progress, r.log)
+			}
+			if r.err != nil && firstErr == nil {
+				firstErr = r.err
+			}
+		})
+	return out, firstErr
 }
 
 // WriteAblation renders the ablation results grouped by variant.
@@ -117,7 +139,7 @@ func WriteAblation(w io.Writer, recs []AblationRecord, cfg Config) {
 					solved++
 					times = append(times, r.Runtime.Seconds())
 				} else {
-					times = append(times, cfg.TimeLimit.Seconds())
+					times = append(times, cfg.Solve.TimeLimit.Seconds())
 				}
 				nodes = append(nodes, float64(r.Nodes))
 				vars = append(vars, float64(r.NumVars))

@@ -2,10 +2,12 @@ package eval
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
 
+	"tvnep/internal/model"
 	"tvnep/internal/workload"
 )
 
@@ -20,9 +22,9 @@ func TestAblationSweep(t *testing.T) {
 		Workload:    wl,
 		FlexMinutes: []float64{0, 120},
 		Seeds:       []int64{1, 2},
-		TimeLimit:   20 * time.Second,
+		Solve:       model.SolveOptions{TimeLimit: 20 * time.Second},
 	}
-	recs, err := cfg.AblationSweep(nil)
+	recs, err := cfg.AblationSweep(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

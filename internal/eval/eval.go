@@ -2,11 +2,22 @@
 // sweeps temporal flexibility over a family of random scenarios and records,
 // per (flexibility, seed, algorithm), the solve statistics from which every
 // figure of the paper (Figures 3–9) is regenerated.
+//
+// Sweeps are embarrassingly parallel across (flexibility, seed) scenarios:
+// every sweep fans its scenarios out over a bounded worker pool (Config.
+// Solve.Workers, default runtime.NumCPU()) while emitting records and
+// progress lines in exactly the order a serial run would produce — results
+// are handed back in scenario order, so output is deterministic and
+// independent of the worker count. Cancelling the context stops every
+// in-flight solve cooperatively.
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"math"
+	"strings"
 	"time"
 
 	"tvnep/internal/core"
@@ -27,8 +38,13 @@ type Config struct {
 	// Seeds identifies the independent scenarios per flexibility step
 	// (the paper uses 24).
 	Seeds []int64
-	// TimeLimit bounds each MIP solve (the paper uses one hour).
-	TimeLimit time.Duration
+	// Solve configures every MIP solve of the sweep. TimeLimit bounds each
+	// solve (the paper uses one hour); Workers bounds the number of
+	// scenarios solved concurrently (≤ 0 means runtime.NumCPU()).
+	Solve model.SolveOptions
+	// Counters, when non-nil, accumulates aggregate solver activity across
+	// the sweep (thread-safe; may be shared between sweeps).
+	Counters *Counters
 }
 
 // Default returns a configuration sized for the pure-Go solver: the paper's
@@ -43,7 +59,7 @@ func Default() Config {
 		Workload:    wl,
 		FlexMinutes: []float64{0, 60, 120, 180, 240, 300},
 		Seeds:       []int64{1, 2, 3, 4, 5},
-		TimeLimit:   60 * time.Second,
+		Solve:       model.SolveOptions{TimeLimit: 60 * time.Second},
 	}
 }
 
@@ -64,7 +80,7 @@ func Paper() Config {
 		Workload:    workload.PaperScale(),
 		FlexMinutes: flex,
 		Seeds:       seeds,
-		TimeLimit:   time.Hour,
+		Solve:       model.SolveOptions{TimeLimit: time.Hour},
 	}
 }
 
@@ -85,7 +101,26 @@ type Record struct {
 	LPIters  int
 }
 
-// scenario builds the core instance for (flexMin, seed).
+// scenKey identifies one scenario of the sweep grid.
+type scenKey struct {
+	flex float64
+	seed int64
+}
+
+// pairs flattens the (flexibility × seed) grid in sweep order.
+func (c Config) pairs() []scenKey {
+	out := make([]scenKey, 0, len(c.FlexMinutes)*len(c.Seeds))
+	for _, flex := range c.FlexMinutes {
+		for _, seed := range c.Seeds {
+			out = append(out, scenKey{flex, seed})
+		}
+	}
+	return out
+}
+
+// scenario builds the core instance for (flexMin, seed). Generation is
+// deterministic in (config, seed) and uses no shared state, so scenarios
+// can be built concurrently.
 func (c Config) scenario(flexMin float64, seed int64) (*core.Instance, vnet.NodeMapping) {
 	wl := c.Workload
 	wl.FlexibilityHr = flexMin / 60
@@ -93,15 +128,46 @@ func (c Config) scenario(flexMin float64, seed int64) (*core.Instance, vnet.Node
 	return &core.Instance{Sub: sc.Substrate, Reqs: sc.Requests, Horizon: sc.Horizon}, sc.Mapping
 }
 
-// solveOne runs a single MIP solve and converts it into a Record.
-func (c Config) solveOne(f core.Formulation, obj core.Objective, inst *core.Instance,
+// count feeds one model solution into the aggregate counters, if any.
+func (c Config) count(ms *model.Solution) {
+	if c.Counters == nil {
+		return
+	}
+	c.Counters.Solves.Add(1)
+	if ms.Status == model.StatusOptimal {
+		c.Counters.Optimal.Add(1)
+	}
+	if ms.Status == model.StatusCancelled {
+		c.Counters.Cancelled.Add(1)
+	}
+	c.Counters.Nodes.Add(int64(ms.Nodes))
+	c.Counters.LPIters.Add(int64(ms.LPIterations))
+}
+
+// solveOne runs a single MIP solve and converts it into a Record. A
+// context cancelled before the solve starts short-circuits the (potentially
+// expensive) model build too, so an interrupted sweep drains its remaining
+// scenarios in microseconds instead of constructing models that the solver
+// would only refuse to run.
+func (c Config) solveOne(ctx context.Context, f core.Formulation, obj core.Objective, inst *core.Instance,
 	mapping vnet.NodeMapping, flexMin float64, seed int64) Record {
+	if ctx != nil && ctx.Err() != nil {
+		if c.Counters != nil {
+			c.Counters.Solves.Add(1)
+			c.Counters.Cancelled.Add(1)
+		}
+		return Record{
+			FlexMin: flexMin, Seed: seed, Form: f, Obj: obj, Algo: "mip",
+			Gap: math.Inf(1),
+		}
+	}
 	b := core.Build(f, inst, core.BuildOptions{Objective: obj, FixedMapping: mapping})
-	sol, ms := b.Solve(&model.SolveOptions{TimeLimit: c.TimeLimit})
+	sol, ms := b.Solve(ctx, &c.Solve)
+	c.count(ms)
 	rec := Record{
 		FlexMin: flexMin, Seed: seed, Form: f, Obj: obj, Algo: "mip",
 		Runtime: ms.Runtime, Gap: ms.Gap, Nodes: ms.Nodes, LPIters: ms.LPIterations,
-		Optimal: ms.Status == 0,
+		Optimal: ms.Status == model.StatusOptimal,
 	}
 	if sol != nil {
 		rec.Value = sol.Objective
@@ -111,25 +177,50 @@ func (c Config) solveOne(f core.Formulation, obj core.Objective, inst *core.Inst
 	return rec
 }
 
+// scenResult is what one parallel scenario hands back to the emitter: its
+// records plus the progress text a serial run would have printed.
+type scenResult struct {
+	recs []Record
+	log  string
+}
+
+// sweep runs one scenario body per (flex, seed) pair on the worker pool and
+// concatenates records in scenario order.
+func (c Config) sweep(ctx context.Context, progress io.Writer,
+	body func(ctx context.Context, key scenKey, log *strings.Builder) []Record) []Record {
+	keys := c.pairs()
+	var out []Record
+	runOrdered(ctx, c.Solve.Workers, len(keys),
+		func(ctx context.Context, i int) scenResult {
+			var log strings.Builder
+			recs := body(ctx, keys[i], &log)
+			return scenResult{recs: recs, log: log.String()}
+		},
+		func(_ int, r scenResult) {
+			out = append(out, r.recs...)
+			if progress != nil && r.log != "" {
+				io.WriteString(progress, r.log)
+			}
+		})
+	return out
+}
+
 // AccessControlSweep solves every (flexibility, seed) scenario under the
 // access-control objective with each formulation. It yields the data behind
-// Figures 3, 4, 8 and 9.
-func (c Config) AccessControlSweep(forms []core.Formulation, progress io.Writer) []Record {
-	var out []Record
-	for _, flex := range c.FlexMinutes {
-		for _, seed := range c.Seeds {
-			inst, mapping := c.scenario(flex, seed)
-			for _, f := range forms {
-				rec := c.solveOne(f, core.AccessControl, inst, mapping, flex, seed)
-				out = append(out, rec)
-				if progress != nil {
-					fmt.Fprintf(progress, "flex=%3.0f seed=%2d %-2v obj=%7.2f gap=%6.3g time=%8.2fs nodes=%d\n",
-						flex, seed, f, rec.Value, rec.Gap, rec.Runtime.Seconds(), rec.Nodes)
-				}
-			}
+// Figures 3, 4, 8 and 9. Scenarios run concurrently (Config.Solve.Workers);
+// records and progress lines keep serial order.
+func (c Config) AccessControlSweep(ctx context.Context, forms []core.Formulation, progress io.Writer) []Record {
+	return c.sweep(ctx, progress, func(ctx context.Context, key scenKey, log *strings.Builder) []Record {
+		inst, mapping := c.scenario(key.flex, key.seed)
+		recs := make([]Record, 0, len(forms))
+		for _, f := range forms {
+			rec := c.solveOne(ctx, f, core.AccessControl, inst, mapping, key.flex, key.seed)
+			recs = append(recs, rec)
+			fmt.Fprintf(log, "flex=%3.0f seed=%2d %-2v obj=%7.2f gap=%6.3g time=%8.2fs nodes=%d\n",
+				key.flex, key.seed, f, rec.Value, rec.Gap, rec.Runtime.Seconds(), rec.Nodes)
 		}
-	}
-	return out
+		return recs
+	})
 }
 
 // ObjectivesSweep runs the cΣ-Model under the three fixed-set objectives of
@@ -137,79 +228,67 @@ func (c Config) AccessControlSweep(forms []core.Formulation, progress io.Writer)
 // scenario, embedding the request set accepted by an access-control
 // pre-pass (the paper's Figure 8 reports exactly that set size). Data for
 // Figures 5 and 6.
-func (c Config) ObjectivesSweep(progress io.Writer) []Record {
-	var out []Record
-	for _, flex := range c.FlexMinutes {
-		for _, seed := range c.Seeds {
-			inst, mapping := c.scenario(flex, seed)
-			pre := core.BuildCSigma(inst, core.BuildOptions{
-				Objective: core.AccessControl, FixedMapping: mapping,
-			})
-			preSol, _ := pre.Solve(&model.SolveOptions{TimeLimit: c.TimeLimit})
-			if preSol == nil {
-				continue
-			}
-			// Restrict to the accepted set.
-			var reqs []*vnet.Request
-			var subMap vnet.NodeMapping
-			for r, acc := range preSol.Accepted {
-				if acc {
-					reqs = append(reqs, inst.Reqs[r])
-					subMap = append(subMap, mapping[r])
-				}
-			}
-			if len(reqs) == 0 {
-				continue
-			}
-			sub := &core.Instance{Sub: inst.Sub, Reqs: reqs, Horizon: inst.Horizon}
-			for _, obj := range []core.Objective{core.MaxEarliness, core.BalanceNodeLoad, core.DisableLinks} {
-				rec := c.solveOne(core.CSigma, obj, sub, subMap, flex, seed)
-				rec.Accepted = len(reqs)
-				out = append(out, rec)
-				if progress != nil {
-					fmt.Fprintf(progress, "flex=%3.0f seed=%2d cΣ %-18v obj=%7.2f gap=%6.3g time=%8.2fs\n",
-						flex, seed, rec.Obj, rec.Value, rec.Gap, rec.Runtime.Seconds())
-				}
+func (c Config) ObjectivesSweep(ctx context.Context, progress io.Writer) []Record {
+	return c.sweep(ctx, progress, func(ctx context.Context, key scenKey, log *strings.Builder) []Record {
+		inst, mapping := c.scenario(key.flex, key.seed)
+		pre := core.BuildCSigma(inst, core.BuildOptions{
+			Objective: core.AccessControl, FixedMapping: mapping,
+		})
+		preSol, preMS := pre.Solve(ctx, &c.Solve)
+		c.count(preMS)
+		if preSol == nil {
+			return nil
+		}
+		// Restrict to the accepted set.
+		var reqs []*vnet.Request
+		var subMap vnet.NodeMapping
+		for r, acc := range preSol.Accepted {
+			if acc {
+				reqs = append(reqs, inst.Reqs[r])
+				subMap = append(subMap, mapping[r])
 			}
 		}
-	}
-	return out
+		if len(reqs) == 0 {
+			return nil
+		}
+		sub := &core.Instance{Sub: inst.Sub, Reqs: reqs, Horizon: inst.Horizon}
+		var recs []Record
+		for _, obj := range []core.Objective{core.MaxEarliness, core.BalanceNodeLoad, core.DisableLinks} {
+			rec := c.solveOne(ctx, core.CSigma, obj, sub, subMap, key.flex, key.seed)
+			rec.Accepted = len(reqs)
+			recs = append(recs, rec)
+			fmt.Fprintf(log, "flex=%3.0f seed=%2d cΣ %-18v obj=%7.2f gap=%6.3g time=%8.2fs\n",
+				key.flex, key.seed, rec.Obj, rec.Value, rec.Gap, rec.Runtime.Seconds())
+		}
+		return recs
+	})
 }
 
 // GreedySweep runs cΣ_A^G and the optimal cΣ-Model side by side on every
 // scenario (Figure 7 reports the relative performance).
-func (c Config) GreedySweep(progress io.Writer) []Record {
-	var out []Record
-	for _, flex := range c.FlexMinutes {
-		for _, seed := range c.Seeds {
-			inst, mapping := c.scenario(flex, seed)
-			opt := c.solveOne(core.CSigma, core.AccessControl, inst, mapping, flex, seed)
-			out = append(out, opt)
+func (c Config) GreedySweep(ctx context.Context, progress io.Writer) []Record {
+	return c.sweep(ctx, progress, func(ctx context.Context, key scenKey, log *strings.Builder) []Record {
+		inst, mapping := c.scenario(key.flex, key.seed)
+		opt := c.solveOne(ctx, core.CSigma, core.AccessControl, inst, mapping, key.flex, key.seed)
 
-			start := time.Now()
-			gsol, gstats, err := greedy.Solve(inst, mapping, greedy.Options{IterTimeLimit: c.TimeLimit})
-			rec := Record{
-				FlexMin: flexMin(flex), Seed: seed, Form: core.CSigma,
-				Obj: core.AccessControl, Algo: "greedy",
-				Runtime: time.Since(start),
-				Nodes:   gstats.TotalBBNodes, LPIters: gstats.TotalLPIters,
-			}
-			if err == nil && gsol != nil {
-				rec.Value = gsol.Objective
-				rec.Accepted = gsol.NumAccepted()
-				rec.Feasible = solution.Check(inst.Sub, inst.Reqs, gsol) == nil
-			}
-			out = append(out, rec)
-			if progress != nil {
-				fmt.Fprintf(progress, "flex=%3.0f seed=%2d greedy obj=%7.2f (opt %7.2f) time=%8.2fs\n",
-					flex, seed, rec.Value, opt.Value, rec.Runtime.Seconds())
-			}
+		start := time.Now()
+		gsol, gstats, err := greedy.Solve(ctx, inst, mapping, greedy.Options{Solve: c.Solve})
+		rec := Record{
+			FlexMin: key.flex, Seed: key.seed, Form: core.CSigma,
+			Obj: core.AccessControl, Algo: "greedy",
+			Runtime: time.Since(start),
+			Nodes:   gstats.TotalBBNodes, LPIters: gstats.TotalLPIters,
 		}
-	}
-	return out
+		if err == nil && gsol != nil {
+			rec.Value = gsol.Objective
+			rec.Accepted = gsol.NumAccepted()
+			rec.Feasible = solution.Check(inst.Sub, inst.Reqs, gsol) == nil
+		}
+		fmt.Fprintf(log, "flex=%3.0f seed=%2d greedy obj=%7.2f (opt %7.2f) time=%8.2fs\n",
+			key.flex, key.seed, rec.Value, opt.Value, rec.Runtime.Seconds())
+		return []Record{opt, rec}
+	})
 }
-
-func flexMin(v float64) float64 { return v }
 
 // Series is one plottable line: per x-value summary statistics over seeds.
 type Series struct {

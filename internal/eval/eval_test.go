@@ -2,12 +2,14 @@ package eval
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
 	"time"
 
 	"tvnep/internal/core"
+	"tvnep/internal/model"
 	"tvnep/internal/workload"
 )
 
@@ -23,13 +25,13 @@ func micro() Config {
 		Workload:    wl,
 		FlexMinutes: []float64{0, 120},
 		Seeds:       []int64{1, 2},
-		TimeLimit:   15 * time.Second,
+		Solve:       model.SolveOptions{TimeLimit: 15 * time.Second},
 	}
 }
 
 func TestAccessControlSweepCSigma(t *testing.T) {
 	cfg := micro()
-	recs := cfg.AccessControlSweep([]core.Formulation{core.CSigma}, nil)
+	recs := cfg.AccessControlSweep(context.Background(), []core.Formulation{core.CSigma}, nil)
 	if len(recs) != 4 {
 		t.Fatalf("%d records, want 4", len(recs))
 	}
@@ -55,7 +57,7 @@ func TestAccessControlSweepCSigma(t *testing.T) {
 
 func TestGreedySweepAndFigure7(t *testing.T) {
 	cfg := micro()
-	recs := cfg.GreedySweep(nil)
+	recs := cfg.GreedySweep(context.Background(), nil)
 	if len(recs) != 8 { // 2 flex × 2 seeds × {opt, greedy}
 		t.Fatalf("%d records, want 8", len(recs))
 	}
@@ -76,7 +78,7 @@ func TestGreedySweepAndFigure7(t *testing.T) {
 
 func TestObjectivesSweepAndFigures56(t *testing.T) {
 	cfg := micro()
-	recs := cfg.ObjectivesSweep(nil)
+	recs := cfg.ObjectivesSweep(context.Background(), nil)
 	if len(recs) == 0 {
 		t.Fatal("no records")
 	}
@@ -102,8 +104,8 @@ func TestFigures348FromSyntheticRecords(t *testing.T) {
 		mk(0, 1, core.CSigma, 10, 2, true, 0, time.Second),
 		mk(0, 2, core.CSigma, 20, 3, true, 0, 2*time.Second),
 		mk(120, 1, core.CSigma, 15, 3, true, 0, 3*time.Second),
-		mk(120, 2, core.CSigma, 30, 4, false, 0.25, cfg.TimeLimit),
-		mk(0, 1, core.Delta, 10, 2, false, math.Inf(1), cfg.TimeLimit),
+		mk(120, 2, core.CSigma, 30, 4, false, 0.25, cfg.Solve.TimeLimit),
+		mk(0, 1, core.Delta, 10, 2, false, math.Inf(1), cfg.Solve.TimeLimit),
 	}
 	f3 := Figure3(recs, cfg)
 	if len(f3) != 3 {
@@ -112,8 +114,8 @@ func TestFigures348FromSyntheticRecords(t *testing.T) {
 	// cΣ series is the third; at flex 120 one solve hit the limit → max
 	// equals the limit.
 	cs := f3[2]
-	if cs.Summaries[1].Max != cfg.TimeLimit.Seconds() {
-		t.Fatalf("figure 3 cΣ max = %v, want %v", cs.Summaries[1].Max, cfg.TimeLimit.Seconds())
+	if cs.Summaries[1].Max != cfg.Solve.TimeLimit.Seconds() {
+		t.Fatalf("figure 3 cΣ max = %v, want %v", cs.Summaries[1].Max, cfg.Solve.TimeLimit.Seconds())
 	}
 	f4 := Figure4(recs, cfg)
 	// Δ at flex 0 has no solution → sentinel 1e6.
@@ -148,7 +150,7 @@ func TestWriteSeries(t *testing.T) {
 
 func TestDefaultAndPaperConfigs(t *testing.T) {
 	d := Default()
-	if len(d.FlexMinutes) == 0 || len(d.Seeds) == 0 || d.TimeLimit <= 0 {
+	if len(d.FlexMinutes) == 0 || len(d.Seeds) == 0 || d.Solve.TimeLimit <= 0 {
 		t.Fatal("default config incomplete")
 	}
 	p := Paper()

@@ -1,0 +1,79 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Counters aggregates solver activity across a sweep. All fields are
+// atomic, so a single Counters value can be shared by every worker of a
+// parallel sweep (and by several sweeps run back to back).
+type Counters struct {
+	Solves    atomic.Int64 // MIP solves started
+	Optimal   atomic.Int64 // solves finished with a proven optimum
+	Cancelled atomic.Int64 // solves stopped by context cancellation
+	Nodes     atomic.Int64 // branch-and-bound nodes across all solves
+	LPIters   atomic.Int64 // simplex iterations across all solves
+}
+
+// String renders a one-line summary.
+func (c *Counters) String() string {
+	return fmt.Sprintf("solves=%d optimal=%d cancelled=%d nodes=%d lp_iters=%d",
+		c.Solves.Load(), c.Optimal.Load(), c.Cancelled.Load(), c.Nodes.Load(), c.LPIters.Load())
+}
+
+// runOrdered distributes n independent work items over w workers and hands
+// every result to emit in item order, regardless of completion order. This
+// is the determinism contract of the parallel sweeps: records (and progress
+// lines) appear exactly as a serial run would produce them, because emit is
+// only ever called from the calling goroutine, sequentially, for item 0,
+// 1, 2, …. Workers communicate results through a per-item slot guarded by
+// a per-item done channel, so no locks are needed and `go test -race`
+// stays quiet.
+//
+// w ≤ 0 selects runtime.NumCPU(); w == 1 degenerates to a plain loop.
+func runOrdered[T any](ctx context.Context, w, n int, run func(context.Context, int) T, emit func(int, T)) {
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			emit(i, run(ctx, i))
+		}
+		return
+	}
+	results := make([]T, n)
+	done := make([]chan struct{}, n)
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = run(ctx, i)
+				close(done[i])
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	for i := 0; i < n; i++ {
+		<-done[i]
+		emit(i, results[i])
+	}
+	wg.Wait()
+}

@@ -1,9 +1,11 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
+	"strings"
 
 	"tvnep/internal/core"
 )
@@ -22,13 +24,21 @@ type RelaxationRecord struct {
 // it solves the LP relaxation of the Δ-, Σ- and cΣ-Model on every scenario
 // (plus the cΣ integer optimum as the reference) and reports the bounds.
 // The expected ordering is bound(Δ) ≥ bound(Σ) ≥ bound(cΣ) ≥ optimum.
-func (c Config) RelaxationSweep(progress io.Writer) []RelaxationRecord {
+func (c Config) RelaxationSweep(ctx context.Context, progress io.Writer) []RelaxationRecord {
+	type relResult struct {
+		recs []RelaxationRecord
+		log  string
+	}
+	keys := c.pairs()
 	var out []RelaxationRecord
-	for _, flex := range c.FlexMinutes {
-		for _, seed := range c.Seeds {
+	runOrdered(ctx, c.Solve.Workers, len(keys),
+		func(ctx context.Context, i int) relResult {
+			flex, seed := keys[i].flex, keys[i].seed
 			inst, mapping := c.scenario(flex, seed)
+			var log strings.Builder
+			var res relResult
 			exact := math.NaN()
-			if rec := c.solveOne(core.CSigma, core.AccessControl, inst, mapping, flex, seed); rec.Optimal {
+			if rec := c.solveOne(ctx, core.CSigma, core.AccessControl, inst, mapping, flex, seed); rec.Optimal {
 				exact = rec.Value
 			}
 			for _, f := range []core.Formulation{core.Delta, core.Sigma, core.CSigma} {
@@ -42,14 +52,19 @@ func (c Config) RelaxationSweep(progress io.Writer) []RelaxationRecord {
 				} else {
 					rec.Bound = math.NaN()
 				}
-				out = append(out, rec)
-				if progress != nil {
-					fmt.Fprintf(progress, "flex=%3.0f seed=%2d %-2v relaxation=%8.3f exact=%8.3f\n",
-						flex, seed, f, rec.Bound, exact)
-				}
+				res.recs = append(res.recs, rec)
+				fmt.Fprintf(&log, "flex=%3.0f seed=%2d %-2v relaxation=%8.3f exact=%8.3f\n",
+					flex, seed, f, rec.Bound, exact)
 			}
-		}
-	}
+			res.log = log.String()
+			return res
+		},
+		func(_ int, r relResult) {
+			out = append(out, r.recs...)
+			if progress != nil && r.log != "" {
+				io.WriteString(progress, r.log)
+			}
+		})
 	return out
 }
 

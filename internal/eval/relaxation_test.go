@@ -2,12 +2,14 @@ package eval
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
 	"time"
 
 	"tvnep/internal/core"
+	"tvnep/internal/model"
 	"tvnep/internal/workload"
 )
 
@@ -22,9 +24,9 @@ func TestRelaxationSweepOrdering(t *testing.T) {
 		Workload:    wl,
 		FlexMinutes: []float64{0, 120},
 		Seeds:       []int64{1, 2, 3},
-		TimeLimit:   30 * time.Second,
+		Solve:       model.SolveOptions{TimeLimit: 30 * time.Second},
 	}
-	recs := cfg.RelaxationSweep(nil)
+	recs := cfg.RelaxationSweep(context.Background(), nil)
 	if len(recs) != 2*3*3 {
 		t.Fatalf("%d records, want 18", len(recs))
 	}

@@ -1,0 +1,33 @@
+package greedy
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"tvnep/internal/core"
+	"tvnep/internal/workload"
+)
+
+// TestGreedyCancelledContext: a cancelled context must abort the iteration
+// loop and surface context.Canceled instead of a partial solution.
+func TestGreedyCancelledContext(t *testing.T) {
+	wl := workload.Config{
+		GridRows: 2, GridCols: 2, NodeCap: 2, LinkCap: 2,
+		NumRequests: 3, StarLeaves: 1,
+		DemandLow: 0.5, DemandHigh: 1,
+		MeanInterArr: 1, WeibullShape: 2, WeibullScale: 2,
+		FlexibilityHr: 1,
+	}
+	sc := workload.Generate(wl, 4)
+	inst := &core.Instance{Sub: sc.Substrate, Reqs: sc.Requests, Horizon: sc.Horizon}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sol, _, err := Solve(ctx, inst, sc.Mapping, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if sol != nil {
+		t.Fatal("cancelled run returned a solution")
+	}
+}

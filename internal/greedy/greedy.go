@@ -14,6 +14,7 @@
 package greedy
 
 import (
+	"context"
 	"errors"
 	"sort"
 	"time"
@@ -26,9 +27,12 @@ import (
 
 // Options tunes the greedy run.
 type Options struct {
-	// IterTimeLimit bounds each per-request MIP solve (default 30 s; the
-	// models are tiny because all but one request is fixed).
-	IterTimeLimit time.Duration
+	// Solve configures each per-request MIP solve; its TimeLimit bounds a
+	// single iteration (default 30 s — the models are tiny because all but
+	// one request is fixed). This is the same options struct the exact
+	// models take, so callers configure both paths identically
+	// (model.NewSolveOptions(model.WithTimeLimit(...))).
+	Solve model.SolveOptions
 	// DisableCuts / DisablePresolve are passed through to the cΣ builder
 	// (for ablations).
 	DisableCuts     bool
@@ -50,14 +54,19 @@ type Stats struct {
 var ErrNoMapping = errors.New("greedy: cΣ_A^G requires a fixed node mapping")
 
 // Solve runs cΣ_A^G on the instance. The returned solution is indexed like
-// inst.Reqs.
-func Solve(inst *core.Instance, mapping vnet.NodeMapping, opts Options) (*solution.Solution, Stats, error) {
+// inst.Reqs. Cancelling ctx stops the run between (and cooperatively
+// within) iterations, returning ctx.Err(); a nil ctx is treated as
+// context.Background().
+func Solve(ctx context.Context, inst *core.Instance, mapping vnet.NodeMapping, opts Options) (*solution.Solution, Stats, error) {
 	var stats Stats
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if mapping == nil {
 		return nil, stats, ErrNoMapping
 	}
-	if opts.IterTimeLimit <= 0 {
-		opts.IterTimeLimit = 30 * time.Second
+	if opts.Solve.TimeLimit <= 0 {
+		opts.Solve.TimeLimit = 30 * time.Second
 	}
 	start := time.Now()
 	k := len(inst.Reqs)
@@ -83,6 +92,9 @@ func Solve(inst *core.Instance, mapping vnet.NodeMapping, opts Options) (*soluti
 	var considered []int // original indices, in processing order
 
 	for _, cur := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
 		considered = append(considered, cur)
 		subReqs := make([]*vnet.Request, len(considered))
 		subMap := make(vnet.NodeMapping, len(considered))
@@ -115,7 +127,7 @@ func Solve(inst *core.Instance, mapping vnet.NodeMapping, opts Options) (*soluti
 			AddConst(T))
 
 		iterStart := time.Now()
-		sol, ms := b.Solve(&model.SolveOptions{TimeLimit: opts.IterTimeLimit})
+		sol, ms := b.Solve(ctx, &opts.Solve)
 		iterTime := time.Since(iterStart)
 		stats.Iterations++
 		stats.TotalLPIters += ms.LPIterations
@@ -138,8 +150,11 @@ func Solve(inst *core.Instance, mapping vnet.NodeMapping, opts Options) (*soluti
 				DisablePresolve: opts.DisablePresolve,
 			})
 			b.Model.SetObjective(model.Expr().Add(-1, b.TMinus[curSub]).AddConst(T))
-			sol, _ = b.Solve(&model.SolveOptions{TimeLimit: opts.IterTimeLimit})
+			sol, _ = b.Solve(ctx, &opts.Solve)
 			if sol == nil {
+				if err := ctx.Err(); err != nil {
+					return nil, stats, err
+				}
 				return nil, stats, errors.New("greedy: fixed-schedule subproblem infeasible (solver failure)")
 			}
 		}

@@ -1,10 +1,12 @@
 package greedy
 
 import (
+	"context"
 	"testing"
 	"time"
 
 	"tvnep/internal/core"
+	"tvnep/internal/model"
 	"tvnep/internal/solution"
 	"tvnep/internal/substrate"
 	"tvnep/internal/vnet"
@@ -28,7 +30,7 @@ func TestGreedyExploitsFlexibility(t *testing.T) {
 			cfg.FlexibilityHr = flex
 			sc := workload.Generate(cfg, seed)
 			inst := &core.Instance{Sub: sc.Substrate, Reqs: sc.Requests, Horizon: sc.Horizon}
-			sol, _, err := Solve(inst, sc.Mapping, Options{IterTimeLimit: 10 * time.Second})
+			sol, _, err := Solve(context.Background(), inst, sc.Mapping, Options{Solve: model.SolveOptions{TimeLimit: 10 * time.Second}})
 			if err != nil {
 				t.Fatalf("seed %d flex %v: %v", seed, flex, err)
 			}
@@ -56,7 +58,7 @@ func TestGreedyStatsPopulated(t *testing.T) {
 	}
 	sc := workload.Generate(wl, 4)
 	inst := &core.Instance{Sub: sc.Substrate, Reqs: sc.Requests, Horizon: sc.Horizon}
-	sol, stats, err := Solve(inst, sc.Mapping, Options{})
+	sol, stats, err := Solve(context.Background(), inst, sc.Mapping, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +93,7 @@ func TestGreedyAblationVariantsAgreeOnTiny(t *testing.T) {
 		{DisablePresolve: true},
 		{DisableCuts: true, DisablePresolve: true},
 	} {
-		sol, _, err := Solve(inst, mapping, opt)
+		sol, _, err := Solve(context.Background(), inst, mapping, opt)
 		if err != nil {
 			t.Fatalf("%+v: %v", opt, err)
 		}

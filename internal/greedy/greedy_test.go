@@ -1,6 +1,7 @@
 package greedy
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -34,7 +35,7 @@ func TestGreedyAcceptsSequentialPair(t *testing.T) {
 	}
 	inst := &core.Instance{Sub: sub, Reqs: reqs, Horizon: 4}
 	mapping := vnet.NodeMapping{{0}, {0}}
-	sol, stats, err := Solve(inst, mapping, Options{})
+	sol, stats, err := Solve(context.Background(), inst, mapping, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestGreedyRejectsWhenForced(t *testing.T) {
 		singleNodeReq("b", 1, 0, 2, 2),
 	}
 	inst := &core.Instance{Sub: sub, Reqs: reqs, Horizon: 2}
-	sol, _, err := Solve(inst, vnet.NodeMapping{{0}, {0}}, Options{})
+	sol, _, err := Solve(context.Background(), inst, vnet.NodeMapping{{0}, {0}}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestGreedyStartsEarly(t *testing.T) {
 	sub := substrate.Grid(1, 2, 1, 1)
 	reqs := []*vnet.Request{singleNodeReq("a", 1, 1, 2, 10)}
 	inst := &core.Instance{Sub: sub, Reqs: reqs, Horizon: 10}
-	sol, _, err := Solve(inst, vnet.NodeMapping{{0}}, Options{})
+	sol, _, err := Solve(context.Background(), inst, vnet.NodeMapping{{0}}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestGreedyStartsEarly(t *testing.T) {
 
 func TestGreedyRequiresMapping(t *testing.T) {
 	inst := &core.Instance{Sub: substrate.Grid(1, 2, 1, 1), Horizon: 1}
-	if _, _, err := Solve(inst, nil, Options{}); err != ErrNoMapping {
+	if _, _, err := Solve(context.Background(), inst, nil, Options{}); err != ErrNoMapping {
 		t.Fatalf("err = %v, want ErrNoMapping", err)
 	}
 }
@@ -102,7 +103,7 @@ func TestGreedyNeverBeatsOptimal(t *testing.T) {
 	for seed := int64(1); seed <= 5; seed++ {
 		sc := workload.Generate(cfg, seed)
 		inst := &core.Instance{Sub: sc.Substrate, Reqs: sc.Requests, Horizon: sc.Horizon}
-		gsol, _, err := Solve(inst, sc.Mapping, Options{IterTimeLimit: 10 * time.Second})
+		gsol, _, err := Solve(context.Background(), inst, sc.Mapping, Options{Solve: model.SolveOptions{TimeLimit: 10 * time.Second}})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -112,8 +113,8 @@ func TestGreedyNeverBeatsOptimal(t *testing.T) {
 		b := core.BuildCSigma(inst, core.BuildOptions{
 			Objective: core.AccessControl, FixedMapping: sc.Mapping,
 		})
-		osol, ms := b.Solve(&model.SolveOptions{TimeLimit: 60 * time.Second})
-		if ms.Status != 0 {
+		osol, ms := b.Solve(context.Background(), &model.SolveOptions{TimeLimit: 60 * time.Second})
+		if ms.Status != model.StatusOptimal {
 			t.Fatalf("seed %d: optimal solve status %v", seed, ms.Status)
 		}
 		if gsol.Objective > osol.Objective+1e-5 {
@@ -124,7 +125,7 @@ func TestGreedyNeverBeatsOptimal(t *testing.T) {
 
 func TestGreedyEmptyInstance(t *testing.T) {
 	inst := &core.Instance{Sub: substrate.Grid(1, 2, 1, 1), Horizon: 1}
-	sol, stats, err := Solve(inst, vnet.NodeMapping{}, Options{})
+	sol, stats, err := Solve(context.Background(), inst, vnet.NodeMapping{}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

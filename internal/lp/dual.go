@@ -10,7 +10,7 @@ import "math"
 func (s *solver) dual(maxIters int) iterStatus {
 	feas := s.opts.FeasTol
 	for ; s.iters < maxIters; s.iters++ {
-		if s.iters&63 == 0 && s.pastDeadline() {
+		if s.iters&63 == 0 && s.interrupted() {
 			return iterLimit
 		}
 		if !s.dValid {

@@ -155,7 +155,7 @@ func (s *solver) priceEntering() (int, float64) {
 func (s *solver) primal(maxIters int) iterStatus {
 	feas := s.opts.FeasTol
 	for ; s.iters < maxIters; s.iters++ {
-		if s.iters&63 == 0 && s.pastDeadline() {
+		if s.iters&63 == 0 && s.interrupted() {
 			return iterLimit
 		}
 		if !s.dValid {

@@ -10,6 +10,7 @@
 package lp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -193,6 +194,11 @@ type Options struct {
 	// Deadline aborts the solve (StatusIterLimit) once passed. Zero means
 	// no deadline. Checked every few dozen iterations.
 	Deadline time.Time
+	// Context, when non-nil, aborts the solve (StatusIterLimit) as soon as
+	// it is cancelled. Like Deadline it is checked at iteration
+	// checkpoints, so cancellation takes effect within a few dozen simplex
+	// iterations.
+	Context context.Context
 }
 
 func (o *Options) withDefaults(rows, cols int) Options {

@@ -439,7 +439,7 @@ func (s *solver) adoptBasis(b *Basis) bool {
 		// cached snapshot exactly; bound changes do not invalidate it.
 		copy(s.binv, cached)
 		usedCache = true
-		DebugCacheHits++
+		DebugCacheHits.Add(1)
 	}
 	// Repair nonbasic statuses that reference bounds which no longer exist
 	// (possible after branching tightened/removed a bound).
@@ -481,9 +481,16 @@ func (s *solver) objValue() float64 {
 	return obj
 }
 
-// pastDeadline reports whether the solve's deadline has passed.
-func (s *solver) pastDeadline() bool {
-	return !s.opts.Deadline.IsZero() && time.Now().After(s.opts.Deadline)
+// interrupted reports whether the solve should stop: its deadline has
+// passed or its context has been cancelled.
+func (s *solver) interrupted() bool {
+	if !s.opts.Deadline.IsZero() && time.Now().After(s.opts.Deadline) {
+		return true
+	}
+	if ctx := s.opts.Context; ctx != nil && ctx.Err() != nil {
+		return true
+	}
+	return false
 }
 
 // primalInfeasibility returns the largest bound violation among basic

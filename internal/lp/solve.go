@@ -1,6 +1,9 @@
 package lp
 
-import "math"
+import (
+	"math"
+	"sync/atomic"
+)
 
 // Solve optimizes the instance under its current column bounds. If
 // opts.WarmBasis is set and compatible, a dual-simplex warm start is
@@ -16,25 +19,26 @@ func (inst *Instance) Solve(opts *Options) Result {
 	return inst.solveCold(o)
 }
 
-// Debug counters (not synchronized; read between single-threaded solves
-// only). They quantify how often warm starts succeed and how often the
-// basis-inverse cache avoids refactorization.
+// Debug counters, safe for concurrent solves (each worker of a parallel
+// sweep owns its own Instance, but these aggregates are shared). They
+// quantify how often warm starts succeed and how often the basis-inverse
+// cache avoids refactorization.
 var (
-	DebugWarmAttempts int
-	DebugWarmOK       int
-	DebugCacheHits    int
+	DebugWarmAttempts atomic.Int64
+	DebugWarmOK       atomic.Int64
+	DebugCacheHits    atomic.Int64
 )
 
 // solveWarm attempts a dual-simplex warm start. The boolean result reports
 // whether the attempt produced a conclusive answer.
 func (inst *Instance) solveWarm(o Options) (Result, bool) {
-	DebugWarmAttempts++
+	DebugWarmAttempts.Add(1)
 	s := newSolver(inst, o)
 	copy(s.cost, s.real)
 	if !s.adoptBasis(o.WarmBasis) {
 		return Result{}, false
 	}
-	DebugWarmOK++
+	DebugWarmOK.Add(1)
 	st := s.dual(o.MaxIters)
 	switch st {
 	case iterOptimal:

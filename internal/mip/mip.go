@@ -6,6 +6,7 @@ package mip
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"time"
 
@@ -46,6 +47,9 @@ const (
 	// StatusLimit means a time/node/iteration limit stopped the search; an
 	// incumbent may or may not exist (check HasSolution).
 	StatusLimit
+	// StatusCancelled means the solve's context was cancelled before the
+	// search concluded; an incumbent may or may not exist.
+	StatusCancelled
 )
 
 // String implements fmt.Stringer.
@@ -59,9 +63,28 @@ func (s Status) String() string {
 		return "unbounded"
 	case StatusLimit:
 		return "limit"
+	case StatusCancelled:
+		return "cancelled"
 	default:
 		return "unknown"
 	}
+}
+
+// Progress is a snapshot of the branch-and-bound search handed to the
+// Options.Progress callback. Incumbent and Bound are expressed in the
+// problem's original optimization sense; Incumbent is NaN while no integral
+// solution exists.
+type Progress struct {
+	Nodes        int
+	Open         int // open (unexplored) nodes
+	LPIterations int
+	Incumbent    float64
+	Bound        float64
+	Gap          float64
+	Elapsed      time.Duration
+	// NewIncumbent marks callbacks fired because a better integral solution
+	// was just found (otherwise the callback is periodic).
+	NewIncumbent bool
 }
 
 // Options tunes the branch-and-bound search.
@@ -73,6 +96,13 @@ type Options struct {
 	// HeuristicEvery runs the rounding heuristic at every k-th node
 	// (default 50; 0 disables except at the root).
 	HeuristicEvery int
+	// Progress, when non-nil, is invoked on every new incumbent and every
+	// ProgressEvery nodes. Callbacks run synchronously on the solving
+	// goroutine; keep them cheap.
+	Progress func(Progress)
+	// ProgressEvery is the periodic callback interval in nodes (default
+	// 100; < 0 disables periodic callbacks, leaving incumbent ones).
+	ProgressEvery int
 }
 
 func (o *Options) withDefaults() Options {
@@ -88,6 +118,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.HeuristicEvery == 0 {
 		out.HeuristicEvery = 50
+	}
+	if out.ProgressEvery == 0 {
+		out.ProgressEvery = 100
 	}
 	return out
 }
@@ -142,6 +175,8 @@ type searcher struct {
 	inst     *lp.Instance
 	opts     Options
 	minimize bool
+	ctx      context.Context
+	start    time.Time
 
 	rootLB, rootUB []float64
 
@@ -157,15 +192,23 @@ type searcher struct {
 	hasDL    bool
 }
 
-// Solve runs branch and bound.
-func Solve(p *Problem, opts *Options) Result {
+// Solve runs branch and bound. Cancelling ctx stops the search
+// cooperatively — within one branch-and-bound node, i.e. at worst one LP
+// iteration-checkpoint interval — with StatusCancelled. A nil ctx is
+// treated as context.Background().
+func Solve(ctx context.Context, p *Problem, opts *Options) Result {
 	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	o := opts.withDefaults()
 	s := &searcher{
 		prob:         p,
 		inst:         lp.NewInstance(p.LP),
 		opts:         o,
 		minimize:     p.LP.Sense == lp.Minimize,
+		ctx:          ctx,
+		start:        start,
 		incumbentMin: math.Inf(1),
 	}
 	n := p.LP.NumCols()
@@ -245,6 +288,31 @@ func (s *searcher) globalBoundMin() float64 {
 
 func (s *searcher) timedOut() bool { return s.hasDL && time.Now().After(s.deadline) }
 
+// cancelled reports whether the solve's context has been cancelled.
+func (s *searcher) cancelled() bool { return s.ctx.Err() != nil }
+
+// emitProgress invokes the progress callback with a snapshot of the search.
+func (s *searcher) emitProgress(newIncumbent bool) {
+	if s.opts.Progress == nil {
+		return
+	}
+	inc := math.NaN()
+	if s.hasInc {
+		inc = s.fromMin(s.incumbentMin)
+	}
+	bound := s.globalBoundMin()
+	s.opts.Progress(Progress{
+		Nodes:        s.nodes,
+		Open:         len(s.open),
+		LPIterations: s.iters,
+		Incumbent:    inc,
+		Bound:        s.fromMin(bound),
+		Gap:          relGap(s.incumbentMin, bound),
+		Elapsed:      time.Since(s.start),
+		NewIncumbent: newIncumbent,
+	})
+}
+
 // applyBounds installs the node's bound-override chain onto the instance.
 // It reports false when the chain produces an empty interval (the node is
 // trivially infeasible).
@@ -311,6 +379,7 @@ func (s *searcher) tryIncumbent(x []float64, objMin float64) bool {
 	}
 	s.incumbentMin = objMin
 	s.hasInc = true
+	s.emitProgress(true)
 	return true
 }
 
@@ -347,7 +416,7 @@ func (s *searcher) roundingHeuristic(nd *node, x []float64) {
 		touched = true
 	}
 	if touched {
-		lpo := lp.Options{WarmBasis: nd.basis}
+		lpo := lp.Options{WarmBasis: nd.basis, Context: s.ctx}
 		if s.hasDL {
 			lpo.Deadline = s.deadline
 		}
@@ -374,6 +443,10 @@ func (s *searcher) run() Status {
 		// the LP instance's basis-inverse cache is hot; the sibling goes to
 		// the heap. This is the classic best-first + plunging hybrid.
 		for nd != nil {
+			if s.cancelled() {
+				heap.Push(&s.open, nd)
+				return StatusCancelled
+			}
 			if s.timedOut() || (s.opts.NodeLimit > 0 && s.nodes >= s.opts.NodeLimit) {
 				// Re-park the dive node so the reported global bound stays
 				// valid.
@@ -388,6 +461,9 @@ func (s *searcher) run() Status {
 				return StatusOptimal
 			}
 			s.nodes++
+			if s.opts.ProgressEvery > 0 && s.nodes%s.opts.ProgressEvery == 0 {
+				s.emitProgress(false)
+			}
 			if !s.applyBounds(nd) {
 				break // empty bound interval: infeasible by construction
 			}
@@ -398,6 +474,7 @@ func (s *searcher) run() Status {
 			if s.hasDL {
 				lpo.Deadline = s.deadline
 			}
+			lpo.Context = s.ctx
 			res := s.inst.Solve(&lpo)
 			s.iters += res.Iterations
 			switch res.Status {
@@ -411,6 +488,10 @@ func (s *searcher) run() Status {
 				nd = nil // should not happen below the root; treat as cut off
 				continue
 			case lp.StatusIterLimit:
+				if s.cancelled() {
+					heap.Push(&s.open, nd)
+					return StatusCancelled
+				}
 				// The node's relaxation did not converge; the search can no
 				// longer prove optimality, so stop with what we have.
 				return StatusLimit

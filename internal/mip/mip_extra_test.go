@@ -1,6 +1,7 @@
 package mip
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -26,7 +27,7 @@ func TestGapToleranceStopsEarly(t *testing.T) {
 	for j := 0; j < 24; j++ {
 		mp.SetInteger(j)
 	}
-	res := Solve(mp, &Options{GapTol: 0.5})
+	res := Solve(context.Background(), mp, &Options{GapTol: 0.5})
 	if !res.HasSolution {
 		t.Fatal("no incumbent despite generous gap tolerance")
 	}
@@ -50,7 +51,7 @@ func TestMinimizeWithNegativeRange(t *testing.T) {
 	mp := NewProblem(p)
 	mp.SetInteger(x)
 	mp.SetInteger(y)
-	res := Solve(mp, nil)
+	res := Solve(context.Background(), mp, nil)
 	if res.Status != StatusOptimal || math.Abs(res.Obj-(-8)) > 1e-6 {
 		t.Fatalf("status %v obj %v X %v, want optimal -8", res.Status, res.Obj, res.X)
 	}
@@ -66,7 +67,7 @@ func TestMixedIntegerContinuous(t *testing.T) {
 	p.AddLE([]int32{int32(x), int32(y)}, []float64{1, 2}, 5, "r")
 	mp := NewProblem(p)
 	mp.SetInteger(x)
-	res := Solve(mp, nil)
+	res := Solve(context.Background(), mp, nil)
 	if res.Status != StatusOptimal || math.Abs(res.Obj-3.5) > 1e-6 {
 		t.Fatalf("obj %v, want 3.5 (x=2, y=1.5)", res.Obj)
 	}
@@ -91,8 +92,8 @@ func TestHeuristicDisabled(t *testing.T) {
 	for j := 0; j < 15; j++ {
 		mp.SetInteger(j)
 	}
-	withH := Solve(mp, nil)
-	withoutH := Solve(mp, &Options{HeuristicEvery: -1})
+	withH := Solve(context.Background(), mp, nil)
+	withoutH := Solve(context.Background(), mp, &Options{HeuristicEvery: -1})
 	if withH.Status != StatusOptimal || withoutH.Status != StatusOptimal {
 		t.Fatalf("statuses %v / %v", withH.Status, withoutH.Status)
 	}
@@ -112,8 +113,8 @@ func TestRepeatedSolveIndependence(t *testing.T) {
 	mp := NewProblem(p)
 	mp.SetInteger(a)
 	mp.SetInteger(b)
-	r1 := Solve(mp, nil)
-	r2 := Solve(mp, nil)
+	r1 := Solve(context.Background(), mp, nil)
+	r2 := Solve(context.Background(), mp, nil)
 	if r1.Obj != r2.Obj || r1.Status != r2.Status {
 		t.Fatalf("non-deterministic: %v/%v vs %v/%v", r1.Status, r1.Obj, r2.Status, r2.Obj)
 	}
@@ -134,7 +135,7 @@ func TestDeepBranching(t *testing.T) {
 	for j := 0; j < 4; j++ {
 		mp.SetInteger(j)
 	}
-	res := Solve(mp, nil)
+	res := Solve(context.Background(), mp, nil)
 	if res.Status != StatusOptimal {
 		t.Fatalf("status %v", res.Status)
 	}
@@ -155,7 +156,7 @@ func TestGeneralIntegerBranching(t *testing.T) {
 	mp := NewProblem(p)
 	mp.SetInteger(x)
 	mp.SetInteger(y)
-	res := Solve(mp, nil)
+	res := Solve(context.Background(), mp, nil)
 	if res.Status != StatusOptimal || math.Abs(res.Obj-36) > 1e-6 {
 		t.Fatalf("obj %v X %v, want 36 at (0,4)", res.Obj, res.X)
 	}
@@ -202,7 +203,7 @@ func TestLargerBruteForceSweep(t *testing.T) {
 		for _, j := range intCols {
 			mp.SetInteger(j)
 		}
-		res := Solve(mp, nil)
+		res := Solve(context.Background(), mp, nil)
 		want := bruteForceBinary(p, intCols)
 		if math.IsNaN(want) {
 			if res.Status != StatusInfeasible {

@@ -1,6 +1,7 @@
 package mip
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -22,7 +23,7 @@ func TestKnapsack(t *testing.T) {
 	mp.SetInteger(a)
 	mp.SetInteger(b)
 	mp.SetInteger(c)
-	res := Solve(mp, nil)
+	res := Solve(context.Background(), mp, nil)
 	if res.Status != StatusOptimal || math.Abs(res.Obj-20) > 1e-6 {
 		t.Fatalf("status %v obj %v, want optimal 20", res.Status, res.Obj)
 	}
@@ -39,7 +40,7 @@ func TestPureLPPassThrough(t *testing.T) {
 	x := p.AddCol(1, 0, 5, "x")
 	p.AddGE([]int32{int32(x)}, []float64{1}, 2.5, "r")
 	mp := NewProblem(p) // no integers
-	res := Solve(mp, nil)
+	res := Solve(context.Background(), mp, nil)
 	if res.Status != StatusOptimal || math.Abs(res.Obj-2.5) > 1e-7 {
 		t.Fatalf("status %v obj %v, want optimal 2.5", res.Status, res.Obj)
 	}
@@ -52,7 +53,7 @@ func TestIntegerRounding(t *testing.T) {
 	p.AddGE([]int32{int32(x)}, []float64{1}, 2.3, "r")
 	mp := NewProblem(p)
 	mp.SetInteger(x)
-	res := Solve(mp, nil)
+	res := Solve(context.Background(), mp, nil)
 	if res.Status != StatusOptimal || math.Abs(res.Obj-3) > 1e-7 {
 		t.Fatalf("status %v obj %v, want optimal 3", res.Status, res.Obj)
 	}
@@ -65,7 +66,7 @@ func TestInfeasibleMIP(t *testing.T) {
 	_ = x
 	mp := NewProblem(p)
 	mp.SetInteger(x)
-	res := Solve(mp, nil)
+	res := Solve(context.Background(), mp, nil)
 	if res.Status != StatusInfeasible {
 		t.Fatalf("status = %v, want infeasible", res.Status)
 	}
@@ -83,7 +84,7 @@ func TestUnboundedMIP(t *testing.T) {
 	p.AddCol(1, 0, lp.Inf, "x")
 	mp := NewProblem(p)
 	mp.SetInteger(0)
-	res := Solve(mp, nil)
+	res := Solve(context.Background(), mp, nil)
 	if res.Status != StatusUnbounded {
 		t.Fatalf("status = %v, want unbounded", res.Status)
 	}
@@ -98,7 +99,7 @@ func TestEqualityParity(t *testing.T) {
 	mp := NewProblem(p)
 	mp.SetInteger(x)
 	mp.SetInteger(y)
-	res := Solve(mp, nil)
+	res := Solve(context.Background(), mp, nil)
 	if res.Status != StatusOptimal || math.Abs(res.Obj-5) > 1e-6 {
 		t.Fatalf("status %v obj %v, want optimal 5", res.Status, res.Obj)
 	}
@@ -172,7 +173,7 @@ func TestRandomBinaryMIPsAgainstBruteForce(t *testing.T) {
 		for _, j := range intCols {
 			mp.SetInteger(j)
 		}
-		res := Solve(mp, nil)
+		res := Solve(context.Background(), mp, nil)
 		want := bruteForceBinary(p, intCols)
 		if math.IsNaN(want) {
 			if res.Status != StatusInfeasible {
@@ -202,7 +203,7 @@ func TestGeneralIntegerMIP(t *testing.T) {
 	mp := NewProblem(p)
 	mp.SetInteger(x)
 	mp.SetInteger(y)
-	res := Solve(mp, nil)
+	res := Solve(context.Background(), mp, nil)
 	if res.Status != StatusOptimal || math.Abs(res.Obj-20) > 1e-6 {
 		t.Fatalf("status %v obj %v X %v, want optimal 20", res.Status, res.Obj, res.X)
 	}
@@ -226,7 +227,7 @@ func TestTimeLimit(t *testing.T) {
 	for j := 0; j < 30; j++ {
 		mp.SetInteger(j)
 	}
-	res := Solve(mp, &Options{TimeLimit: time.Nanosecond})
+	res := Solve(context.Background(), mp, &Options{TimeLimit: time.Nanosecond})
 	if res.Status != StatusLimit {
 		t.Fatalf("status = %v, want limit", res.Status)
 	}
@@ -248,7 +249,7 @@ func TestNodeLimit(t *testing.T) {
 	for j := 0; j < 25; j++ {
 		mp.SetInteger(j)
 	}
-	res := Solve(mp, &Options{NodeLimit: 3, HeuristicEvery: -1})
+	res := Solve(context.Background(), mp, &Options{NodeLimit: 3, HeuristicEvery: -1})
 	if res.Status != StatusLimit && res.Status != StatusOptimal {
 		t.Fatalf("status = %v", res.Status)
 	}
@@ -273,7 +274,7 @@ func TestBoundAndGapConsistency(t *testing.T) {
 	for j := 0; j < 20; j++ {
 		mp.SetInteger(j)
 	}
-	res := Solve(mp, nil)
+	res := Solve(context.Background(), mp, nil)
 	if res.Status != StatusOptimal {
 		t.Fatalf("status %v", res.Status)
 	}

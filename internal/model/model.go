@@ -5,6 +5,7 @@
 package model
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -200,7 +201,7 @@ func (m *Model) AddRange(e *LinExpr, lo, hi float64, name string) int {
 
 // Solution is the result of optimizing a model.
 type Solution struct {
-	Status       mip.Status
+	Status       Status
 	HasSolution  bool
 	Obj          float64
 	Bound        float64
@@ -228,20 +229,19 @@ func (s *Solution) ValueOf(e *LinExpr) float64 {
 	return val
 }
 
-// SolveOptions re-exports the MIP limits.
-type SolveOptions = mip.Options
-
-// Optimize solves the model as a MIP.
-func (m *Model) Optimize(opts *SolveOptions) *Solution {
+// Optimize solves the model as a MIP. Cancelling ctx stops the search
+// cooperatively (Status == StatusCancelled); a nil ctx is treated as
+// context.Background(). A nil opts solves with the solver defaults.
+func (m *Model) Optimize(ctx context.Context, opts *SolveOptions) *Solution {
 	mp := mip.NewProblem(m.lp)
 	for j, isInt := range m.integer {
 		if isInt {
 			mp.SetInteger(j)
 		}
 	}
-	res := mip.Solve(mp, opts)
+	res := mip.Solve(ctx, mp, opts.mipOptions())
 	return &Solution{
-		Status:       res.Status,
+		Status:       statusFromMIP(res.Status, res.HasSolution),
 		HasSolution:  res.HasSolution,
 		Obj:          res.Obj,
 		Bound:        res.Bound,
@@ -261,19 +261,19 @@ func (m *Model) Relax() *Solution {
 	}
 	switch res.Status {
 	case lp.StatusOptimal:
-		sol.Status = mip.StatusOptimal
+		sol.Status = StatusOptimal
 		sol.HasSolution = true
 		sol.Obj = res.Obj
 		sol.Bound = res.Obj
 		sol.x = res.X
 	case lp.StatusInfeasible:
-		sol.Status = mip.StatusInfeasible
+		sol.Status = StatusInfeasible
 		sol.Gap = math.Inf(1)
 	case lp.StatusUnbounded:
-		sol.Status = mip.StatusUnbounded
+		sol.Status = StatusUnbounded
 		sol.Gap = math.Inf(1)
 	default:
-		sol.Status = mip.StatusLimit
+		sol.Status = StatusTimeLimit
 		sol.Gap = math.Inf(1)
 	}
 	return sol

@@ -1,10 +1,9 @@
 package model
 
 import (
+	"context"
 	"math"
 	"testing"
-
-	"tvnep/internal/mip"
 )
 
 func TestBasicMaximize(t *testing.T) {
@@ -14,8 +13,8 @@ func TestBasicMaximize(t *testing.T) {
 	c := m.Binary("c")
 	m.SetObjective(Expr().Add(10, a).Add(13, b).Add(7, c))
 	m.AddLE(Expr().Add(3, a).Add(4, b).Add(2, c), 6, "cap")
-	sol := m.Optimize(nil)
-	if sol.Status != mip.StatusOptimal || math.Abs(sol.Obj-20) > 1e-6 {
+	sol := m.Optimize(context.Background(), nil)
+	if sol.Status != StatusOptimal || math.Abs(sol.Obj-20) > 1e-6 {
 		t.Fatalf("status %v obj %v, want optimal 20", sol.Status, sol.Obj)
 	}
 	if sol.Value(b) != 1 || sol.Value(c) != 1 || sol.Value(a) != 0 {
@@ -29,7 +28,7 @@ func TestExprConstantsShiftRHS(t *testing.T) {
 	x := m.Continuous("x", 0, 10)
 	m.SetObjective(Term(-1, x))
 	m.AddLE(Expr().Add(1, x).AddConst(5), 7, "r")
-	sol := m.Optimize(nil)
+	sol := m.Optimize(context.Background(), nil)
 	if math.Abs(sol.Value(x)-2) > 1e-7 {
 		t.Fatalf("x = %v, want 2", sol.Value(x))
 	}
@@ -39,7 +38,7 @@ func TestObjectiveConstant(t *testing.T) {
 	m := New("offset", Minimize)
 	x := m.Continuous("x", 1, 5)
 	m.SetObjective(Expr().Add(2, x).AddConst(100))
-	sol := m.Optimize(nil)
+	sol := m.Optimize(context.Background(), nil)
 	if math.Abs(sol.Obj-102) > 1e-7 {
 		t.Fatalf("obj = %v, want 102", sol.Obj)
 	}
@@ -52,7 +51,7 @@ func TestAddExprAndValueOf(t *testing.T) {
 	e1 := Expr().Add(1, x).Add(1, y)
 	e2 := Expr().AddExpr(2, e1).AddConst(1) // 2x + 2y + 1
 	m.SetObjective(e2)
-	sol := m.Optimize(nil)
+	sol := m.Optimize(context.Background(), nil)
 	if math.Abs(sol.Obj-13) > 1e-7 {
 		t.Fatalf("obj = %v, want 13", sol.Obj)
 	}
@@ -67,7 +66,7 @@ func TestFixAndBounds(t *testing.T) {
 	y := m.Binary("y")
 	m.SetObjective(Expr().Add(1, x).Add(1, y))
 	m.Fix(x, 0)
-	sol := m.Optimize(nil)
+	sol := m.Optimize(context.Background(), nil)
 	if sol.Value(x) != 0 || sol.Value(y) != 1 {
 		t.Fatalf("x=%v y=%v, want 0, 1", sol.Value(x), sol.Value(y))
 	}
@@ -82,7 +81,7 @@ func TestIntegerVar(t *testing.T) {
 	x := m.IntegerVar("x", 0, 9)
 	m.SetObjective(Term(1, x))
 	m.AddLE(Term(2, x), 7, "r") // x ≤ 3.5 → 3
-	sol := m.Optimize(nil)
+	sol := m.Optimize(context.Background(), nil)
 	if math.Abs(sol.Value(x)-3) > 1e-7 {
 		t.Fatalf("x = %v, want 3", sol.Value(x))
 	}
@@ -94,7 +93,7 @@ func TestRelaxDropsIntegrality(t *testing.T) {
 	m.SetObjective(Term(1, x))
 	m.AddLE(Term(2, x), 7, "r")
 	sol := m.Relax()
-	if sol.Status != mip.StatusOptimal || math.Abs(sol.Obj-3.5) > 1e-7 {
+	if sol.Status != StatusOptimal || math.Abs(sol.Obj-3.5) > 1e-7 {
 		t.Fatalf("relax obj = %v (status %v), want 3.5", sol.Obj, sol.Status)
 	}
 }
@@ -104,7 +103,7 @@ func TestRelaxInfeasible(t *testing.T) {
 	x := m.Continuous("x", 0, 1)
 	m.AddGE(Term(1, x), 5, "r")
 	sol := m.Relax()
-	if sol.Status != mip.StatusInfeasible {
+	if sol.Status != StatusInfeasible {
 		t.Fatalf("status = %v, want infeasible", sol.Status)
 	}
 	if !math.IsNaN(sol.Value(x)) {
@@ -117,7 +116,7 @@ func TestAddRange(t *testing.T) {
 	x := m.Continuous("x", 0, 10)
 	m.SetObjective(Term(1, x))
 	m.AddRange(Expr().Add(1, x).AddConst(1), 2, 6, "rng") // 1 ≤ x ≤ 5
-	sol := m.Optimize(nil)
+	sol := m.Optimize(context.Background(), nil)
 	if math.Abs(sol.Value(x)-5) > 1e-7 {
 		t.Fatalf("x = %v, want 5", sol.Value(x))
 	}

@@ -1,0 +1,111 @@
+package model
+
+import (
+	"time"
+
+	"tvnep/internal/mip"
+)
+
+// Progress is a snapshot of a running solve, delivered to the callback
+// installed with WithProgress. It aliases the branch-and-bound progress
+// record: incumbent updates carry NewIncumbent == true, all other
+// callbacks are periodic node-count ticks.
+type Progress = mip.Progress
+
+// ProgressFunc receives solve progress snapshots. Callbacks run
+// synchronously on the solving goroutine; keep them cheap.
+type ProgressFunc func(Progress)
+
+// SolveOptions is the single options struct for every solve in the
+// repository: exact MIP solves (Model.Optimize, core.Built.Solve), the
+// per-iteration subproblems of the greedy algorithm, and the evaluation
+// sweeps. The zero value means "no limits, serial, silent".
+type SolveOptions struct {
+	// TimeLimit bounds one solve (0 → none). The greedy algorithm applies
+	// it per iteration; sweeps apply it per scenario solve.
+	TimeLimit time.Duration
+	// NodeLimit bounds the branch-and-bound node count (0 → none).
+	NodeLimit int
+	// GapTol is the relative optimality gap at which the search stops
+	// (default 1e-6).
+	GapTol float64
+	// IntTol is the integrality tolerance (default 1e-6).
+	IntTol float64
+	// HeuristicEvery runs the rounding heuristic at every k-th node
+	// (default 50; < 0 disables except at the root).
+	HeuristicEvery int
+	// Workers is the degree of parallelism for drivers that run many
+	// independent solves (the eval sweeps). 0 means runtime.NumCPU(); a
+	// single solve ignores it — the branch-and-bound search itself is
+	// sequential.
+	Workers int
+	// Progress, when non-nil, receives per-solve progress snapshots
+	// (incumbent updates, node counts, LP iteration totals).
+	Progress ProgressFunc
+	// ProgressEvery is the periodic progress interval in nodes (default
+	// 100; < 0 keeps only incumbent callbacks).
+	ProgressEvery int
+}
+
+// SolveOption mutates a SolveOptions; see NewSolveOptions.
+type SolveOption func(*SolveOptions)
+
+// NewSolveOptions builds a SolveOptions from functional options:
+//
+//	opts := model.NewSolveOptions(
+//		model.WithTimeLimit(time.Minute),
+//		model.WithWorkers(8),
+//	)
+func NewSolveOptions(opts ...SolveOption) *SolveOptions {
+	o := &SolveOptions{}
+	for _, fn := range opts {
+		fn(o)
+	}
+	return o
+}
+
+// WithTimeLimit bounds each solve by d.
+func WithTimeLimit(d time.Duration) SolveOption {
+	return func(o *SolveOptions) { o.TimeLimit = d }
+}
+
+// WithWorkers sets the worker-pool size used by sweep drivers
+// (0 → runtime.NumCPU()).
+func WithWorkers(n int) SolveOption {
+	return func(o *SolveOptions) { o.Workers = n }
+}
+
+// WithProgress installs a per-solve progress callback.
+func WithProgress(fn ProgressFunc) SolveOption {
+	return func(o *SolveOptions) { o.Progress = fn }
+}
+
+// WithNodeLimit bounds the branch-and-bound node count.
+func WithNodeLimit(n int) SolveOption {
+	return func(o *SolveOptions) { o.NodeLimit = n }
+}
+
+// WithGapTol sets the relative optimality gap tolerance.
+func WithGapTol(tol float64) SolveOption {
+	return func(o *SolveOptions) { o.GapTol = tol }
+}
+
+// mipOptions lowers the public options into the branch-and-bound solver's
+// option set. Nil receivers lower to nil (solver defaults).
+func (o *SolveOptions) mipOptions() *mip.Options {
+	if o == nil {
+		return nil
+	}
+	mo := &mip.Options{
+		TimeLimit:      o.TimeLimit,
+		NodeLimit:      o.NodeLimit,
+		GapTol:         o.GapTol,
+		IntTol:         o.IntTol,
+		HeuristicEvery: o.HeuristicEvery,
+		ProgressEvery:  o.ProgressEvery,
+	}
+	if o.Progress != nil {
+		mo.Progress = o.Progress
+	}
+	return mo
+}

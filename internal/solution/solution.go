@@ -36,6 +36,11 @@ type Solution struct {
 	Optimal   bool
 	Nodes     int
 	Runtime   time.Duration
+
+	// Warnings collects non-fatal consistency notes produced while the
+	// solution was extracted from a solver (e.g. a model time variable
+	// disagreeing with the duration-derived schedule beyond tolerance).
+	Warnings []string
 }
 
 // NumAccepted counts embedded requests.
