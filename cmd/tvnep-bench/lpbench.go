@@ -1,0 +1,208 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"tvnep/internal/core"
+	"tvnep/internal/lp"
+	"tvnep/internal/model"
+	"tvnep/internal/workload"
+)
+
+// The -json mode: a machine-readable micro-benchmark of the LP solver core,
+// mirroring the two guard benchmarks of the test suite
+// (BenchmarkLPRelaxationCSigma and BenchmarkAblationCSigmaBare) and
+// augmenting them with solver-internal statistics: simplex iterations per
+// solve, warm-start success rate and factorization-cache hit rate from the
+// lp.Debug* counters. Pass -compare with a previously written report to
+// embed it as the baseline and compute speedups.
+
+type lpBenchResult struct {
+	Name         string  `json:"name"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	BytesPerOp   float64 `json:"bytes_per_op"`
+	LPItersPerOp float64 `json:"lp_iters_per_op"`
+	BBNodes      float64 `json:"bb_nodes,omitempty"`
+}
+
+type lpWarmStats struct {
+	Attempts     int64   `json:"attempts"`
+	OK           int64   `json:"ok"`
+	CacheHits    int64   `json:"cache_hits"`
+	OKRate       float64 `json:"ok_rate"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+type lpBenchReport struct {
+	Timestamp  string             `json:"timestamp"`
+	GoVersion  string             `json:"go_version"`
+	Benchmarks []lpBenchResult    `json:"benchmarks"`
+	WarmStart  lpWarmStats        `json:"warm_start"`
+	Baseline   *lpBenchReport     `json:"baseline,omitempty"`
+	Speedup    map[string]float64 `json:"speedup,omitempty"`
+}
+
+// measureLP times f (one op per call) with alloc accounting. f reports the
+// simplex iterations it consumed; extra metrics from the first op survive
+// into the result.
+func measureLP(name string, f func() (lpIters int, extra map[string]float64)) lpBenchResult {
+	// Warmup op, also used to calibrate the iteration count to ~1s.
+	t0 := time.Now()
+	_, extra := f()
+	per := time.Since(t0)
+	n := int(time.Second / (per + 1))
+	if n < 5 {
+		n = 5
+	}
+	if n > 2000 {
+		n = 2000
+	}
+
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	iters := 0
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		li, _ := f()
+		iters += li
+	}
+	dt := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+
+	res := lpBenchResult{
+		Name:         name,
+		Iterations:   n,
+		NsPerOp:      float64(dt.Nanoseconds()) / float64(n),
+		AllocsPerOp:  float64(ms1.Mallocs-ms0.Mallocs) / float64(n),
+		BytesPerOp:   float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(n),
+		LPItersPerOp: float64(iters) / float64(n),
+	}
+	if v, ok := extra["bb_nodes"]; ok {
+		res.BBNodes = v
+	}
+	return res
+}
+
+// runLPBench executes the LP benchmark suite and writes the JSON report to
+// outPath. When comparePath names an earlier report, it is embedded as the
+// baseline and per-benchmark speedups are computed.
+func runLPBench(outPath, comparePath string) error {
+	report := lpBenchReport{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+	}
+	wa0, wo0, ch0 := lp.DebugWarmAttempts.Load(), lp.DebugWarmOK.Load(), lp.DebugCacheHits.Load()
+
+	// LPRelaxationCSigma: one LP-relaxation solve of the cΣ-Model at the
+	// default evaluation scale (the unit of work in every B&B node).
+	{
+		wl := workload.Default()
+		wl.GridRows, wl.GridCols = 2, 2
+		wl.NumRequests = 5
+		wl.FlexibilityHr = 2
+		sc := workload.Generate(wl, 1)
+		inst := &core.Instance{Sub: sc.Substrate, Reqs: sc.Requests, Horizon: sc.Horizon}
+		built := core.BuildCSigma(inst, core.BuildOptions{
+			Objective:    core.AccessControl,
+			FixedMapping: sc.Mapping,
+		})
+		report.Benchmarks = append(report.Benchmarks, measureLP("LPRelaxationCSigma",
+			func() (int, map[string]float64) {
+				sol := built.Model.Relax()
+				if !sol.HasSolution {
+					fmt.Fprintln(os.Stderr, "lpbench: relaxation not solved")
+					os.Exit(1)
+				}
+				return sol.LPIterations, nil
+			}))
+	}
+
+	// AblationCSigmaBare: a full bare (no cuts, no model presolve)
+	// branch-and-bound solve — the warm-start-heavy workload.
+	{
+		wl := workload.Default()
+		wl.GridRows, wl.GridCols = 2, 2
+		wl.NumRequests = 4
+		wl.StarLeaves = 1
+		wl.FlexibilityHr = 2
+		sc := workload.Generate(wl, 7)
+		inst := &core.Instance{Sub: sc.Substrate, Reqs: sc.Requests, Horizon: sc.Horizon}
+		report.Benchmarks = append(report.Benchmarks, measureLP("AblationCSigmaBare",
+			func() (int, map[string]float64) {
+				built := core.BuildCSigma(inst, core.BuildOptions{
+					Objective:       core.AccessControl,
+					FixedMapping:    sc.Mapping,
+					DisableCuts:     true,
+					DisablePresolve: true,
+				})
+				sol, ms := built.Solve(context.Background(), model.NewSolveOptions(model.WithTimeLimit(30*time.Second)))
+				if sol == nil || ms.Status != model.StatusOptimal {
+					fmt.Fprintf(os.Stderr, "lpbench: ablation solve failed: %v\n", ms.Status)
+					os.Exit(1)
+				}
+				return ms.LPIterations, map[string]float64{"bb_nodes": float64(ms.Nodes)}
+			}))
+	}
+
+	wa := lp.DebugWarmAttempts.Load() - wa0
+	wo := lp.DebugWarmOK.Load() - wo0
+	ch := lp.DebugCacheHits.Load() - ch0
+	report.WarmStart = lpWarmStats{Attempts: wa, OK: wo, CacheHits: ch}
+	if wa > 0 {
+		report.WarmStart.OKRate = float64(wo) / float64(wa)
+		report.WarmStart.CacheHitRate = float64(ch) / float64(wa)
+	}
+
+	if comparePath != "" {
+		data, err := os.ReadFile(comparePath)
+		if err != nil {
+			return fmt.Errorf("lpbench: read baseline: %w", err)
+		}
+		base := &lpBenchReport{}
+		if err := json.Unmarshal(data, base); err != nil {
+			return fmt.Errorf("lpbench: parse baseline: %w", err)
+		}
+		base.Baseline = nil // never nest more than one level
+		report.Baseline = base
+		report.Speedup = map[string]float64{}
+		for _, b := range base.Benchmarks {
+			for _, cur := range report.Benchmarks {
+				if cur.Name == b.Name && cur.NsPerOp > 0 {
+					report.Speedup[b.Name] = b.NsPerOp / cur.NsPerOp
+				}
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("# wrote %s\n", outPath)
+	for _, b := range report.Benchmarks {
+		line := fmt.Sprintf("# %-22s %12.0f ns/op %10.0f allocs/op %8.1f lp_iters/op", b.Name, b.NsPerOp, b.AllocsPerOp, b.LPItersPerOp)
+		if sp, ok := report.Speedup[b.Name]; ok {
+			line += fmt.Sprintf("   %.2fx vs baseline", sp)
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("# warm starts: %d attempts, %.0f%% adopted, %.0f%% factorization-cache hits\n",
+		wa, 100*report.WarmStart.OKRate, 100*report.WarmStart.CacheHitRate)
+	return nil
+}

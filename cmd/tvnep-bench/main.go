@@ -32,6 +32,7 @@ import (
 	"tvnep/internal/core"
 	"tvnep/internal/eval"
 	"tvnep/internal/model"
+	"tvnep/internal/prof"
 )
 
 func main() {
@@ -47,8 +48,29 @@ func main() {
 		flexList = flag.String("flex", "", "comma-separated flexibility steps in minutes (default per config)")
 		verbose  = flag.Bool("v", false, "print per-solve progress")
 		progFlag = flag.Bool("progress", false, "stream branch-and-bound progress (incumbents, node counts) to stderr")
+		jsonMode = flag.Bool("json", false, "run the LP solver micro-benchmarks and write a machine-readable report instead of figures")
+		jsonOut  = flag.String("o", "BENCH_lp.json", "output path of the -json report ('-' for stdout)")
+		baseline = flag.String("compare", "", "embed a previous -json report as baseline and compute speedups")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
+
+	if *jsonMode {
+		if err := runLPBench(*jsonOut, *baseline); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			stopProfiles()
+			os.Exit(1)
+		}
+		return
+	}
 
 	// Ctrl-C cancels the sweep cooperatively: every in-flight solve returns
 	// with model.StatusCancelled and the summaries cover what finished.

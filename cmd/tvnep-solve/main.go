@@ -21,6 +21,7 @@ import (
 	"tvnep/internal/core"
 	"tvnep/internal/greedy"
 	"tvnep/internal/model"
+	"tvnep/internal/prof"
 	"tvnep/internal/solution"
 	"tvnep/internal/workload"
 )
@@ -37,8 +38,15 @@ func main() {
 		freeMap   = flag.Bool("freemap", false, "ignore the scenario's fixed node mapping and let the model place nodes")
 		timeline  = flag.Bool("timeline", false, "print the piecewise-constant substrate utilization timeline")
 		progFlag  = flag.Bool("progress", false, "stream branch-and-bound progress (incumbents, node counts) to stderr")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	stopProfiles, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fail(err)
+	}
+	defer stopProfiles()
 	// Ctrl-C cancels the solve cooperatively (status: cancelled).
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stopSignals()
@@ -131,6 +139,7 @@ func main() {
 			ms.Status, ms.Gap, ms.Nodes, ms.LPIterations)
 		if sol == nil {
 			fmt.Println("no feasible solution found within the limits")
+			stopProfiles() // os.Exit skips the deferred stop
 			os.Exit(1)
 		}
 	}

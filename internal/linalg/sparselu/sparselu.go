@@ -1,0 +1,355 @@
+// Package sparselu provides the sparse basis kernel of the LP solver: an LU
+// factorization of the (sparse, square) simplex basis with a Markowitz-style
+// fill-reducing pivot order and threshold partial pivoting, forward/backward
+// solves (FTRAN/BTRAN) that skip structurally-zero positions, and eta-file
+// (product-form-of-the-inverse) updates so that a pivot costs O(nnz) instead
+// of a refactorization.
+//
+// The factorization is left-looking (Gilbert–Peierls style): columns are
+// eliminated in a static least-count order — the column half of the Markowitz
+// count — and within each column the pivot row is chosen among entries
+// within a threshold of the largest magnitude, preferring the row with the
+// smallest static count (the row half). All choices are deterministic, so
+// repeated factorizations of the same basis are bit-for-bit identical.
+package sparselu
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrSingular is returned when the basis matrix is numerically singular.
+var ErrSingular = errors.New("sparselu: singular basis")
+
+const (
+	// singTol is the absolute magnitude below which a pivot candidate is
+	// considered zero (matches the dense kernel this package replaced).
+	singTol = 1e-13
+	// threshRel is the relative threshold for partial pivoting: any row
+	// within threshRel of the column's largest magnitude is pivot-eligible,
+	// and the sparsest such row is chosen.
+	threshRel = 0.1
+	// dropTol drops negligible fill-in from L, U and eta vectors.
+	dropTol = 1e-12
+)
+
+// eta is one product-form update: the basis column at position r was
+// replaced, with FTRAN'd entering column alpha. Applying the inverse of the
+// corresponding elementary matrix to a vector costs O(len(idx)).
+type eta struct {
+	r   int32
+	piv float64 // alpha[r]
+	idx []int32
+	val []float64 // alpha[idx[k]], k != r
+}
+
+// Factors is a factorized basis B = L·U (modulo permutations) together with
+// an eta file of post-factorization pivots. The base factors are immutable
+// after Factorize; Update appends etas. Not safe for concurrent use (the
+// solves share scratch space).
+type Factors struct {
+	m int
+
+	order  []int32 // elimination step k processed basis position order[k]
+	rowPiv []int32 // original row pivotal at step k
+
+	// L in column form per elimination step (unit diagonal implicit);
+	// row indices are original row indices.
+	lptr []int32
+	lrow []int32
+	lval []float64
+
+	// U in column form per elimination step; row indices are earlier step
+	// numbers. The diagonal is stored separately.
+	uptr  []int32
+	urow  []int32
+	uval  []float64
+	udiag []float64
+
+	etas   []eta
+	etaNNZ int
+
+	scratch []float64 // length m, used by Ftran/Btran
+}
+
+// Factorize computes the sparse LU factorization of the m×m basis whose
+// column at position p has row indices colIdx[p] and values colVal[p].
+// The input slices are not retained.
+func Factorize(m int, colIdx [][]int32, colVal [][]float64) (*Factors, error) {
+	f := &Factors{
+		m:      m,
+		order:  make([]int32, m),
+		rowPiv: make([]int32, m),
+		lptr:   make([]int32, m+1),
+		uptr:   make([]int32, m+1),
+		udiag:  make([]float64, m),
+	}
+	if m == 0 {
+		return f, nil
+	}
+	// Static Markowitz counts: column elimination order by ascending nnz
+	// (ties by position, for determinism) and per-row entry counts for the
+	// pivot-row tie-break.
+	for p := 0; p < m; p++ {
+		f.order[p] = int32(p)
+	}
+	sort.SliceStable(f.order, func(a, b int) bool {
+		return len(colIdx[f.order[a]]) < len(colIdx[f.order[b]])
+	})
+	rcount := make([]int32, m)
+	for p := 0; p < m; p++ {
+		for _, r := range colIdx[p] {
+			rcount[r]++
+		}
+	}
+
+	w := make([]float64, m)    // dense accumulator for the current column
+	rowPos := make([]int32, m) // original row → elimination step, or -1
+	for r := range rowPos {
+		rowPos[r] = -1
+	}
+	// Gilbert–Peierls workspaces: the DFS discovers the nonzero pattern of
+	// L_partial⁻¹·A_j so both the triangular solve and the pivot search
+	// touch only (fill-in) nonzeros instead of all m rows.
+	visited := make([]bool, m)
+	post := make([]int32, 0, m)  // DFS postorder (reverse = topological)
+	stack := make([]int32, 0, m) // DFS stack of rows
+	estate := make([]int32, m)   // per-row DFS edge cursor
+
+	for k := 0; k < m; k++ {
+		j := f.order[k]
+		// Symbolic phase: reachable rows from the column's pattern through
+		// the already-computed L columns.
+		post = post[:0]
+		for _, r0 := range colIdx[j] {
+			if visited[r0] {
+				continue
+			}
+			stack = append(stack, r0)
+			visited[r0] = true
+			if t := rowPos[r0]; t >= 0 {
+				estate[r0] = f.lptr[t]
+			}
+			for len(stack) > 0 {
+				r := stack[len(stack)-1]
+				t := rowPos[r]
+				advanced := false
+				if t >= 0 {
+					for e := estate[r]; e < f.lptr[t+1]; e++ {
+						rr := f.lrow[e]
+						if !visited[rr] {
+							estate[r] = e + 1
+							visited[rr] = true
+							if tt := rowPos[rr]; tt >= 0 {
+								estate[rr] = f.lptr[tt]
+							}
+							stack = append(stack, rr)
+							advanced = true
+							break
+						}
+					}
+				}
+				if !advanced {
+					post = append(post, r)
+					stack = stack[:len(stack)-1]
+				}
+			}
+		}
+		// Numeric phase: scatter, then apply L columns in topological order.
+		for t, r := range colIdx[j] {
+			w[r] += colVal[j][t]
+		}
+		for i := len(post) - 1; i >= 0; i-- {
+			r := post[i]
+			t := rowPos[r]
+			if t < 0 {
+				continue
+			}
+			piv := w[r]
+			if piv == 0 {
+				continue
+			}
+			for e := f.lptr[t]; e < f.lptr[t+1]; e++ {
+				w[f.lrow[e]] -= f.lval[e] * piv
+			}
+		}
+		// Threshold partial pivoting over not-yet-pivotal rows of the
+		// pattern: eligible within threshRel of the largest magnitude,
+		// sparsest static row count wins (deterministic tie-break on the
+		// DFS pattern order).
+		maxAbs := 0.0
+		for _, r := range post {
+			if rowPos[r] < 0 {
+				if a := math.Abs(w[r]); a > maxAbs {
+					maxAbs = a
+				}
+			}
+		}
+		if maxAbs < singTol {
+			return nil, ErrSingular
+		}
+		thresh := threshRel * maxAbs
+		pr := int32(-1)
+		for _, r := range post {
+			if rowPos[r] >= 0 || math.Abs(w[r]) < thresh {
+				continue
+			}
+			if pr == -1 || rcount[r] < rcount[pr] {
+				pr = r
+			}
+		}
+		piv := w[pr]
+		// Emit the column: U entries at already-pivotal rows, L multipliers
+		// below, clearing the accumulator and visit marks as we go.
+		for _, r := range post {
+			v := w[r]
+			w[r] = 0
+			visited[r] = false
+			if v == 0 {
+				continue
+			}
+			switch {
+			case rowPos[r] >= 0:
+				if math.Abs(v) > dropTol {
+					f.urow = append(f.urow, rowPos[r])
+					f.uval = append(f.uval, v)
+				}
+			case r != pr:
+				if lv := v / piv; math.Abs(lv) > dropTol {
+					f.lrow = append(f.lrow, int32(r))
+					f.lval = append(f.lval, lv)
+				}
+			}
+		}
+		f.udiag[k] = piv
+		f.rowPiv[k] = pr
+		rowPos[pr] = int32(k)
+		f.lptr[k+1] = int32(len(f.lrow))
+		f.uptr[k+1] = int32(len(f.urow))
+	}
+	f.scratch = make([]float64, m)
+	return f, nil
+}
+
+// M returns the dimension of the factorized basis.
+func (f *Factors) M() int { return f.m }
+
+// NumEtas reports the number of eta updates applied since factorization.
+func (f *Factors) NumEtas() int { return len(f.etas) }
+
+// EtaNNZ reports the total number of stored eta entries; the refactorization
+// policy uses it to bound update-file growth on dense pivot columns.
+func (f *Factors) EtaNNZ() int { return f.etaNNZ }
+
+// Update appends the product-form eta for a pivot that replaced the basis
+// column at position r, where alpha = B⁻¹·(entering column) is the FTRAN'd
+// entering column. alpha[r] must be nonzero (the simplex ratio test
+// guarantees a pivot magnitude above its tolerance).
+func (f *Factors) Update(alpha []float64, r int) {
+	e := eta{r: int32(r), piv: alpha[r]}
+	for i, v := range alpha {
+		if i != r && math.Abs(v) > dropTol {
+			e.idx = append(e.idx, int32(i))
+			e.val = append(e.val, v)
+		}
+	}
+	f.etas = append(f.etas, e)
+	f.etaNNZ += len(e.idx) + 1
+}
+
+// Ftran solves B·x = v in place: on input v is a right-hand side indexed by
+// row, on output it holds x indexed by basis position. Structurally-zero
+// pivot positions are skipped, so sparse right-hand sides (unit columns,
+// sparse entering columns) cost far less than a dense solve.
+func (f *Factors) Ftran(v []float64) {
+	m := f.m
+	// L solve (forward, scatter form: skip zero pivots).
+	for k := 0; k < m; k++ {
+		val := v[f.rowPiv[k]]
+		if val == 0 {
+			continue
+		}
+		for e := f.lptr[k]; e < f.lptr[k+1]; e++ {
+			v[f.lrow[e]] -= f.lval[e] * val
+		}
+	}
+	// U solve (backward, scatter form), result per elimination step.
+	x := f.scratch
+	for k := m - 1; k >= 0; k-- {
+		t := v[f.rowPiv[k]]
+		if t != 0 {
+			t /= f.udiag[k]
+			for e := f.uptr[k]; e < f.uptr[k+1]; e++ {
+				v[f.rowPiv[f.urow[e]]] -= f.uval[e] * t
+			}
+		}
+		x[k] = t
+	}
+	// Permute steps back to basis positions.
+	for k := 0; k < m; k++ {
+		v[f.order[k]] = x[k]
+	}
+	// Apply the eta file in pivot order: B = B₀·E₁⋯E_k, so
+	// x = E_k⁻¹·…·E₁⁻¹·B₀⁻¹·v.
+	for i := range f.etas {
+		e := &f.etas[i]
+		pv := v[e.r]
+		if pv == 0 {
+			continue
+		}
+		pv /= e.piv
+		for t, idx := range e.idx {
+			v[idx] -= e.val[t] * pv
+		}
+		v[e.r] = pv
+	}
+}
+
+// Btran solves Bᵀ·y = v in place: on input v is indexed by basis position
+// (e.g. basic costs), on output it holds y indexed by row.
+func (f *Factors) Btran(v []float64) {
+	// Eta transposes in reverse pivot order.
+	for i := len(f.etas) - 1; i >= 0; i-- {
+		e := &f.etas[i]
+		s := v[e.r]
+		for t, idx := range e.idx {
+			s -= e.val[t] * v[idx]
+		}
+		v[e.r] = s / e.piv
+	}
+	m := f.m
+	// Column permutation, then Uᵀ solve (forward in elimination steps;
+	// gather form over the stored U columns).
+	z := f.scratch
+	for k := 0; k < m; k++ {
+		z[k] = v[f.order[k]]
+	}
+	for k := 0; k < m; k++ {
+		s := z[k]
+		for e := f.uptr[k]; e < f.uptr[k+1]; e++ {
+			s -= f.uval[e] * z[f.urow[e]]
+		}
+		z[k] = s / f.udiag[k]
+	}
+	// Lᵀ solve (backward; rows referenced by an L column are pivotal at
+	// later steps, whose y values are already final).
+	for k := m - 1; k >= 0; k-- {
+		s := z[k]
+		for e := f.lptr[k]; e < f.lptr[k+1]; e++ {
+			s -= f.lval[e] * v[f.lrow[e]]
+		}
+		v[f.rowPiv[k]] = s
+	}
+}
+
+// Clone returns a Factors sharing the immutable base LU with f but owning
+// its eta file and scratch space, so updates to either copy stay private.
+// This is what makes a factorization cacheable across warm starts.
+func (f *Factors) Clone() *Factors {
+	out := *f
+	out.etas = make([]eta, len(f.etas))
+	copy(out.etas, f.etas) // eta payload slices are append-only: share them
+	out.scratch = make([]float64, f.m)
+	return &out
+}

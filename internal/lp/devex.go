@@ -1,0 +1,183 @@
+package lp
+
+import "math"
+
+// Devex pricing (Harris 1973): approximate steepest-edge weights maintained
+// against a reference framework. The primal prices entering columns by
+// d_j²/w_j instead of the raw Dantzig rule |d_j|; the dual prices leaving
+// rows by infeasibility²/w_i. Weights start at 1 (the reference framework is
+// the current nonbasic set), are cheap to update from quantities the pivot
+// already computes (the pivot row for the primal, the FTRAN column for the
+// dual), and the framework is reset whenever a weight overflows its budget.
+
+const (
+	// devexMax bounds the weights; exceeding it resets the reference
+	// framework (all weights back to 1).
+	devexMax = 1e8
+	// priceSectionMin is the smallest sectional-scan size of the primal's
+	// partial pricing; tiny problems degrade to a full scan.
+	priceSectionMin = 128
+)
+
+// devexPrimalUpdate refreshes the entering-column weights for the pivot in
+// which column q enters at row r. Must run after pivotRow(r) (it reads
+// s.arow) and before the basis swap (it relies on the pre-pivot nonbasic
+// set). leaving is the column exiting the basis.
+func (s *solver) devexPrimalUpdate(q, r, leaving int) {
+	arq := s.arow[q]
+	if arq == 0 {
+		return
+	}
+	wq := s.devexW[q]
+	scale := wq / (arq * arq)
+	reset := false
+	for j := 0; j < s.N; j++ {
+		if s.vstat[j] == vsBasic || j == q {
+			continue
+		}
+		a := s.arow[j]
+		if a == 0 {
+			continue
+		}
+		if cand := a * a * scale; cand > s.devexW[j] {
+			if cand > devexMax {
+				reset = true
+				break
+			}
+			s.devexW[j] = cand
+		}
+	}
+	if reset {
+		for j := range s.devexW {
+			s.devexW[j] = 1
+		}
+		return
+	}
+	if wl := scale; wl > 1 {
+		s.devexW[leaving] = wl
+	} else {
+		s.devexW[leaving] = 1
+	}
+}
+
+// devexDualUpdate refreshes the leaving-row weights for the pivot in which
+// the basic variable of row r leaves. alpha is the FTRAN'd entering column.
+// Must run before the basis swap.
+func (s *solver) devexDualUpdate(alpha []float64, r int) {
+	ar := alpha[r]
+	if ar == 0 {
+		return
+	}
+	wr := s.dualW[r]
+	scale := wr / (ar * ar)
+	reset := false
+	for i := 0; i < s.m; i++ {
+		if i == r {
+			continue
+		}
+		a := alpha[i]
+		if a == 0 {
+			continue
+		}
+		if cand := a * a * scale; cand > s.dualW[i] {
+			if cand > devexMax {
+				reset = true
+				break
+			}
+			s.dualW[i] = cand
+		}
+	}
+	if reset {
+		for i := range s.dualW {
+			s.dualW[i] = 1
+		}
+		return
+	}
+	if scale > 1 {
+		s.dualW[r] = scale
+	} else {
+		s.dualW[r] = 1
+	}
+}
+
+// priceEntering selects an entering column, returning (-1, 0) at
+// (partial-pricing-certified) optimality.
+//
+// Under Bland's rule the full column range is scanned and the first eligible
+// index wins (the anti-cycling guarantee). Otherwise the scan is sectional
+// partial pricing: starting from a rotating cursor, columns are examined one
+// section at a time and the first section containing an eligible candidate
+// yields the one with the best Devex score d²/w. Only when every section
+// comes up empty — a full rescan of all N columns — is optimality declared,
+// so partial pricing never terminates early.
+func (s *solver) priceEntering() (int, float64) {
+	tol := s.opts.OptTol
+	if s.bland {
+		for j := 0; j < s.N; j++ {
+			st := s.vstat[j]
+			if st == vsBasic || s.lb[j] == s.ub[j] {
+				continue // fixed columns can never move
+			}
+			d := s.d[j]
+			var viol float64
+			switch st {
+			case vsLower:
+				viol = -d
+			case vsUpper:
+				viol = d
+			case vsFree:
+				viol = math.Abs(d)
+			}
+			if viol > tol {
+				return j, d // Bland: first eligible index
+			}
+		}
+		return -1, 0
+	}
+	section := s.N / 8
+	if section < priceSectionMin {
+		section = priceSectionMin
+	}
+	j := s.priceCursor
+	if j >= s.N {
+		j = 0
+	}
+	best, bestScore := -1, 0.0
+	for scanned := 0; scanned < s.N; {
+		end := scanned + section
+		if end > s.N {
+			end = s.N
+		}
+		for ; scanned < end; scanned++ {
+			jj := j
+			if j++; j == s.N {
+				j = 0
+			}
+			st := s.vstat[jj]
+			if st == vsBasic || s.lb[jj] == s.ub[jj] {
+				continue
+			}
+			d := s.d[jj]
+			var viol float64
+			switch st {
+			case vsLower:
+				viol = -d
+			case vsUpper:
+				viol = d
+			case vsFree:
+				viol = math.Abs(d)
+			}
+			if viol <= tol {
+				continue
+			}
+			if score := viol * viol / s.devexW[jj]; score > bestScore {
+				best, bestScore = jj, score
+			}
+		}
+		if best != -1 {
+			s.priceCursor = j
+			return best, s.d[best]
+		}
+	}
+	return -1, 0
+}

@@ -16,16 +16,26 @@ func (s *solver) dual(maxIters int) iterStatus {
 		if !s.dValid {
 			s.recomputeReducedCosts()
 		}
-		// Select the leaving row: the most primal-infeasible basic variable.
-		r, worst := -1, feas
+		// Select the leaving row among primal-infeasible basic variables.
+		// Devex-weighted (infeasibility²/w_i) normally; raw most-infeasible
+		// under Bland's rule to keep the anti-cycling behavior unchanged.
+		r, bestScore := -1, 0.0
 		below := false
 		for i := 0; i < s.m; i++ {
 			j := s.basis[i]
-			if v := s.lb[j] - s.xB[i]; v > worst {
-				r, worst, below = i, v, true
+			v, isBelow := s.lb[j]-s.xB[i], true
+			if v2 := s.xB[i] - s.ub[j]; v2 > v {
+				v, isBelow = v2, false
 			}
-			if v := s.xB[i] - s.ub[j]; v > worst {
-				r, worst, below = i, v, false
+			if v <= feas {
+				continue
+			}
+			score := v
+			if !s.bland {
+				score = v * v / s.dualW[i]
+			}
+			if score > bestScore {
+				r, bestScore, below = i, score, isBelow
 			}
 		}
 		if r == -1 {
@@ -115,6 +125,7 @@ func (s *solver) dual(maxIters int) iterStatus {
 			target = s.ub[leavingCol]
 			leaveStat = vsUpper
 		}
+		s.devexDualUpdate(s.alpha, r)
 		s.applyPivotToReducedCosts(q, leavingCol)
 		deltaQ := (s.xB[r] - target) / s.alpha[r]
 		enterVal := s.colValue(q) + deltaQ

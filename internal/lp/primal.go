@@ -56,7 +56,6 @@ func (s *solver) crashBasis() bool {
 			s.vstat[art] = vsLower
 			s.lb[art], s.ub[art] = 0, 0
 			s.xB[i] = act[i]
-			s.binv[i*m+i] = -1 // slack column is −e_i
 		default:
 			// Clamp the slack to its nearest bound; artificial covers the
 			// residual. Artificial column is +e_i, so z_i = act_i − s_i.
@@ -88,10 +87,12 @@ func (s *solver) crashBasis() bool {
 				s.lb[art], s.ub[art] = math.Inf(-1), 0
 				s.cost[art] = -1
 			}
-			s.binv[i*m+i] = 1 // artificial column is +e_i
 			needPhase1 = true
 		}
 	}
+	// The crash basis is diagonal (slack columns −e_i, artificials +e_i),
+	// so this factorization is trivial and cannot fail.
+	_ = s.refactor()
 	return needPhase1
 }
 
@@ -112,42 +113,6 @@ func (s *solver) sealArtificials() {
 			s.vstat[j] = vsLower
 		}
 	}
-}
-
-// priceEntering selects an entering column using the maintained reduced
-// costs, returning (-1, 0) at optimality.
-func (s *solver) priceEntering() (int, float64) {
-	tol := s.opts.OptTol
-	best, bestScore := -1, tol
-	for j := 0; j < s.N; j++ {
-		st := s.vstat[j]
-		if st == vsBasic || s.lb[j] == s.ub[j] {
-			continue // fixed columns can never move
-		}
-		d := s.d[j]
-		var score float64
-		switch st {
-		case vsLower:
-			score = -d
-		case vsUpper:
-			score = d
-		case vsFree:
-			score = math.Abs(d)
-		}
-		if score <= tol {
-			continue
-		}
-		if s.bland {
-			return j, d // Bland: first eligible index
-		}
-		if score > bestScore {
-			best, bestScore = j, score
-		}
-	}
-	if best == -1 {
-		return -1, 0
-	}
-	return best, s.d[best]
 }
 
 // primal runs primal simplex iterations with the current cost vector until
@@ -264,9 +229,10 @@ func (s *solver) primal(maxIters int) iterStatus {
 			s.noteProgress(t)
 			continue
 		}
-		// Basis change: update reduced costs via the pivot row BEFORE the
-		// basis swap, then apply the pivot.
+		// Basis change: update Devex weights and reduced costs via the
+		// pivot row BEFORE the basis swap, then apply the pivot.
 		s.pivotRow(leave)
+		s.devexPrimalUpdate(q, leave, int(s.basis[leave]))
 		s.applyPivotToReducedCosts(q, int(s.basis[leave]))
 		enterVal := s.colValue(q) + dir*t
 		for i := 0; i < s.m; i++ {

@@ -219,7 +219,15 @@ func (o *Options) withDefaults(rows, cols int) Options {
 }
 
 // Solve solves the problem from scratch (or from opts.WarmBasis when given).
+// Cold solves first run the presolve reductions (see presolve.go) and map
+// the reduced solution back; warm-started solves skip presolve because the
+// supplied basis is stated over the unreduced problem.
 func Solve(p *Problem, opts *Options) Result {
+	if opts == nil || opts.WarmBasis == nil {
+		if ps := presolve(p); ps != nil {
+			return ps.solve(opts)
+		}
+	}
 	inst := NewInstance(p)
 	return inst.Solve(opts)
 }

@@ -18,20 +18,26 @@ func (s *solver) recomputeReducedCosts() {
 	s.dFresh = true
 }
 
-// pivotRow fills s.arow[j] = (e_r·B⁻¹)·A_j for every nonbasic column j
-// (the r-th row of the simplex tableau restricted to nonbasic columns).
+// pivotRow fills s.arow[j] = (e_r·B⁻¹)·A_j for every column j (the r-th row
+// of the simplex tableau; consumers skip basic columns). It exploits the
+// sparsity of ρ = e_r·B⁻¹ by scattering row-wise — only matrix rows with a
+// nonzero multiplier are touched — rather than gathering per column.
 func (s *solver) pivotRow(r int) {
 	s.btranRow(r, s.rho)
-	for j := 0; j < s.N; j++ {
-		if s.vstat[j] == vsBasic {
+	for j := range s.arow {
+		s.arow[j] = 0
+	}
+	n, nm := s.inst.n, s.nm
+	for i, rv := range s.rho {
+		if rv == 0 {
 			continue
 		}
-		idx, val := s.col(j)
-		a := 0.0
-		for k, row := range idx {
-			a += s.rho[row] * val[k]
+		idx, val := s.inst.p.Row(i)
+		for k, j := range idx {
+			s.arow[j] += rv * val[k]
 		}
-		s.arow[j] = a
+		s.arow[n+i] = -rv // slack column −e_i
+		s.arow[nm+i] = rv // artificial column +e_i
 	}
 }
 

@@ -5,7 +5,7 @@ import (
 	"math"
 	"time"
 
-	"tvnep/internal/linalg"
+	"tvnep/internal/linalg/sparselu"
 )
 
 // Nonbasic/basic variable statuses. Exported values appear in Basis
@@ -23,14 +23,26 @@ const (
 	stallLimit = 400   // degenerate iterations before switching to Bland's rule
 )
 
-// refactorEvery returns the number of product-form updates tolerated before
-// a scheduled refactorization. Refactorization costs O(m³) while updates
-// cost O(m²), so larger bases amortize it over proportionally more pivots.
+// refactorEvery returns the number of eta-file updates tolerated before a
+// scheduled refactorization. A sparse refactorization costs O(nnz·fill)
+// while every eta lengthens all subsequent FTRAN/BTRAN solves, so the
+// trade-off favors fairly frequent refactorization; larger bases still
+// amortize it over proportionally more pivots.
 func refactorEvery(m int) int {
 	if n := m / 2; n > 120 {
 		return n
 	}
 	return 120
+}
+
+// etaNNZBudget bounds the total eta-file size before a refactorization is
+// forced regardless of the update count: dense pivot columns (up to m
+// entries each) would otherwise make the product-form solves quadratic.
+func etaNNZBudget(m int) int {
+	if n := 8 * m; n > 512 {
+		return n
+	}
+	return 512
 }
 
 // Instance is a solvable snapshot of a Problem with mutable column bounds.
@@ -44,45 +56,45 @@ type Instance struct {
 	colIdx [][]int32 // structural columns only
 	colVal [][]float64
 
+	unitIdx []int32 // unitIdx[i] = i; slack/artificial column index storage
+
 	lb, ub []float64 // length n+m: structural bounds then row (slack) bounds
 	objMin []float64 // minimization costs for structural columns
 	negate bool      // true if original sense was Maximize
 
-	// Basis-inverse cache: the inverses matching the basis snapshots most
-	// recently returned by solves on this instance. Warm starts that adopt
-	// exactly one of those snapshots (the common branch-and-bound case:
-	// both children reuse the parent's final basis) skip the O(m³)
-	// refactorization. A small ring suffices because siblings are solved
-	// close together. Instances are not safe for concurrent use.
-	cache    [4]binvCacheEntry
+	// Factorization cache: the sparse LU factors matching the basis
+	// snapshots most recently returned by solves on this instance. Warm
+	// starts that adopt exactly one of those snapshots (the common
+	// branch-and-bound case: both children reuse the parent's final basis)
+	// skip the refactorization entirely. A small ring suffices because
+	// siblings are solved close together. Instances are not safe for
+	// concurrent use.
+	cache    [4]facCacheEntry
 	cachePos int
 }
 
-type binvCacheEntry struct {
-	key  *Basis
-	binv []float64
+type facCacheEntry struct {
+	key *Basis
+	fac *sparselu.Factors
 }
 
-// cachedBinv returns the cached inverse for the snapshot, or nil.
-func (inst *Instance) cachedBinv(b *Basis) []float64 {
+// cachedFactors returns the cached factorization for the snapshot, or nil.
+func (inst *Instance) cachedFactors(b *Basis) *sparselu.Factors {
 	for i := range inst.cache {
 		if inst.cache[i].key == b {
-			return inst.cache[i].binv
+			return inst.cache[i].fac
 		}
 	}
 	return nil
 }
 
-// storeBinv remembers the inverse for a snapshot.
-func (inst *Instance) storeBinv(b *Basis, binv []float64) {
+// storeFactors remembers the factorization for a snapshot. The entry is a
+// clone, so the donating solver's later eta updates stay private.
+func (inst *Instance) storeFactors(b *Basis, fac *sparselu.Factors) {
 	e := &inst.cache[inst.cachePos]
 	inst.cachePos = (inst.cachePos + 1) % len(inst.cache)
 	e.key = b
-	if cap(e.binv) < len(binv) {
-		e.binv = make([]float64, len(binv))
-	}
-	e.binv = e.binv[:len(binv)]
-	copy(e.binv, binv)
+	e.fac = fac.Clone()
 }
 
 // NewInstance compiles p into column-major form.
@@ -99,9 +111,11 @@ func NewInstance(p *Problem) *Instance {
 	}
 	copy(inst.lb, p.ColLB)
 	copy(inst.ub, p.ColUB)
+	inst.unitIdx = make([]int32, m)
 	for i := 0; i < m; i++ {
 		inst.lb[n+i] = p.RowLB[i]
 		inst.ub[n+i] = p.RowUB[i]
+		inst.unitIdx[i] = int32(i)
 	}
 	for j := 0; j < n; j++ {
 		inst.objMin[j] = p.Obj[j]
@@ -117,9 +131,17 @@ func NewInstance(p *Problem) *Instance {
 			counts[j]++
 		}
 	}
+	nnz := 0
+	for _, c := range counts {
+		nnz += c
+	}
+	idxBack := make([]int32, nnz) // shared backing: two allocations, not 2n
+	valBack := make([]float64, nnz)
+	off := 0
 	for j := 0; j < n; j++ {
-		inst.colIdx[j] = make([]int32, 0, counts[j])
-		inst.colVal[j] = make([]float64, 0, counts[j])
+		inst.colIdx[j] = idxBack[off : off : off+counts[j]]
+		inst.colVal[j] = valBack[off : off : off+counts[j]]
+		off += counts[j]
 	}
 	for i := 0; i < m; i++ {
 		idx, val := p.Row(i)
@@ -162,8 +184,8 @@ type solver struct {
 	basis   []int32   // length m
 	inBasis []int32   // length N, row position or -1
 
-	binv []float64 // column-major m×m basis inverse: binv[k*m+i] = B⁻¹[i][k]
-	xB   []float64 // basic variable values
+	fac *sparselu.Factors // sparse LU of the basis + eta updates
+	xB  []float64         // basic variable values
 
 	// workspaces
 	alpha []float64
@@ -177,6 +199,14 @@ type solver struct {
 	dValid  bool
 	dFresh  bool // d recomputed from scratch since the last pivot
 	xbFresh bool // xB recomputed from scratch since the last pivot
+
+	// Devex reference-framework weights (see devex.go): devexW prices
+	// entering columns in the primal, dualW prices leaving rows in the
+	// dual. priceCursor is the rotating start of the primal's sectional
+	// candidate scan.
+	devexW      []float64
+	dualW       []float64
+	priceCursor int
 
 	opts       Options
 	iters      int
@@ -194,12 +224,18 @@ func newSolver(inst *Instance, opts Options) *solver {
 		cost: make([]float64, n+2*m), real: make([]float64, n+2*m),
 		vstat: make([]int8, n+2*m), basis: make([]int32, m),
 		inBasis: make([]int32, n+2*m),
-		binv:    make([]float64, m*m),
 		xB:      make([]float64, m),
 		alpha:   make([]float64, m), y: make([]float64, m),
 		rho: make([]float64, m), work: make([]float64, m),
 		d: make([]float64, n+2*m), arow: make([]float64, n+2*m),
+		devexW: make([]float64, n+2*m), dualW: make([]float64, m),
 		opts: opts, lastPivotQ: -1,
+	}
+	for j := range s.devexW {
+		s.devexW[j] = 1
+	}
+	for i := range s.dualW {
+		s.dualW[i] = 1
 	}
 	copy(s.lb, inst.lb)
 	copy(s.ub, inst.ub)
@@ -215,17 +251,26 @@ func newSolver(inst *Instance, opts Options) *solver {
 	return s
 }
 
-// col returns the sparse column j of the full matrix [A | −I | +I].
+// Shared single-entry value slices for the slack (−1) and artificial (+1)
+// unit columns. Read-only; never mutate.
+var (
+	negUnitVal = []float64{-1}
+	posUnitVal = []float64{1}
+)
+
+// col returns the sparse column j of the full matrix [A | −I | +I]. The
+// returned slices are shared storage; callers must not mutate or retain
+// them across basis changes.
 func (s *solver) col(j int) ([]int32, []float64) {
 	switch {
 	case j < s.inst.n:
 		return s.inst.colIdx[j], s.inst.colVal[j]
 	case j < s.nm:
-		r := int32(j - s.inst.n)
-		return []int32{r}, []float64{-1}
+		r := j - s.inst.n
+		return s.inst.unitIdx[r : r+1], negUnitVal
 	default:
-		r := int32(j - s.nm)
-		return []int32{r}, []float64{1}
+		r := j - s.nm
+		return s.inst.unitIdx[r : r+1], posUnitVal
 	}
 }
 
@@ -256,28 +301,27 @@ func (s *solver) defaultStatus(j int) int8 {
 	}
 }
 
-// ftran computes alpha ← B⁻¹·A_j.
+// ftran computes alpha ← B⁻¹·A_j via a hyper-sparse forward solve: the
+// entering column is scattered into alpha and solved in place, skipping
+// structurally-zero positions.
 func (s *solver) ftran(j int, alpha []float64) {
 	for i := range alpha {
 		alpha[i] = 0
 	}
 	idx, val := s.col(j)
-	m := s.m
 	for k, r := range idx {
-		linalg.Axpy(val[k], s.binv[int(r)*m:int(r)*m+m], alpha)
+		alpha[r] += val[k]
 	}
+	s.fac.Ftran(alpha)
 }
 
-// computeDuals fills s.y with yᵀ = c_Bᵀ·B⁻¹ for the active phase costs.
+// computeDuals fills s.y with the solution of Bᵀ·y = c_B for the active
+// phase costs.
 func (s *solver) computeDuals() {
-	m := s.m
-	cB := s.work[:m]
-	for i := 0; i < m; i++ {
-		cB[i] = s.cost[s.basis[i]]
+	for i := 0; i < s.m; i++ {
+		s.y[i] = s.cost[s.basis[i]]
 	}
-	for k := 0; k < m; k++ {
-		s.y[k] = linalg.Dot(cB, s.binv[k*m:k*m+m])
-	}
+	s.fac.Btran(s.y)
 }
 
 // reducedCost returns d_j = c_j − yᵀ·A_j using the currently computed duals.
@@ -290,21 +334,21 @@ func (s *solver) reducedCost(j int) float64 {
 	return d
 }
 
-// btranRow fills rho with row r of B⁻¹.
+// btranRow fills rho with row r of B⁻¹, i.e. the solution of Bᵀ·ρ = e_r
+// (a maximally sparse right-hand side for the backward solve).
 func (s *solver) btranRow(r int, rho []float64) {
-	m := s.m
-	for k := 0; k < m; k++ {
-		rho[k] = s.binv[k*m+r]
+	for k := range rho {
+		rho[k] = 0
 	}
+	rho[r] = 1
+	s.fac.Btran(rho)
 }
 
 // computeXB recomputes the basic values from scratch:
 // x_B = −B⁻¹·(Σ nonbasic A_j·value_j).
 func (s *solver) computeXB() {
-	m := s.m
-	rhs := s.work[:m]
-	for i := range rhs {
-		rhs[i] = 0
+	for i := range s.xB {
+		s.xB[i] = 0
 	}
 	for j := 0; j < s.N; j++ {
 		if s.vstat[j] == vsBasic {
@@ -316,69 +360,35 @@ func (s *solver) computeXB() {
 		}
 		idx, val := s.col(j)
 		for k, r := range idx {
-			rhs[r] += val[k] * v
+			s.xB[r] -= val[k] * v
 		}
 	}
-	for i := range s.xB {
-		s.xB[i] = 0
-	}
-	for k := 0; k < m; k++ {
-		if rhs[k] != 0 {
-			linalg.Axpy(-rhs[k], s.binv[k*m:k*m+m], s.xB)
-		}
-	}
+	s.fac.Ftran(s.xB)
 }
 
-// refactor rebuilds the basis inverse from scratch. Returns linalg.ErrSingular
-// if the basis matrix is singular.
+// refactor rebuilds the sparse LU factorization of the basis from scratch,
+// discarding the eta file. Returns sparselu.ErrSingular if the basis matrix
+// is singular.
 func (s *solver) refactor() error {
 	m := s.m
-	if m == 0 {
-		return nil
-	}
-	B := linalg.NewDense(m, m)
+	colIdx := make([][]int32, m)
+	colVal := make([][]float64, m)
 	for pos := 0; pos < m; pos++ {
-		idx, val := s.col(int(s.basis[pos]))
-		for k, r := range idx {
-			B.Set(int(r), pos, val[k])
-		}
+		colIdx[pos], colVal[pos] = s.col(int(s.basis[pos]))
 	}
-	inv, err := linalg.Invert(B)
+	fac, err := sparselu.Factorize(m, colIdx, colVal)
 	if err != nil {
 		return err
 	}
-	// inv is row-major B⁻¹; store column-major.
-	for k := 0; k < m; k++ {
-		dst := s.binv[k*m : k*m+m]
-		for i := 0; i < m; i++ {
-			dst[i] = inv.At(i, k)
-		}
-	}
+	s.fac = fac
 	s.sincefac = 0
 	return nil
 }
 
-// updateBinv applies the pivot (entering column with ftran vector alpha,
-// leaving row r) to the explicit inverse.
-func (s *solver) updateBinv(alpha []float64, r int) {
-	m := s.m
-	ar := alpha[r]
-	for k := 0; k < m; k++ {
-		c := s.binv[k*m : k*m+m]
-		cr := c[r]
-		if cr == 0 {
-			continue
-		}
-		pr := cr / ar
-		if math.Abs(pr) < dropTol {
-			c[r] = 0
-			continue
-		}
-		for i := range c {
-			c[i] -= alpha[i] * pr
-		}
-		c[r] = pr
-	}
+// updateFactors applies the pivot (entering column with ftran vector alpha,
+// leaving row r) as an eta-file update.
+func (s *solver) updateFactors(alpha []float64, r int) {
+	s.fac.Update(alpha, r)
 	s.sincefac++
 }
 
@@ -391,11 +401,11 @@ func (s *solver) pivot(q int, r int, alpha []float64, enterVal float64, leaveSta
 	s.basis[r] = int32(q)
 	s.inBasis[q] = int32(r)
 	s.vstat[q] = vsBasic
-	s.updateBinv(alpha, r)
+	s.updateFactors(alpha, r)
 	s.xB[r] = enterVal
 	s.lastPivotQ = q
 	s.xbFresh = false
-	if s.sincefac >= refactorEvery(s.m) {
+	if s.sincefac >= refactorEvery(s.m) || s.fac.EtaNNZ() >= etaNNZBudget(s.m) {
 		if err := s.refactor(); err == nil {
 			s.computeXB()
 			s.dValid = false // refresh reduced costs against numerical drift
@@ -434,10 +444,11 @@ func (s *solver) adoptBasis(b *Basis) bool {
 		s.vstat[j] = vsBasic
 	}
 	usedCache := false
-	if cached := s.inst.cachedBinv(b); cached != nil && len(cached) == s.m*s.m {
-		// The inverse depends only on the basis columns, which match the
-		// cached snapshot exactly; bound changes do not invalidate it.
-		copy(s.binv, cached)
+	if cached := s.inst.cachedFactors(b); cached != nil && cached.M() == s.m {
+		// The factorization depends only on the basis columns, which match
+		// the cached snapshot exactly; bound changes do not invalidate it.
+		// Clone so this solver's eta updates stay out of the cache.
+		s.fac = cached.Clone()
 		usedCache = true
 		DebugCacheHits.Add(1)
 	}

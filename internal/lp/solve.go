@@ -12,9 +12,20 @@ func (inst *Instance) Solve(opts *Options) Result {
 	o := opts.withDefaults(inst.m, inst.n)
 
 	if o.WarmBasis != nil {
-		if res, ok := inst.solveWarm(o); ok {
+		res, used, ok := inst.solveWarm(o)
+		if ok {
 			return res
 		}
+		// One shared budget: iterations burned by the failed warm attempt
+		// come out of the cold fallback's allowance, so a warm-started
+		// solve can never run up to twice MaxIters.
+		o.MaxIters -= used
+		if o.MaxIters <= 0 {
+			return Result{Status: StatusIterLimit, Iterations: used}
+		}
+		res = inst.solveCold(o)
+		res.Iterations += used
+		return res
 	}
 	return inst.solveCold(o)
 }
@@ -30,33 +41,36 @@ var (
 )
 
 // solveWarm attempts a dual-simplex warm start. The boolean result reports
-// whether the attempt produced a conclusive answer.
-func (inst *Instance) solveWarm(o Options) (Result, bool) {
+// whether the attempt produced a conclusive answer; iters is the number of
+// simplex iterations consumed either way, so an inconclusive attempt can be
+// charged against the cold fallback's budget.
+func (inst *Instance) solveWarm(o Options) (res Result, iters int, ok bool) {
 	DebugWarmAttempts.Add(1)
 	s := newSolver(inst, o)
 	copy(s.cost, s.real)
 	if !s.adoptBasis(o.WarmBasis) {
-		return Result{}, false
+		return Result{}, 0, false
 	}
 	DebugWarmOK.Add(1)
 	st := s.dual(o.MaxIters)
 	switch st {
 	case iterOptimal:
 		// Polish: the dual run restored primal feasibility; a short primal
-		// run certifies optimality (usually zero iterations).
+		// run certifies optimality (usually zero iterations). The two runs
+		// share s.iters, so MaxIters bounds their sum.
 		st2 := s.primal(o.MaxIters)
 		switch st2 {
 		case iterOptimal:
-			return s.result(StatusOptimal), true
+			return s.result(StatusOptimal), s.iters, true
 		case iterUnbounded:
-			return s.result(StatusUnbounded), true
+			return s.result(StatusUnbounded), s.iters, true
 		default:
-			return Result{}, false
+			return Result{}, s.iters, false
 		}
 	case iterInfeasible:
-		return s.result(StatusInfeasible), true
+		return s.result(StatusInfeasible), s.iters, true
 	default:
-		return Result{}, false // numeric trouble or limit: retry cold
+		return Result{}, s.iters, false // numeric trouble or limit: retry cold
 	}
 }
 
@@ -139,9 +153,9 @@ func (s *solver) result(status Status) Result {
 	}
 	if status == StatusOptimal || status == StatusInfeasible {
 		res.Basis = s.snapshot()
-		// Remember the inverse for this snapshot so warm starts from it
-		// (both branch-and-bound children) skip refactorization.
-		inst.storeBinv(res.Basis, s.binv)
+		// Remember the factorization for this snapshot so warm starts from
+		// it (both branch-and-bound children) skip refactorization.
+		inst.storeFactors(res.Basis, s.fac)
 	}
 	return res
 }

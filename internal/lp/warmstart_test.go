@@ -1,0 +1,152 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// warmCounters snapshots the package debug counters around a block.
+func warmCounters(f func()) (attempts, ok, cacheHits int64) {
+	a0, o0, c0 := DebugWarmAttempts.Load(), DebugWarmOK.Load(), DebugCacheHits.Load()
+	f()
+	return DebugWarmAttempts.Load() - a0, DebugWarmOK.Load() - o0, DebugCacheHits.Load() - c0
+}
+
+// TestWarmStartCacheHit: re-solving on the same Instance from the basis it
+// just returned must adopt the cached factorization (a cache hit) and
+// succeed as a warm start.
+func TestWarmStartCacheHit(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p, _ := buildRandomLP(rng, 8, 10)
+	inst := NewInstance(p)
+	res := inst.Solve(nil)
+	if res.Status != StatusOptimal {
+		t.Fatalf("cold status %v", res.Status)
+	}
+	attempts, ok, hits := warmCounters(func() {
+		warm := inst.Solve(&Options{WarmBasis: res.Basis})
+		if warm.Status != StatusOptimal {
+			t.Fatalf("warm status %v", warm.Status)
+		}
+		if math.Abs(warm.Obj-res.Obj) > 1e-7*(1+math.Abs(res.Obj)) {
+			t.Fatalf("warm obj %v vs cold %v", warm.Obj, res.Obj)
+		}
+	})
+	if attempts != 1 || ok != 1 {
+		t.Fatalf("warm attempts/ok = %d/%d, want 1/1", attempts, ok)
+	}
+	if hits < 1 {
+		t.Fatalf("expected a factorization cache hit, got %d", hits)
+	}
+}
+
+// TestWarmStartCacheMiss: a basis snapshot from a DIFFERENT Instance is a
+// valid warm basis (dimensions match) but cannot hit this instance's
+// factorization cache — the solver must refactorize and still succeed.
+func TestWarmStartCacheMiss(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	p, _ := buildRandomLP(rng, 8, 10)
+	other := NewInstance(p)
+	res := other.Solve(nil)
+	if res.Status != StatusOptimal {
+		t.Fatalf("cold status %v", res.Status)
+	}
+	inst := NewInstance(p)
+	attempts, ok, hits := warmCounters(func() {
+		warm := inst.Solve(&Options{WarmBasis: res.Basis.Clone()})
+		if warm.Status != StatusOptimal {
+			t.Fatalf("warm status %v", warm.Status)
+		}
+		if math.Abs(warm.Obj-res.Obj) > 1e-7*(1+math.Abs(res.Obj)) {
+			t.Fatalf("warm obj %v vs cold %v", warm.Obj, res.Obj)
+		}
+	})
+	if attempts != 1 || ok != 1 {
+		t.Fatalf("warm attempts/ok = %d/%d, want 1/1", attempts, ok)
+	}
+	if hits != 0 {
+		t.Fatalf("cache hits = %d on a fresh instance, want 0", hits)
+	}
+}
+
+// TestWarmStartIncompatibleBasis: a basis of the wrong dimensions must be
+// rejected by adoptBasis and fall back to a conclusive cold solve, with the
+// attempt counted but not the success.
+func TestWarmStartIncompatibleBasis(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	p, _ := buildRandomLP(rng, 8, 10)
+	small, _ := buildRandomLP(rng, 4, 5)
+	smallRes := NewInstance(small).Solve(nil)
+	if smallRes.Status != StatusOptimal {
+		t.Fatalf("small cold status %v", smallRes.Status)
+	}
+	cold := NewInstance(p).Solve(nil)
+
+	inst := NewInstance(p)
+	attempts, ok, _ := warmCounters(func() {
+		warm := inst.Solve(&Options{WarmBasis: smallRes.Basis})
+		if warm.Status != StatusOptimal {
+			t.Fatalf("fallback status %v", warm.Status)
+		}
+		if math.Abs(warm.Obj-cold.Obj) > 1e-7*(1+math.Abs(cold.Obj)) {
+			t.Fatalf("fallback obj %v vs cold %v", warm.Obj, cold.Obj)
+		}
+	})
+	if attempts != 1 || ok != 0 {
+		t.Fatalf("warm attempts/ok = %d/%d, want 1/0 (incompatible basis)", attempts, ok)
+	}
+
+	// A duplicated basic entry must also be rejected.
+	bad := cold.Basis.Clone()
+	if len(bad.Basic) >= 2 {
+		bad.Basic[1] = bad.Basic[0]
+		attempts, ok, _ = warmCounters(func() {
+			if r := inst.Solve(&Options{WarmBasis: bad}); r.Status != StatusOptimal {
+				t.Fatalf("fallback status %v", r.Status)
+			}
+		})
+		if attempts != 1 || ok != 0 {
+			t.Fatalf("warm attempts/ok = %d/%d, want 1/0 (duplicate basic)", attempts, ok)
+		}
+	}
+}
+
+// TestFactorizationCacheRing: the cache keeps the last 4 snapshots keyed by
+// pointer; a 5th evicts the oldest (FIFO ring), while the newest 4 all hit.
+func TestFactorizationCacheRing(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	p, _ := buildRandomLP(rng, 10, 8)
+	inst := NewInstance(p)
+	res := inst.Solve(nil)
+	if res.Status != StatusOptimal {
+		t.Fatalf("cold status %v", res.Status)
+	}
+
+	// Produce 5 distinct snapshots by nudging bounds and re-solving warm;
+	// each optimal solve stores its own basis in the ring.
+	bases := []*Basis{res.Basis}
+	for k := 0; len(bases) < 5 && k < 20; k++ {
+		j := rng.Intn(p.NumCols())
+		if math.IsInf(p.ColUB[j], 1) || p.ColUB[j]-p.ColLB[j] < 1e-6 {
+			continue
+		}
+		inst.SetColBounds(j, p.ColLB[j], p.ColLB[j]+(p.ColUB[j]-p.ColLB[j])*0.9)
+		r := inst.Solve(&Options{WarmBasis: bases[len(bases)-1]})
+		if r.Status != StatusOptimal || r.Basis == bases[len(bases)-1] {
+			continue
+		}
+		bases = append(bases, r.Basis)
+	}
+	if len(bases) < 5 {
+		t.Skip("could not generate 5 distinct basis snapshots")
+	}
+	if inst.cachedFactors(bases[0]) != nil {
+		t.Fatal("oldest snapshot still cached after 4 newer stores (ring should evict FIFO)")
+	}
+	for i := 1; i < 5; i++ {
+		if inst.cachedFactors(bases[i]) == nil {
+			t.Fatalf("snapshot %d of the last 4 missing from the cache ring", i)
+		}
+	}
+}

@@ -98,6 +98,11 @@ func New(name string, sense Sense) *Model {
 	return m
 }
 
+// LP exposes the underlying LP problem (shared storage; callers must treat
+// it as read-only). It exists so external checks — presolve round-trip
+// tests, feasibility audits — can inspect the exact rows the solver sees.
+func (m *Model) LP() *lp.Problem { return m.lp }
+
 // NumVars reports the number of variables.
 func (m *Model) NumVars() int { return m.lp.NumCols() }
 
