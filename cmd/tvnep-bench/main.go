@@ -46,6 +46,7 @@ func main() {
 		cols     = flag.Int("cols", 0, "substrate grid cols override")
 		requests = flag.Int("requests", 0, "requests per scenario override")
 		flexList = flag.String("flex", "", "comma-separated flexibility steps in minutes (default per config)")
+		certFlag = flag.Bool("certify", false, "run the full internal/certify certificate on every sweep solution; exit non-zero on any violation")
 		verbose  = flag.Bool("v", false, "print per-solve progress")
 		progFlag = flag.Bool("progress", false, "stream branch-and-bound progress (incumbents, node counts) to stderr")
 		jsonMode = flag.Bool("json", false, "run the LP solver micro-benchmarks and write a machine-readable report instead of figures")
@@ -113,6 +114,7 @@ func main() {
 	}
 	counters := &eval.Counters{}
 	cfg.Counters = counters
+	cfg.Certify = *certFlag
 	if *progFlag {
 		// The callback fires from whichever worker goroutine owns the solve;
 		// lines may interleave between concurrent solves but each line is
@@ -202,5 +204,10 @@ func main() {
 	if ctx.Err() != nil {
 		fmt.Println("# sweep interrupted — summaries cover completed solves only")
 		os.Exit(130)
+	}
+	if failed := counters.CertifyFailed.Load(); failed > 0 {
+		fmt.Fprintf(os.Stderr, "tvnep-bench: %d of %d certificates failed\n",
+			failed, counters.Certified.Load())
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,194 @@
+// tvnep-lint is the repository's custom static-analysis gate: the floateq,
+// ctxflow and errdrop analyzers (see internal/analyzers) packaged as a
+// `go vet -vettool`. It speaks the cmd/go unitchecker protocol directly —
+// no golang.org/x/tools dependency — so it builds offline from the standard
+// library alone.
+//
+// Usage:
+//
+//	go vet -vettool=$(command -v tvnep-lint) ./...   # vettool mode
+//	tvnep-lint ./...                                 # standalone: re-execs go vet
+//
+// Findings print to stderr as file:line:col: analyzer: message and make the
+// process exit non-zero, so the tool doubles as a CI gate. Intentional
+// violations are waived in source with `//lint:allow <analyzer> -- reason`.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+
+	"tvnep/internal/analysis"
+	"tvnep/internal/analyzers"
+)
+
+func main() {
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && (args[0] == "-V=full" || args[0] == "--V=full"):
+		printVersion()
+	case len(args) == 1 && (args[0] == "-flags" || args[0] == "--flags"):
+		// No tool-specific flags; cmd/go requires valid JSON here.
+		fmt.Println("[]")
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		runUnit(args[0])
+	default:
+		standalone(args)
+	}
+}
+
+// printVersion answers cmd/go's tool-identity probe. The buildID must
+// change whenever the tool's behavior changes, so it is a content hash of
+// the executable itself — stale vet caches invalidate automatically after
+// a rebuild.
+func printVersion() {
+	progname, _ := os.Executable()
+	h := sha256.New()
+	if f, err := os.Open(progname); err == nil {
+		_, _ = io.Copy(h, f) //lint:allow errdrop -- hash of self is best-effort; a partial hash still changes on rebuild
+		f.Close()
+	}
+	fmt.Printf("%s version devel buildID=%x\n", progname, h.Sum(nil))
+}
+
+// standalone re-execs `go vet -vettool=<self>` so `tvnep-lint ./...` works
+// as a plain command, with cmd/go doing the package loading.
+func standalone(patterns []string) {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tvnep-lint: %v\n", err)
+		os.Exit(1)
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "tvnep-lint: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// unitConfig mirrors the JSON config cmd/go writes for each package when
+// driving a vettool (the unitchecker protocol).
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes one package as described by the .cfg file and exits with
+// cmd/go's expected status: 0 clean, 2 findings, 1 operational failure.
+func runUnit(cfgPath string) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatalf("read config: %v", err)
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("parse config %s: %v", cfgPath, err)
+	}
+	// cmd/go schedules the tool over dependencies (stdlib included) purely
+	// to propagate facts. This suite keeps no cross-package facts, so
+	// fact-only invocations just acknowledge with an output file.
+	if cfg.VetxOnly {
+		writeVetx(cfg.VetxOutput)
+		os.Exit(0)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx(cfg.VetxOutput)
+				os.Exit(0)
+			}
+			fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+			if canon, ok := cfg.ImportMap[path]; ok {
+				path = canon
+			}
+			file, ok := cfg.PackageFile[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(file)
+		}),
+		Sizes: types.SizesFor(cfg.Compiler, "amd64"),
+	}
+	if cfg.GoVersion != "" {
+		conf.GoVersion = cfg.GoVersion
+	}
+	info := analysis.NewTypesInfo()
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx(cfg.VetxOutput)
+			os.Exit(0)
+		}
+		fatalf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+
+	diags, err := analysis.Run(fset, files, pkg, info, analyzers.All)
+	if err != nil {
+		fatalf("analyze %s: %v", cfg.ImportPath, err)
+	}
+	writeVetx(cfg.VetxOutput)
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+// writeVetx writes the (empty) facts file cmd/go expects at VetxOutput.
+func writeVetx(path string) {
+	if path == "" {
+		return
+	}
+	if err := os.WriteFile(path, []byte("tvnep-lint facts v1\n"), 0o666); err != nil {
+		fatalf("write vetx: %v", err)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "tvnep-lint: "+format+"\n", args...)
+	os.Exit(1)
+}

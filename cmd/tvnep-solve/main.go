@@ -18,8 +18,10 @@ import (
 	"strings"
 	"time"
 
+	"tvnep/internal/certify"
 	"tvnep/internal/core"
 	"tvnep/internal/greedy"
+	"tvnep/internal/lp"
 	"tvnep/internal/model"
 	"tvnep/internal/prof"
 	"tvnep/internal/solution"
@@ -36,6 +38,7 @@ func main() {
 		noCuts    = flag.Bool("nocuts", false, "disable temporal dependency graph cuts (cΣ only)")
 		noPre     = flag.Bool("nopresolve", false, "disable the activity-interval presolve (cΣ only)")
 		freeMap   = flag.Bool("freemap", false, "ignore the scenario's fixed node mapping and let the model place nodes")
+		doCertify = flag.Bool("certify", false, "run the full internal/certify certificate (named violations, objective recomputation, root-LP optimality certificate)")
 		timeline  = flag.Bool("timeline", false, "print the piecewise-constant substrate utilization timeline")
 		progFlag  = flag.Bool("progress", false, "stream branch-and-bound progress (incumbents, node counts) to stderr")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -112,6 +115,7 @@ func main() {
 	}
 
 	var sol *solution.Solution
+	var built *core.Built
 	start := time.Now()
 	if *useGreedy {
 		if obj != core.AccessControl {
@@ -131,6 +135,7 @@ func main() {
 			DisableCuts:     *noCuts,
 			DisablePresolve: *noPre,
 		})
+		built = b
 		fmt.Printf("model: %v  objective: %v  vars=%d constrs=%d ints=%d\n",
 			form, obj, b.Model.NumVars(), b.Model.NumConstrs(), b.Model.NumIntVars())
 		var ms *model.Solution
@@ -147,6 +152,26 @@ func main() {
 
 	if err := solution.Check(sc.Substrate, sc.Requests, sol); err != nil {
 		fail(fmt.Errorf("solution failed independent verification: %w", err))
+	}
+	if *doCertify {
+		rep := certify.Solution(inst, sol, certify.Options{Objective: obj, Mapping: mapping})
+		if err := rep.Err(); err != nil {
+			fail(fmt.Errorf("solution failed certification: %w", err))
+		}
+		fmt.Printf("certificate: solution OK (recomputed objective %.6g)\n", rep.RecomputedObjective)
+		if built != nil {
+			// Independent optimality certificate of the root relaxation:
+			// re-solve the LP cold and verify primal/dual feasibility and
+			// strong duality on the postsolved result.
+			lpp := built.Model.LP()
+			res := lp.Solve(lpp, nil)
+			cert := certify.LP(lpp, res, 0)
+			if err := cert.Err(); err != nil {
+				fail(fmt.Errorf("root LP failed certification: %w", err))
+			}
+			fmt.Printf("certificate: root LP OK (status %v, primal residual %.3g, dual residual %.3g, duality gap %.3g)\n",
+				res.Status, cert.PrimalResidual, cert.DualResidual, cert.DualityGap)
+		}
 	}
 	fmt.Printf("runtime: %.3fs   objective: %.4f   accepted: %d/%d   verified: OK\n",
 		elapsed.Seconds(), sol.Objective, sol.NumAccepted(), len(sc.Requests))

@@ -23,6 +23,10 @@ import (
 	"tvnep/internal/vnet"
 )
 
+// flowPrintCutoff is the flow fraction below which a link is omitted from
+// the printed route breakdown.
+const flowPrintCutoff = 1e-6
+
 // pairRequest builds a 2-VM request with one virtual link.
 func pairRequest(name string, linkDemand, earliest, duration, latest float64) *vnet.Request {
 	g := graph.NewDigraph(2)
@@ -60,7 +64,7 @@ func solve(reqs []*vnet.Request, horizon float64) {
 	for r, req := range reqs {
 		fmt.Printf("  %-6s scheduled [%.2f, %.2f]; link flows:", req.Name, sol.Start[r], sol.End[r])
 		for ls, f := range sol.Flows[r][0] {
-			if f > 1e-6 {
+			if f > flowPrintCutoff {
 				u, v := sub.G.Edge(ls)
 				fmt.Printf("  %d→%d:%.2f", u, v, f)
 			}

@@ -21,6 +21,10 @@ import (
 	"tvnep/internal/vnet"
 )
 
+// flowPrintCutoff is the flow fraction below which a link is omitted from
+// the printed route breakdown.
+const flowPrintCutoff = 1e-6
+
 // wan builds a 5-site topology: a ring with one chord (B4-like sparse WAN).
 func wan() *substrate.Network {
 	g := graph.NewDigraph(5)
@@ -87,7 +91,7 @@ func main() {
 		}
 		fmt.Printf("  %-10s [%5.2f, %5.2f]  route:", req.Name, sol.Start[r], sol.End[r])
 		for ls, f := range sol.Flows[r][0] {
-			if f > 1e-6 {
+			if f > flowPrintCutoff {
 				u, v := sub.G.Edge(ls)
 				fmt.Printf(" %d→%d(%.0f%%)", u, v, f*100)
 			}

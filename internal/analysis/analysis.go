@@ -1,0 +1,140 @@
+// Package analysis is a deliberately small, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API: an Analyzer inspects one typechecked
+// package and reports diagnostics. It exists because this repository builds
+// offline against the standard library only; the subset implemented here is
+// exactly what the tvnep-lint analyzers need (no facts, no cross-analyzer
+// requirements), and analyzers written against it port to the upstream API
+// by changing one import path.
+//
+// Suppression: a diagnostic is dropped when the line it is reported on — or
+// the line directly above it — carries a comment of the form
+//
+//	//lint:allow <analyzer>[,<analyzer>...] [-- reason]
+//
+// naming the reporting analyzer. The annotation is intentionally loud (it
+// names the rule being waived) so waivers are greppable and reviewable.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:allow
+	// annotations. By convention it is a short lowercase word.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer reports.
+	Doc string
+	// Run inspects the package in pass and reports findings via
+	// pass.Reportf. The error return is for operational failures only
+	// (never for findings).
+	Run func(pass *Pass) error
+}
+
+// Pass hands one typechecked package to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Posn     token.Position
+	Message  string
+}
+
+// String formats the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Posn, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Posn:     p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+var allowRe = regexp.MustCompile(`^//\s*lint:allow\s+([a-zA-Z0-9_,\s]+?)\s*(?:--.*)?$`)
+
+// allowedLines collects, per filename, the set of "line:analyzer" keys that
+// //lint:allow comments waive. A comment waives its own line and the line
+// below it (so the annotation can sit on its own line above the flagged
+// statement).
+func allowedLines(fset *token.FileSet, files []*ast.File) map[string]bool {
+	allowed := make(map[string]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				for _, name := range strings.FieldsFunc(m[1], func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+					if name == "" {
+						continue
+					}
+					allowed[fmt.Sprintf("%s:%d:%s", posn.Filename, posn.Line, name)] = true
+					allowed[fmt.Sprintf("%s:%d:%s", posn.Filename, posn.Line+1, name)] = true
+				}
+			}
+		}
+	}
+	return allowed
+}
+
+// Run applies the analyzers to one typechecked package and returns the
+// surviving diagnostics, sorted by position.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	allowed := allowedLines(fset, files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		for _, d := range pass.diags {
+			if allowed[fmt.Sprintf("%s:%d:%s", d.Posn.Filename, d.Posn.Line, d.Analyzer)] {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Posn, out[j].Posn
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out, nil
+}
+
+// NewTypesInfo allocates a types.Info with every map the analyzers consult.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}

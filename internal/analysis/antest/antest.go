@@ -1,0 +1,210 @@
+// Package antest is the fixture-driven test harness for tvnep-lint
+// analyzers, a stdlib-only stand-in for golang.org/x/tools/go/analysis/
+// analysistest. A fixture is a directory of Go files that are parsed and
+// typechecked together (imports resolve against the host toolchain's export
+// data via `go list -export -deps`). Expected findings are declared in the
+// fixtures themselves with trailing comments of the form
+//
+//	// want "substring"
+//
+// one per line that must produce a diagnostic containing the quoted
+// substring. The harness fails the test for every unmet expectation and for
+// every unexpected diagnostic, so fixtures pin both the flagged and the
+// allowed behavior of an analyzer.
+package antest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"tvnep/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+// want is one expectation: a diagnostic on file:line whose message contains
+// the substring.
+type want struct {
+	file string
+	line int
+	sub  string
+}
+
+// Run parses and typechecks the fixture directory and applies the analyzers,
+// comparing diagnostics against the // want expectations in the fixtures.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixture dir: %v", err)
+	}
+	var files []*ast.File
+	var wants []want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read fixture: %v", err)
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse fixture: %v", err)
+		}
+		files = append(files, f)
+		for i, line := range strings.Split(string(src), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				sub, err := unquoteWant(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern: %v", path, i+1, err)
+				}
+				wants = append(wants, want{file: path, line: i + 1, sub: sub})
+			}
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	info := analysis.NewTypesInfo()
+	conf := types.Config{Importer: exportDataImporter(t, files)}
+	pkg, err := conf.Check(files[0].Name.Name, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck fixtures: %v", err)
+	}
+	diags, err := analysis.Run(fset, files, pkg, info, analyzers)
+	if err != nil {
+		t.Fatalf("run analyzers: %v", err)
+	}
+
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if matched[i] {
+				continue
+			}
+			if d.Posn.Filename == w.file && d.Posn.Line == w.line && strings.Contains(d.Message, w.sub) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: expected diagnostic containing %q, got none", w.file, w.line, w.sub)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+// unquoteWant resolves the two escapes the want syntax needs (\" and \\).
+func unquoteWant(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' {
+			i++
+			if i >= len(s) {
+				return "", fmt.Errorf("trailing backslash")
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String(), nil
+}
+
+var (
+	exportMu    sync.Mutex
+	exportCache = map[string]map[string]string{}
+)
+
+// exportDataImporter returns a types.Importer backed by the host
+// toolchain's compiled export data: the fixtures' imports are resolved with
+// `go list -export -deps`, which compiles them if needed and prints the
+// export-data file of every package in the transitive closure (the same
+// files gcimporter reads inside the go/vet toolchain).
+func exportDataImporter(t *testing.T, files []*ast.File) types.Importer {
+	t.Helper()
+	var imports []string
+	seen := map[string]bool{}
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			if !seen[path] {
+				seen[path] = true
+				imports = append(imports, path)
+			}
+		}
+	}
+	sort.Strings(imports)
+	key := strings.Join(imports, " ")
+
+	exportMu.Lock()
+	exportMap, ok := exportCache[key]
+	exportMu.Unlock()
+	if !ok {
+		exportMap = map[string]string{}
+		if len(imports) > 0 {
+			args := append([]string{"list", "-export", "-deps", "-f", "{{.ImportPath}}={{.Export}}"}, imports...)
+			cmd := exec.Command("go", args...)
+			cmd.Stderr = io.Discard
+			out, err := cmd.Output()
+			if err != nil {
+				t.Fatalf("go list -export %v: %v", imports, err)
+			}
+			for _, line := range strings.Split(string(out), "\n") {
+				path, file, ok := strings.Cut(line, "=")
+				if ok && file != "" {
+					exportMap[path] = file
+				}
+			}
+		}
+		exportMu.Lock()
+		exportCache[key] = exportMap
+		exportMu.Unlock()
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exportMap[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(token.NewFileSet(), "gc", lookup)
+}
+
+// Files returns the sorted .go files of a fixture dir (test convenience).
+func Files(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixture dir: %v", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,6 @@
+package analyzers
+
+import "tvnep/internal/analysis"
+
+// All is the tvnep-lint suite in its canonical order.
+var All = []*analysis.Analyzer{Floateq, Ctxflow, Errdrop}

@@ -1,0 +1,40 @@
+package analyzers_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tvnep/internal/analysis"
+	"tvnep/internal/analysis/antest"
+	"tvnep/internal/analyzers"
+)
+
+// TestAnalyzers runs each analyzer over its fixture directory; the fixtures
+// pin both the flagged lines (via // want markers) and the allowed idioms
+// (exact-zero compares, nil-guards, //lint:allow waivers, external callees).
+func TestAnalyzers(t *testing.T) {
+	cases := []struct {
+		name     string
+		analyzer *analysis.Analyzer
+	}{
+		{"floateq", analyzers.Floateq},
+		{"ctxflow", analyzers.Ctxflow},
+		{"errdrop", analyzers.Errdrop},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			antest.Run(t, filepath.Join("testdata", tc.name), tc.analyzer)
+		})
+	}
+}
+
+// TestSuite applies the whole suite at once to every fixture dir: each
+// fixture must stay clean under the other analyzers, so the suite can run
+// as one vettool pass without cross-talk.
+func TestSuite(t *testing.T) {
+	for _, dir := range []string{"floateq", "ctxflow", "errdrop"} {
+		t.Run(dir, func(t *testing.T) {
+			antest.Run(t, filepath.Join("testdata", dir), analyzers.All...)
+		})
+	}
+}

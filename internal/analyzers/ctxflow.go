@@ -1,0 +1,161 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"tvnep/internal/analysis"
+)
+
+// Ctxflow enforces context threading through exported entry points.
+//
+// Rule 1: an exported function (or method) that takes a context.Context
+// parameter must actually use it — an accepted-but-ignored context promises
+// cancellation that never happens, which in this repository means a solver
+// that cannot be interrupted.
+//
+// Rule 2: inside any function that already has a context.Context parameter,
+// calling context.Background() or context.TODO() severs the cancellation
+// chain and is reported. The one sanctioned form is the nil-guard
+// `ctx = context.Background()` that assigns directly to the context
+// parameter itself (normalizing a caller-supplied nil context).
+var Ctxflow = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "flags exported functions that accept but ignore a context.Context, and Background()/TODO() calls that sever an inherited cancellation chain",
+	Run:  runCtxflow,
+}
+
+func runCtxflow(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxParams := contextParams(pass, fd)
+			if len(ctxParams) == 0 {
+				continue
+			}
+			if fd.Name.IsExported() {
+				for ident, obj := range ctxParams {
+					if ident.Name == "_" {
+						pass.Reportf(ident.Pos(), "exported %s discards its context.Context parameter; name it and thread it through", fd.Name.Name)
+						continue
+					}
+					if !identUsed(pass, fd.Body, obj) {
+						pass.Reportf(ident.Pos(), "exported %s accepts context.Context %q but never uses it; thread it into the calls it guards", fd.Name.Name, ident.Name)
+					}
+				}
+			}
+			reportFreshContexts(pass, fd, ctxParams)
+		}
+	}
+	return nil
+}
+
+// contextParams returns the function's parameters of type context.Context,
+// keyed by their declaring identifier.
+func contextParams(pass *analysis.Pass, fd *ast.FuncDecl) map[*ast.Ident]types.Object {
+	out := make(map[*ast.Ident]types.Object)
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			out[name] = pass.TypesInfo.Defs[name]
+		}
+	}
+	return out
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// identUsed reports whether obj is referenced anywhere in body.
+func identUsed(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			used = true
+		}
+		return true
+	})
+	return used
+}
+
+// reportFreshContexts flags context.Background()/TODO() calls inside a
+// function that already has a context parameter, except the nil-guard
+// assignment back onto that parameter.
+func reportFreshContexts(pass *analysis.Pass, fd *ast.FuncDecl, ctxParams map[*ast.Ident]types.Object) {
+	paramObjs := make(map[types.Object]bool, len(ctxParams))
+	for _, obj := range ctxParams {
+		if obj != nil {
+			paramObjs[obj] = true
+		}
+	}
+	// Calls whose result is assigned directly to a context parameter are the
+	// sanctioned nil-guard; collect them before the flagging walk.
+	sanctioned := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || !paramObjs[pass.TypesInfo.Uses[id]] {
+				continue
+			}
+			if call, ok := as.Rhs[i].(*ast.CallExpr); ok && freshContextName(pass, call) != "" {
+				sanctioned[call] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || sanctioned[call] {
+			return true
+		}
+		if name := freshContextName(pass, call); name != "" {
+			pass.Reportf(call.Pos(), "%s has a context.Context parameter but calls context.%s, severing the cancellation chain", fd.Name.Name, name)
+		}
+		return true
+	})
+}
+
+// freshContextName returns "Background" or "TODO" when call is
+// context.Background() / context.TODO(), and "" otherwise.
+func freshContextName(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+		return ""
+	}
+	if obj.Name() == "Background" || obj.Name() == "TODO" {
+		return obj.Name()
+	}
+	return ""
+}

@@ -1,0 +1,147 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"tvnep/internal/analysis"
+)
+
+// Errdrop flags discarded error results from fallible solver-internal calls.
+//
+// A call is solver-internal when its callee is declared in the analyzed
+// package itself or anywhere inside the tvnep module. Two discard shapes
+// are reported: a call used as a bare expression statement whose results
+// include an error, and an assignment that binds an error-typed result to
+// the blank identifier. Errors from the standard library and other external
+// packages are out of scope — their contracts are not ours to police — and
+// deliberate discards are annotated with //lint:allow errdrop.
+var Errdrop = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc:  "flags discarded error returns from calls into this module",
+	Run:  runErrdrop,
+}
+
+// errdropModulePrefix scopes the analyzer to callees inside this module.
+const errdropModulePrefix = "tvnep"
+
+func runErrdrop(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := n.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, positions := internalErrorResults(pass, call)
+				if name != "" && len(positions) > 0 {
+					pass.Reportf(call.Pos(), "error result of %s discarded; handle it or annotate with //lint:allow errdrop", name)
+				}
+			case *ast.AssignStmt:
+				reportBlankErrAssigns(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// reportBlankErrAssigns flags `_` bindings of error-typed results from
+// solver-internal calls, in both the tuple form `a, _ := f()` and the
+// one-to-one form `_ = f()`.
+func reportBlankErrAssigns(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		name, positions := internalErrorResults(pass, call)
+		if name == "" {
+			return
+		}
+		for _, i := range positions {
+			if i < len(as.Lhs) && isBlank(as.Lhs[i]) {
+				pass.Reportf(as.Lhs[i].Pos(), "error result of %s assigned to _; handle it or annotate with //lint:allow errdrop", name)
+			}
+		}
+		return
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		if !isBlank(as.Lhs[i]) {
+			continue
+		}
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		name, positions := internalErrorResults(pass, call)
+		if name != "" && len(positions) > 0 {
+			pass.Reportf(as.Lhs[i].Pos(), "error result of %s assigned to _; handle it or annotate with //lint:allow errdrop", name)
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// internalErrorResults resolves call's callee. When the callee is declared
+// in the analyzed package or inside the tvnep module, it returns the
+// callee's name and the result indices whose type is error; otherwise it
+// returns "" and nil.
+func internalErrorResults(pass *analysis.Pass, call *ast.CallExpr) (string, []int) {
+	obj := calleeObject(pass, call)
+	if obj == nil || obj.Pkg() == nil {
+		return "", nil
+	}
+	path := obj.Pkg().Path()
+	if obj.Pkg() != pass.Pkg &&
+		path != errdropModulePrefix && !strings.HasPrefix(path, errdropModulePrefix+"/") {
+		return "", nil
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return "", nil
+	}
+	var positions []int
+	errType := types.Universe.Lookup("error").Type()
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), errType) {
+			positions = append(positions, i)
+		}
+	}
+	if len(positions) == 0 {
+		return "", nil
+	}
+	return obj.Name(), positions
+}
+
+// calleeObject resolves the function object behind a direct call; nil for
+// function literals, conversions, builtins, and indirect calls through
+// function-typed values.
+func calleeObject(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[fun]; obj != nil {
+			if _, ok := obj.(*types.Func); ok {
+				return obj
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj := pass.TypesInfo.Uses[fun.Sel]; obj != nil {
+			if _, ok := obj.(*types.Func); ok {
+				return obj
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+// Package analyzers holds the custom static-analysis passes behind the
+// tvnep-lint vettool: floateq (float comparison and tolerance-literal
+// hygiene), ctxflow (context threading through solver entry points) and
+// errdrop (discarded errors from fallible solver-internal calls). Each
+// analyzer encodes a repository-wide convention that is otherwise enforced
+// only by review; see the Doc string on each for the exact rule and for the
+// sanctioned escape hatch (named constants, //lint:allow annotations).
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"tvnep/internal/analysis"
+)
+
+// Floateq flags float equality comparisons and bare tolerance literals.
+//
+// Rule 1: `==` / `!=` between two floating-point operands is reported unless
+// one side is the exact constant 0 — comparing against exact zero is the
+// deliberate skip-zero idiom of sparse numerical code (zero is exactly
+// representable and only ever produced by assignment), while any other
+// float equality silently depends on accumulated roundoff.
+//
+// Rule 2: a scientific-notation literal with a negative exponent (1e-6,
+// 2.5e-9, …) outside a constant declaration is reported: such literals are
+// numeric tolerances, and tolerances must be named — preferably in
+// internal/numtol, or as a kernel-local constant — so their meaning and
+// provenance are documented exactly once. The numtol package itself and
+// _test.go files are exempt.
+var Floateq = &analysis.Analyzer{
+	Name: "floateq",
+	Doc:  "flags ==/!= on float operands and bare tolerance literals outside constant declarations",
+	Run:  runFloateq,
+}
+
+var tolLitRe = regexp.MustCompile(`(?i)^[0-9]+(\.[0-9]+)?e-[0-9]+$`)
+
+func runFloateq(pass *analysis.Pass) error {
+	if pass.Pkg != nil && strings.HasSuffix(pass.Pkg.Path(), "internal/numtol") {
+		return nil
+	}
+	isFloat := func(e ast.Expr) bool {
+		tv, ok := pass.TypesInfo.Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		b, ok := tv.Type.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsFloat != 0
+	}
+	isZeroConst := func(e ast.Expr) bool {
+		tv, ok := pass.TypesInfo.Types[e]
+		if !ok || tv.Value == nil {
+			return false
+		}
+		return tv.Value.String() == "0"
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		// Spans of constant declarations: literals inside them are being
+		// named, which is exactly the convention the analyzer enforces.
+		var constSpans [][2]token.Pos
+		ast.Inspect(f, func(n ast.Node) bool {
+			if gd, ok := n.(*ast.GenDecl); ok && gd.Tok == token.CONST {
+				constSpans = append(constSpans, [2]token.Pos{gd.Pos(), gd.End()})
+				return false
+			}
+			return true
+		})
+		inConst := func(pos token.Pos) bool {
+			for _, s := range constSpans {
+				if pos >= s[0] && pos < s[1] {
+					return true
+				}
+			}
+			return false
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if !isFloat(n.X) || !isFloat(n.Y) {
+					return true
+				}
+				if isZeroConst(n.X) || isZeroConst(n.Y) {
+					return true
+				}
+				pass.Reportf(n.OpPos, "float %s comparison; use an explicit tolerance (internal/numtol) or compare against exact 0", n.Op)
+			case *ast.BasicLit:
+				if n.Kind != token.FLOAT || !tolLitRe.MatchString(n.Value) {
+					return true
+				}
+				if inConst(n.Pos()) {
+					return true
+				}
+				pass.Reportf(n.Pos(), "bare tolerance literal %s; name it in internal/numtol or a local constant declaration", n.Value)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isTestFile reports whether the file behind f is a _test.go file.
+func isTestFile(pass *analysis.Pass, f *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+}

@@ -1,0 +1,54 @@
+// Fixture for the ctxflow analyzer: exported entry points must thread the
+// context they accept, and no function with a context parameter may mint a
+// fresh root context (except the nil-guard on the parameter itself).
+package fixture
+
+import "context"
+
+func IgnoresContext(ctx context.Context) error { // want "accepts context.Context \"ctx\" but never uses it"
+	return nil
+}
+
+func BlankContext(_ context.Context) {} // want "discards its context.Context parameter"
+
+func Severs(ctx context.Context) {
+	use(ctx)
+	run(context.Background()) // want "severing the cancellation chain"
+}
+
+func MintsTODO(ctx context.Context) {
+	use(ctx)
+	run(context.TODO()) // want "severing the cancellation chain"
+}
+
+func NilGuard(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background() // sanctioned nil-guard: allowed
+	}
+	use(ctx)
+}
+
+func Threads(ctx context.Context) {
+	use(ctx)
+}
+
+type engine struct{}
+
+func (e *engine) Solve(ctx context.Context) error { // want "accepts context.Context \"ctx\" but never uses it"
+	return nil
+}
+
+func (e *engine) Run(ctx context.Context) error {
+	use(ctx)
+	return nil
+}
+
+// unexported helpers may hold a context without using it (wrappers,
+// interface satisfaction); only exported entry points promise cancellation.
+func idleHelper(ctx context.Context) {}
+
+//lint:allow ctxflow -- legacy shim keeps the public signature
+func LegacyShim(ctx context.Context) {}
+
+func use(ctx context.Context) {}
+func run(ctx context.Context) {}

@@ -1,0 +1,34 @@
+// Fixture for the errdrop analyzer: error results of solver-internal calls
+// (same package or anywhere under the tvnep module) must be handled;
+// external packages are out of scope.
+package fixture
+
+import "fmt"
+
+func fallible() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+type store struct{}
+
+func (s *store) flush() error { return nil }
+
+func consume(s *store) int {
+	fallible()     // want "error result of fallible discarded"
+	_ = fallible() // want "error result of fallible assigned to _"
+	s.flush()      // want "error result of flush discarded"
+	v, _ := pair() // want "error result of pair assigned to _"
+
+	//lint:allow errdrop -- best-effort cache warm, failure is benign
+	fallible()
+
+	if err := fallible(); err != nil {
+		v++
+	}
+	w, err := pair()
+	if err != nil {
+		v += w
+	}
+	fmt.Println(v) // external callee: allowed
+	return v
+}

@@ -1,0 +1,44 @@
+// Fixture for the floateq analyzer: float equality and bare tolerance
+// literals. Lines carrying a `// want` marker must be flagged; everything
+// else pins the allowed forms (exact-zero compares, named constants,
+// //lint:allow waivers).
+package fixture
+
+import "tvnep/internal/numtol"
+
+// Named tolerances are the convention floateq enforces; literals inside a
+// constant declaration are therefore allowed.
+const localTol = 1e-9
+
+func compare(a, b float64) bool {
+	if a == b { // want "float == comparison"
+		return true
+	}
+	if a != b { // want "float != comparison"
+		return false
+	}
+	if a == 0 { // exact-zero idiom: allowed
+		return true
+	}
+	if 0 != b { // exact-zero on either side: allowed
+		return false
+	}
+	return a-b < 1e-6 // want "bare tolerance literal 1e-6"
+}
+
+func spelledOut(x float64) bool {
+	return x < 2.5e-9 // want "bare tolerance literal 2.5e-9"
+}
+
+func named(a, b float64) bool {
+	return a-b < numtol.TimeTol && b-a < localTol
+}
+
+func waived(a, b float64) bool {
+	//lint:allow floateq -- bit-exact memo key comparison
+	return a == b
+}
+
+func intsAreFine(a, b int) bool {
+	return a == b
+}

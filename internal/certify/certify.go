@@ -1,0 +1,408 @@
+// Package certify is the independent correctness gate of this repository:
+// it re-verifies solver outputs against the original problem data, written
+// deliberately against the problem statement (Definition 2.1 and the
+// Section IV-E objectives) rather than against any MIP formulation, so a
+// bug shared by a model builder and its extractor cannot hide from it.
+//
+// Two certificates are provided: Solution re-checks a solution.Solution
+// (windows, durations, splittable-flow conservation, node/link capacity at
+// every event interval, pinned mappings, and a full objective
+// recomputation), and LP (lpcert.go) re-checks an lp.Result against its
+// lp.Problem (primal residuals, bound feasibility, dual feasibility and
+// complementary slackness). Every failure is reported as a named Violation
+// so tests and CI logs can assert on the exact defect class.
+package certify
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"tvnep/internal/core"
+	"tvnep/internal/numtol"
+	"tvnep/internal/solution"
+	"tvnep/internal/vnet"
+)
+
+// Kind names one class of certificate violation.
+type Kind string
+
+// Solution-certificate violation classes.
+const (
+	// Shape: solution slices do not match the instance dimensions.
+	Shape Kind = "shape"
+	// Window: a request is scheduled outside [t^s, t^e].
+	Window Kind = "window"
+	// Duration: end − start differs from the request duration.
+	Duration Kind = "duration"
+	// HostRange: a virtual node is hosted on a nonexistent substrate node.
+	HostRange Kind = "host-range"
+	// MappingPinned: a host differs from the a-priori fixed node mapping.
+	MappingPinned Kind = "mapping-pinned"
+	// FlowRange: a splittable-flow fraction lies outside [0,1].
+	FlowRange Kind = "flow-range"
+	// FlowConservation: a virtual link's flow does not ship one unit from
+	// its source host to its destination host.
+	FlowConservation Kind = "flow-conservation"
+	// NodeCapacity: a substrate node is overbooked in some event interval.
+	NodeCapacity Kind = "node-capacity"
+	// LinkCapacity: a substrate link is overbooked in some event interval.
+	LinkCapacity Kind = "link-capacity"
+	// Objective: the reported objective disagrees with the value recomputed
+	// from the solution.
+	Objective Kind = "objective-mismatch"
+)
+
+// Violation is one named certificate failure.
+type Violation struct {
+	Kind    Kind
+	Request int // request index, or -1 when instance-scoped
+	Detail  string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	if v.Request >= 0 {
+		return fmt.Sprintf("%s[req %d]: %s", v.Kind, v.Request, v.Detail)
+	}
+	return fmt.Sprintf("%s: %s", v.Kind, v.Detail)
+}
+
+// Report collects every violation found by a certificate check.
+type Report struct {
+	Violations []Violation
+	// RecomputedObjective is the objective value derived from the solution
+	// data alone (meaningful for Solution reports).
+	RecomputedObjective float64
+}
+
+// OK reports whether the certificate holds.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// Err returns nil when the certificate holds and an error naming every
+// violation otherwise.
+func (r *Report) Err() error {
+	if r.OK() {
+		return nil
+	}
+	msgs := make([]string, len(r.Violations))
+	for i, v := range r.Violations {
+		msgs[i] = v.String()
+	}
+	return fmt.Errorf("certify: %d violation(s):\n  %s", len(r.Violations), strings.Join(msgs, "\n  "))
+}
+
+// Has reports whether the report contains a violation of the given kind.
+func (r *Report) Has(k Kind) bool {
+	for _, v := range r.Violations {
+		if v.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Report) addf(k Kind, req int, format string, args ...interface{}) {
+	r.Violations = append(r.Violations, Violation{Kind: k, Request: req, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Options configures a Solution certificate.
+type Options struct {
+	// Objective selects which Section IV-E objective to recompute.
+	Objective core.Objective
+	// LoadFraction is f for BalanceNodeLoad; outside (0,1) the builders'
+	// default of 0.5 applies.
+	LoadFraction float64
+	// Mapping, when non-nil, asserts that every accepted request uses
+	// exactly the pinned virtual-node placement.
+	Mapping vnet.NodeMapping
+	// SkipObjective disables the objective recomputation (for solutions
+	// produced under a custom objective, e.g. single greedy iterations).
+	SkipObjective bool
+}
+
+func (o Options) loadFraction() float64 {
+	if o.LoadFraction <= 0 || o.LoadFraction >= 1 {
+		return 0.5
+	}
+	return o.LoadFraction
+}
+
+// Solution re-verifies sol against the instance and returns a report of
+// every violation found (never stopping at the first, so a single run
+// pins down all defects).
+func Solution(inst *core.Instance, sol *solution.Solution, opts Options) *Report {
+	rep := &Report{}
+	k := len(inst.Reqs)
+	if sol == nil {
+		rep.addf(Shape, -1, "nil solution")
+		return rep
+	}
+	if len(sol.Accepted) != k || len(sol.Start) != k || len(sol.End) != k {
+		rep.addf(Shape, -1, "slice lengths (%d,%d,%d) do not match %d requests",
+			len(sol.Accepted), len(sol.Start), len(sol.End), k)
+		return rep
+	}
+	for r, req := range inst.Reqs {
+		checkTemporal(rep, req, sol, r)
+		if sol.Accepted[r] {
+			checkEmbedding(rep, inst, sol, r, opts.Mapping)
+		}
+	}
+	checkCapacities(rep, inst, sol)
+	if !opts.SkipObjective {
+		checkObjective(rep, inst, sol, opts)
+	}
+	return rep
+}
+
+func checkTemporal(rep *Report, req *vnet.Request, sol *solution.Solution, r int) {
+	st, en := sol.Start[r], sol.End[r]
+	if math.Abs((en-st)-req.Duration) > numtol.TimeTol {
+		rep.addf(Duration, r, "scheduled duration %v != d=%v", en-st, req.Duration)
+	}
+	if st < req.Earliest-numtol.TimeTol {
+		rep.addf(Window, r, "starts at %v before earliest %v", st, req.Earliest)
+	}
+	if en > req.Latest+numtol.TimeTol {
+		rep.addf(Window, r, "ends at %v after latest %v", en, req.Latest)
+	}
+}
+
+func checkEmbedding(rep *Report, inst *core.Instance, sol *solution.Solution, r int, mapping vnet.NodeMapping) {
+	sub, req := inst.Sub, inst.Reqs[r]
+	if len(sol.Hosts) <= r || len(sol.Hosts[r]) != req.G.N {
+		rep.addf(Shape, r, "missing host assignment")
+		return
+	}
+	for v, host := range sol.Hosts[r] {
+		if host < 0 || host >= sub.NumNodes() {
+			rep.addf(HostRange, r, "virtual node %d hosted on invalid substrate node %d", v, host)
+			return
+		}
+		if mapping != nil && r < len(mapping) && mapping[r] != nil && mapping[r][v] != host {
+			rep.addf(MappingPinned, r, "virtual node %d hosted on %d, pinned to %d", v, host, mapping[r][v])
+		}
+	}
+	if len(sol.Flows) <= r || len(sol.Flows[r]) != req.G.NumEdges() {
+		rep.addf(Shape, r, "missing flow assignment")
+		return
+	}
+	for lv := 0; lv < req.G.NumEdges(); lv++ {
+		u, v := req.G.Edge(lv)
+		flow := sol.Flows[r][lv]
+		if len(flow) != sub.NumLinks() {
+			rep.addf(Shape, r, "virtual link %d: flow over %d substrate links, want %d", lv, len(flow), sub.NumLinks())
+			return
+		}
+		for ls, f := range flow {
+			if f < -numtol.FlowTol || f > 1+numtol.FlowTol {
+				rep.addf(FlowRange, r, "virtual link %d: flow %v on substrate link %d outside [0,1]", lv, f, ls)
+			}
+		}
+		src, dst := sol.Hosts[r][u], sol.Hosts[r][v]
+		for ns := 0; ns < sub.NumNodes(); ns++ {
+			bal := 0.0
+			for _, e := range sub.G.Out(ns) {
+				bal += flow[e]
+			}
+			for _, e := range sub.G.In(ns) {
+				bal -= flow[e]
+			}
+			want := 0.0
+			if ns == src {
+				want++
+			}
+			if ns == dst {
+				want--
+			}
+			if math.Abs(bal-want) > numtol.FlowTol {
+				rep.addf(FlowConservation, r, "virtual link %d: balance %v at substrate node %d, want %v", lv, bal, ns, want)
+			}
+		}
+	}
+}
+
+// checkCapacities sweeps the open intervals between consecutive event
+// times and verifies Definition 2.1's allocation condition at an interior
+// point of each.
+func checkCapacities(rep *Report, inst *core.Instance, sol *solution.Solution) {
+	var events []float64
+	for r := range inst.Reqs {
+		if sol.Accepted[r] {
+			events = append(events, sol.Start[r], sol.End[r])
+		}
+	}
+	sort.Float64s(events)
+	for i := 0; i+1 < len(events); i++ {
+		if events[i+1]-events[i] < numtol.EventCoincide {
+			continue
+		}
+		checkInstant(rep, inst, sol, (events[i]+events[i+1])/2)
+	}
+}
+
+func checkInstant(rep *Report, inst *core.Instance, sol *solution.Solution, t float64) {
+	sub := inst.Sub
+	nodeLoad := make([]float64, sub.NumNodes())
+	linkLoad := make([]float64, sub.NumLinks())
+	for r, req := range inst.Reqs {
+		if !sol.Accepted[r] || t <= sol.Start[r] || t >= sol.End[r] {
+			continue
+		}
+		if len(sol.Hosts) <= r || len(sol.Hosts[r]) != req.G.N || len(sol.Flows) <= r {
+			continue // shape violations are reported by checkEmbedding
+		}
+		for v, host := range sol.Hosts[r] {
+			if host >= 0 && host < sub.NumNodes() {
+				nodeLoad[host] += req.NodeDemand[v]
+			}
+		}
+		for lv := 0; lv < req.G.NumEdges() && lv < len(sol.Flows[r]); lv++ {
+			for ls, f := range sol.Flows[r][lv] {
+				if f > numtol.FlowTol && ls < sub.NumLinks() {
+					linkLoad[ls] += req.LinkDemand[lv] * f
+				}
+			}
+		}
+	}
+	for ns, load := range nodeLoad {
+		if load > sub.NodeCap[ns]+numtol.CapTol {
+			rep.addf(NodeCapacity, -1, "t=%v: substrate node %d loaded %v > capacity %v", t, ns, load, sub.NodeCap[ns])
+		}
+	}
+	for ls, load := range linkLoad {
+		if load > sub.LinkCap[ls]+numtol.CapTol {
+			rep.addf(LinkCapacity, -1, "t=%v: substrate link %d loaded %v > capacity %v", t, ls, load, sub.LinkCap[ls])
+		}
+	}
+}
+
+// checkObjective recomputes the selected Section IV-E objective from the
+// solution data and compares it with the reported value. AccessControl and
+// MaxEarliness admit an exact recomputation; the counting objectives
+// (BalanceNodeLoad, DisableLinks) and MinMakespan are verified one-sidedly
+// — a solver may under-claim on a non-optimal incumbent (loose counting
+// binaries, slack makespan variable) but never over-claim.
+func checkObjective(rep *Report, inst *core.Instance, sol *solution.Solution, opts Options) {
+	var recomputed float64
+	exact := true
+	switch opts.Objective {
+	case core.AccessControl:
+		for r, req := range inst.Reqs {
+			if sol.Accepted[r] {
+				recomputed += req.Duration * req.TotalNodeDemand()
+			}
+		}
+	case core.MaxEarliness:
+		for r, req := range inst.Reqs {
+			flex := req.Flexibility()
+			if flex <= numtol.EventCoincide {
+				recomputed += req.Duration
+				continue
+			}
+			recomputed += req.Duration * (1 - (sol.Start[r]-req.Earliest)/flex)
+		}
+	case core.BalanceNodeLoad:
+		recomputed = float64(countBalancedNodes(inst, sol, opts.loadFraction()))
+		exact = false
+	case core.DisableLinks:
+		recomputed = float64(countDisabledLinks(inst, sol))
+		exact = false
+	case core.MinMakespan:
+		makespan := 0.0
+		for r := range inst.Reqs {
+			if sol.End[r] > makespan {
+				makespan = sol.End[r]
+			}
+		}
+		recomputed = -makespan
+		exact = false
+	default:
+		rep.addf(Objective, -1, "unknown objective %d", int(opts.Objective))
+		return
+	}
+	rep.RecomputedObjective = recomputed
+	diff := sol.Objective - recomputed
+	scale := 1 + math.Abs(recomputed)
+	if exact {
+		if math.Abs(diff) > numtol.ObjTol*scale {
+			rep.addf(Objective, -1, "reported %v, recomputed %v (objective %v)", sol.Objective, recomputed, opts.Objective)
+		}
+	} else if diff > numtol.ObjTol*scale {
+		rep.addf(Objective, -1, "reported %v exceeds recomputed bound %v (objective %v)", sol.Objective, recomputed, opts.Objective)
+	}
+}
+
+// countBalancedNodes counts substrate nodes whose load stays within
+// fraction f of capacity in every event interval.
+func countBalancedNodes(inst *core.Instance, sol *solution.Solution, f float64) int {
+	sub := inst.Sub
+	ok := make([]bool, sub.NumNodes())
+	for i := range ok {
+		ok[i] = true
+	}
+	var events []float64
+	for r := range inst.Reqs {
+		if sol.Accepted[r] {
+			events = append(events, sol.Start[r], sol.End[r])
+		}
+	}
+	sort.Float64s(events)
+	for i := 0; i+1 < len(events); i++ {
+		if events[i+1]-events[i] < numtol.EventCoincide {
+			continue
+		}
+		t := (events[i] + events[i+1]) / 2
+		load := make([]float64, sub.NumNodes())
+		for r, req := range inst.Reqs {
+			if !sol.Accepted[r] || t <= sol.Start[r] || t >= sol.End[r] {
+				continue
+			}
+			for v, host := range sol.Hosts[r] {
+				if host >= 0 && host < sub.NumNodes() {
+					load[host] += req.NodeDemand[v]
+				}
+			}
+		}
+		for ns := range ok {
+			if load[ns] > f*sub.NodeCap[ns]+numtol.CapTol {
+				ok[ns] = false
+			}
+		}
+	}
+	n := 0
+	for _, b := range ok {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// countDisabledLinks counts substrate links carrying no flow from any
+// accepted request.
+func countDisabledLinks(inst *core.Instance, sol *solution.Solution) int {
+	sub := inst.Sub
+	used := make([]float64, sub.NumLinks())
+	for r, req := range inst.Reqs {
+		if !sol.Accepted[r] || len(sol.Flows) <= r {
+			continue
+		}
+		for lv := 0; lv < req.G.NumEdges() && lv < len(sol.Flows[r]); lv++ {
+			for ls, f := range sol.Flows[r][lv] {
+				if ls < sub.NumLinks() {
+					used[ls] += f
+				}
+			}
+		}
+	}
+	n := 0
+	for _, u := range used {
+		if u <= numtol.FlowTol {
+			n++
+		}
+	}
+	return n
+}

@@ -19,6 +19,7 @@ import (
 	"math"
 
 	"tvnep/internal/model"
+	"tvnep/internal/numtol"
 	"tvnep/internal/solution"
 	"tvnep/internal/substrate"
 	"tvnep/internal/vnet"
@@ -113,7 +114,7 @@ func (in *Instance) Validate() error {
 		if err := r.Validate(); err != nil {
 			return err
 		}
-		if r.Latest > in.Horizon+1e-9 {
+		if r.Latest > in.Horizon+numtol.WindowTol {
 			return fmt.Errorf("core: request %s window exceeds horizon %v", r.Name, in.Horizon)
 		}
 	}
@@ -224,7 +225,7 @@ func (b *Built) Extract(ms *model.Solution) *solution.Solution {
 		// with the formulation, so record a warning instead of silently
 		// preferring one of the two values.
 		sol.End[r] = sol.Start[r] + req.Duration
-		if tMinus := ms.Value(b.TMinus[r]); math.Abs(tMinus-sol.End[r]) > 1e-5 {
+		if tMinus := ms.Value(b.TMinus[r]); math.Abs(tMinus-sol.End[r]) > numtol.TimeTol {
 			sol.Warnings = append(sol.Warnings, fmt.Sprintf(
 				"request %s: model end time t⁻=%.9g disagrees with start+duration=%.9g",
 				req.Name, tMinus, sol.End[r]))
@@ -249,7 +250,7 @@ func (b *Built) Extract(ms *model.Solution) *solution.Solution {
 			flows[lv] = make([]float64, sub.NumLinks())
 			for ls := 0; ls < sub.NumLinks(); ls++ {
 				f := ms.Value(b.XE[r][lv][ls])
-				if f < 1e-9 {
+				if f < numtol.FlowCutoff {
 					f = 0
 				}
 				flows[lv][ls] = f

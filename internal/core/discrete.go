@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"tvnep/internal/model"
+	"tvnep/internal/numtol"
 	"tvnep/internal/solution"
 )
 
@@ -46,7 +47,7 @@ func BuildDiscrete(inst *Instance, opts BuildOptions, slotLen float64) *Discrete
 	m := b.Model
 	buildEmbedding(b)
 
-	numSlots := int(math.Ceil(inst.Horizon/slotLen - 1e-9))
+	numSlots := int(math.Ceil(inst.Horizon/slotLen - numtol.WindowTol))
 	db := &DiscreteBuilt{
 		Built:    b,
 		SlotLen:  slotLen,
@@ -60,7 +61,7 @@ func BuildDiscrete(inst *Instance, opts BuildOptions, slotLen float64) *Discrete
 	b.TMinus = make([]model.Var, k)
 
 	for r, req := range inst.Reqs {
-		db.slots[r] = int(math.Ceil(req.Duration/slotLen - 1e-9))
+		db.slots[r] = int(math.Ceil(req.Duration/slotLen - numtol.WindowTol))
 		if db.slots[r] < 1 {
 			db.slots[r] = 1
 		}
@@ -72,7 +73,7 @@ func BuildDiscrete(inst *Instance, opts BuildOptions, slotLen float64) *Discrete
 			end := start + float64(db.slots[r])*slotLen
 			// Grid feasibility: the slotted run must fit the window (this
 			// is where discretization loses solutions).
-			if start < req.Earliest-1e-9 || end > req.Latest+1e-9 {
+			if start < req.Earliest-numtol.WindowTol || end > req.Latest+numtol.WindowTol {
 				continue
 			}
 			db.Y[r][s] = m.Binary(fmt.Sprintf("y[%d][%d]", r, s))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tvnep/internal/model"
+	"tvnep/internal/numtol"
 )
 
 // applyObjective installs the objective of Section IV-E selected in the
@@ -42,7 +43,7 @@ func applyMaxEarliness(b *Built) {
 	obj := model.Expr()
 	for r, req := range b.Inst.Reqs {
 		flex := req.Flexibility()
-		if flex <= 1e-12 {
+		if flex <= numtol.EventCoincide {
 			obj.AddConst(req.Duration)
 			continue
 		}

@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"tvnep/internal/graph"
+	"tvnep/internal/numtol"
 	"tvnep/internal/vnet"
 )
 
@@ -77,11 +78,12 @@ func Build(reqs []*vnet.Request) *Graph {
 		}
 		return r.Latest
 	}
-	// tieEps guards against float-dust precedences: schedules produced by
-	// LP solves are only accurate to the solver's feasibility tolerance, so
-	// two checkpoints closer than this are treated as unordered. Dropping
-	// an edge only weakens the cuts; it never cuts off a solution.
-	const tieEps = 1e-6
+	// numtol.TieEps guards against float-dust precedences: schedules
+	// produced by LP solves are only accurate to the solver's feasibility
+	// tolerance, so two checkpoints closer than this are treated as
+	// unordered. Dropping an edge only weakens the cuts; it never cuts off
+	// a solution.
+	const tieEps = numtol.TieEps
 	for v := 0; v < 2*k; v++ {
 		for w := 0; w < 2*k; w++ {
 			if v == w || RequestOf(v) == RequestOf(w) {

@@ -8,6 +8,7 @@ import (
 
 	"tvnep/internal/core"
 	"tvnep/internal/model"
+	"tvnep/internal/numtol"
 	"tvnep/internal/solution"
 )
 
@@ -100,7 +101,7 @@ func (c Config) AblationSweep(ctx context.Context, progress io.Writer) ([]Ablati
 					ref, first = v, false
 					continue
 				}
-				if diff := v - ref; diff > 1e-5 || diff < -1e-5 {
+				if diff := v - ref; diff > numtol.ObjTol || diff < -numtol.ObjTol {
 					res.err = fmt.Errorf("ablation mismatch at flex=%v seed=%d: %s=%v vs ref=%v",
 						flex, seed, name, v, ref)
 					break
@@ -131,6 +132,7 @@ func WriteAblation(w io.Writer, recs []AblationRecord, cfg Config) {
 			var times, nodes, vars, rows []float64
 			solved, total := 0, 0
 			for _, r := range recs {
+				//lint:allow floateq -- FlexMin is copied verbatim from the config grid; bit-exact group key
 				if r.Variant != v.Name || r.FlexMin != flex {
 					continue
 				}

@@ -17,9 +17,11 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"strings"
 	"time"
 
+	"tvnep/internal/certify"
 	"tvnep/internal/core"
 	"tvnep/internal/greedy"
 	"tvnep/internal/model"
@@ -45,6 +47,10 @@ type Config struct {
 	// Counters, when non-nil, accumulates aggregate solver activity across
 	// the sweep (thread-safe; may be shared between sweeps).
 	Counters *Counters
+	// Certify runs the full internal/certify certificate (capacities at
+	// every event interval, flow conservation, objective recomputation) on
+	// every solution produced by the sweep, counting verdicts in Counters.
+	Certify bool
 }
 
 // Default returns a configuration sized for the pure-Go solver: the paper's
@@ -97,8 +103,11 @@ type Record struct {
 	Accepted int
 	Optimal  bool
 	Feasible bool // independent checker verdict (false when no solution)
-	Nodes    int
-	LPIters  int
+	// Certified is the internal/certify verdict (only meaningful when
+	// Config.Certify is set and a solution exists).
+	Certified bool
+	Nodes     int
+	LPIters   int
 }
 
 // scenKey identifies one scenario of the sweep grid.
@@ -173,8 +182,30 @@ func (c Config) solveOne(ctx context.Context, f core.Formulation, obj core.Objec
 		rec.Value = sol.Objective
 		rec.Accepted = sol.NumAccepted()
 		rec.Feasible = solution.Check(inst.Sub, inst.Reqs, sol) == nil
+		if c.Certify {
+			rec.Certified = c.certifyOne(inst, sol, obj, mapping)
+		}
 	}
 	return rec
+}
+
+// certifyOne runs the independent certificate on one solution and folds the
+// verdict into the counters. Violations are reported on stderr so a failing
+// sweep names the defect even when the figure aggregation hides the record.
+func (c Config) certifyOne(inst *core.Instance, sol *solution.Solution,
+	obj core.Objective, mapping vnet.NodeMapping) bool {
+	rep := certify.Solution(inst, sol, certify.Options{Objective: obj, Mapping: mapping})
+	if c.Counters != nil {
+		c.Counters.Certified.Add(1)
+		if !rep.OK() {
+			c.Counters.CertifyFailed.Add(1)
+		}
+	}
+	if err := rep.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "eval: certificate failure (%v): %v\n", obj, err)
+		return false
+	}
+	return true
 }
 
 // scenResult is what one parallel scenario hands back to the emitter: its
@@ -283,6 +314,9 @@ func (c Config) GreedySweep(ctx context.Context, progress io.Writer) []Record {
 			rec.Value = gsol.Objective
 			rec.Accepted = gsol.NumAccepted()
 			rec.Feasible = solution.Check(inst.Sub, inst.Reqs, gsol) == nil
+			if c.Certify {
+				rec.Certified = c.certifyOne(inst, gsol, core.AccessControl, mapping)
+			}
 		}
 		fmt.Fprintf(log, "flex=%3.0f seed=%2d greedy obj=%7.2f (opt %7.2f) time=%8.2fs\n",
 			key.flex, key.seed, rec.Value, opt.Value, rec.Runtime.Seconds())
@@ -303,6 +337,7 @@ func collect(records []Record, xs []float64, pred func(Record) bool, val func(Re
 	for _, x := range xs {
 		var sample []float64
 		for _, r := range records {
+			//lint:allow floateq -- FlexMin is copied verbatim from the config grid; bit-exact group key
 			if r.FlexMin == x && pred(r) {
 				sample = append(sample, val(r))
 			}

@@ -17,12 +17,20 @@ type Counters struct {
 	Cancelled atomic.Int64 // solves stopped by context cancellation
 	Nodes     atomic.Int64 // branch-and-bound nodes across all solves
 	LPIters   atomic.Int64 // simplex iterations across all solves
+
+	// Certification verdicts (populated when Config.Certify is set).
+	Certified     atomic.Int64 // solutions run through internal/certify
+	CertifyFailed atomic.Int64 // certificates with at least one violation
 }
 
 // String renders a one-line summary.
 func (c *Counters) String() string {
-	return fmt.Sprintf("solves=%d optimal=%d cancelled=%d nodes=%d lp_iters=%d",
+	s := fmt.Sprintf("solves=%d optimal=%d cancelled=%d nodes=%d lp_iters=%d",
 		c.Solves.Load(), c.Optimal.Load(), c.Cancelled.Load(), c.Nodes.Load(), c.LPIters.Load())
+	if n := c.Certified.Load(); n > 0 {
+		s += fmt.Sprintf(" certified=%d certify_failed=%d", n, c.CertifyFailed.Load())
+	}
+	return s
 }
 
 // runOrdered distributes n independent work items over w workers and hands

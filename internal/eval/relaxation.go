@@ -78,6 +78,7 @@ func WriteRelaxation(w io.Writer, recs []RelaxationRecord, cfg Config) {
 		var counts [3]int
 		exSum, exCount := 0.0, 0
 		for _, r := range recs {
+			//lint:allow floateq -- FlexMin is copied verbatim from the config grid; bit-exact group key
 			if r.FlexMin != flex || math.IsNaN(r.Bound) {
 				continue
 			}

@@ -150,7 +150,12 @@ func Solve(ctx context.Context, inst *core.Instance, mapping vnet.NodeMapping, o
 				DisablePresolve: opts.DisablePresolve,
 			})
 			b.Model.SetObjective(model.Expr().Add(-1, b.TMinus[curSub]).AddConst(T))
-			sol, _ = b.Solve(ctx, &opts.Solve)
+			// The retry burns real solver work; fold its statistics into the
+			// run totals instead of discarding them with the model solution.
+			var retry *model.Solution
+			sol, retry = b.Solve(ctx, &opts.Solve)
+			stats.TotalLPIters += retry.LPIterations
+			stats.TotalBBNodes += retry.Nodes
 			if sol == nil {
 				if err := ctx.Err(); err != nil {
 					return nil, stats, err

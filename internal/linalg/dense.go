@@ -15,6 +15,10 @@ import (
 // (numerically) singular matrix.
 var ErrSingular = errors.New("linalg: singular matrix")
 
+// denseSingTol is the pivot magnitude below which the LU factorization
+// declares the matrix numerically singular.
+const denseSingTol = 1e-13
+
 // Dense is a row-major dense matrix.
 type Dense struct {
 	Rows, Cols int
@@ -129,7 +133,7 @@ func Factorize(a *Dense) (*LU, error) {
 				p, best = i, a
 			}
 		}
-		if best < 1e-13 {
+		if best < denseSingTol {
 			return nil, ErrSingular
 		}
 		if p != k {

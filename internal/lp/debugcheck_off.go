@@ -1,0 +1,7 @@
+//go:build !debugchecks
+
+package lp
+
+// debugVerifyResult is compiled to a no-op unless the debugchecks build tag
+// is set; see debugcheck_on.go for the assertion it enables.
+func debugVerifyResult(*Instance, *Result) {}

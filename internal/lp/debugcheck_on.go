@@ -1,0 +1,45 @@
+//go:build debugchecks
+
+package lp
+
+import (
+	"fmt"
+	"math"
+
+	"tvnep/internal/numtol"
+)
+
+// debugVerifyResult re-checks every optimal result against the instance's
+// own row and bound data and panics on a violation. It is compiled in only
+// under the debugchecks build tag (`go test -tags debugchecks ./...`), so
+// the release solver pays nothing; with the tag on, every LP solve in the
+// process — including each branch-and-bound node relaxation — runs through
+// this assertion. The tolerance is deliberately loose (catch wrong answers,
+// not honest roundoff); the precise certificate lives in internal/certify.
+func debugVerifyResult(inst *Instance, res *Result) {
+	if res.Status != StatusOptimal || res.X == nil {
+		return
+	}
+	// Loose acceptance: two orders of magnitude beyond the solver's own
+	// feasibility tolerance.
+	const tol = 100 * numtol.LPFeasTol
+	for j := 0; j < inst.n; j++ {
+		x := res.X[j]
+		if x < inst.lb[j]-tol*(1+math.Abs(inst.lb[j])) || x > inst.ub[j]+tol*(1+math.Abs(inst.ub[j])) {
+			panic(fmt.Sprintf("lp debugchecks: column %d value %v outside [%v, %v]",
+				j, x, inst.lb[j], inst.ub[j]))
+		}
+	}
+	for i := 0; i < inst.m; i++ {
+		idx, val := inst.p.Row(i)
+		act := 0.0
+		for k, j := range idx {
+			act += val[k] * res.X[j]
+		}
+		rlb, rub := inst.lb[inst.n+i], inst.ub[inst.n+i]
+		if act < rlb-tol*(1+math.Abs(rlb)) || act > rub+tol*(1+math.Abs(rub)) {
+			panic(fmt.Sprintf("lp debugchecks: row %d activity %v outside [%v, %v]",
+				i, act, rlb, rub))
+		}
+	}
+}

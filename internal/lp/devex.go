@@ -115,7 +115,7 @@ func (s *solver) priceEntering() (int, float64) {
 	if s.bland {
 		for j := 0; j < s.N; j++ {
 			st := s.vstat[j]
-			if st == vsBasic || s.lb[j] == s.ub[j] {
+			if st == vsBasic || s.fixedCol(j) {
 				continue // fixed columns can never move
 			}
 			d := s.d[j]
@@ -154,7 +154,7 @@ func (s *solver) priceEntering() (int, float64) {
 				j = 0
 			}
 			st := s.vstat[jj]
-			if st == vsBasic || s.lb[jj] == s.ub[jj] {
+			if st == vsBasic || s.fixedCol(jj) {
 				continue
 			}
 			d := s.d[jj]

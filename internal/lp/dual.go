@@ -56,7 +56,7 @@ func (s *solver) dual(maxIters int) iterStatus {
 		q, bestRatio, bestAbs := -1, math.Inf(1), 0.0
 		for j := 0; j < s.N; j++ {
 			st := s.vstat[j]
-			if st == vsBasic || s.lb[j] == s.ub[j] {
+			if st == vsBasic || s.fixedCol(j) {
 				continue
 			}
 			a := s.arow[j]
@@ -79,10 +79,10 @@ func (s *solver) dual(maxIters int) iterStatus {
 			}
 			ratio := math.Abs(s.d[j]) / math.Abs(a)
 			if s.bland {
-				if q == -1 || ratio < bestRatio-1e-12 || (ratio <= bestRatio+1e-12 && j < q) {
+				if q == -1 || ratio < bestRatio-blandTieTol || (ratio <= bestRatio+blandTieTol && j < q) {
 					q, bestRatio, bestAbs = j, ratio, math.Abs(a)
 				}
-			} else if ratio < bestRatio-1e-10 || (ratio <= bestRatio+1e-10 && math.Abs(a) > bestAbs) {
+			} else if ratio < bestRatio-ratioTieTol || (ratio <= bestRatio+ratioTieTol && math.Abs(a) > bestAbs) {
 				q, bestRatio, bestAbs = j, ratio, math.Abs(a)
 			}
 		}

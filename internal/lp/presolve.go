@@ -1,6 +1,10 @@
 package lp
 
-import "math"
+import (
+	"math"
+
+	"tvnep/internal/numtol"
+)
 
 // LP presolve: cheap reductions applied by Solve before the simplex runs,
 // with a postsolve that maps the reduced solution — values, row duals and
@@ -23,8 +27,10 @@ import "math"
 
 const (
 	// presolveFeasTol is the infeasibility tolerance of presolve decisions
-	// (empty-row violation, crossed bounds after tightening).
-	presolveFeasTol = 1e-7
+	// (empty-row violation, crossed bounds after tightening). It equals
+	// the solver's default primal feasibility tolerance so presolve never
+	// declares infeasible what the simplex would accept.
+	presolveFeasTol = numtol.LPFeasTol
 	// presolveFixTol treats a column whose bounds are this close as fixed.
 	presolveFixTol = 1e-11
 	// presolvePivTol is the minimum singleton-row coefficient magnitude
@@ -376,7 +382,7 @@ func (ps *presolved) postsolve(rres Result) Result {
 // an earlier eliminated row on the same column absorbs the residual).
 func (ps *presolved) recoverSingletonDuals(y, x []float64) {
 	p := ps.orig
-	const tol = 1e-9
+	const tol = numtol.DualRoundTol
 	for t := len(ps.singletons) - 1; t >= 0; t-- {
 		rec := ps.singletons[t]
 		j := rec.col
@@ -388,8 +394,8 @@ func (ps *presolved) recoverSingletonDuals(y, x []float64) {
 		for k, i := range ps.colRowsOf(j) {
 			d -= y[i] * ps.colValsOf(j)[k]
 		}
-		atLB := math.Abs(x[j]-p.ColLB[j]) < 1e-6
-		atUB := math.Abs(x[j]-p.ColUB[j]) < 1e-6
+		atLB := math.Abs(x[j]-p.ColLB[j]) < numtol.AtBoundTol
+		atUB := math.Abs(x[j]-p.ColUB[j]) < numtol.AtBoundTol
 		ok := (atLB && atUB) ||
 			(atLB && d >= -tol) ||
 			(atUB && d <= tol) ||
@@ -404,8 +410,8 @@ func (ps *presolved) recoverSingletonDuals(y, x []float64) {
 		for k, jj := range idx {
 			act += val[k] * x[jj]
 		}
-		rAtLB := math.Abs(act-p.RowLB[rec.row]) < 1e-6
-		rAtUB := math.Abs(act-p.RowUB[rec.row]) < 1e-6
+		rAtLB := math.Abs(act-p.RowLB[rec.row]) < numtol.AtBoundTol
+		rAtUB := math.Abs(act-p.RowUB[rec.row]) < numtol.AtBoundTol
 		switch {
 		case rAtLB && rAtUB:
 		case rAtLB:
@@ -493,7 +499,7 @@ func (ps *presolved) postsolveBasis(rb *Basis) *Basis {
 		}
 		v := ps.fixVal[j]
 		switch {
-		case math.Abs(v-p.ColLB[j]) < 1e-9 || math.IsInf(p.ColUB[j], 1):
+		case math.Abs(v-p.ColLB[j]) < numtol.BoundSnapTol || math.IsInf(p.ColUB[j], 1):
 			b.Status[j] = vsLower
 		case !math.IsInf(p.ColUB[j], 1):
 			b.Status[j] = vsUpper

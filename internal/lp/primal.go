@@ -16,8 +16,9 @@ const (
 // crashBasis installs the initial slack/artificial basis for a cold start
 // and configures phase-1 bounds and costs for the artificials that are
 // needed. It returns true if any artificial carries a nonzero value (i.e. a
-// phase 1 is required).
-func (s *solver) crashBasis() bool {
+// phase 1 is required). A non-nil error means the initial factorization
+// failed and the solve cannot proceed on this basis.
+func (s *solver) crashBasis() (bool, error) {
 	n, m := s.inst.n, s.m
 	// All structural columns nonbasic at their natural bound.
 	for j := 0; j < n; j++ {
@@ -48,7 +49,7 @@ func (s *solver) crashBasis() bool {
 		s.cost[art] = 0
 		lo, hi := s.lb[slack], s.ub[slack]
 		switch {
-		case act[i] >= lo-1e-12 && act[i] <= hi+1e-12:
+		case act[i] >= lo-crashBoundTol && act[i] <= hi+crashBoundTol:
 			// Slack absorbs the activity: basic.
 			s.basis[i] = int32(slack)
 			s.inBasis[slack] = int32(i)
@@ -71,6 +72,7 @@ func (s *solver) crashBasis() bool {
 				sv = 0
 			}
 			s.vstat[slack] = vsLower
+			//lint:allow floateq -- sv was assigned from lo/hi by the clamp above; bit-exact by construction
 			if sv == hi && sv != lo {
 				s.vstat[slack] = vsUpper
 			}
@@ -91,9 +93,14 @@ func (s *solver) crashBasis() bool {
 		}
 	}
 	// The crash basis is diagonal (slack columns −e_i, artificials +e_i),
-	// so this factorization is trivial and cannot fail.
-	_ = s.refactor()
-	return needPhase1
+	// so this factorization should be trivially well-conditioned — but a
+	// failure here means every subsequent FTRAN/BTRAN would run against a
+	// stale or absent factorization, so it must stop the solve rather than
+	// be ignored.
+	if err := s.refactor(); err != nil {
+		return needPhase1, err
+	}
+	return needPhase1, nil
 }
 
 // phase1Objective sums the absolute values of the artificial variables.
@@ -180,8 +187,8 @@ func (s *solver) primal(maxIters int) iterStatus {
 			if ratio < 0 {
 				ratio = 0
 			}
-			better := ratio < t-1e-10
-			tie := !better && ratio <= t+1e-10
+			better := ratio < t-ratioTieTol
+			tie := !better && ratio <= t+ratioTieTol
 			if s.bland {
 				if better || (tie && (leave == -1 || bi < int(s.basis[leave]))) {
 					t, leave, leaveStat, leaveAbs = ratio, i, st, math.Abs(a)
@@ -246,7 +253,7 @@ func (s *solver) primal(maxIters int) iterStatus {
 
 // noteProgress tracks degeneracy and enables Bland's rule on long stalls.
 func (s *solver) noteProgress(step float64) {
-	if step <= 1e-12 {
+	if step <= degenStepTol {
 		s.stall++
 		if s.stall > stallLimit {
 			s.bland = true

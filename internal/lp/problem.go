@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"tvnep/internal/numtol"
 )
 
 // Inf is the canonical infinity used for absent bounds.
@@ -140,6 +142,10 @@ const (
 	StatusUnbounded
 	// StatusIterLimit means the iteration limit was hit before convergence.
 	StatusIterLimit
+	// StatusNumeric means the solve was abandoned after an irrecoverable
+	// numerical failure (e.g. a basis factorization that failed and could
+	// not be repaired by a cold refactorization).
+	StatusNumeric
 )
 
 // String implements fmt.Stringer.
@@ -153,6 +159,8 @@ func (s Status) String() string {
 		return "unbounded"
 	case StatusIterLimit:
 		return "iteration-limit"
+	case StatusNumeric:
+		return "numeric-failure"
 	default:
 		return fmt.Sprintf("lp.Status(%d)", int(s))
 	}
@@ -210,10 +218,10 @@ func (o *Options) withDefaults(rows, cols int) Options {
 		out.MaxIters = 20000 + 50*(rows+cols)
 	}
 	if out.FeasTol <= 0 {
-		out.FeasTol = 1e-7
+		out.FeasTol = numtol.LPFeasTol
 	}
 	if out.OptTol <= 0 {
-		out.OptTol = 1e-7
+		out.OptTol = numtol.LPOptTol
 	}
 	return out
 }

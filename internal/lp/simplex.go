@@ -21,6 +21,22 @@ const (
 	pivTol     = 1e-9  // minimum pivot magnitude
 	dropTol    = 1e-12 // entries below this are treated as zero in updates
 	stallLimit = 400   // degenerate iterations before switching to Bland's rule
+
+	// crashBoundTol is the slack allowed when testing whether a row
+	// activity already lies inside its slack's bounds during the crash
+	// basis construction; activities are single dot products, so only a
+	// few ulps of error are possible.
+	crashBoundTol = 1e-12
+	// ratioTieTol is the window within which two ratio-test limits are
+	// treated as tied (the larger-pivot rule then breaks the tie).
+	ratioTieTol = 1e-10
+	// blandTieTol is the much tighter tie window used under Bland's rule,
+	// where ties must be broken by index to preserve the anti-cycling
+	// guarantee.
+	blandTieTol = 1e-12
+	// degenStepTol is the step length below which an iteration counts as
+	// degenerate for the stall detector.
+	degenStepTol = 1e-12
 )
 
 // refactorEvery returns the number of eta-file updates tolerated before a
@@ -214,6 +230,14 @@ type solver struct {
 	stall      int
 	sincefac   int
 	lastPivotQ int
+}
+
+// fixedCol reports whether column j is fixed (equal bounds) and can never
+// leave its bound. Bounds are only ever equal by assignment (construction,
+// branching, presolve), so the bit-exact comparison is deliberate.
+func (s *solver) fixedCol(j int) bool {
+	//lint:allow floateq -- equal bounds are assigned, never computed
+	return s.lb[j] == s.ub[j]
 }
 
 func newSolver(inst *Instance, opts Options) *solver {

@@ -3,12 +3,23 @@ package lp
 import (
 	"math"
 	"sync/atomic"
+
+	"tvnep/internal/numtol"
 )
 
 // Solve optimizes the instance under its current column bounds. If
 // opts.WarmBasis is set and compatible, a dual-simplex warm start is
 // attempted first; any failure falls back to a cold two-phase primal solve.
+// Under the debugchecks build tag every optimal result is additionally
+// re-checked against the instance's row and bound data before it is
+// returned (see debugcheck_on.go).
 func (inst *Instance) Solve(opts *Options) Result {
+	res := inst.solveDispatch(opts)
+	debugVerifyResult(inst, &res)
+	return res
+}
+
+func (inst *Instance) solveDispatch(opts *Options) Result {
 	o := opts.withDefaults(inst.m, inst.n)
 
 	if o.WarmBasis != nil {
@@ -78,14 +89,19 @@ func (inst *Instance) solveWarm(o Options) (res Result, iters int, ok bool) {
 // crash basis.
 func (inst *Instance) solveCold(o Options) Result {
 	s := newSolver(inst, o)
-	needPhase1 := s.crashBasis()
+	needPhase1, err := s.crashBasis()
+	if err != nil {
+		// No usable factorization: report the numerical failure instead of
+		// iterating against a stale basis.
+		return s.result(StatusNumeric)
+	}
 	if needPhase1 {
 		// Phase 1: costs were installed by crashBasis (±1 on artificials).
 		st := s.primal(o.MaxIters)
 		if st == iterLimit {
 			return s.result(StatusIterLimit)
 		}
-		if s.phase1Objective() > 1e-6 {
+		if s.phase1Objective() > numtol.Phase1Tol {
 			return s.result(StatusInfeasible)
 		}
 	}
@@ -124,9 +140,9 @@ func (s *solver) result(status Status) Result {
 		for j := 0; j < inst.n; j++ {
 			v := s.colValue(j)
 			// Snap to bounds within tolerance for clean downstream use.
-			if !math.IsInf(s.lb[j], -1) && math.Abs(v-s.lb[j]) < 1e-9 {
+			if !math.IsInf(s.lb[j], -1) && math.Abs(v-s.lb[j]) < numtol.BoundSnapTol {
 				v = s.lb[j]
-			} else if !math.IsInf(s.ub[j], 1) && math.Abs(v-s.ub[j]) < 1e-9 {
+			} else if !math.IsInf(s.ub[j], 1) && math.Abs(v-s.ub[j]) < numtol.BoundSnapTol {
 				v = s.ub[j]
 			}
 			res.X[j] = v

@@ -11,6 +11,20 @@ import (
 	"time"
 
 	"tvnep/internal/lp"
+	"tvnep/internal/numtol"
+)
+
+const (
+	// boundCutoffTol is the margin by which a node's relaxation bound (or
+	// a candidate incumbent) must beat the incumbent to stay interesting;
+	// it absorbs LP-level noise in the bound values.
+	boundCutoffTol = 1e-9
+	// gapDenFloor keeps the relative-gap denominator away from zero for
+	// near-zero objectives.
+	gapDenFloor = 1e-10
+	// branchObjWeight is the tiny weight mixing objective magnitude into
+	// the fractionality branching score as a deterministic tie-break.
+	branchObjWeight = 1e-6
 )
 
 // Problem couples an LP with integrality markers.
@@ -111,10 +125,10 @@ func (o *Options) withDefaults() Options {
 		out = *o
 	}
 	if out.GapTol <= 0 {
-		out.GapTol = 1e-6
+		out.GapTol = numtol.MIPGapTol
 	}
 	if out.IntTol <= 0 {
-		out.IntTol = 1e-6
+		out.IntTol = numtol.MIPIntTol
 	}
 	if out.HeuristicEvery == 0 {
 		out.HeuristicEvery = 50
@@ -154,6 +168,7 @@ type nodeHeap []*node
 
 func (h nodeHeap) Len() int { return len(h) }
 func (h nodeHeap) Less(i, j int) bool {
+	//lint:allow floateq -- heap ordering needs any consistent total order, not a tolerance
 	if h[i].bound != h[j].bound {
 		return h[i].bound < h[j].bound
 	}
@@ -270,8 +285,8 @@ func relGap(inc, bound float64) float64 {
 		return 0
 	}
 	den := math.Max(math.Abs(inc), math.Abs(bound))
-	if den < 1e-10 {
-		den = 1e-10
+	if den < gapDenFloor {
+		den = gapDenFloor
 	}
 	return d / den
 }
@@ -357,7 +372,7 @@ func (s *searcher) fractional(x []float64) int {
 			continue
 		}
 		score := 0.5 - math.Abs(f-0.5) // distance from integrality, peak at 0.5
-		score += 1e-6 * math.Abs(s.prob.LP.Obj[j])
+		score += branchObjWeight * math.Abs(s.prob.LP.Obj[j])
 		if score > bestScore {
 			best, bestScore = j, score
 		}
@@ -367,7 +382,7 @@ func (s *searcher) fractional(x []float64) int {
 
 // tryIncumbent records x as the new incumbent if it improves.
 func (s *searcher) tryIncumbent(x []float64, objMin float64) bool {
-	if objMin >= s.incumbentMin-1e-9 {
+	if objMin >= s.incumbentMin-boundCutoffTol {
 		return false
 	}
 	s.incumbent = append([]float64(nil), x...)
@@ -454,7 +469,7 @@ func (s *searcher) run() Status {
 				return StatusLimit
 			}
 			// Bound-based pruning against the current incumbent.
-			if s.hasInc && nd.bound >= s.incumbentMin-1e-9 {
+			if s.hasInc && nd.bound >= s.incumbentMin-boundCutoffTol {
 				break
 			}
 			if s.hasInc && relGap(s.incumbentMin, math.Min(nd.bound, s.globalBoundMin())) <= s.opts.GapTol {
@@ -487,17 +502,18 @@ func (s *searcher) run() Status {
 				}
 				nd = nil // should not happen below the root; treat as cut off
 				continue
-			case lp.StatusIterLimit:
+			case lp.StatusIterLimit, lp.StatusNumeric:
 				if s.cancelled() {
 					heap.Push(&s.open, nd)
 					return StatusCancelled
 				}
-				// The node's relaxation did not converge; the search can no
-				// longer prove optimality, so stop with what we have.
+				// The node's relaxation did not converge (or failed
+				// numerically); the search can no longer prove optimality,
+				// so stop with what we have.
 				return StatusLimit
 			}
 			objMin := s.toMin(res.Obj)
-			if s.hasInc && objMin >= s.incumbentMin-1e-9 {
+			if s.hasInc && objMin >= s.incumbentMin-boundCutoffTol {
 				break // dominated
 			}
 			branchCol := s.fractional(res.X)

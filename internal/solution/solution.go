@@ -11,6 +11,7 @@ import (
 	"sort"
 	"time"
 
+	"tvnep/internal/numtol"
 	"tvnep/internal/substrate"
 	"tvnep/internal/vnet"
 )
@@ -54,11 +55,11 @@ func (s *Solution) NumAccepted() int {
 	return n
 }
 
-// Checker options.
+// Checker tolerances; see internal/numtol for what each one bounds.
 const (
-	timeTol = 1e-5
-	capTol  = 1e-5
-	flowTol = 1e-5
+	timeTol = numtol.TimeTol
+	capTol  = numtol.CapTol
+	flowTol = numtol.FlowTol
 )
 
 // Check verifies the solution against Definition 2.1: temporal windows,
@@ -160,7 +161,7 @@ func checkCapacities(sub *substrate.Network, reqs []*vnet.Request, sol *Solution
 	}
 	sort.Float64s(events)
 	for i := 0; i+1 < len(events); i++ {
-		if events[i+1]-events[i] < 1e-12 {
+		if events[i+1]-events[i] < numtol.EventCoincide {
 			continue
 		}
 		mid := (events[i] + events[i+1]) / 2

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"tvnep/internal/numtol"
 	"tvnep/internal/substrate"
 	"tvnep/internal/vnet"
 )
@@ -65,7 +66,7 @@ func Timeline(sub *substrate.Network, reqs []*vnet.Request, sol *Solution) []Tim
 	// Deduplicate.
 	uniq := events[:1]
 	for _, t := range events[1:] {
-		if t-uniq[len(uniq)-1] > 1e-12 {
+		if t-uniq[len(uniq)-1] > numtol.EventCoincide {
 			uniq = append(uniq, t)
 		}
 	}
@@ -89,7 +90,7 @@ func Timeline(sub *substrate.Network, reqs []*vnet.Request, sol *Solution) []Tim
 			for lv := 0; lv < req.G.NumEdges(); lv++ {
 				d := req.LinkDemand[lv]
 				for ls, f := range sol.Flows[r][lv] {
-					if f > 1e-9 {
+					if f > numtol.FlowCutoff {
 						seg.LinkLoad[ls] += d * f
 					}
 				}

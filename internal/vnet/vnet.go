@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"tvnep/internal/graph"
+	"tvnep/internal/numtol"
 )
 
 // Request is one VNet request R ∈ 𝓡.
@@ -57,7 +58,7 @@ func (r *Request) Validate() error {
 	if r.Earliest < 0 {
 		return fmt.Errorf("vnet %s: negative earliest start %v", r.Name, r.Earliest)
 	}
-	if r.Flexibility() < -1e-9 { // tolerate float rounding in t^s + d + flex
+	if r.Flexibility() < -numtol.WindowTol { // tolerate float rounding in t^s + d + flex
 		return fmt.Errorf("vnet %s: window [%v,%v] shorter than duration %v",
 			r.Name, r.Earliest, r.Latest, r.Duration)
 	}

@@ -9,6 +9,7 @@ import (
 	"math"
 	"math/rand"
 
+	"tvnep/internal/numtol"
 	"tvnep/internal/substrate"
 	"tvnep/internal/vnet"
 )
@@ -136,7 +137,7 @@ func (sc *Scenario) Validate() error {
 				return fmt.Errorf("workload: mapping %d targets substrate node %d out of range", i, host)
 			}
 		}
-		if r.Latest > sc.Horizon+1e-9 {
+		if r.Latest > sc.Horizon+numtol.WindowTol {
 			return fmt.Errorf("workload: request %d ends after horizon", i)
 		}
 	}
