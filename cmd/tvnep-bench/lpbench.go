@@ -33,11 +33,17 @@ type lpBenchResult struct {
 }
 
 type lpWarmStats struct {
-	Attempts     int64   `json:"attempts"`
-	OK           int64   `json:"ok"`
-	CacheHits    int64   `json:"cache_hits"`
-	OKRate       float64 `json:"ok_rate"`
-	CacheHitRate float64 `json:"cache_hit_rate"`
+	Attempts  int64 `json:"attempts"`
+	OK        int64 `json:"ok"`
+	CacheHits int64 `json:"cache_hits"`
+	// FactorHandoffs counts warm starts served by an explicit
+	// Result.Factors → Options.WarmFactors handoff (the parallel
+	// branch-and-bound path), which takes precedence over the per-instance
+	// factorization ring the cache-hit rate measures.
+	FactorHandoffs  int64   `json:"factor_handoffs"`
+	OKRate          float64 `json:"ok_rate"`
+	CacheHitRate    float64 `json:"cache_hit_rate"`
+	FactorHandoffRt float64 `json:"factor_handoff_rate"`
 }
 
 type lpBenchReport struct {
@@ -100,6 +106,7 @@ func runLPBench(outPath, comparePath string) error {
 		GoVersion: runtime.Version(),
 	}
 	wa0, wo0, ch0 := lp.DebugWarmAttempts.Load(), lp.DebugWarmOK.Load(), lp.DebugCacheHits.Load()
+	fh0 := lp.DebugFactorHandoffs.Load()
 
 	// LPRelaxationCSigma: one LP-relaxation solve of the cΣ-Model at the
 	// default evaluation scale (the unit of work in every B&B node).
@@ -155,10 +162,12 @@ func runLPBench(outPath, comparePath string) error {
 	wa := lp.DebugWarmAttempts.Load() - wa0
 	wo := lp.DebugWarmOK.Load() - wo0
 	ch := lp.DebugCacheHits.Load() - ch0
-	report.WarmStart = lpWarmStats{Attempts: wa, OK: wo, CacheHits: ch}
+	fh := lp.DebugFactorHandoffs.Load() - fh0
+	report.WarmStart = lpWarmStats{Attempts: wa, OK: wo, CacheHits: ch, FactorHandoffs: fh}
 	if wa > 0 {
 		report.WarmStart.OKRate = float64(wo) / float64(wa)
 		report.WarmStart.CacheHitRate = float64(ch) / float64(wa)
+		report.WarmStart.FactorHandoffRt = float64(fh) / float64(wa)
 	}
 
 	if comparePath != "" {
@@ -202,7 +211,7 @@ func runLPBench(outPath, comparePath string) error {
 		}
 		fmt.Println(line)
 	}
-	fmt.Printf("# warm starts: %d attempts, %.0f%% adopted, %.0f%% factorization-cache hits\n",
-		wa, 100*report.WarmStart.OKRate, 100*report.WarmStart.CacheHitRate)
+	fmt.Printf("# warm starts: %d attempts, %.0f%% adopted, %.0f%% factor handoffs, %.0f%% factorization-cache hits\n",
+		wa, 100*report.WarmStart.OKRate, 100*report.WarmStart.FactorHandoffRt, 100*report.WarmStart.CacheHitRate)
 	return nil
 }

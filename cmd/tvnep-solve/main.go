@@ -35,6 +35,7 @@ func main() {
 		objName   = flag.String("objective", "access", "objective: access | earliness | balance | disable | makespan")
 		useGreedy = flag.Bool("greedy", false, "run the greedy algorithm cΣ_A^G instead of the exact model")
 		limit     = flag.Duration("timelimit", time.Minute, "MIP time limit")
+		workers   = flag.Int("workers", 1, "branch-and-bound relaxation workers (deterministic: the committed result is bit-identical for every count)")
 		noCuts    = flag.Bool("nocuts", false, "disable temporal dependency graph cuts (cΣ only)")
 		noPre     = flag.Bool("nopresolve", false, "disable the activity-interval presolve (cΣ only)")
 		freeMap   = flag.Bool("freemap", false, "ignore the scenario's fixed node mapping and let the model place nodes")
@@ -101,7 +102,7 @@ func main() {
 		fail(fmt.Errorf("unknown objective %q", *objName))
 	}
 
-	solveOpts := model.NewSolveOptions(model.WithTimeLimit(*limit))
+	solveOpts := model.NewSolveOptions(model.WithTimeLimit(*limit), model.WithWorkers(*workers))
 	if *progFlag {
 		solveOpts.Progress = func(p model.Progress) {
 			if p.NewIncumbent {

@@ -66,7 +66,8 @@ func (c Config) AblationSweep(ctx context.Context, progress io.Writer) ([]Ablati
 					DisableCuts:     v.DisableCuts,
 					DisablePresolve: v.DisablePresolve,
 				})
-				sol, ms := b.Solve(ctx, &c.Solve)
+				inner := c.innerSolve()
+				sol, ms := b.Solve(ctx, &inner)
 				c.count(ms)
 				rec := AblationRecord{
 					Record: Record{

@@ -137,6 +137,17 @@ func (c Config) scenario(flexMin float64, seed int64) (*core.Instance, vnet.Node
 	return &core.Instance{Sub: sc.Substrate, Reqs: sc.Requests, Horizon: sc.Horizon}, sc.Mapping
 }
 
+// innerSolve is the option set handed to each individual solve of a sweep:
+// the sweep already parallelizes across scenarios with Solve.Workers, so
+// the branch-and-bound search inside each solve runs single-worker — the
+// two levels must not multiply into Workers² goroutines. (Direct solves
+// outside a sweep, e.g. tvnep-solve, do hand Workers to the tree search.)
+func (c Config) innerSolve() model.SolveOptions {
+	o := c.Solve
+	o.Workers = 1
+	return o
+}
+
 // count feeds one model solution into the aggregate counters, if any.
 func (c Config) count(ms *model.Solution) {
 	if c.Counters == nil {
@@ -171,7 +182,8 @@ func (c Config) solveOne(ctx context.Context, f core.Formulation, obj core.Objec
 		}
 	}
 	b := core.Build(f, inst, core.BuildOptions{Objective: obj, FixedMapping: mapping})
-	sol, ms := b.Solve(ctx, &c.Solve)
+	inner := c.innerSolve()
+	sol, ms := b.Solve(ctx, &inner)
 	c.count(ms)
 	rec := Record{
 		FlexMin: flexMin, Seed: seed, Form: f, Obj: obj, Algo: "mip",
@@ -265,7 +277,8 @@ func (c Config) ObjectivesSweep(ctx context.Context, progress io.Writer) []Recor
 		pre := core.BuildCSigma(inst, core.BuildOptions{
 			Objective: core.AccessControl, FixedMapping: mapping,
 		})
-		preSol, preMS := pre.Solve(ctx, &c.Solve)
+		preInner := c.innerSolve()
+		preSol, preMS := pre.Solve(ctx, &preInner)
 		c.count(preMS)
 		if preSol == nil {
 			return nil
@@ -303,7 +316,7 @@ func (c Config) GreedySweep(ctx context.Context, progress io.Writer) []Record {
 		opt := c.solveOne(ctx, core.CSigma, core.AccessControl, inst, mapping, key.flex, key.seed)
 
 		start := time.Now()
-		gsol, gstats, err := greedy.Solve(ctx, inst, mapping, greedy.Options{Solve: c.Solve})
+		gsol, gstats, err := greedy.Solve(ctx, inst, mapping, greedy.Options{Solve: c.innerSolve()})
 		rec := Record{
 			FlexMin: key.flex, Seed: key.seed, Form: core.CSigma,
 			Obj: core.AccessControl, Algo: "greedy",

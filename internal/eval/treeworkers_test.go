@@ -1,0 +1,80 @@
+package eval
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"tvnep/internal/certify"
+	"tvnep/internal/core"
+	"tvnep/internal/model"
+)
+
+// TestTreeWorkerDeterminism is the end-to-end determinism contract of the
+// parallel branch-and-bound on the paper's own models: for every
+// formulation (Δ, Σ, cΣ) on workload-generator scenarios, the solve with
+// 2/4/8 tree workers must commit the bit-identical search of the serial
+// solve — same status, objective and bound bits, node and LP iteration
+// counts — and extract the same certified embedding.
+func TestTreeWorkerDeterminism(t *testing.T) {
+	cfg := micro()
+	type scen struct {
+		flex float64
+		seed int64
+	}
+	scens := []scen{{120, 1}, {60, 2}}
+	if testing.Short() {
+		scens = scens[:1]
+	}
+	forms := []core.Formulation{core.Delta, core.Sigma, core.CSigma}
+	for _, form := range forms {
+		for _, sc := range scens {
+			inst, mapping := cfg.scenario(sc.flex, sc.seed)
+			var base *model.Solution
+			var baseSol interface{}
+			for _, w := range []int{1, 2, 4, 8} {
+				b := core.Build(form, inst, core.BuildOptions{
+					Objective:    core.AccessControl,
+					FixedMapping: mapping,
+				})
+				opts := model.SolveOptions{TimeLimit: time.Hour, Workers: w}
+				sol, ms := b.Solve(context.Background(), &opts)
+				if ms.Status != model.StatusOptimal {
+					t.Fatalf("%v flex=%v seed=%d workers=%d: status %v",
+						form, sc.flex, sc.seed, w, ms.Status)
+				}
+				if sol == nil {
+					t.Fatalf("%v flex=%v seed=%d workers=%d: no solution", form, sc.flex, sc.seed, w)
+				}
+				rep := certify.Solution(inst, sol, certify.Options{
+					Objective: core.AccessControl, Mapping: mapping,
+				})
+				if err := rep.Err(); err != nil {
+					t.Fatalf("%v flex=%v seed=%d workers=%d: certificate: %v",
+						form, sc.flex, sc.seed, w, err)
+				}
+				// Runtime is the only field allowed to vary between counts.
+				sol.Runtime = 0
+				if w == 1 {
+					base, baseSol = ms, sol
+					continue
+				}
+				if math.Float64bits(ms.Obj) != math.Float64bits(base.Obj) ||
+					math.Float64bits(ms.Bound) != math.Float64bits(base.Bound) {
+					t.Errorf("%v flex=%v seed=%d: objective/bound not bit-identical at %d workers: %v/%v vs %v/%v",
+						form, sc.flex, sc.seed, w, ms.Obj, ms.Bound, base.Obj, base.Bound)
+				}
+				if ms.Nodes != base.Nodes || ms.LPIterations != base.LPIterations {
+					t.Errorf("%v flex=%v seed=%d: search shape differs at %d workers: %d nodes/%d iters vs %d/%d",
+						form, sc.flex, sc.seed, w, ms.Nodes, ms.LPIterations, base.Nodes, base.LPIterations)
+				}
+				if !reflect.DeepEqual(sol, baseSol) {
+					t.Errorf("%v flex=%v seed=%d: extracted solution differs at %d workers",
+						form, sc.flex, sc.seed, w)
+				}
+			}
+		}
+	}
+}

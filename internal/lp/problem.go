@@ -15,6 +15,7 @@ import (
 	"math"
 	"time"
 
+	"tvnep/internal/linalg/sparselu"
 	"tvnep/internal/numtol"
 )
 
@@ -191,14 +192,31 @@ type Result struct {
 	Duals      []float64 // row duals (minimization convention)
 	Iterations int
 	Basis      *Basis // final basis snapshot (valid when Optimal or Infeasible-by-dual)
+	// Factors is the LU factorization matching Basis, filled only when
+	// Options.CaptureFactors is set (and Basis is). Handing it back as
+	// Options.WarmFactors of a later solve warm-starts that solve without a
+	// refactorization — and, unlike the per-Instance cache, works across
+	// Instance clones, which is what makes parallel branch-and-bound
+	// bit-reproducible.
+	Factors *sparselu.Factors
 }
 
 // Options tunes a solve.
 type Options struct {
 	MaxIters  int    // 0 → automatic (20000 + 50·(rows+cols))
 	WarmBasis *Basis // if non-nil, attempt a dual-simplex warm start
-	FeasTol   float64
-	OptTol    float64
+	// WarmFactors, when non-nil, is the LU factorization of WarmBasis
+	// (typically a prior Result.Factors). The warm start clones it instead
+	// of refactorizing or consulting the instance's factorization cache,
+	// making the solve a pure function of its inputs. The caller must
+	// guarantee the factors actually belong to WarmBasis.
+	WarmFactors *sparselu.Factors
+	// CaptureFactors asks the solve to return a clone of its final basis
+	// factorization in Result.Factors (whenever Result.Basis is filled).
+	// Capturing replaces the instance-cache store for that solve.
+	CaptureFactors bool
+	FeasTol        float64
+	OptTol         float64
 	// Deadline aborts the solve (StatusIterLimit) once passed. Zero means
 	// no deadline. Checked every few dozen iterations.
 	Deadline time.Time

@@ -169,6 +169,26 @@ func NewInstance(p *Problem) *Instance {
 	return inst
 }
 
+// Clone returns an independent Instance over the same compiled problem.
+// The immutable column-major matrix (and the Problem it was compiled from)
+// is shared; the mutable column bounds are copied and the factorization
+// cache starts empty. Clones are what give every worker of a parallel
+// branch-and-bound search its own simplex state without recompiling the
+// problem: the shared slices are never written after compilation.
+func (inst *Instance) Clone() *Instance {
+	out := &Instance{
+		p: inst.p, n: inst.n, m: inst.m,
+		colIdx:  inst.colIdx,
+		colVal:  inst.colVal,
+		unitIdx: inst.unitIdx,
+		lb:      append([]float64(nil), inst.lb...),
+		ub:      append([]float64(nil), inst.ub...),
+		objMin:  inst.objMin,
+		negate:  inst.negate,
+	}
+	return out
+}
+
 // NumCols reports the number of structural columns.
 func (inst *Instance) NumCols() int { return inst.n }
 
@@ -468,7 +488,15 @@ func (s *solver) adoptBasis(b *Basis) bool {
 		s.vstat[j] = vsBasic
 	}
 	usedCache := false
-	if cached := s.inst.cachedFactors(b); cached != nil && cached.M() == s.m {
+	if wf := s.opts.WarmFactors; wf != nil && wf.M() == s.m {
+		// Explicit factor handoff (Result.Factors of the solve that produced
+		// b): takes precedence over the instance cache so the solve's
+		// outcome never depends on cache history. Clone so this solver's eta
+		// updates stay out of the caller's copy, which siblings share.
+		s.fac = wf.Clone()
+		usedCache = true
+		DebugFactorHandoffs.Add(1)
+	} else if cached := s.inst.cachedFactors(b); cached != nil && cached.M() == s.m {
 		// The factorization depends only on the basis columns, which match
 		// the cached snapshot exactly; bound changes do not invalidate it.
 		// Clone so this solver's eta updates stay out of the cache.

@@ -49,6 +49,10 @@ var (
 	DebugWarmAttempts atomic.Int64
 	DebugWarmOK       atomic.Int64
 	DebugCacheHits    atomic.Int64
+	// DebugFactorHandoffs counts warm starts that adopted an explicitly
+	// supplied Options.WarmFactors (the cache-independent handoff used by
+	// the parallel branch-and-bound workers).
+	DebugFactorHandoffs atomic.Int64
 )
 
 // solveWarm attempts a dual-simplex warm start. The boolean result reports
@@ -169,9 +173,16 @@ func (s *solver) result(status Status) Result {
 	}
 	if status == StatusOptimal || status == StatusInfeasible {
 		res.Basis = s.snapshot()
-		// Remember the factorization for this snapshot so warm starts from
-		// it (both branch-and-bound children) skip refactorization.
-		inst.storeFactors(res.Basis, s.fac)
+		if s.opts.CaptureFactors {
+			// The caller wants an explicit, cache-independent handoff (it
+			// will pass the clone back as WarmFactors); skip the instance
+			// cache so the factorization is cloned exactly once.
+			res.Factors = s.fac.Clone()
+		} else {
+			// Remember the factorization for this snapshot so warm starts
+			// from it (both branch-and-bound children) skip refactorization.
+			inst.storeFactors(res.Basis, s.fac)
+		}
 	}
 	return res
 }

@@ -10,6 +10,7 @@ import (
 	"math"
 	"time"
 
+	"tvnep/internal/linalg/sparselu"
 	"tvnep/internal/lp"
 	"tvnep/internal/numtol"
 )
@@ -87,7 +88,8 @@ func (s Status) String() string {
 // Progress is a snapshot of the branch-and-bound search handed to the
 // Options.Progress callback. Incumbent and Bound are expressed in the
 // problem's original optimization sense; Incumbent is NaN while no integral
-// solution exists.
+// solution exists. Callbacks are always serialized (they run on the
+// committing goroutine) regardless of Options.Workers.
 type Progress struct {
 	Nodes        int
 	Open         int // open (unexplored) nodes
@@ -99,6 +101,11 @@ type Progress struct {
 	// NewIncumbent marks callbacks fired because a better integral solution
 	// was just found (otherwise the callback is periodic).
 	NewIncumbent bool
+	// Worker is the 1-based id of the worker whose LP solve produced the
+	// most recently committed node relaxation (0 before the first commit).
+	// It is informational: which worker solves which node is scheduling
+	// noise and, unlike every other field, not reproducible across runs.
+	Worker int
 }
 
 // Options tunes the branch-and-bound search.
@@ -107,12 +114,21 @@ type Options struct {
 	NodeLimit int           // 0 → none
 	GapTol    float64       // relative optimality gap, default 1e-6
 	IntTol    float64       // integrality tolerance, default 1e-6
-	// HeuristicEvery runs the rounding heuristic at every k-th node
-	// (default 50; 0 disables except at the root).
+	// HeuristicEvery runs the rounding heuristic at the root and at every
+	// k-th node thereafter (0 → the default of 50; a negative value
+	// disables the heuristic entirely, including at the root).
 	HeuristicEvery int
+	// Workers is the number of workers evaluating node relaxations
+	// concurrently (0 or 1 → a single worker). Each worker owns its own
+	// simplex state; the search itself is committed by one goroutine in
+	// strict sequential order, so the reported objective, solution, node
+	// count and LP iteration count are bit-identical for every worker
+	// count — as long as no time limit cuts the run short, since where a
+	// wall-clock limit lands is never reproducible.
+	Workers int
 	// Progress, when non-nil, is invoked on every new incumbent and every
-	// ProgressEvery nodes. Callbacks run synchronously on the solving
-	// goroutine; keep them cheap.
+	// ProgressEvery nodes. Callbacks run synchronously on the committing
+	// goroutine (even with Workers > 1); keep them cheap.
 	Progress func(Progress)
 	// ProgressEvery is the periodic callback interval in nodes (default
 	// 100; < 0 disables periodic callbacks, leaving incumbent ones).
@@ -133,6 +149,9 @@ func (o *Options) withDefaults() Options {
 	if out.HeuristicEvery == 0 {
 		out.HeuristicEvery = 50
 	}
+	if out.Workers < 1 {
+		out.Workers = 1
+	}
 	if out.ProgressEvery == 0 {
 		out.ProgressEvery = 100
 	}
@@ -149,8 +168,14 @@ type Result struct {
 	Gap          float64   // relative gap; +Inf when no incumbent exists
 	X            []float64 // incumbent solution
 	Nodes        int
-	LPIterations int
-	Runtime      time.Duration
+	LPIterations int // LP iterations of the committed search (deterministic)
+	// WastedLPIterations counts LP iterations spent on speculative node
+	// evaluations that the committed search never used (pruned before
+	// commit or still in flight at termination). Always 0 with a single
+	// worker; with several it depends on scheduling and is therefore — by
+	// design — the only nondeterministic iteration count reported.
+	WastedLPIterations int
+	Runtime            time.Duration
 }
 
 // node is a branch-and-bound node: a chain of bound overrides on top of the
@@ -162,6 +187,18 @@ type node struct {
 	depth  int
 	bound  float64 // parent LP bound (minimization sense)
 	basis  *lp.Basis
+	// fac is the parent relaxation's captured LU factorization matching
+	// basis; shared read-only between siblings, cloned inside every warm
+	// start. Carrying it explicitly (instead of relying on an instance's
+	// factorization cache) keeps each node's solve a pure function of the
+	// node, which is what the deterministic parallel search relies on.
+	fac *sparselu.Factors
+	// seq is the committer-assigned creation sequence number, the final
+	// heap tie-break; committer-ordered, so identical for any worker count.
+	seq int64
+	// task is the node's (single) relaxation evaluation, created by the
+	// speculating worker or on demand by the committer.
+	task *lpTask
 }
 
 type nodeHeap []*node
@@ -172,7 +209,10 @@ func (h nodeHeap) Less(i, j int) bool {
 	if h[i].bound != h[j].bound {
 		return h[i].bound < h[j].bound
 	}
-	return h[i].depth > h[j].depth // plunge on ties
+	if h[i].depth != h[j].depth {
+		return h[i].depth > h[j].depth // plunge on ties
+	}
+	return h[i].seq < h[j].seq // strict deterministic total order
 }
 func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
@@ -187,11 +227,12 @@ func (h *nodeHeap) Pop() interface{} {
 
 type searcher struct {
 	prob     *Problem
-	inst     *lp.Instance
+	inst     *lp.Instance // committer's own instance (heuristic solves only)
 	opts     Options
 	minimize bool
 	ctx      context.Context
 	start    time.Time
+	eng      *engine
 
 	rootLB, rootUB []float64
 
@@ -199,12 +240,16 @@ type searcher struct {
 	incumbentMin float64 // minimization-sense incumbent objective
 	hasInc       bool
 
-	open  nodeHeap
-	nodes int
-	iters int
+	open       nodeHeap
+	nodes      int
+	iters      int // committed LP iterations (node relaxations + heuristics)
+	taskIters  int // committed LP iterations from node relaxations only
+	nextSeq    int64
+	lastWorker int
 
-	deadline time.Time
-	hasDL    bool
+	deadline    time.Time
+	hasDL       bool
+	dlCountdown int // nodes until the next wall-clock deadline check
 }
 
 // Solve runs branch and bound. Cancelling ctx stops the search
@@ -238,6 +283,7 @@ func Solve(ctx context.Context, p *Problem, opts *Options) Result {
 	if o.TimeLimit > 0 {
 		s.deadline = start.Add(o.TimeLimit)
 		s.hasDL = true
+		s.dlCountdown = 1 // check wall clock on the very first node
 	}
 
 	status := s.run()
@@ -247,6 +293,11 @@ func Solve(ctx context.Context, p *Problem, opts *Options) Result {
 		Nodes:        s.nodes,
 		LPIterations: s.iters,
 		Runtime:      time.Since(start),
+	}
+	if s.eng != nil {
+		// Everything the workers evaluated minus everything the committed
+		// search used; the engine has stopped, so the atomic is final.
+		res.WastedLPIterations = int(s.eng.taskIters.Load()) - s.taskIters
 	}
 	bound := s.globalBoundMin()
 	if s.hasInc {
@@ -301,7 +352,25 @@ func (s *searcher) globalBoundMin() float64 {
 	return best
 }
 
-func (s *searcher) timedOut() bool { return s.hasDL && time.Now().After(s.deadline) }
+// timedOutEvery is the stride, in nodes, between wall-clock reads of the
+// deadline check: time.Now() costs far more than the surrounding bookkeeping
+// on the per-node hot path, so it is hoisted out and consulted every k-th
+// node (the very first node always checks). The worst-case overshoot — k−1
+// nodes — is bounded tightly anyway because every LP solve enforces the
+// same deadline internally at its own iteration checkpoints.
+const timedOutEvery = 16
+
+func (s *searcher) timedOut() bool {
+	if !s.hasDL {
+		return false
+	}
+	s.dlCountdown--
+	if s.dlCountdown > 0 {
+		return false
+	}
+	s.dlCountdown = timedOutEvery
+	return time.Now().After(s.deadline)
+}
 
 // cancelled reports whether the solve's context has been cancelled.
 func (s *searcher) cancelled() bool { return s.ctx.Err() != nil }
@@ -325,37 +394,15 @@ func (s *searcher) emitProgress(newIncumbent bool) {
 		Gap:          relGap(s.incumbentMin, bound),
 		Elapsed:      time.Since(s.start),
 		NewIncumbent: newIncumbent,
+		Worker:       s.lastWorker,
 	})
 }
 
-// applyBounds installs the node's bound-override chain onto the instance.
-// It reports false when the chain produces an empty interval (the node is
-// trivially infeasible).
+// applyBounds installs the node's bound-override chain onto the committer's
+// instance. It reports false when the chain produces an empty interval (the
+// node is trivially infeasible).
 func (s *searcher) applyBounds(nd *node) bool {
-	n := len(s.rootLB)
-	for j := 0; j < n; j++ {
-		s.inst.SetColBounds(j, s.rootLB[j], s.rootUB[j])
-	}
-	// Walk the chain root→leaf so deeper overrides win.
-	var chain []*node
-	for c := nd; c != nil && c.col >= 0; c = c.parent {
-		chain = append(chain, c)
-	}
-	for i := len(chain) - 1; i >= 0; i-- {
-		c := chain[i]
-		lo, hi := s.inst.ColBounds(c.col)
-		if c.lo > lo {
-			lo = c.lo
-		}
-		if c.hi < hi {
-			hi = c.hi
-		}
-		if lo > hi {
-			return false
-		}
-		s.inst.SetColBounds(c.col, lo, hi)
-	}
-	return true
+	return applyBoundsOn(s.inst, s.rootLB, s.rootUB, nd)
 }
 
 // fractional returns the index of the integer column to branch on, or -1 if
@@ -394,24 +441,30 @@ func (s *searcher) tryIncumbent(x []float64, objMin float64) bool {
 	}
 	s.incumbentMin = objMin
 	s.hasInc = true
+	if s.eng != nil {
+		// Publish for the workers, which use it to skip dominated
+		// speculation. Monotone: tryIncumbent only ever improves it.
+		s.eng.publishIncumbent(objMin)
+	}
 	s.emitProgress(true)
 	return true
 }
 
 // roundingHeuristic fixes all integer columns to their rounded LP values and
 // re-solves the LP over the continuous columns. On success the result is a
-// feasible integral solution.
-func (s *searcher) roundingHeuristic(nd *node, x []float64) {
-	savedLB := make([]float64, len(x))
-	savedUB := make([]float64, len(x))
+// feasible integral solution. It runs on the committer's own instance —
+// whose bounds the caller has already set to the node's box — warm-started
+// from the node's final basis and factors, so its outcome is as much a pure
+// function of the committed node as the relaxations are. The instance
+// bounds are left fixed; every use of s.inst reinstalls bounds from scratch.
+func (s *searcher) roundingHeuristic(nd *node, res lp.Result) {
 	touched := false
 	for j, isInt := range s.prob.Integer {
 		if !isInt {
 			continue
 		}
 		lo, hi := s.inst.ColBounds(j)
-		savedLB[j], savedUB[j] = lo, hi
-		v := math.Round(x[j])
+		v := math.Round(res.X[j])
 		if v < lo {
 			v = math.Ceil(lo)
 		}
@@ -419,44 +472,45 @@ func (s *searcher) roundingHeuristic(nd *node, x []float64) {
 			v = math.Floor(hi)
 		}
 		if v < lo || v > hi {
-			// No integral point in range; restore and abort.
-			for k := 0; k < j; k++ {
-				if s.prob.Integer[k] {
-					s.inst.SetColBounds(k, savedLB[k], savedUB[k])
-				}
-			}
-			return
+			return // no integral point in range
 		}
 		s.inst.SetColBounds(j, v, v)
 		touched = true
 	}
-	if touched {
-		lpo := lp.Options{WarmBasis: nd.basis, Context: s.ctx}
-		if s.hasDL {
-			lpo.Deadline = s.deadline
-		}
-		res := s.inst.Solve(&lpo)
-		s.iters += res.Iterations
-		if res.Status == lp.StatusOptimal {
-			s.tryIncumbent(res.X, s.toMin(res.Obj))
-		}
+	if !touched {
+		return
 	}
-	for j, isInt := range s.prob.Integer {
-		if isInt {
-			s.inst.SetColBounds(j, savedLB[j], savedUB[j])
-		}
+	lpo := lp.Options{WarmBasis: res.Basis, WarmFactors: res.Factors, Context: s.ctx}
+	if s.hasDL {
+		lpo.Deadline = s.deadline
+	}
+	hres := s.inst.Solve(&lpo)
+	s.iters += hres.Iterations
+	if hres.Status == lp.StatusOptimal {
+		s.tryIncumbent(hres.X, s.toMin(hres.Obj))
 	}
 }
 
+// run is the committer: the single goroutine that executes the sequential
+// branch-and-bound algorithm, delegating every node relaxation to the
+// engine's workers. Because the committed decisions — pruning, incumbent
+// updates, branching, heap order — depend only on relaxation results that
+// are pure functions of their nodes, the committed search is bit-identical
+// for any worker count.
 func (s *searcher) run() Status {
-	root := &node{col: -1, bound: math.Inf(-1)}
+	e := newEngine(s)
+	defer e.stop()
+
+	root := &node{col: -1, bound: math.Inf(-1), seq: s.seq()}
 	heap.Push(&s.open, root)
 
 	for len(s.open) > 0 {
 		nd := heap.Pop(&s.open).(*node)
-		// Dive: after branching, continue immediately with one child while
-		// the LP instance's basis-inverse cache is hot; the sibling goes to
-		// the heap. This is the classic best-first + plunging hybrid.
+		// Dive: after branching, continue immediately with one child, whose
+		// relaxation warm-starts from (and is usually already speculatively
+		// solved with) the parent's final basis and factors; the sibling
+		// goes to the heap. This is the classic best-first + plunging
+		// hybrid.
 		for nd != nil {
 			if s.cancelled() {
 				heap.Push(&s.open, nd)
@@ -479,19 +533,21 @@ func (s *searcher) run() Status {
 			if s.opts.ProgressEvery > 0 && s.nodes%s.opts.ProgressEvery == 0 {
 				s.emitProgress(false)
 			}
+			// Install the node's box on the committer instance too: it
+			// detects trivially infeasible chains and leaves the bounds in
+			// place for a potential heuristic run below.
 			if !s.applyBounds(nd) {
 				break // empty bound interval: infeasible by construction
 			}
-			var lpo lp.Options
-			if nd.basis != nil {
-				lpo.WarmBasis = nd.basis
+			t, ok := e.resolve(nd)
+			if !ok {
+				heap.Push(&s.open, nd)
+				return StatusCancelled
 			}
-			if s.hasDL {
-				lpo.Deadline = s.deadline
-			}
-			lpo.Context = s.ctx
-			res := s.inst.Solve(&lpo)
+			res := t.res
 			s.iters += res.Iterations
+			s.taskIters += res.Iterations
+			s.lastWorker = t.worker
 			switch res.Status {
 			case lp.StatusInfeasible:
 				nd = nil
@@ -516,37 +572,32 @@ func (s *searcher) run() Status {
 			if s.hasInc && objMin >= s.incumbentMin-boundCutoffTol {
 				break // dominated
 			}
-			branchCol := s.fractional(res.X)
-			if branchCol == -1 {
+			br := t.children // created by the solving worker; nil iff integral
+			if br == nil {
 				s.tryIncumbent(res.X, objMin)
 				break
 			}
 			if s.opts.HeuristicEvery > 0 && (s.nodes == 1 || s.nodes%s.opts.HeuristicEvery == 0) {
-				s.roundingHeuristic(nd, res.X) // restores node bounds internally
+				s.roundingHeuristic(nd, res)
 			}
-			v := res.X[branchCol]
-			down := &node{
-				parent: nd, col: branchCol,
-				lo: math.Inf(-1), hi: math.Floor(v),
-				depth: nd.depth + 1, bound: objMin, basis: res.Basis,
-			}
-			up := &node{
-				parent: nd, col: branchCol,
-				lo: math.Ceil(v), hi: math.Inf(1),
-				depth: nd.depth + 1, bound: objMin, basis: res.Basis,
-			}
-			// Dive towards the side the fractional value leans to; park the
-			// other child on the heap.
-			dive, park := down, up
-			if v-math.Floor(v) > 0.5 {
-				dive, park = up, down
-			}
-			heap.Push(&s.open, park)
-			nd = dive
+			// Sequence numbers are assigned here, in commit order, so the
+			// heap tie-break is identical for any worker count; park the
+			// non-dive child on the heap.
+			br.dive.seq = s.seq()
+			br.park.seq = s.seq()
+			heap.Push(&s.open, br.park)
+			nd = br.dive
 		}
 	}
 	if s.hasInc {
 		return StatusOptimal
 	}
 	return StatusInfeasible
+}
+
+// seq returns the next committer-assigned node sequence number.
+func (s *searcher) seq() int64 {
+	v := s.nextSeq
+	s.nextSeq++
+	return v
 }

@@ -100,6 +100,21 @@ func TestHeuristicDisabled(t *testing.T) {
 	if math.Abs(withH.Obj-withoutH.Obj) > 1e-6 {
 		t.Fatalf("heuristic changed the optimum: %v vs %v", withH.Obj, withoutH.Obj)
 	}
+	// The documented contract: 0 means "use the default interval of 50", so
+	// the two settings must commit bit-identical searches — while -1 must
+	// genuinely disable the heuristic, including at the root (fewer or
+	// equal LP iterations, never the heuristic's extra solves).
+	zero := Solve(context.Background(), mp, &Options{HeuristicEvery: 0})
+	fifty := Solve(context.Background(), mp, &Options{HeuristicEvery: 50})
+	if zero.Nodes != fifty.Nodes || zero.LPIterations != fifty.LPIterations ||
+		math.Float64bits(zero.Obj) != math.Float64bits(fifty.Obj) {
+		t.Fatalf("HeuristicEvery 0 (→ default) and 50 diverge: nodes %d/%d iters %d/%d obj %v/%v",
+			zero.Nodes, fifty.Nodes, zero.LPIterations, fifty.LPIterations, zero.Obj, fifty.Obj)
+	}
+	if withoutH.LPIterations > zero.LPIterations {
+		t.Fatalf("HeuristicEvery -1 ran more LP iterations (%d) than the default (%d); is the root heuristic really off?",
+			withoutH.LPIterations, zero.LPIterations)
+	}
 }
 
 func TestRepeatedSolveIndependence(t *testing.T) {

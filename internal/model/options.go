@@ -31,13 +31,17 @@ type SolveOptions struct {
 	GapTol float64
 	// IntTol is the integrality tolerance (default 1e-6).
 	IntTol float64
-	// HeuristicEvery runs the rounding heuristic at every k-th node
-	// (default 50; < 0 disables except at the root).
+	// HeuristicEvery runs the rounding heuristic at the root and at every
+	// k-th node thereafter (0 → the default of 50; a negative value
+	// disables the heuristic entirely, including at the root).
 	HeuristicEvery int
-	// Workers is the degree of parallelism for drivers that run many
-	// independent solves (the eval sweeps). 0 means runtime.NumCPU(); a
-	// single solve ignores it — the branch-and-bound search itself is
-	// sequential.
+	// Workers is the degree of parallelism. Sweep drivers (internal/eval)
+	// use it as the number of scenarios solved concurrently, where 0 means
+	// runtime.NumCPU(); a single solve hands it to the branch-and-bound
+	// tree search as the number of node-relaxation workers, where 0 means
+	// one worker. The parallel tree search is deterministic: its committed
+	// result is bit-identical for every worker count. Sweeps keep their
+	// inner solves single-worker, so the two uses never multiply.
 	Workers int
 	// Progress, when non-nil, receives per-solve progress snapshots
 	// (incumbent updates, node counts, LP iteration totals).
@@ -69,8 +73,9 @@ func WithTimeLimit(d time.Duration) SolveOption {
 	return func(o *SolveOptions) { o.TimeLimit = d }
 }
 
-// WithWorkers sets the worker-pool size used by sweep drivers
-// (0 → runtime.NumCPU()).
+// WithWorkers sets the degree of parallelism: scenarios solved concurrently
+// in sweep drivers (0 → runtime.NumCPU()), branch-and-bound workers inside
+// a single solve (0 → 1). See SolveOptions.Workers.
 func WithWorkers(n int) SolveOption {
 	return func(o *SolveOptions) { o.Workers = n }
 }
@@ -102,6 +107,7 @@ func (o *SolveOptions) mipOptions() *mip.Options {
 		GapTol:         o.GapTol,
 		IntTol:         o.IntTol,
 		HeuristicEvery: o.HeuristicEvery,
+		Workers:        o.Workers,
 		ProgressEvery:  o.ProgressEvery,
 	}
 	if o.Progress != nil {

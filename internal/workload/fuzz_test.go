@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzWorkloadJSONRoundTrip asserts the on-disk scenario format is a
+// fixpoint: any byte string that Unmarshal accepts must re-marshal to a
+// canonical form that survives a second round trip byte-identically and
+// decodes to a semantically equal scenario. This is the contract the cmd/
+// tools rely on when they read, rewrite and re-read scenario files.
+func FuzzWorkloadJSONRoundTrip(f *testing.F) {
+	cfg := Default()
+	cfg.GridRows, cfg.GridCols, cfg.NumRequests = 2, 2, 3
+	for seed := int64(1); seed <= 3; seed++ {
+		sc := Generate(cfg, seed)
+		data, err := json.Marshal(sc)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"substrate":{"nodes":1,"node_caps":[1]},"horizon":1}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var sc1 Scenario
+		if err := json.Unmarshal(data, &sc1); err != nil {
+			return // rejected inputs are out of contract
+		}
+		out1, err := json.Marshal(&sc1)
+		if err != nil {
+			t.Fatalf("accepted scenario failed to marshal: %v", err)
+		}
+		var sc2 Scenario
+		if err := json.Unmarshal(out1, &sc2); err != nil {
+			t.Fatalf("canonical form rejected by its own decoder: %v\n%s", err, out1)
+		}
+		out2, err := json.Marshal(&sc2)
+		if err != nil {
+			t.Fatalf("second marshal failed: %v", err)
+		}
+		if !bytes.Equal(out1, out2) {
+			t.Fatalf("canonical form is not a fixpoint:\nfirst:  %s\nsecond: %s", out1, out2)
+		}
+		if !reflect.DeepEqual(&sc1, &sc2) {
+			t.Fatalf("round trip changed the scenario:\nbefore: %+v\nafter:  %+v", sc1, sc2)
+		}
+	})
+}

@@ -71,15 +71,46 @@ func (sc *Scenario) MarshalJSON() ([]byte, error) {
 	return json.MarshalIndent(out, "", "  ")
 }
 
+// buildGraph validates a node count and edge list from an untrusted file
+// and assembles the digraph. graph.AddEdge enforces the same invariants by
+// panicking — fine for generator code, but a decoder must reject malformed
+// input with an error instead.
+func buildGraph(n int, edges [][2]int) (*graph.Digraph, error) {
+	// The adjacency structures are O(n) before a single edge is read, so an
+	// absurd node count in a hand-edited file would allocate gigabytes.
+	// Real TVNEP instances have tens of nodes; 1<<16 is far beyond any of
+	// them while keeping the worst-case decoder allocation a few MB.
+	const maxNodes = 1 << 16
+	if n < 0 || n > maxNodes {
+		return nil, fmt.Errorf("node count %d outside [0, %d]", n, maxNodes)
+	}
+	g := graph.NewDigraph(n)
+	seen := make(map[[2]int]bool, len(edges))
+	for _, e := range edges {
+		if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= n {
+			return nil, fmt.Errorf("edge (%d,%d) out of range [0,%d)", e[0], e[1], n)
+		}
+		if e[0] == e[1] {
+			return nil, fmt.Errorf("self-loop at node %d", e[0])
+		}
+		if seen[e] {
+			return nil, fmt.Errorf("duplicate edge (%d,%d)", e[0], e[1])
+		}
+		seen[e] = true
+		g.AddEdge(e[0], e[1])
+	}
+	return g, nil
+}
+
 // UnmarshalJSON implements json.Unmarshaler for Scenario.
 func (sc *Scenario) UnmarshalJSON(data []byte) error {
 	var in scenarioJSON
 	if err := json.Unmarshal(data, &in); err != nil {
 		return err
 	}
-	g := graph.NewDigraph(in.Substrate.Nodes)
-	for _, e := range in.Substrate.Edges {
-		g.AddEdge(e[0], e[1])
+	g, err := buildGraph(in.Substrate.Nodes, in.Substrate.Edges)
+	if err != nil {
+		return fmt.Errorf("workload: substrate: %w", err)
 	}
 	sub := &substrate.Network{G: g, NodeCap: in.Substrate.NodeCaps, LinkCap: in.Substrate.LinkCaps}
 	if err := sub.Validate(); err != nil {
@@ -88,9 +119,9 @@ func (sc *Scenario) UnmarshalJSON(data []byte) error {
 	sc.Substrate = sub
 	sc.Requests = nil
 	for _, rj := range in.Requests {
-		rg := graph.NewDigraph(rj.Nodes)
-		for _, e := range rj.Edges {
-			rg.AddEdge(e[0], e[1])
+		rg, err := buildGraph(rj.Nodes, rj.Edges)
+		if err != nil {
+			return fmt.Errorf("workload: request %q: %w", rj.Name, err)
 		}
 		r := &vnet.Request{
 			Name:       rj.Name,
