@@ -30,6 +30,13 @@ type lpBenchResult struct {
 	BytesPerOp   float64 `json:"bytes_per_op"`
 	LPItersPerOp float64 `json:"lp_iters_per_op"`
 	BBNodes      float64 `json:"bb_nodes,omitempty"`
+	// Lazy-separation statistics (LazyCutCSigma only): rows present in the
+	// root LP vs rows appended on demand, separation rounds, and pool
+	// dedup hits.
+	CutRowsRoot      float64 `json:"cut_rows_root,omitempty"`
+	CutRowsSeparated float64 `json:"cut_rows_separated,omitempty"`
+	CutRounds        float64 `json:"cut_rounds,omitempty"`
+	CutPoolHits      float64 `json:"cut_pool_hits,omitempty"`
 }
 
 type lpWarmStats struct {
@@ -93,6 +100,18 @@ func measureLP(name string, f func() (lpIters int, extra map[string]float64)) lp
 	}
 	if v, ok := extra["bb_nodes"]; ok {
 		res.BBNodes = v
+	}
+	if v, ok := extra["cut_rows_root"]; ok {
+		res.CutRowsRoot = v
+	}
+	if v, ok := extra["cut_rows_separated"]; ok {
+		res.CutRowsSeparated = v
+	}
+	if v, ok := extra["cut_rounds"]; ok {
+		res.CutRounds = v
+	}
+	if v, ok := extra["cut_pool_hits"]; ok {
+		res.CutPoolHits = v
 	}
 	return res
 }
@@ -159,6 +178,40 @@ func runLPBench(outPath, comparePath string) error {
 			}))
 	}
 
+	// LazyCutCSigma: a full branch-and-bound solve with the Constraint-(20)
+	// family separated lazily instead of statically emitted — the
+	// incremental-row / cut-pool workload (seed chosen so the root LP
+	// actually violates precedence candidates).
+	{
+		wl := workload.Default()
+		wl.GridRows, wl.GridCols = 2, 2
+		wl.NumRequests = 4
+		wl.StarLeaves = 1
+		wl.FlexibilityHr = 1.5
+		sc := workload.Generate(wl, 3)
+		inst := &core.Instance{Sub: sc.Substrate, Reqs: sc.Requests, Horizon: sc.Horizon}
+		report.Benchmarks = append(report.Benchmarks, measureLP("LazyCutCSigma",
+			func() (int, map[string]float64) {
+				built := core.BuildCSigma(inst, core.BuildOptions{
+					Objective:    core.AccessControl,
+					FixedMapping: sc.Mapping,
+					CutMode:      core.CutLazy,
+				})
+				sol, ms := built.Solve(context.Background(), model.NewSolveOptions(model.WithTimeLimit(30*time.Second)))
+				if sol == nil || ms.Status != model.StatusOptimal {
+					fmt.Fprintf(os.Stderr, "lpbench: lazy-cut solve failed: %v\n", ms.Status)
+					os.Exit(1)
+				}
+				return ms.LPIterations, map[string]float64{
+					"bb_nodes":           float64(ms.Nodes),
+					"cut_rows_root":      float64(ms.Cuts.RowsAtRoot),
+					"cut_rows_separated": float64(ms.Cuts.SeparatedRows),
+					"cut_rounds":         float64(ms.Cuts.Rounds),
+					"cut_pool_hits":      float64(ms.Cuts.PoolHits),
+				}
+			}))
+	}
+
 	wa := lp.DebugWarmAttempts.Load() - wa0
 	wo := lp.DebugWarmOK.Load() - wo0
 	ch := lp.DebugCacheHits.Load() - ch0
@@ -208,6 +261,10 @@ func runLPBench(outPath, comparePath string) error {
 		line := fmt.Sprintf("# %-22s %12.0f ns/op %10.0f allocs/op %8.1f lp_iters/op", b.Name, b.NsPerOp, b.AllocsPerOp, b.LPItersPerOp)
 		if sp, ok := report.Speedup[b.Name]; ok {
 			line += fmt.Sprintf("   %.2fx vs baseline", sp)
+		}
+		if b.CutRowsRoot > 0 {
+			line += fmt.Sprintf("   cuts: %.0f root rows, %.0f separated in %.0f rounds, %.0f pool hits",
+				b.CutRowsRoot, b.CutRowsSeparated, b.CutRounds, b.CutPoolHits)
 		}
 		fmt.Println(line)
 	}

@@ -47,7 +47,8 @@ func main() {
 		cols     = flag.Int("cols", 0, "substrate grid cols override")
 		requests = flag.Int("requests", 0, "requests per scenario override")
 		flexList = flag.String("flex", "", "comma-separated flexibility steps in minutes (default per config)")
-		certFlag = flag.Bool("certify", false, "run the full internal/certify certificate on every sweep solution; exit non-zero on any violation")
+		cutModeF = flag.String("cutmode", "static", "Constraint-(20) cut pipeline for every cΣ solve of the sweep: static | lazy | off")
+		certFlag = flag.Bool("certify", false, "run the full internal/certify certificate on every sweep solution (including applied-cut re-validation under -cutmode lazy); exit non-zero on any violation")
 		verbose  = flag.Bool("v", false, "print per-solve progress")
 		progFlag = flag.Bool("progress", false, "stream branch-and-bound progress (incumbents, node counts) to stderr")
 		jsonMode = flag.Bool("json", false, "run the LP solver micro-benchmarks and write a machine-readable report instead of figures")
@@ -116,6 +117,12 @@ func main() {
 	counters := &eval.Counters{}
 	cfg.Counters = counters
 	cfg.Certify = *certFlag
+	cm, err := core.ParseCutMode(*cutModeF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tvnep-bench:", err)
+		os.Exit(2)
+	}
+	cfg.CutMode = cm
 	if *progFlag {
 		// The callback fires from whichever worker goroutine owns the solve;
 		// lines may interleave between concurrent solves but each line is
@@ -144,9 +151,9 @@ func main() {
 		want[*fig] = true
 	}
 
-	fmt.Printf("# tvnep-bench: grid %dx%d, %d requests, %d seeds, flex %v min, time limit %v, workers %d\n\n",
+	fmt.Printf("# tvnep-bench: grid %dx%d, %d requests, %d seeds, flex %v min, time limit %v, workers %d, cutmode %v\n\n",
 		cfg.Workload.GridRows, cfg.Workload.GridCols, cfg.Workload.NumRequests,
-		len(cfg.Seeds), cfg.FlexMinutes, cfg.Solve.TimeLimit, *workers)
+		len(cfg.Seeds), cfg.FlexMinutes, cfg.Solve.TimeLimit, *workers, cfg.CutMode)
 
 	start := time.Now()
 	// Figures 3/4 need all three formulations; 8/9 only cΣ. Reuse records.

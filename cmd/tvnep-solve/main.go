@@ -36,8 +36,9 @@ func main() {
 		useGreedy = flag.Bool("greedy", false, "run the greedy algorithm cΣ_A^G instead of the exact model")
 		limit     = flag.Duration("timelimit", time.Minute, "MIP time limit")
 		workers   = flag.Int("workers", 1, "branch-and-bound relaxation workers (deterministic: the committed result is bit-identical for every count)")
-		noCuts    = flag.Bool("nocuts", false, "disable temporal dependency graph cuts (cΣ only)")
-		noPre     = flag.Bool("nopresolve", false, "disable the activity-interval presolve (cΣ only)")
+		cutMode   = flag.String("cutmode", "static", "Constraint-(20) precedence-cut pipeline, cΣ only: static (emit all rows at build time) | lazy (separate violated rows on demand) | off (drop the cut family)")
+		noCuts    = flag.Bool("nocuts", false, "deprecated alias of -cutmode off: disable temporal dependency graph cuts (applies to the cΣ model only; Δ and Σ have no such cuts and ignore it)")
+		noPre     = flag.Bool("nopresolve", false, "disable the activity-interval presolve (applies to the cΣ model only; Δ and Σ have no model presolve and ignore it)")
 		freeMap   = flag.Bool("freemap", false, "ignore the scenario's fixed node mapping and let the model place nodes")
 		doCertify = flag.Bool("certify", false, "run the full internal/certify certificate (named violations, objective recomputation, root-LP optimality certificate)")
 		timeline  = flag.Bool("timeline", false, "print the piecewise-constant substrate utilization timeline")
@@ -86,6 +87,23 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown model %q", *modelName))
 	}
+	cm, err := core.ParseCutMode(strings.ToLower(*cutMode))
+	if err != nil {
+		fail(err)
+	}
+	// -nocuts/-nopresolve reach only the cΣ builder; say so instead of
+	// silently ignoring them, and keep -nocuts working as the deprecated
+	// spelling of -cutmode off.
+	if form != core.CSigma && (*noCuts || *noPre || cm != core.CutStatic) {
+		fmt.Fprintf(os.Stderr, "tvnep-solve: warning: -nocuts/-nopresolve/-cutmode apply to the cΣ model only; the %v model ignores them\n", form)
+	}
+	if *noCuts {
+		if cm == core.CutLazy {
+			fmt.Fprintln(os.Stderr, "tvnep-solve: warning: -nocuts overrides -cutmode lazy (cuts disabled)")
+		}
+		cm = core.CutOff
+	}
+
 	var obj core.Objective
 	switch strings.ToLower(*objName) {
 	case "access":
@@ -117,6 +135,7 @@ func main() {
 
 	var sol *solution.Solution
 	var built *core.Built
+	var ms *model.Solution
 	start := time.Now()
 	if *useGreedy {
 		if obj != core.AccessControl {
@@ -133,16 +152,23 @@ func main() {
 		b := core.Build(form, inst, core.BuildOptions{
 			Objective:       obj,
 			FixedMapping:    mapping,
-			DisableCuts:     *noCuts,
+			CutMode:         cm,
 			DisablePresolve: *noPre,
 		})
 		built = b
 		fmt.Printf("model: %v  objective: %v  vars=%d constrs=%d ints=%d\n",
 			form, obj, b.Model.NumVars(), b.Model.NumConstrs(), b.Model.NumIntVars())
-		var ms *model.Solution
+		if cm == core.CutLazy && form == core.CSigma {
+			fmt.Printf("cuts: mode=lazy candidates=%d (rows deferred from the root LP)\n", b.PrecCutCandidates())
+		}
 		sol, ms = b.Solve(ctx, solveOpts)
 		fmt.Printf("status: %v  gap: %.4g  nodes: %d  lp-iterations: %d\n",
 			ms.Status, ms.Gap, ms.Nodes, ms.LPIterations)
+		if cm == core.CutLazy && form == core.CSigma {
+			fmt.Printf("cuts: root_rows=%d separated=%d rounds=%d offered=%d pool_hits=%d evicted=%d\n",
+				ms.Cuts.RowsAtRoot, ms.Cuts.SeparatedRows, ms.Cuts.Rounds,
+				ms.Cuts.Offered, ms.Cuts.PoolHits, ms.Cuts.Evicted)
+		}
 		if sol == nil {
 			fmt.Println("no feasible solution found within the limits")
 			stopProfiles() // os.Exit skips the deferred stop
@@ -160,6 +186,17 @@ func main() {
 			fail(fmt.Errorf("solution failed certification: %w", err))
 		}
 		fmt.Printf("certificate: solution OK (recomputed objective %.6g)\n", rep.RecomputedObjective)
+		if built != nil && ms != nil {
+			// Re-validate every applied cut against the dependency graph: a
+			// cut that excludes the (just certified feasible) incumbent is a
+			// named violation.
+			if err := certify.Cuts(built, ms).Err(); err != nil {
+				fail(fmt.Errorf("applied cuts failed certification: %w", err))
+			}
+			if n := len(ms.AppliedCuts); n > 0 {
+				fmt.Printf("certificate: %d applied cut(s) OK (family membership + incumbent validity)\n", n)
+			}
+		}
 		if built != nil {
 			// Independent optimality certificate of the root relaxation:
 			// re-solve the LP cold and verify primal/dual feasibility and

@@ -121,6 +121,53 @@ func (in *Instance) Validate() error {
 	return nil
 }
 
+// CutMode selects how the cΣ-Model's pairwise precedence cuts (Constraint
+// 20) reach the solver.
+type CutMode int
+
+const (
+	// CutStatic emits every Constraint-(20) row into the root LP at build
+	// time — the formulation exactly as written in the paper. O(|R|²·|R|)
+	// rows, most of which never bind.
+	CutStatic CutMode = iota
+	// CutLazy registers a separator on the model instead: the rows are
+	// generated from the dependency graph on demand, appended only when a
+	// fractional relaxation point violates them. Same certified optimum,
+	// strictly fewer root-LP rows.
+	CutLazy
+	// CutOff drops Constraint (20) entirely and widens the event windows
+	// to the full ranges (no Constraint 19 either) — the ablation baseline.
+	CutOff
+)
+
+// String implements fmt.Stringer.
+func (c CutMode) String() string {
+	switch c {
+	case CutStatic:
+		return "static"
+	case CutLazy:
+		return "lazy"
+	case CutOff:
+		return "off"
+	default:
+		return "?"
+	}
+}
+
+// ParseCutMode parses the CLI spelling of a cut mode.
+func ParseCutMode(s string) (CutMode, error) {
+	switch s {
+	case "static", "":
+		return CutStatic, nil
+	case "lazy":
+		return CutLazy, nil
+	case "off":
+		return CutOff, nil
+	default:
+		return CutStatic, fmt.Errorf("core: unknown cut mode %q (want static, lazy or off)", s)
+	}
+}
+
 // BuildOptions configures a formulation build.
 type BuildOptions struct {
 	Objective Objective
@@ -130,8 +177,13 @@ type BuildOptions struct {
 	// node a priori, as the paper's evaluation does (Section VI-A). When
 	// nil, binary node-mapping variables x_V are created.
 	FixedMapping vnet.NodeMapping
+	// CutMode selects static emission (default), lazy separation or no
+	// Constraint-(20) cuts for the cΣ-Model; see the CutMode constants.
+	CutMode CutMode
 	// DisableCuts turns the temporal dependency graph cuts (Constraints
-	// 19/20) off. cΣ only; used for ablations.
+	// 19/20) off. cΣ only; used for ablations. Deprecated spelling of
+	// CutMode == CutOff, kept for existing callers: when set it overrides
+	// CutMode.
 	DisableCuts bool
 	// DisablePresolve turns the activity-interval state-space reduction
 	// off. cΣ only; used for ablations.
@@ -141,6 +193,15 @@ type BuildOptions struct {
 	// allowed.
 	ForceAccept []bool
 	ForceReject []bool
+}
+
+// cutMode resolves the effective cut mode: the deprecated DisableCuts flag
+// wins so existing ablation callers keep their exact semantics.
+func (o BuildOptions) cutMode() CutMode {
+	if o.DisableCuts {
+		return CutOff
+	}
+	return o.CutMode
 }
 
 func (o BuildOptions) loadFraction() float64 {
@@ -176,6 +237,9 @@ type Built struct {
 
 	// numStates is the number of inter-event states of the formulation.
 	numStates int
+	// precCandidates is the size of the lazily separated Constraint-(20)
+	// family (CutLazy builds only); see PrecCutCandidates.
+	precCandidates int
 	// stateNodeLoad returns the total allocation expression on substrate
 	// node ns during state n (1-based); installed by each builder and used
 	// by the BalanceNodeLoad objective.

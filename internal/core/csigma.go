@@ -28,19 +28,18 @@ func BuildCSigma(inst *Instance, opts BuildOptions) *Built {
 	buildTimeVars(b, numEvents)
 
 	dg := depgraph.Build(inst.Reqs)
+	cutMode := opts.cutMode()
 
-	// Event windows: with cuts enabled, χ variables exist only inside the
-	// Constraint-(19) windows; otherwise over the full legal ranges.
-	startWin := make([]depgraph.Window, k)
-	endWin := make([]depgraph.Window, k)
-	for r := 0; r < k; r++ {
-		if opts.DisableCuts {
-			startWin[r] = depgraph.Window{Lo: 1, Hi: k}
-			endWin[r] = depgraph.Window{Lo: 2, Hi: k + 1}
-		} else {
-			startWin[r] = dg.StartWindow[r]
-			endWin[r] = dg.EndWindow[r]
-		}
+	// Event windows: except in CutOff mode, χ variables exist only inside
+	// the Constraint-(19) windows; otherwise over the full legal ranges.
+	// The windows stay static even under lazy separation — they restrict
+	// which variables are created, so there is no row to defer.
+	var startWin, endWin []depgraph.Window
+	if cutMode == CutOff {
+		startWin, endWin = depgraph.FullWindows(k)
+	} else {
+		startWin = append([]depgraph.Window(nil), dg.StartWindow...)
+		endWin = append([]depgraph.Window(nil), dg.EndWindow...)
 	}
 
 	// Event mapping variables (Table VII restricted to the cΣ ranges).
@@ -81,33 +80,16 @@ func BuildCSigma(inst *Instance, opts BuildOptions) *Built {
 	}
 
 	// Constraint (20): pairwise precedence cuts from the dependency graph.
-	if !opts.DisableCuts {
-		for _, pr := range dg.Precedences() {
-			chiV := b.ChiPlus[depgraph.RequestOf(pr.V)]
-			winV := startWin[depgraph.RequestOf(pr.V)]
-			if !depgraph.IsStartNode(pr.V) {
-				chiV = b.ChiMinus[depgraph.RequestOf(pr.V)]
-				winV = endWin[depgraph.RequestOf(pr.V)]
-			}
-			chiW := b.ChiPlus[depgraph.RequestOf(pr.W)]
-			winW := startWin[depgraph.RequestOf(pr.W)]
-			if !depgraph.IsStartNode(pr.W) {
-				chiW = b.ChiMinus[depgraph.RequestOf(pr.W)]
-				winW = endWin[depgraph.RequestOf(pr.W)]
-			}
-			hi := winW.Hi
-			if lim := winV.Hi + pr.Gap - 1; lim < hi {
-				hi = lim
-			}
-			for i := winW.Lo; i <= hi; i++ {
-				lhs := chiSumUpTo(chiW, i)
-				if lhs.Len() == 0 {
-					continue
-				}
-				lhs.AddExpr(-1, chiSumUpTo(chiV, i-pr.Gap))
-				m.AddLE(lhs, 0, fmt.Sprintf("prec[%d][%d][%d]", pr.V, pr.W, i))
-			}
-		}
+	// CutStatic emits every row up front (the formulation as written);
+	// CutLazy registers a separator that appends only the rows fractional
+	// relaxation points actually violate; CutOff drops the family.
+	switch cutMode {
+	case CutStatic:
+		forEachPrecRow(b, dg, startWin, endWin, func(lhs *model.LinExpr, name string) {
+			m.AddLE(lhs, 0, name)
+		})
+	case CutLazy:
+		b.registerPrecSeparator(dg, startWin, endWin)
 	}
 
 	// State allocations (Tables VIII/IX, compactified). State s_n spans

@@ -39,6 +39,21 @@ func (w Window) Empty() bool { return w.Lo > w.Hi }
 // Contains reports whether event index i lies in the window.
 func (w Window) Contains(i int) bool { return i >= w.Lo && i <= w.Hi }
 
+// FullWindows returns the unrestricted event windows of the cΣ event
+// structure for k requests: every start may map to any of e_1…e_k, every
+// end to any of e_2…e_{k+1}. This is the window set used when the
+// Constraint-(19) cuts are disabled; the dependency-graph windows are always
+// subsets of it.
+func FullWindows(k int) (start, end []Window) {
+	start = make([]Window, k)
+	end = make([]Window, k)
+	for r := 0; r < k; r++ {
+		start[r] = Window{Lo: 1, Hi: k}
+		end[r] = Window{Lo: 2, Hi: k + 1}
+	}
+	return start, end
+}
+
 // Graph is the temporal dependency graph plus the derived cut data.
 type Graph struct {
 	NumReq int

@@ -1,0 +1,228 @@
+package depgraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tvnep/internal/vnet"
+)
+
+// Randomized property tests for the dependency-graph derivations. The cut
+// data (windows (19), precedences (20)) is only sound if it never excludes
+// a feasible schedule; these tests check exactly that against brute-force
+// enumeration of schedules for small request sets, plus the fixpoint
+// property of the longest-distance matrix everything is derived from.
+
+// randReqs draws k requests with random temporal windows on [0, 100]. Every
+// third request gets zero flexibility (a forced schedule), which is what
+// produces rich dependency graphs.
+func randReqs(rng *rand.Rand, k int) []*vnet.Request {
+	reqs := make([]*vnet.Request, k)
+	for r := 0; r < k; r++ {
+		req := vnet.Chain("r", 2, 1, 1)
+		req.Earliest = rng.Float64() * 60
+		req.Duration = 1 + rng.Float64()*20
+		flex := rng.Float64() * 25
+		if rng.Intn(3) == 0 {
+			flex = 0
+		}
+		req.Latest = req.Earliest + req.Duration + flex
+		reqs[r] = req
+	}
+	return reqs
+}
+
+// bruteLongest enumerates every path u→…→w by DFS and returns the maximum
+// path weight (number of start-checkpoint tails), −Inf when unreachable and
+// 0 for u == w. Exponential, fine for 2·k ≤ 12 nodes.
+func bruteLongest(dg *Graph, u, w int) float64 {
+	if u == w {
+		return 0
+	}
+	best := math.Inf(-1)
+	var dfs func(v int, weight float64)
+	dfs = func(v int, weight float64) {
+		if v == w {
+			if weight > best {
+				best = weight
+			}
+			return
+		}
+		for _, e := range dg.G.Out(v) {
+			_, next := dg.G.Edge(int(e))
+			wt := 0.0
+			if IsStartNode(v) {
+				wt = 1
+			}
+			dfs(next, weight+wt)
+		}
+	}
+	dfs(u, 0)
+	return best
+}
+
+// TestLongestDistanceFixpoint: Dist must be the exact longest-distance
+// matrix — a fixpoint of Bellman relaxation (no edge can improve any entry,
+// and every off-diagonal finite entry is achieved through some predecessor)
+// — and must agree with brute-force path enumeration.
+func TestLongestDistanceFixpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 60; trial++ {
+		k := 2 + rng.Intn(5)
+		dg := Build(randReqs(rng, k))
+		n := dg.G.N
+		weight := func(v int) float64 {
+			if IsStartNode(v) {
+				return 1
+			}
+			return 0
+		}
+		for a := 0; a < n; a++ {
+			if dg.Dist[a][a] != 0 {
+				t.Fatalf("trial %d: Dist[%d][%d] = %v, want 0", trial, a, a, dg.Dist[a][a])
+			}
+			// No relaxation step may improve any entry: for every edge
+			// (u,v), Dist[a][v] ≥ Dist[a][u] + weight(u).
+			for u := 0; u < n; u++ {
+				if math.IsInf(dg.Dist[a][u], -1) {
+					continue
+				}
+				for _, e := range dg.G.Out(u) {
+					_, v := dg.G.Edge(int(e))
+					if v != a && dg.Dist[a][v] < dg.Dist[a][u]+weight(u) {
+						t.Fatalf("trial %d: not a fixpoint: Dist[%d][%d]=%v < Dist[%d][%d]+%v via edge %d→%d",
+							trial, a, v, dg.Dist[a][v], a, u, weight(u), u, v)
+					}
+				}
+			}
+		}
+		// Small instances: compare every entry against exhaustive path
+		// enumeration (the matrix must be achieved, not just admissible).
+		if k <= 4 {
+			for u := 0; u < n; u++ {
+				for w := 0; w < n; w++ {
+					want := bruteLongest(dg, u, w)
+					got := dg.Dist[u][w]
+					if math.IsInf(want, -1) != math.IsInf(got, -1) || (!math.IsInf(want, -1) && got != want) {
+						t.Fatalf("trial %d: Dist[%d][%d] = %v, brute force %v", trial, u, w, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// eventIndices derives the canonical cΣ event structure of a concrete
+// schedule given by start times (ends follow at start+duration): start
+// indices are the 1-based ranks of the start times, the end of r maps to
+// event c+1 where c counts starts strictly before the end time.
+func eventIndices(reqs []*vnet.Request, starts []float64) (startIdx, endIdx []int) {
+	k := len(reqs)
+	startIdx = make([]int, k)
+	endIdx = make([]int, k)
+	for r := 0; r < k; r++ {
+		rank := 1
+		for q := 0; q < k; q++ {
+			if q == r {
+				continue
+			}
+			if starts[q] < starts[r] || (starts[q] == starts[r] && q < r) {
+				rank++
+			}
+		}
+		startIdx[r] = rank
+		end := starts[r] + reqs[r].Duration
+		c := 0
+		for q := 0; q < k; q++ {
+			if starts[q] < end {
+				c++
+			}
+		}
+		endIdx[r] = c + 1
+	}
+	return startIdx, endIdx
+}
+
+// checkScheduleCovered asserts the cut data admits the schedule: every start
+// and end index inside its window and every precedence satisfied with its
+// full gap.
+func checkScheduleCovered(t *testing.T, trial int, dg *Graph, reqs []*vnet.Request, starts []float64) {
+	t.Helper()
+	startIdx, endIdx := eventIndices(reqs, starts)
+	idxOf := func(v int) int {
+		if IsStartNode(v) {
+			return startIdx[RequestOf(v)]
+		}
+		return endIdx[RequestOf(v)]
+	}
+	for r := range reqs {
+		if !dg.StartWindow[r].Contains(startIdx[r]) {
+			t.Fatalf("trial %d: feasible schedule start %v of request %d (index %d) excluded by window %+v (starts %v)",
+				trial, starts[r], r, startIdx[r], dg.StartWindow[r], starts)
+		}
+		if !dg.EndWindow[r].Contains(endIdx[r]) {
+			t.Fatalf("trial %d: feasible schedule end of request %d (index %d) excluded by window %+v (starts %v)",
+				trial, r, endIdx[r], dg.EndWindow[r], starts)
+		}
+	}
+	for _, pr := range dg.Precedences() {
+		if idxOf(pr.W)-idxOf(pr.V) < pr.Gap {
+			t.Fatalf("trial %d: feasible schedule violates precedence %d→%d gap %d (indices %d, %d; starts %v)",
+				trial, pr.V, pr.W, pr.Gap, idxOf(pr.V), idxOf(pr.W), starts)
+		}
+	}
+}
+
+// TestCutsNeverExcludeFeasibleSchedule: for |R| ≤ 4, enumerate a dense grid
+// of start-time tuples (every tuple is a feasible schedule by construction,
+// since ends are start+duration and starts stay within [earliest,
+// latest−duration]) plus extra random tuples, and require that windows (19)
+// and precedences (20) admit the induced event structure of every one.
+func TestCutsNeverExcludeFeasibleSchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 40; trial++ {
+		k := 2 + rng.Intn(3) // 2–4 requests
+		reqs := randReqs(rng, k)
+		dg := Build(reqs)
+		if !dg.Feasible() {
+			t.Fatalf("trial %d: empty window on an instance with feasible schedules", trial)
+		}
+		// Window sanity: the cut windows are subsets of the full ranges.
+		fullS, fullE := FullWindows(k)
+		for r := 0; r < k; r++ {
+			if dg.StartWindow[r].Lo < fullS[r].Lo || dg.StartWindow[r].Hi > fullS[r].Hi ||
+				dg.EndWindow[r].Lo < fullE[r].Lo || dg.EndWindow[r].Hi > fullE[r].Hi {
+				t.Fatalf("trial %d: window exceeds full range: %+v / %+v", trial, dg.StartWindow[r], dg.EndWindow[r])
+			}
+		}
+
+		// Brute-force grid: 4 candidate start times per request, all tuples.
+		grid := make([][]float64, k)
+		for r, req := range reqs {
+			lo, hi := req.Earliest, req.LatestStart()
+			grid[r] = []float64{lo, lo + (hi-lo)/3, lo + 2*(hi-lo)/3, hi}
+		}
+		starts := make([]float64, k)
+		var walk func(r int)
+		walk = func(r int) {
+			if r == k {
+				checkScheduleCovered(t, trial, dg, reqs, starts)
+				return
+			}
+			for _, v := range grid[r] {
+				starts[r] = v
+				walk(r + 1)
+			}
+		}
+		walk(0)
+
+		// Plus random interior tuples.
+		for s := 0; s < 50; s++ {
+			for r, req := range reqs {
+				starts[r] = req.Earliest + rng.Float64()*(req.LatestStart()-req.Earliest)
+			}
+			checkScheduleCovered(t, trial, dg, reqs, starts)
+		}
+	}
+}

@@ -15,17 +15,21 @@ import (
 // AblationVariant names one cΣ configuration in the cuts/presolve ablation.
 type AblationVariant struct {
 	Name            string
-	DisableCuts     bool
+	CutMode         core.CutMode
 	DisablePresolve bool
 }
 
-// AblationVariants enumerates the four cΣ configurations of DESIGN.md §6.
+// AblationVariants enumerates the cΣ configurations of DESIGN.md §6 plus the
+// lazy-separation variant: identical cut family to "cΣ full" but the
+// Constraint-(20) rows enter the LP through the separation pipeline instead
+// of static emission.
 func AblationVariants() []AblationVariant {
 	return []AblationVariant{
-		{Name: "cΣ full", DisableCuts: false, DisablePresolve: false},
-		{Name: "cΣ no-cuts", DisableCuts: true, DisablePresolve: false},
-		{Name: "cΣ no-presolve", DisableCuts: false, DisablePresolve: true},
-		{Name: "cΣ bare", DisableCuts: true, DisablePresolve: true},
+		{Name: "cΣ full", CutMode: core.CutStatic, DisablePresolve: false},
+		{Name: "cΣ lazy-cuts", CutMode: core.CutLazy, DisablePresolve: false},
+		{Name: "cΣ no-cuts", CutMode: core.CutOff, DisablePresolve: false},
+		{Name: "cΣ no-presolve", CutMode: core.CutStatic, DisablePresolve: true},
+		{Name: "cΣ bare", CutMode: core.CutOff, DisablePresolve: true},
 	}
 }
 
@@ -36,13 +40,17 @@ type AblationRecord struct {
 	NumVars    int
 	NumConstrs int
 	NumInts    int
+	// SeparatedRows counts cut rows appended during the solve (lazy variant
+	// only; static rows are included in NumConstrs instead).
+	SeparatedRows int
 }
 
 // AblationSweep quantifies the contribution of the temporal dependency
-// graph cuts and of the activity-interval presolve (Section IV-C): it
-// solves every scenario with the four cΣ variants and records runtimes,
-// node counts and model sizes. Variants must (and are verified to) agree on
-// the optimum whenever both solve to proven optimality.
+// graph cuts, of the lazy separation pipeline and of the activity-interval
+// presolve (Section IV-C): it solves every scenario with the five cΣ
+// variants and records runtimes, node counts and model sizes. Variants must
+// (and are verified to) agree on the optimum whenever both solve to proven
+// optimality.
 func (c Config) AblationSweep(ctx context.Context, progress io.Writer) ([]AblationRecord, error) {
 	type ablResult struct {
 		recs []AblationRecord
@@ -63,7 +71,7 @@ func (c Config) AblationSweep(ctx context.Context, progress io.Writer) ([]Ablati
 				b := core.BuildCSigma(inst, core.BuildOptions{
 					Objective:       core.AccessControl,
 					FixedMapping:    mapping,
-					DisableCuts:     v.DisableCuts,
+					CutMode:         v.CutMode,
 					DisablePresolve: v.DisablePresolve,
 				})
 				inner := c.innerSolve()
@@ -77,10 +85,11 @@ func (c Config) AblationSweep(ctx context.Context, progress io.Writer) ([]Ablati
 						Nodes: ms.Nodes, LPIters: ms.LPIterations,
 						Optimal: ms.Status == model.StatusOptimal,
 					},
-					Variant:    v.Name,
-					NumVars:    b.Model.NumVars(),
-					NumConstrs: b.Model.NumConstrs(),
-					NumInts:    b.Model.NumIntVars(),
+					Variant:       v.Name,
+					NumVars:       b.Model.NumVars(),
+					NumConstrs:    b.Model.NumConstrs(),
+					NumInts:       b.Model.NumIntVars(),
+					SeparatedRows: ms.Cuts.SeparatedRows,
 				}
 				if sol != nil {
 					rec.Value = sol.Objective
@@ -128,9 +137,9 @@ func WriteAblation(w io.Writer, recs []AblationRecord, cfg Config) {
 	fmt.Fprintln(w, "# Ablation — cΣ with/without dependency-graph cuts and presolve")
 	for _, v := range AblationVariants() {
 		fmt.Fprintf(w, "## %s\n", v.Name)
-		fmt.Fprintf(w, "%10s %12s %12s %10s %10s %10s\n", "flex_min", "med_time_s", "med_nodes", "med_vars", "med_rows", "solved")
+		fmt.Fprintf(w, "%10s %12s %12s %10s %10s %10s %10s\n", "flex_min", "med_time_s", "med_nodes", "med_vars", "med_rows", "med_sep", "solved")
 		for _, flex := range cfg.FlexMinutes {
-			var times, nodes, vars, rows []float64
+			var times, nodes, vars, rows, sep []float64
 			solved, total := 0, 0
 			for _, r := range recs {
 				//lint:allow floateq -- FlexMin is copied verbatim from the config grid; bit-exact group key
@@ -147,9 +156,10 @@ func WriteAblation(w io.Writer, recs []AblationRecord, cfg Config) {
 				nodes = append(nodes, float64(r.Nodes))
 				vars = append(vars, float64(r.NumVars))
 				rows = append(rows, float64(r.NumConstrs))
+				sep = append(sep, float64(r.SeparatedRows))
 			}
-			fmt.Fprintf(w, "%10.0f %12.4g %12.4g %10.4g %10.4g %7d/%d\n",
-				flex, median(times), median(nodes), median(vars), median(rows), solved, total)
+			fmt.Fprintf(w, "%10.0f %12.4g %12.4g %10.4g %10.4g %10.4g %7d/%d\n",
+				flex, median(times), median(nodes), median(vars), median(rows), median(sep), solved, total)
 		}
 	}
 	fmt.Fprintln(w)

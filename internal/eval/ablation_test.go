@@ -28,9 +28,9 @@ func TestAblationSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 2 flex × 2 seeds × 4 variants.
-	if len(recs) != 16 {
-		t.Fatalf("%d records, want 16", len(recs))
+	// 2 flex × 2 seeds × 5 variants.
+	if len(recs) != 20 {
+		t.Fatalf("%d records, want 20", len(recs))
 	}
 	// The full model must never be larger than the bare model.
 	byKey := map[string]AblationRecord{}
@@ -39,7 +39,7 @@ func TestAblationSweep(t *testing.T) {
 	}
 	for _, flex := range cfg.FlexMinutes {
 		for _, seed := range cfg.Seeds {
-			var full, bare *AblationRecord
+			var full, bare, lazy *AblationRecord
 			for i := range recs {
 				r := &recs[i]
 				if r.FlexMin != flex || r.Seed != seed {
@@ -50,20 +50,36 @@ func TestAblationSweep(t *testing.T) {
 					full = r
 				case "cΣ bare":
 					bare = r
+				case "cΣ lazy-cuts":
+					lazy = r
 				}
 			}
-			if full == nil || bare == nil {
+			if full == nil || bare == nil || lazy == nil {
 				t.Fatal("missing variants")
 			}
 			if full.NumVars > bare.NumVars {
 				t.Fatalf("flex=%v seed=%d: full model has more variables (%d) than bare (%d)",
 					flex, seed, full.NumVars, bare.NumVars)
 			}
-			if !full.Optimal || !bare.Optimal {
+			if !full.Optimal || !bare.Optimal || !lazy.Optimal {
 				t.Fatalf("flex=%v seed=%d: tiny ablation instance not solved to optimality", flex, seed)
 			}
-			if !full.Feasible || !bare.Feasible {
+			if !full.Feasible || !bare.Feasible || !lazy.Feasible {
 				t.Fatalf("flex=%v seed=%d: ablation solution failed the checker", flex, seed)
+			}
+			// Lazy defers the Constraint-(20) family, so its root model is
+			// never larger than the fully emitted one; everything it adds
+			// back during the solve is counted in SeparatedRows.
+			if lazy.NumConstrs > full.NumConstrs {
+				t.Fatalf("flex=%v seed=%d: lazy root has more rows (%d) than static (%d)",
+					flex, seed, lazy.NumConstrs, full.NumConstrs)
+			}
+			if lazy.SeparatedRows > full.NumConstrs-lazy.NumConstrs {
+				t.Fatalf("flex=%v seed=%d: lazy separated %d rows but only %d were deferred",
+					flex, seed, lazy.SeparatedRows, full.NumConstrs-lazy.NumConstrs)
+			}
+			if full.SeparatedRows != 0 || bare.SeparatedRows != 0 {
+				t.Fatalf("flex=%v seed=%d: non-lazy variants report separated rows", flex, seed)
 			}
 		}
 	}

@@ -48,9 +48,15 @@ type Config struct {
 	// the sweep (thread-safe; may be shared between sweeps).
 	Counters *Counters
 	// Certify runs the full internal/certify certificate (capacities at
-	// every event interval, flow conservation, objective recomputation) on
-	// every solution produced by the sweep, counting verdicts in Counters.
+	// every event interval, flow conservation, objective recomputation, and
+	// — under CutLazy — re-validation of every applied cut against the
+	// dependency graph) on every solution produced by the sweep, counting
+	// verdicts in Counters.
 	Certify bool
+	// CutMode selects the Constraint-(20) pipeline for every cΣ build of the
+	// sweep: static emission (default), lazy separation, or off. Δ/Σ builds
+	// ignore it.
+	CutMode core.CutMode
 }
 
 // Default returns a configuration sized for the pure-Go solver: the paper's
@@ -162,6 +168,11 @@ func (c Config) count(ms *model.Solution) {
 	}
 	c.Counters.Nodes.Add(int64(ms.Nodes))
 	c.Counters.LPIters.Add(int64(ms.LPIterations))
+	c.Counters.CutRowsRoot.Add(int64(ms.Cuts.RowsAtRoot))
+	c.Counters.CutRowsSeparated.Add(int64(ms.Cuts.SeparatedRows))
+	c.Counters.CutRounds.Add(int64(ms.Cuts.Rounds))
+	c.Counters.CutOffered.Add(int64(ms.Cuts.Offered))
+	c.Counters.CutPoolHits.Add(int64(ms.Cuts.PoolHits))
 }
 
 // solveOne runs a single MIP solve and converts it into a Record. A
@@ -181,7 +192,7 @@ func (c Config) solveOne(ctx context.Context, f core.Formulation, obj core.Objec
 			Gap: math.Inf(1),
 		}
 	}
-	b := core.Build(f, inst, core.BuildOptions{Objective: obj, FixedMapping: mapping})
+	b := core.Build(f, inst, core.BuildOptions{Objective: obj, FixedMapping: mapping, CutMode: c.CutMode})
 	inner := c.innerSolve()
 	sol, ms := b.Solve(ctx, &inner)
 	c.count(ms)
@@ -195,18 +206,25 @@ func (c Config) solveOne(ctx context.Context, f core.Formulation, obj core.Objec
 		rec.Accepted = sol.NumAccepted()
 		rec.Feasible = solution.Check(inst.Sub, inst.Reqs, sol) == nil
 		if c.Certify {
-			rec.Certified = c.certifyOne(inst, sol, obj, mapping)
+			rec.Certified = c.certifyOne(inst, sol, obj, mapping, b, ms)
 		}
 	}
 	return rec
 }
 
 // certifyOne runs the independent certificate on one solution and folds the
-// verdict into the counters. Violations are reported on stderr so a failing
-// sweep names the defect even when the figure aggregation hides the record.
+// verdict into the counters. When the solve carries applied cuts (lazy
+// separation), every cut row is additionally re-validated against the
+// dependency graph — a cut excluding this certified-feasible incumbent is a
+// named violation. Violations are reported on stderr so a failing sweep
+// names the defect even when the figure aggregation hides the record.
+// b and ms may be nil (the greedy path has no single built model).
 func (c Config) certifyOne(inst *core.Instance, sol *solution.Solution,
-	obj core.Objective, mapping vnet.NodeMapping) bool {
+	obj core.Objective, mapping vnet.NodeMapping, b *core.Built, ms *model.Solution) bool {
 	rep := certify.Solution(inst, sol, certify.Options{Objective: obj, Mapping: mapping})
+	if rep.OK() && b != nil && ms != nil {
+		rep = certify.Cuts(b, ms)
+	}
 	if c.Counters != nil {
 		c.Counters.Certified.Add(1)
 		if !rep.OK() {
@@ -275,7 +293,7 @@ func (c Config) ObjectivesSweep(ctx context.Context, progress io.Writer) []Recor
 	return c.sweep(ctx, progress, func(ctx context.Context, key scenKey, log *strings.Builder) []Record {
 		inst, mapping := c.scenario(key.flex, key.seed)
 		pre := core.BuildCSigma(inst, core.BuildOptions{
-			Objective: core.AccessControl, FixedMapping: mapping,
+			Objective: core.AccessControl, FixedMapping: mapping, CutMode: c.CutMode,
 		})
 		preInner := c.innerSolve()
 		preSol, preMS := pre.Solve(ctx, &preInner)
@@ -328,7 +346,7 @@ func (c Config) GreedySweep(ctx context.Context, progress io.Writer) []Record {
 			rec.Accepted = gsol.NumAccepted()
 			rec.Feasible = solution.Check(inst.Sub, inst.Reqs, gsol) == nil
 			if c.Certify {
-				rec.Certified = c.certifyOne(inst, gsol, core.AccessControl, mapping)
+				rec.Certified = c.certifyOne(inst, gsol, core.AccessControl, mapping, nil, nil)
 			}
 		}
 		fmt.Fprintf(log, "flex=%3.0f seed=%2d greedy obj=%7.2f (opt %7.2f) time=%8.2fs\n",

@@ -21,6 +21,15 @@ type Counters struct {
 	// Certification verdicts (populated when Config.Certify is set).
 	Certified     atomic.Int64 // solutions run through internal/certify
 	CertifyFailed atomic.Int64 // certificates with at least one violation
+
+	// Lazy-cut separation activity (populated from mip.CutStats; the
+	// non-root fields stay zero unless solves run with Config.CutMode ==
+	// core.CutLazy).
+	CutRowsRoot      atomic.Int64 // LP rows present at the root across solves
+	CutRowsSeparated atomic.Int64 // rows appended by separation
+	CutRounds        atomic.Int64 // separation rounds that added at least one row
+	CutOffered       atomic.Int64 // candidate rows offered to the cut pool
+	CutPoolHits      atomic.Int64 // offers deduplicated against pooled rows
 }
 
 // String renders a one-line summary.
@@ -29,6 +38,11 @@ func (c *Counters) String() string {
 		c.Solves.Load(), c.Optimal.Load(), c.Cancelled.Load(), c.Nodes.Load(), c.LPIters.Load())
 	if n := c.Certified.Load(); n > 0 {
 		s += fmt.Sprintf(" certified=%d certify_failed=%d", n, c.CertifyFailed.Load())
+	}
+	if c.CutOffered.Load() > 0 || c.CutRowsSeparated.Load() > 0 || c.CutRounds.Load() > 0 {
+		s += fmt.Sprintf(" cut_rows_root=%d cut_rows_separated=%d cut_rounds=%d cut_offered=%d cut_pool_hits=%d",
+			c.CutRowsRoot.Load(), c.CutRowsSeparated.Load(), c.CutRounds.Load(),
+			c.CutOffered.Load(), c.CutPoolHits.Load())
 	}
 	return s
 }

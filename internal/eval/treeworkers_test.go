@@ -28,8 +28,21 @@ func TestTreeWorkerDeterminism(t *testing.T) {
 	if testing.Short() {
 		scens = scens[:1]
 	}
-	forms := []core.Formulation{core.Delta, core.Sigma, core.CSigma}
-	for _, form := range forms {
+	// cΣ runs twice: with static Constraint-(20) emission and with the lazy
+	// separation pipeline, whose committer-side cut rounds must preserve the
+	// bit-identical-across-workers contract.
+	type variant struct {
+		form    core.Formulation
+		cutMode core.CutMode
+	}
+	variants := []variant{
+		{core.Delta, core.CutStatic},
+		{core.Sigma, core.CutStatic},
+		{core.CSigma, core.CutStatic},
+		{core.CSigma, core.CutLazy},
+	}
+	for _, v := range variants {
+		form := v.form
 		for _, sc := range scens {
 			inst, mapping := cfg.scenario(sc.flex, sc.seed)
 			var base *model.Solution
@@ -38,6 +51,7 @@ func TestTreeWorkerDeterminism(t *testing.T) {
 				b := core.Build(form, inst, core.BuildOptions{
 					Objective:    core.AccessControl,
 					FixedMapping: mapping,
+					CutMode:      v.cutMode,
 				})
 				opts := model.SolveOptions{TimeLimit: time.Hour, Workers: w}
 				sol, ms := b.Solve(context.Background(), &opts)
@@ -55,6 +69,10 @@ func TestTreeWorkerDeterminism(t *testing.T) {
 					t.Fatalf("%v flex=%v seed=%d workers=%d: certificate: %v",
 						form, sc.flex, sc.seed, w, err)
 				}
+				if err := certify.Cuts(b, ms).Err(); err != nil {
+					t.Fatalf("%v flex=%v seed=%d workers=%d: cut certificate: %v",
+						form, sc.flex, sc.seed, w, err)
+				}
 				// Runtime is the only field allowed to vary between counts.
 				sol.Runtime = 0
 				if w == 1 {
@@ -69,6 +87,14 @@ func TestTreeWorkerDeterminism(t *testing.T) {
 				if ms.Nodes != base.Nodes || ms.LPIterations != base.LPIterations {
 					t.Errorf("%v flex=%v seed=%d: search shape differs at %d workers: %d nodes/%d iters vs %d/%d",
 						form, sc.flex, sc.seed, w, ms.Nodes, ms.LPIterations, base.Nodes, base.LPIterations)
+				}
+				if ms.Cuts != base.Cuts {
+					t.Errorf("%v flex=%v seed=%d: cut stats differ at %d workers: %+v vs %+v",
+						form, sc.flex, sc.seed, w, ms.Cuts, base.Cuts)
+				}
+				if !reflect.DeepEqual(ms.AppliedCuts, base.AppliedCuts) {
+					t.Errorf("%v flex=%v seed=%d: applied cuts differ at %d workers",
+						form, sc.flex, sc.seed, w)
 				}
 				if !reflect.DeepEqual(sol, baseSol) {
 					t.Errorf("%v flex=%v seed=%d: extracted solution differs at %d workers",

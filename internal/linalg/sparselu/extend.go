@@ -1,0 +1,125 @@
+package sparselu
+
+import "math"
+
+// Extend returns the factorization of the bordered (m+k)×(m+k) basis
+//
+//	M = | B 0 |
+//	    | C D |
+//
+// where B is the basis represented by f (base LU plus its eta file), C holds
+// k border rows stated over B's basis positions, and D = diag(diag). This is
+// the cutting-plane hot-restart kernel: when rows are appended to a solved
+// LP, each new row's slack enters the basis, so the new basis is exactly M
+// and can be factorized by extension instead of from scratch.
+//
+// Each appended column (position m+i) is a unit column pivotal in its own
+// appended row, so it contributes an empty elimination step with diagonal
+// diag[i]. The border C enters the L factor: the new rows' multipliers
+// against the old elimination steps are X = ĉ·U⁻¹ per border row, where
+// ĉ is the row pushed through the eta inverses (C·E⁻¹) and reindexed from
+// basis positions to elimination steps. One triangular solve per border row,
+// O(k·(m + nnz(U) + nnz(etas))) total — independent of B's fill-in.
+//
+// borderIdx[i] lists basis positions (0..m-1) and may repeat (entries are
+// accumulated). diag entries must be nonzero; the extension itself is never
+// singular when they are (det M = det B · Π diag[i]). The receiver is not
+// modified; the result shares the receiver's immutable U arrays and eta
+// payloads.
+func (f *Factors) Extend(k int, borderIdx [][]int32, borderVal [][]float64, diag []float64) (*Factors, error) {
+	m := f.m
+	mk := m + k
+	for i := 0; i < k; i++ {
+		if math.Abs(diag[i]) < singTol {
+			return nil, ErrSingular
+		}
+	}
+
+	// Per border row: multipliers X[i] over the old elimination steps.
+	xs := make([][]float64, k)
+	c := make([]float64, m) // position-indexed workspace
+	for i := 0; i < k; i++ {
+		for e, p := range borderIdx[i] {
+			c[p] += borderVal[i][e]
+		}
+		// c ← c·E⁻¹: the eta-transpose loop of Btran, because
+		// (c·E⁻¹)ᵀ = E⁻ᵀ·cᵀ.
+		for ei := len(f.etas) - 1; ei >= 0; ei-- {
+			e := &f.etas[ei]
+			s := c[e.r]
+			for t, idx := range e.idx {
+				s -= e.val[t] * c[idx]
+			}
+			c[e.r] = s / e.piv
+		}
+		// Solve x·U = ĉ over steps (ĉ[t] = c[order[t]]): the forward Uᵀ
+		// recurrence of Btran.
+		x := make([]float64, m)
+		for t := 0; t < m; t++ {
+			s := c[f.order[t]]
+			for e := f.uptr[t]; e < f.uptr[t+1]; e++ {
+				s -= f.uval[e] * x[f.urow[e]]
+			}
+			x[t] = s / f.udiag[t]
+		}
+		xs[i] = x
+		for t := range c {
+			c[t] = 0
+		}
+	}
+
+	g := &Factors{
+		m:      mk,
+		order:  make([]int32, mk),
+		rowPiv: make([]int32, mk),
+		udiag:  make([]float64, mk),
+		uptr:   make([]int32, mk+1),
+		urow:   f.urow, // immutable after Factorize: share
+		uval:   f.uval,
+		etaNNZ: f.etaNNZ,
+	}
+	copy(g.order, f.order)
+	copy(g.rowPiv, f.rowPiv)
+	copy(g.udiag, f.udiag)
+	copy(g.uptr, f.uptr)
+	for i := 0; i < k; i++ {
+		g.order[m+i] = int32(m + i)
+		g.rowPiv[m+i] = int32(m + i)
+		g.udiag[m+i] = diag[i]
+		g.uptr[m+i+1] = f.uptr[m] // empty U columns for the new steps
+	}
+
+	// Rebuild L, interleaving each step's border multipliers (row indices
+	// m+i) behind its original entries.
+	extra := 0
+	for i := 0; i < k; i++ {
+		for _, v := range xs[i] {
+			if math.Abs(v) > dropTol {
+				extra++
+			}
+		}
+	}
+	g.lptr = make([]int32, mk+1)
+	g.lrow = make([]int32, 0, len(f.lrow)+extra)
+	g.lval = make([]float64, 0, len(f.lval)+extra)
+	for t := 0; t < m; t++ {
+		g.lrow = append(g.lrow, f.lrow[f.lptr[t]:f.lptr[t+1]]...)
+		g.lval = append(g.lval, f.lval[f.lptr[t]:f.lptr[t+1]]...)
+		for i := 0; i < k; i++ {
+			if v := xs[i][t]; math.Abs(v) > dropTol {
+				g.lrow = append(g.lrow, int32(m+i))
+				g.lval = append(g.lval, v)
+			}
+		}
+		g.lptr[t+1] = int32(len(g.lrow))
+	}
+	for t := m; t < mk; t++ {
+		g.lptr[t+1] = g.lptr[t] // empty L columns for the new steps
+	}
+
+	// Eta payload slices are append-only: share them, own the headers.
+	g.etas = make([]eta, len(f.etas))
+	copy(g.etas, f.etas)
+	g.scratch = make([]float64, mk)
+	return g, nil
+}

@@ -31,7 +31,7 @@ func debugVerifyResult(inst *Instance, res *Result) {
 		}
 	}
 	for i := 0; i < inst.m; i++ {
-		idx, val := inst.p.Row(i)
+		idx, val := inst.rowData(i)
 		act := 0.0
 		for k, j := range idx {
 			act += val[k] * res.X[j]

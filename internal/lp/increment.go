@@ -1,0 +1,176 @@
+package lp
+
+import (
+	"fmt"
+	"sort"
+
+	"tvnep/internal/linalg/sparselu"
+)
+
+// Incremental rows: the cutting-plane interface. AppendRow grows a solved
+// Instance by one row; extendWarmStart then maps a pre-append basis (and its
+// LU factors, via the WarmFactors handoff) onto the new dimensions so the
+// dual simplex hot-restarts from the old optimum instead of refactorizing
+// and re-solving from scratch. Appending a row keeps the old point dual
+// feasible — the new slack enters the basis with dual value zero, leaving
+// every reduced cost unchanged — so the dual simplex restores primal
+// feasibility in a handful of pivots, which is what makes lazy cut
+// separation cheap.
+
+// AppendRow appends the row rlb ≤ Σ val[k]·x[idx[k]] ≤ rub over structural
+// columns and returns its row index. Duplicate indices are merged and zero
+// coefficients dropped. The column-major matrix is updated copy-on-write:
+// clones sharing the pre-append column storage stay valid, and clones taken
+// after the append see the new row. Bases snapshotted before the append no
+// longer match the instance's dimensions; Solve extends them automatically
+// (see extendWarmStart).
+func (inst *Instance) AppendRow(idx []int32, val []float64, rlb, rub float64) int {
+	if len(idx) != len(val) {
+		panic("lp: AppendRow index/value length mismatch")
+	}
+	if rlb > rub {
+		panic(fmt.Sprintf("lp: AppendRow bounds lb %v > ub %v", rlb, rub))
+	}
+	r := inst.m
+	// Canonicalize into a private, retained row copy: sorted by column,
+	// duplicates merged, zeros dropped.
+	type ent struct {
+		j int32
+		v float64
+	}
+	ents := make([]ent, 0, len(idx))
+	for k, j := range idx {
+		if int(j) < 0 || int(j) >= inst.n {
+			panic(fmt.Sprintf("lp: AppendRow column %d out of range [0, %d)", j, inst.n))
+		}
+		ents = append(ents, ent{j, val[k]})
+	}
+	sort.Slice(ents, func(a, b int) bool { return ents[a].j < ents[b].j })
+	rowIdx := make([]int32, 0, len(ents))
+	rowVal := make([]float64, 0, len(ents))
+	for _, e := range ents {
+		if n := len(rowIdx); n > 0 && rowIdx[n-1] == e.j {
+			rowVal[n-1] += e.v
+			continue
+		}
+		rowIdx = append(rowIdx, e.j)
+		rowVal = append(rowVal, e.v)
+	}
+	// Drop entries that merged to zero.
+	w := 0
+	for k := range rowIdx {
+		if rowVal[k] != 0 {
+			rowIdx[w], rowVal[w] = rowIdx[k], rowVal[k]
+			w++
+		}
+	}
+	rowIdx, rowVal = rowIdx[:w], rowVal[:w]
+
+	// Copy-on-write column updates: the old column slices may be shared with
+	// clones (or with the compile-time backing arrays), so each affected
+	// column gets fresh storage.
+	for k, j := range rowIdx {
+		ci, cv := inst.colIdx[j], inst.colVal[j]
+		nci := make([]int32, len(ci)+1)
+		ncv := make([]float64, len(cv)+1)
+		copy(nci, ci)
+		copy(ncv, cv)
+		nci[len(ci)] = int32(r)
+		ncv[len(cv)] = rowVal[k]
+		inst.colIdx[j], inst.colVal[j] = nci, ncv
+	}
+	inst.extraIdx = append(inst.extraIdx, rowIdx)
+	inst.extraVal = append(inst.extraVal, rowVal)
+	// Row (slack) bounds live at the tail of lb/ub.
+	inst.lb = append(inst.lb, rlb)
+	inst.ub = append(inst.ub, rub)
+	ui := make([]int32, r+1)
+	copy(ui, inst.unitIdx)
+	ui[r] = int32(r)
+	inst.unitIdx = ui
+	inst.m = r + 1
+	return r
+}
+
+// NumAppendedRows reports how many rows AppendRow has added beyond the
+// compiled Problem.
+func (inst *Instance) NumAppendedRows() int { return inst.m - inst.baseRows }
+
+// rowData returns row i's structural indices and coefficients, covering both
+// compiled and appended rows. The slices are shared storage; do not mutate.
+func (inst *Instance) rowData(i int) ([]int32, []float64) {
+	if i < inst.baseRows {
+		return inst.p.Row(i)
+	}
+	return inst.extraIdx[i-inst.baseRows], inst.extraVal[i-inst.baseRows]
+}
+
+// RowBounds returns the bounds of row i.
+func (inst *Instance) RowBounds(i int) (lb, ub float64) {
+	return inst.lb[inst.n+i], inst.ub[inst.n+i]
+}
+
+// extendWarmStart maps a basis snapshotted when the instance had mOld < m
+// rows onto the current dimensions: each appended row's slack enters the
+// basis (the standard cutting-plane restart — the primal point is unchanged,
+// the new slacks carry the new rows' activities, and dual feasibility is
+// preserved because the new duals start at zero). Slack and artificial
+// column indices are remapped around the grown slack block. When wf holds
+// the LU factors matching b, they are extended with a bordered block
+// (sparselu.Extend) so the hot restart skips refactorization entirely.
+//
+// Returns (nil, nil) if b does not look like a basis of this instance with
+// fewer rows; returns (basis, nil) if only the basis could be extended (the
+// adopting solver then refactorizes).
+func (inst *Instance) extendWarmStart(b *Basis, wf *sparselu.Factors) (*Basis, *sparselu.Factors) {
+	n, m := inst.n, inst.m
+	mOld := len(b.Basic)
+	if mOld >= m || len(b.Status) != n+2*mOld {
+		return nil, nil
+	}
+	shift := m - mOld
+	eb := &Basis{Basic: make([]int32, m), Status: make([]int8, n+2*m)}
+	for p, j := range b.Basic {
+		if int(j) >= n+mOld {
+			j += int32(shift) // artificial block moved up by the new slacks
+		}
+		eb.Basic[p] = j
+	}
+	copy(eb.Status[:n+mOld], b.Status[:n+mOld])
+	for i := mOld; i < m; i++ {
+		eb.Basic[i] = int32(n + i)
+		eb.Status[n+i] = vsBasic
+	}
+	copy(eb.Status[n+m:n+m+mOld], b.Status[n+mOld:])
+	// New artificials keep the zero value (vsLower), fixed at 0 by newSolver.
+
+	if wf == nil || wf.M() != mOld {
+		return eb, nil
+	}
+	// Border block: the appended rows' coefficients on the old basic
+	// columns, stated in basis positions. Appended rows touch structural
+	// columns only, so basic slacks and artificials contribute nothing.
+	pos := make(map[int32]int32, mOld)
+	for p, j := range b.Basic {
+		pos[j] = int32(p)
+	}
+	borderIdx := make([][]int32, shift)
+	borderVal := make([][]float64, shift)
+	diag := make([]float64, shift)
+	for t := 0; t < shift; t++ {
+		ridx, rval := inst.rowData(mOld + t)
+		for k, j := range ridx {
+			if p, ok := pos[j]; ok {
+				borderIdx[t] = append(borderIdx[t], p)
+				borderVal[t] = append(borderVal[t], rval[k])
+			}
+		}
+		diag[t] = -1 // the appended slack column is −e_row
+	}
+	ext, err := wf.Extend(shift, borderIdx, borderVal, diag)
+	if err != nil {
+		return eb, nil
+	}
+	DebugBasisExtensions.Add(1)
+	return eb, ext
+}

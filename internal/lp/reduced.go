@@ -32,7 +32,7 @@ func (s *solver) pivotRow(r int) {
 		if rv == 0 {
 			continue
 		}
-		idx, val := s.inst.p.Row(i)
+		idx, val := s.inst.rowData(i)
 		for k, j := range idx {
 			s.arow[j] += rv * val[k]
 		}

@@ -72,6 +72,14 @@ type Instance struct {
 	colIdx [][]int32 // structural columns only
 	colVal [][]float64
 
+	// Rows added by AppendRow (cuts), row-wise: row baseRows+i is
+	// extraIdx[i]/extraVal[i]. The column-major matrix above already
+	// contains their entries; this row view serves warm-basis extension and
+	// the row-wise consumers (pivotRow, debug checks).
+	baseRows int
+	extraIdx [][]int32
+	extraVal [][]float64
+
 	unitIdx []int32 // unitIdx[i] = i; slack/artificial column index storage
 
 	lb, ub []float64 // length n+m: structural bounds then row (slack) bounds
@@ -118,12 +126,13 @@ func NewInstance(p *Problem) *Instance {
 	n, m := p.NumCols(), p.NumRows()
 	inst := &Instance{
 		p: p, n: n, m: m,
-		colIdx: make([][]int32, n),
-		colVal: make([][]float64, n),
-		lb:     make([]float64, n+m),
-		ub:     make([]float64, n+m),
-		objMin: make([]float64, n),
-		negate: p.Sense == Maximize,
+		baseRows: m,
+		colIdx:   make([][]int32, n),
+		colVal:   make([][]float64, n),
+		lb:       make([]float64, n+m),
+		ub:       make([]float64, n+m),
+		objMin:   make([]float64, n),
+		negate:   p.Sense == Maximize,
 	}
 	copy(inst.lb, p.ColLB)
 	copy(inst.ub, p.ColUB)
@@ -170,21 +179,26 @@ func NewInstance(p *Problem) *Instance {
 }
 
 // Clone returns an independent Instance over the same compiled problem.
-// The immutable column-major matrix (and the Problem it was compiled from)
-// is shared; the mutable column bounds are copied and the factorization
-// cache starts empty. Clones are what give every worker of a parallel
-// branch-and-bound search its own simplex state without recompiling the
-// problem: the shared slices are never written after compilation.
+// The immutable per-column and per-row storage (and the Problem it was
+// compiled from) is shared; the mutable column bounds are copied and the
+// factorization cache starts empty. Clones are what give every worker of a
+// parallel branch-and-bound search its own simplex state without recompiling
+// the problem: the shared inner slices are never written after compilation,
+// and AppendRow replaces — never grows in place — the outer slices it
+// touches, so rows appended to one clone stay invisible to the others.
 func (inst *Instance) Clone() *Instance {
 	out := &Instance{
 		p: inst.p, n: inst.n, m: inst.m,
-		colIdx:  inst.colIdx,
-		colVal:  inst.colVal,
-		unitIdx: inst.unitIdx,
-		lb:      append([]float64(nil), inst.lb...),
-		ub:      append([]float64(nil), inst.ub...),
-		objMin:  inst.objMin,
-		negate:  inst.negate,
+		baseRows: inst.baseRows,
+		colIdx:   append([][]int32(nil), inst.colIdx...),
+		colVal:   append([][]float64(nil), inst.colVal...),
+		extraIdx: append([][]int32(nil), inst.extraIdx...),
+		extraVal: append([][]float64(nil), inst.extraVal...),
+		unitIdx:  inst.unitIdx,
+		lb:       append([]float64(nil), inst.lb...),
+		ub:       append([]float64(nil), inst.ub...),
+		objMin:   inst.objMin,
+		negate:   inst.negate,
 	}
 	return out
 }

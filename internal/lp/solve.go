@@ -53,6 +53,10 @@ var (
 	// supplied Options.WarmFactors (the cache-independent handoff used by
 	// the parallel branch-and-bound workers).
 	DebugFactorHandoffs atomic.Int64
+	// DebugBasisExtensions counts warm starts whose basis predated appended
+	// rows and whose LU factors were extended with a bordered block instead
+	// of refactorized (the lazy-cut hot-restart path).
+	DebugBasisExtensions atomic.Int64
 )
 
 // solveWarm attempts a dual-simplex warm start. The boolean result reports
@@ -63,7 +67,20 @@ func (inst *Instance) solveWarm(o Options) (res Result, iters int, ok bool) {
 	DebugWarmAttempts.Add(1)
 	s := newSolver(inst, o)
 	copy(s.cost, s.real)
-	if !s.adoptBasis(o.WarmBasis) {
+	wb := o.WarmBasis
+	if len(wb.Basic) < s.m {
+		// The basis predates rows appended by AppendRow: extend it (new
+		// slacks basic) and, when the factor handoff matches, extend the LU
+		// factors too. The extended point stays dual feasible, so the usual
+		// dual → primal-polish restart below applies unchanged.
+		eb, ef := inst.extendWarmStart(wb, o.WarmFactors)
+		if eb == nil {
+			return Result{}, 0, false
+		}
+		wb = eb
+		s.opts.WarmFactors = ef // nil → adoptBasis refactorizes
+	}
+	if !s.adoptBasis(wb) {
 		return Result{}, 0, false
 	}
 	DebugWarmOK.Add(1)

@@ -43,6 +43,12 @@ type lpTask struct {
 	children *branch // non-nil iff res is optimal and fractional
 	worker   int     // 1-based id of the solving worker
 	skipped  bool    // dominated speculative work, not evaluated
+	// epoch is the number of committed cut rows the solving worker had
+	// applied to its instance when it evaluated the task. The committer
+	// discards results from older epochs (re-demanding the node), so every
+	// committed relaxation saw the full committed cut list — which is what
+	// keeps separation deterministic under speculation.
+	epoch int
 
 	done chan struct{}
 }
@@ -157,6 +163,18 @@ type engine struct {
 	// committed or not; the excess over the committed count is reported as
 	// Result.WastedLPIterations.
 	taskIters atomic.Int64
+
+	// cuts is the committer-published snapshot of the committed cut rows.
+	// The committer appends to its master slice and re-publishes the
+	// header after each batch, so every snapshot is a prefix of an
+	// append-only list: a worker holding an older header can never observe
+	// the elements a newer batch appends behind it.
+	cuts atomic.Pointer[cutSnap]
+}
+
+// cutSnap is an immutable view of the first len(rows) committed cut rows.
+type cutSnap struct {
+	rows []Cut
 }
 
 func newEngine(s *searcher) *engine {
@@ -168,6 +186,7 @@ func newEngine(s *searcher) *engine {
 	}
 	e.ctx, e.stopf = context.WithCancel(s.ctx)
 	e.incBits.Store(math.Float64bits(math.Inf(1)))
+	e.cuts.Store(&cutSnap{})
 	s.eng = e
 	e.wg.Add(s.opts.Workers)
 	for id := 1; id <= s.opts.Workers; id++ {
@@ -196,6 +215,12 @@ func (e *engine) publishIncumbent(objMin float64) {
 	e.incBits.Store(math.Float64bits(objMin))
 }
 
+// publishCuts is called by the committer (only) after appending a cut batch
+// to its own instance; rows is the committer's master slice (searcher.applied).
+func (e *engine) publishCuts(rows []Cut) {
+	e.cuts.Store(&cutSnap{rows: rows})
+}
+
 // resolve hands the committer the evaluated task for nd, creating and
 // demanding one if no worker speculated it. ok is false when the solve's
 // context was cancelled while waiting.
@@ -215,11 +240,16 @@ func (e *engine) resolve(nd *node) (t *lpTask, ok bool) {
 		case <-e.s.ctx.Done():
 			return nil, false
 		}
-		if !t.skipped {
+		if !t.skipped && t.epoch == len(e.s.applied) {
 			return t, true
 		}
-		// A worker raced the demand flag and skipped the task as dominated;
-		// retry with a fresh, pre-demanded task (workers never skip those).
+		// Stale: a worker raced the demand flag and skipped the task as
+		// dominated, or evaluated it speculatively before the latest cut
+		// batch was committed. Retry with a fresh, pre-demanded task:
+		// workers never skip those, and a demanded task is always solved at
+		// the current epoch because the committer publishes the cut
+		// snapshot before enqueueing the demand and the worker syncs its
+		// instance from the snapshot before solving.
 		nd.task = nil
 	}
 }
@@ -228,6 +258,7 @@ func (e *engine) resolve(nd *node) (t *lpTask, ok bool) {
 // clone, so no simplex state is ever shared.
 func (e *engine) worker(id int, inst *lp.Instance) {
 	defer e.wg.Done()
+	applied := 0 // committed cut rows already appended to this instance
 	for {
 		t := e.q.pop()
 		if t == nil {
@@ -236,13 +267,14 @@ func (e *engine) worker(id int, inst *lp.Instance) {
 		if !t.claimed.CompareAndSwap(false, true) {
 			continue
 		}
-		e.evaluate(inst, id, t)
+		e.evaluate(inst, id, t, &applied)
 	}
 }
 
 // evaluate solves one node relaxation on the worker's instance and, when it
-// branches, creates the node's children and speculates on them.
-func (e *engine) evaluate(inst *lp.Instance, id int, t *lpTask) {
+// branches, creates the node's children and speculates on them. applied
+// tracks how many committed cut rows this worker's instance carries.
+func (e *engine) evaluate(inst *lp.Instance, id int, t *lpTask, applied *int) {
 	defer close(t.done)
 	s := e.s
 	t.worker = id
@@ -254,6 +286,17 @@ func (e *engine) evaluate(inst *lp.Instance, id int, t *lpTask) {
 		t.skipped = true
 		return
 	}
+	// Replay committed cut rows this instance has not seen yet. Cuts are
+	// globally valid inequalities, so appending them to every subsequent
+	// node relaxation is sound; the recorded epoch lets the committer
+	// reject results that predate the rows it has committed.
+	snap := e.cuts.Load()
+	for *applied < len(snap.rows) {
+		c := snap.rows[*applied]
+		inst.AppendRow(c.Idx, c.Val, c.LB, c.UB)
+		*applied++
+	}
+	t.epoch = *applied
 	if !applyBoundsOn(inst, s.rootLB, s.rootUB, nd) {
 		// Empty bound interval: the relaxation is infeasible by
 		// construction (the committer never demands such nodes).

@@ -133,6 +133,25 @@ type Options struct {
 	// ProgressEvery is the periodic callback interval in nodes (default
 	// 100; < 0 disables periodic callbacks, leaving incumbent ones).
 	ProgressEvery int
+	// Separators generate valid inequalities lazily instead of having the
+	// model emit them all up front; see the Separator contract in cuts.go.
+	// Separation runs only on the committing goroutine, so the
+	// bit-identical-for-any-worker-count guarantee extends to cut rounds.
+	Separators []Separator
+	// RootCutRounds bounds the separation rounds at the root node (0 → the
+	// default of 20; negative → no root separation). The root is where cuts
+	// pay off most, so it gets a much deeper budget than tree nodes.
+	RootCutRounds int
+	// TreeCutRounds bounds the separation rounds at each non-root node
+	// (0 → the default of 2; negative → none).
+	TreeCutRounds int
+	// CutBatch is the maximum number of cuts appended per separation round,
+	// taken in decreasing violation order (0 → the default of 32).
+	CutBatch int
+	// CutMaxAge evicts a pooled-but-never-appended cut after this many
+	// rounds without a violation (0 → the default of 8; negative → never
+	// evict).
+	CutMaxAge int
 }
 
 func (o *Options) withDefaults() Options {
@@ -155,6 +174,22 @@ func (o *Options) withDefaults() Options {
 	if out.ProgressEvery == 0 {
 		out.ProgressEvery = 100
 	}
+	if out.RootCutRounds == 0 {
+		out.RootCutRounds = 20
+	} else if out.RootCutRounds < 0 {
+		out.RootCutRounds = 0
+	}
+	if out.TreeCutRounds == 0 {
+		out.TreeCutRounds = 2
+	} else if out.TreeCutRounds < 0 {
+		out.TreeCutRounds = 0
+	}
+	if out.CutBatch <= 0 {
+		out.CutBatch = 32
+	}
+	if out.CutMaxAge == 0 {
+		out.CutMaxAge = 8
+	}
 	return out
 }
 
@@ -176,6 +211,14 @@ type Result struct {
 	// design — the only nondeterministic iteration count reported.
 	WastedLPIterations int
 	Runtime            time.Duration
+	// Cuts summarizes lazy separation (zero-valued apart from RowsAtRoot
+	// when no separators were registered). All of its fields are part of
+	// the committed search and therefore deterministic.
+	Cuts CutStats
+	// AppliedCuts lists, in append order, every cut row the search added to
+	// the LP relaxation, so callers can re-validate them independently
+	// (internal/certify checks each against the dependency graph).
+	AppliedCuts []Cut
 }
 
 // node is a branch-and-bound node: a chain of bound overrides on top of the
@@ -247,6 +290,13 @@ type searcher struct {
 	nextSeq    int64
 	lastWorker int
 
+	// Lazy-cut state, touched only by the committer. pool is nil when no
+	// separators are registered; applied is the append-only list of cut
+	// rows added to the LP, whose length is the current cut epoch.
+	pool      *cutPool
+	applied   []Cut
+	sepRounds int
+
 	deadline    time.Time
 	hasDL       bool
 	dlCountdown int // nodes until the next wall-clock deadline check
@@ -275,6 +325,9 @@ func Solve(ctx context.Context, p *Problem, opts *Options) Result {
 	for len(p.Integer) < n {
 		p.Integer = append(p.Integer, false)
 	}
+	if len(o.Separators) > 0 {
+		s.pool = newCutPool(n)
+	}
 	s.rootLB = make([]float64, n)
 	s.rootUB = make([]float64, n)
 	for j := 0; j < n; j++ {
@@ -298,6 +351,15 @@ func Solve(ctx context.Context, p *Problem, opts *Options) Result {
 		// Everything the workers evaluated minus everything the committed
 		// search used; the engine has stopped, so the atomic is final.
 		res.WastedLPIterations = int(s.eng.taskIters.Load()) - s.taskIters
+	}
+	res.Cuts = CutStats{RowsAtRoot: p.LP.NumRows()}
+	if s.pool != nil {
+		res.Cuts.SeparatedRows = len(s.applied)
+		res.Cuts.Rounds = s.sepRounds
+		res.Cuts.Offered = s.pool.offered
+		res.Cuts.PoolHits = s.pool.hits
+		res.Cuts.Evicted = s.pool.evicted
+		res.AppliedCuts = s.applied
 	}
 	bound := s.globalBoundMin()
 	if s.hasInc {
@@ -539,15 +601,15 @@ func (s *searcher) run() Status {
 			if !s.applyBounds(nd) {
 				break // empty bound interval: infeasible by construction
 			}
-			t, ok := e.resolve(nd)
+			// Resolve the relaxation, interleaving lazy-cut separation
+			// rounds when separators are registered (see cuts.go); the
+			// committed iteration accounting happens inside.
+			t, ok := s.solveSeparated(nd)
 			if !ok {
 				heap.Push(&s.open, nd)
 				return StatusCancelled
 			}
 			res := t.res
-			s.iters += res.Iterations
-			s.taskIters += res.Iterations
-			s.lastWorker = t.worker
 			switch res.Status {
 			case lp.StatusInfeasible:
 				nd = nil

@@ -87,6 +87,7 @@ type Model struct {
 	lp      *lp.Problem
 	integer []bool
 	sense   Sense
+	seps    []Separator
 }
 
 // New creates an empty model with the given objective sense.
@@ -204,6 +205,34 @@ func (m *Model) AddRange(e *LinExpr, lo, hi float64, name string) int {
 	return m.lp.AddRow(idx, val, lo-e.Const, hi-e.Const, name)
 }
 
+// CutLE converts an expression into the ≤-cut record e ≤ rhs, the lazy
+// counterpart of AddLE: instead of becoming a static row it can be returned
+// from a Separator and appended only when violated.
+func CutLE(e *LinExpr, rhs float64, name string) Cut {
+	idx := make([]int32, len(e.vars))
+	for k, vi := range e.vars {
+		idx[k] = int32(vi)
+	}
+	return Cut{
+		Idx: idx, Val: append([]float64(nil), e.coefs...),
+		LB: math.Inf(-1), UB: rhs - e.Const, Name: name,
+	}
+}
+
+// RegisterSeparator attaches a lazy-cut separator to the model: instead of
+// emitting a constraint family as static rows, Optimize will call the
+// separator on fractional relaxation points and append only the violated
+// members. Separators must satisfy the validity and determinism contract
+// documented on mip.Separator; registration order is significant (it is the
+// order separators are consulted each round).
+func (m *Model) RegisterSeparator(sep Separator) {
+	m.seps = append(m.seps, sep)
+}
+
+// Separators returns the registered separators (shared slice; treat as
+// read-only).
+func (m *Model) Separators() []Separator { return m.seps }
+
 // Solution is the result of optimizing a model.
 type Solution struct {
 	Status       Status
@@ -214,7 +243,13 @@ type Solution struct {
 	Nodes        int
 	LPIterations int
 	Runtime      time.Duration
-	x            []float64
+	// Cuts summarizes lazy separation (zero apart from RowsAtRoot when no
+	// separators were registered).
+	Cuts CutStats
+	// AppliedCuts lists every cut row the search appended, in order, for
+	// independent re-validation (internal/certify).
+	AppliedCuts []Cut
+	x           []float64
 }
 
 // Value returns the solution value of v (NaN when no solution exists).
@@ -223,6 +258,17 @@ func (s *Solution) Value(v Var) float64 {
 		return math.NaN()
 	}
 	return s.x[v.idx]
+}
+
+// X returns the raw column assignment (shared slice; treat as read-only),
+// nil when no solution exists. It exists for callers that evaluate rows
+// produced outside the model layer — applied cut records carry raw column
+// indices, and internal/certify re-checks them against the incumbent.
+func (s *Solution) X() []float64 {
+	if !s.HasSolution {
+		return nil
+	}
+	return s.x
 }
 
 // ValueOf returns the solution value of an expression.
@@ -244,7 +290,14 @@ func (m *Model) Optimize(ctx context.Context, opts *SolveOptions) *Solution {
 			mp.SetInteger(j)
 		}
 	}
-	res := mip.Solve(ctx, mp, opts.mipOptions())
+	mo := opts.mipOptions()
+	if len(m.seps) > 0 {
+		if mo == nil {
+			mo = &mip.Options{}
+		}
+		mo.Separators = m.seps
+	}
+	res := mip.Solve(ctx, mp, mo)
 	return &Solution{
 		Status:       statusFromMIP(res.Status, res.HasSolution),
 		HasSolution:  res.HasSolution,
@@ -254,6 +307,8 @@ func (m *Model) Optimize(ctx context.Context, opts *SolveOptions) *Solution {
 		Nodes:        res.Nodes,
 		LPIterations: res.LPIterations,
 		Runtime:      res.Runtime,
+		Cuts:         res.Cuts,
+		AppliedCuts:  res.AppliedCuts,
 		x:            res.X,
 	}
 }

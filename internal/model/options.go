@@ -16,6 +16,19 @@ type Progress = mip.Progress
 // synchronously on the solving goroutine; keep them cheap.
 type ProgressFunc func(Progress)
 
+// Cut is one valid inequality produced by a Separator; it aliases the
+// branch-and-bound solver's cut record.
+type Cut = mip.Cut
+
+// Separator lazily generates valid inequalities from fractional relaxation
+// points; register implementations with Model.RegisterSeparator. The
+// interface (and its validity/determinism contract) is the branch-and-bound
+// solver's.
+type Separator = mip.Separator
+
+// CutStats summarizes the lazy-separation work of one solve.
+type CutStats = mip.CutStats
+
 // SolveOptions is the single options struct for every solve in the
 // repository: exact MIP solves (Model.Optimize, core.Built.Solve), the
 // per-iteration subproblems of the greedy algorithm, and the evaluation

@@ -102,4 +102,11 @@ const (
 	// relaxation value counts as integral. It must comfortably exceed
 	// LPFeasTol, since basic variable values carry that much noise.
 	MIPIntTol = 1e-6
+
+	// CutViolTol is the minimum amount by which a fractional point must
+	// violate a pooled cut before the cut is worth appending to the LP
+	// relaxation. Row activities are sums of LPFeasTol-accurate values, so
+	// anything below this is indistinguishable from an already-satisfied
+	// row; appending it would cost a hot restart and tighten nothing.
+	CutViolTol = 1e-6
 )
