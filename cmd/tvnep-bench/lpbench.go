@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"time"
 
+	"tvnep/internal/admit"
 	"tvnep/internal/core"
 	"tvnep/internal/lp"
 	"tvnep/internal/model"
@@ -37,6 +38,12 @@ type lpBenchResult struct {
 	CutRowsSeparated float64 `json:"cut_rows_separated,omitempty"`
 	CutRounds        float64 `json:"cut_rounds,omitempty"`
 	CutPoolHits      float64 `json:"cut_pool_hits,omitempty"`
+	// Streaming-admission statistics (AdmissionStream only): per-decision
+	// latency quantiles and trace-level accept / warm-restart rates.
+	P50NS      float64 `json:"p50_ns,omitempty"`
+	P99NS      float64 `json:"p99_ns,omitempty"`
+	AcceptRate float64 `json:"accept_rate,omitempty"`
+	WarmRate   float64 `json:"warm_rate,omitempty"`
 }
 
 type lpWarmStats struct {
@@ -212,6 +219,54 @@ func runLPBench(outPath, comparePath string) error {
 			}))
 	}
 
+	// AdmissionStream: a 10 000-request arrival trace replayed through the
+	// online admission engine in one pass. Unlike the micro-benchmarks above
+	// the op is a single admission decision inside one long-lived engine, so
+	// the trace runs exactly once: ns/op is total wall clock over decisions,
+	// and the p50/p99 fields are the engine's own per-decision latency
+	// quantiles — the bounded-tail-latency claim of the admission service.
+	{
+		wl := workload.Default()
+		wl.NumRequests = 10000
+		wl.StarLeaves = 1
+		wl.FlexibilityHr = 2
+		sc := workload.Generate(wl, 1)
+		eng, err := admit.New(admit.Config{
+			Sub:     sc.Substrate,
+			Horizon: sc.Horizon,
+			Solve:   model.SolveOptions{NodeLimit: admit.DefaultNodeLimit},
+		})
+		if err != nil {
+			return fmt.Errorf("lpbench: admission engine: %w", err)
+		}
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		for r, req := range sc.Requests {
+			if _, err := eng.Admit(context.Background(), req, sc.Mapping[r]); err != nil {
+				return fmt.Errorf("lpbench: admission stream request %d: %w", r, err)
+			}
+		}
+		total := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		es := eng.Stats()
+		n := es.Decisions
+		report.Benchmarks = append(report.Benchmarks, lpBenchResult{
+			Name:         "AdmissionStream",
+			Iterations:   n,
+			NsPerOp:      float64(total.Nanoseconds()) / float64(n),
+			AllocsPerOp:  float64(ms1.Mallocs-ms0.Mallocs) / float64(n),
+			BytesPerOp:   float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(n),
+			LPItersPerOp: float64(es.TotalLPIters) / float64(n),
+			BBNodes:      float64(es.TotalNodes) / float64(n),
+			P50NS:        float64(es.LatencyP50.Nanoseconds()),
+			P99NS:        float64(es.LatencyP99.Nanoseconds()),
+			AcceptRate:   es.AcceptRate(),
+			WarmRate:     es.WarmRate(),
+		})
+	}
+
 	wa := lp.DebugWarmAttempts.Load() - wa0
 	wo := lp.DebugWarmOK.Load() - wo0
 	ch := lp.DebugCacheHits.Load() - ch0
@@ -265,6 +320,10 @@ func runLPBench(outPath, comparePath string) error {
 		if b.CutRowsRoot > 0 {
 			line += fmt.Sprintf("   cuts: %.0f root rows, %.0f separated in %.0f rounds, %.0f pool hits",
 				b.CutRowsRoot, b.CutRowsSeparated, b.CutRounds, b.CutPoolHits)
+		}
+		if b.P99NS > 0 {
+			line += fmt.Sprintf("   stream: %d decisions, p50 %.2fms, p99 %.2fms, accept %.2f, warm %.2f",
+				b.Iterations, b.P50NS/1e6, b.P99NS/1e6, b.AcceptRate, b.WarmRate)
 		}
 		fmt.Println(line)
 	}

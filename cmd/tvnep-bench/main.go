@@ -38,7 +38,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 3..9, 'ablation', 'relax', or all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 3..9, 'ablation', 'relax', 'stream', or all")
 		seeds    = flag.Int("seeds", 0, "number of scenario seeds per flexibility (0 → config default)")
 		limit    = flag.Duration("timelimit", 0, "per-solve time limit (0 → config default)")
 		workers  = flag.Int("workers", 0, "concurrent scenario solves (0 → one per CPU)")
@@ -206,6 +206,15 @@ func main() {
 	if want["relax"] {
 		recs := cfg.RelaxationSweep(ctx, progress)
 		eval.WriteRelaxation(os.Stdout, recs, cfg)
+	}
+	if want["stream"] {
+		recs, err := cfg.StreamSweep(ctx, progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stream:", err)
+			os.Exit(1)
+		}
+		eval.WriteStreamTable(os.Stdout,
+			"Streaming admission — per-decision latency and accept rate vs temporal flexibility", recs, cfg)
 	}
 	fmt.Printf("# aggregate: %v\n", counters)
 	fmt.Printf("# total bench time: %v\n", time.Since(start).Round(time.Millisecond))

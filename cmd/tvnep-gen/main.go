@@ -13,7 +13,7 @@ import (
 	"fmt"
 	"os"
 
-	"tvnep/internal/workload"
+	"tvnep/pkg/tvnep"
 )
 
 func main() {
@@ -29,9 +29,9 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := workload.Default()
+	cfg := tvnep.DefaultWorkload()
 	if *paper {
-		cfg = workload.PaperScale()
+		cfg = tvnep.PaperWorkload()
 	} else {
 		cfg.GridRows, cfg.GridCols = *rows, *cols
 		cfg.NumRequests = *requests
@@ -39,7 +39,7 @@ func main() {
 	}
 	cfg.FlexibilityHr = *flexMin / 60
 
-	sc := workload.Generate(cfg, *seed)
+	sc := tvnep.Generate(cfg, *seed)
 	if err := sc.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "generated scenario invalid:", err)
 		os.Exit(1)

@@ -1,6 +1,7 @@
 // Command tvnep-solve solves one TVNEP scenario (JSON, as produced by
-// tvnep-gen) with a chosen formulation and objective, verifies the result
-// with the independent feasibility checker, and prints a report.
+// tvnep-gen) with a chosen formulation and objective through the public
+// pkg/tvnep facade, verifies the result with the independent feasibility
+// checker, and prints a report.
 //
 // Usage:
 //
@@ -11,6 +12,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,14 +20,8 @@ import (
 	"strings"
 	"time"
 
-	"tvnep/internal/certify"
-	"tvnep/internal/core"
-	"tvnep/internal/greedy"
-	"tvnep/internal/lp"
-	"tvnep/internal/model"
 	"tvnep/internal/prof"
-	"tvnep/internal/solution"
-	"tvnep/internal/workload"
+	"tvnep/pkg/tvnep"
 )
 
 func main() {
@@ -37,10 +33,10 @@ func main() {
 		limit     = flag.Duration("timelimit", time.Minute, "MIP time limit")
 		workers   = flag.Int("workers", 1, "branch-and-bound relaxation workers (deterministic: the committed result is bit-identical for every count)")
 		cutMode   = flag.String("cutmode", "static", "Constraint-(20) precedence-cut pipeline, cΣ only: static (emit all rows at build time) | lazy (separate violated rows on demand) | off (drop the cut family)")
-		noCuts    = flag.Bool("nocuts", false, "deprecated alias of -cutmode off: disable temporal dependency graph cuts (applies to the cΣ model only; Δ and Σ have no such cuts and ignore it)")
-		noPre     = flag.Bool("nopresolve", false, "disable the activity-interval presolve (applies to the cΣ model only; Δ and Σ have no model presolve and ignore it)")
+		noCuts    = flag.Bool("nocuts", false, "deprecated alias of -cutmode off: disable temporal dependency graph cuts (applies to the cΣ model only)")
+		noPre     = flag.Bool("nopresolve", false, "disable the activity-interval presolve (applies to the cΣ model only)")
 		freeMap   = flag.Bool("freemap", false, "ignore the scenario's fixed node mapping and let the model place nodes")
-		doCertify = flag.Bool("certify", false, "run the full internal/certify certificate (named violations, objective recomputation, root-LP optimality certificate)")
+		doCertify = flag.Bool("certify", false, "run the full certificate suite (named violations, objective recomputation, root-LP optimality certificate)")
 		timeline  = flag.Bool("timeline", false, "print the piecewise-constant substrate utilization timeline")
 		progFlag  = flag.Bool("progress", false, "stream branch-and-bound progress (incumbents, node counts) to stderr")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -63,12 +59,8 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	var sc workload.Scenario
+	var sc tvnep.Scenario
 	if err := json.Unmarshal(data, &sc); err != nil {
-		fail(err)
-	}
-	inst := &core.Instance{Sub: sc.Substrate, Reqs: sc.Requests, Horizon: sc.Horizon}
-	if err := inst.Validate(); err != nil {
 		fail(err)
 	}
 	mapping := sc.Mapping
@@ -76,53 +68,65 @@ func main() {
 		mapping = nil
 	}
 
-	var form core.Formulation
+	var form tvnep.Formulation
 	switch strings.ToLower(*modelName) {
 	case "delta":
-		form = core.Delta
+		form = tvnep.Delta
 	case "sigma":
-		form = core.Sigma
+		form = tvnep.Sigma
 	case "csigma":
-		form = core.CSigma
+		form = tvnep.CSigma
 	default:
 		fail(fmt.Errorf("unknown model %q", *modelName))
 	}
-	cm, err := core.ParseCutMode(strings.ToLower(*cutMode))
+	cm, err := tvnep.ParseCutMode(strings.ToLower(*cutMode))
 	if err != nil {
 		fail(err)
 	}
-	// -nocuts/-nopresolve reach only the cΣ builder; say so instead of
-	// silently ignoring them, and keep -nocuts working as the deprecated
-	// spelling of -cutmode off.
-	if form != core.CSigma && (*noCuts || *noPre || cm != core.CutStatic) {
-		fmt.Fprintf(os.Stderr, "tvnep-solve: warning: -nocuts/-nopresolve/-cutmode apply to the cΣ model only; the %v model ignores them\n", form)
-	}
 	if *noCuts {
-		if cm == core.CutLazy {
+		if cm == tvnep.CutLazy {
 			fmt.Fprintln(os.Stderr, "tvnep-solve: warning: -nocuts overrides -cutmode lazy (cuts disabled)")
 		}
-		cm = core.CutOff
+		cm = tvnep.CutOff
 	}
 
-	var obj core.Objective
+	var obj tvnep.Objective
 	switch strings.ToLower(*objName) {
 	case "access":
-		obj = core.AccessControl
+		obj = tvnep.AccessControl
 	case "earliness":
-		obj = core.MaxEarliness
+		obj = tvnep.MaxEarliness
 	case "balance":
-		obj = core.BalanceNodeLoad
+		obj = tvnep.BalanceNodeLoad
 	case "disable":
-		obj = core.DisableLinks
+		obj = tvnep.DisableLinks
 	case "makespan":
-		obj = core.MinMakespan
+		obj = tvnep.MinMakespan
 	default:
 		fail(fmt.Errorf("unknown objective %q", *objName))
 	}
 
-	solveOpts := model.NewSolveOptions(model.WithTimeLimit(*limit), model.WithWorkers(*workers))
+	opts := []tvnep.Option{
+		tvnep.WithFormulation(form),
+		tvnep.WithObjective(obj),
+		tvnep.WithHorizon(sc.Horizon),
+		tvnep.WithTimeLimit(*limit),
+		tvnep.WithWorkers(*workers),
+	}
+	if cm != tvnep.CutStatic || *noCuts {
+		opts = append(opts, tvnep.WithCutMode(cm))
+	}
+	if *noPre {
+		opts = append(opts, tvnep.WithoutPresolve())
+	}
+	if *useGreedy {
+		opts = append(opts, tvnep.WithAlgorithm(tvnep.Greedy))
+	}
+	if *doCertify {
+		opts = append(opts, tvnep.WithCertify())
+	}
 	if *progFlag {
-		solveOpts.Progress = func(p model.Progress) {
+		opts = append(opts, tvnep.WithProgress(func(p tvnep.Progress) {
 			if p.NewIncumbent {
 				fmt.Fprintf(os.Stderr, "  [b&b] incumbent %.4f (bound %.4f, gap %.3g, %d nodes, %v)\n",
 					p.Incumbent, p.Bound, p.Gap, p.Nodes, p.Elapsed.Round(time.Millisecond))
@@ -130,85 +134,66 @@ func main() {
 				fmt.Fprintf(os.Stderr, "  [b&b] %d nodes open=%d lp_iters=%d (%v)\n",
 					p.Nodes, p.Open, p.LPIterations, p.Elapsed.Round(time.Millisecond))
 			}
-		}
+		}))
 	}
 
-	var sol *solution.Solution
-	var built *core.Built
-	var ms *model.Solution
+	solver, err := tvnep.New(sc.Substrate, opts...)
+	// The cΣ-only ablation flags used to degrade to a stderr warning; the
+	// facade reports them as a typed configuration error instead. Keep the
+	// CLI's permissive behavior: warn, drop the inapplicable options, retry.
+	var conflict *tvnep.OptionConflictError
+	if errors.As(err, &conflict) {
+		fmt.Fprintf(os.Stderr, "tvnep-solve: warning: %v (ignoring it)\n", conflict)
+		solver, err = tvnep.New(sc.Substrate, dropConflicting(sc, form, obj, *limit, *workers, *useGreedy, *doCertify)...)
+	}
+	if err != nil {
+		fail(err)
+	}
+
 	start := time.Now()
-	if *useGreedy {
-		if obj != core.AccessControl {
-			fail(fmt.Errorf("the greedy algorithm supports the access objective only"))
-		}
-		var stats greedy.Stats
-		sol, stats, err = greedy.Solve(ctx, inst, mapping, greedy.Options{Solve: *solveOpts})
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("algorithm: cΣ_A^G greedy (%d iterations, %d B&B nodes, %d LP iterations)\n",
-			stats.Iterations, stats.TotalBBNodes, stats.TotalLPIters)
-	} else {
-		b := core.Build(form, inst, core.BuildOptions{
-			Objective:       obj,
-			FixedMapping:    mapping,
-			CutMode:         cm,
-			DisablePresolve: *noPre,
-		})
-		built = b
-		fmt.Printf("model: %v  objective: %v  vars=%d constrs=%d ints=%d\n",
-			form, obj, b.Model.NumVars(), b.Model.NumConstrs(), b.Model.NumIntVars())
-		if cm == core.CutLazy && form == core.CSigma {
-			fmt.Printf("cuts: mode=lazy candidates=%d (rows deferred from the root LP)\n", b.PrecCutCandidates())
-		}
-		sol, ms = b.Solve(ctx, solveOpts)
-		fmt.Printf("status: %v  gap: %.4g  nodes: %d  lp-iterations: %d\n",
-			ms.Status, ms.Gap, ms.Nodes, ms.LPIterations)
-		if cm == core.CutLazy && form == core.CSigma {
-			fmt.Printf("cuts: root_rows=%d separated=%d rounds=%d offered=%d pool_hits=%d evicted=%d\n",
-				ms.Cuts.RowsAtRoot, ms.Cuts.SeparatedRows, ms.Cuts.Rounds,
-				ms.Cuts.Offered, ms.Cuts.PoolHits, ms.Cuts.Evicted)
-		}
-		if sol == nil {
-			fmt.Println("no feasible solution found within the limits")
-			stopProfiles() // os.Exit skips the deferred stop
-			os.Exit(1)
-		}
-	}
+	res, solveErr := solver.Solve(ctx, sc.Requests, mapping)
 	elapsed := time.Since(start)
-
-	if err := solution.Check(sc.Substrate, sc.Requests, sol); err != nil {
-		fail(fmt.Errorf("solution failed independent verification: %w", err))
+	if errors.Is(solveErr, tvnep.ErrNoSolution) {
+		if m := res.ModelStats; m != nil {
+			fmt.Printf("model: %v  objective: %v  vars=%d constrs=%d ints=%d\n",
+				m.Formulation, m.Objective, m.Vars, m.Constrs, m.IntVars)
+			fmt.Printf("status: %v  gap: %.4g  nodes: %d  lp-iterations: %d\n",
+				res.Status, res.Gap, res.Nodes, res.LPIterations)
+		}
+		fmt.Println("no feasible solution found within the limits")
+		stopProfiles() // os.Exit skips the deferred stop
+		os.Exit(1)
 	}
-	if *doCertify {
-		rep := certify.Solution(inst, sol, certify.Options{Objective: obj, Mapping: mapping})
-		if err := rep.Err(); err != nil {
-			fail(fmt.Errorf("solution failed certification: %w", err))
+	if solveErr != nil {
+		fail(solveErr)
+	}
+	sol := res.Solution
+
+	if res.Greedy != nil {
+		fmt.Printf("algorithm: cΣ_A^G greedy (%d iterations, %d B&B nodes, %d LP iterations)\n",
+			res.Greedy.Iterations, res.Greedy.TotalBBNodes, res.Greedy.TotalLPIters)
+	}
+	if m := res.ModelStats; m != nil {
+		fmt.Printf("model: %v  objective: %v  vars=%d constrs=%d ints=%d\n",
+			m.Formulation, m.Objective, m.Vars, m.Constrs, m.IntVars)
+		if cm == tvnep.CutLazy && form == tvnep.CSigma {
+			fmt.Printf("cuts: mode=lazy candidates=%d (rows deferred from the root LP)\n", m.CutCandidates)
+			fmt.Printf("cuts: root_rows=%d separated=%d rounds=%d offered=%d pool_hits=%d evicted=%d\n",
+				res.Cuts.RowsAtRoot, res.Cuts.SeparatedRows, res.Cuts.Rounds,
+				res.Cuts.Offered, res.Cuts.PoolHits, res.Cuts.Evicted)
 		}
-		fmt.Printf("certificate: solution OK (recomputed objective %.6g)\n", rep.RecomputedObjective)
-		if built != nil && ms != nil {
-			// Re-validate every applied cut against the dependency graph: a
-			// cut that excludes the (just certified feasible) incumbent is a
-			// named violation.
-			if err := certify.Cuts(built, ms).Err(); err != nil {
-				fail(fmt.Errorf("applied cuts failed certification: %w", err))
-			}
-			if n := len(ms.AppliedCuts); n > 0 {
-				fmt.Printf("certificate: %d applied cut(s) OK (family membership + incumbent validity)\n", n)
-			}
+		fmt.Printf("status: %v  gap: %.4g  nodes: %d  lp-iterations: %d\n",
+			res.Status, res.Gap, res.Nodes, res.LPIterations)
+	}
+	if cert := res.Certificate; cert != nil {
+		fmt.Printf("certificate: solution OK (recomputed objective %.6g)\n",
+			cert.Solution.RecomputedObjective)
+		if cert.Cuts != nil {
+			fmt.Println("certificate: applied cuts OK (family membership + incumbent validity)")
 		}
-		if built != nil {
-			// Independent optimality certificate of the root relaxation:
-			// re-solve the LP cold and verify primal/dual feasibility and
-			// strong duality on the postsolved result.
-			lpp := built.Model.LP()
-			res := lp.Solve(lpp, nil)
-			cert := certify.LP(lpp, res, 0)
-			if err := cert.Err(); err != nil {
-				fail(fmt.Errorf("root LP failed certification: %w", err))
-			}
-			fmt.Printf("certificate: root LP OK (status %v, primal residual %.3g, dual residual %.3g, duality gap %.3g)\n",
-				res.Status, cert.PrimalResidual, cert.DualResidual, cert.DualityGap)
+		if cert.RootLP != nil {
+			fmt.Printf("certificate: root LP OK (primal residual %.3g, dual residual %.3g, duality gap %.3g)\n",
+				cert.RootLP.PrimalResidual, cert.RootLP.DualResidual, cert.RootLP.DualityGap)
 		}
 	}
 	fmt.Printf("runtime: %.3fs   objective: %.4f   accepted: %d/%d   verified: OK\n",
@@ -223,8 +208,27 @@ func main() {
 	}
 	if *timeline {
 		fmt.Println()
-		solution.WriteTimeline(os.Stdout, sc.Substrate, sc.Requests, sol)
+		tvnep.WriteTimeline(os.Stdout, sc.Substrate, sc.Requests, sol)
 	}
+}
+
+// dropConflicting rebuilds the option list without the cΣ-only ablation
+// options that the facade rejected for this formulation.
+func dropConflicting(sc tvnep.Scenario, form tvnep.Formulation, obj tvnep.Objective, limit time.Duration, workers int, useGreedy, doCertify bool) []tvnep.Option {
+	opts := []tvnep.Option{
+		tvnep.WithFormulation(form),
+		tvnep.WithObjective(obj),
+		tvnep.WithHorizon(sc.Horizon),
+		tvnep.WithTimeLimit(limit),
+		tvnep.WithWorkers(workers),
+	}
+	if useGreedy {
+		opts = append(opts, tvnep.WithAlgorithm(tvnep.Greedy))
+	}
+	if doCertify {
+		opts = append(opts, tvnep.WithCertify())
+	}
+	return opts
 }
 
 func fail(err error) {

@@ -1,0 +1,648 @@
+// Package admit implements the online admission engine: a long-running
+// service that receives VNet requests one at a time and decides, for each
+// arrival, whether to embed it — the streaming counterpart of the greedy
+// algorithm cΣ_A^G (Section V). Every decision solves a small cΣ model in
+// which all previously accepted requests keep their committed schedules
+// (Constraint 24) and their committed link flows (pinned χ bounds — the
+// solve sees the true residual capacity, it cannot reroute committed
+// traffic) and only the arriving request is free, under objective (21):
+// max T·x_R + (T − t⁻).
+//
+// The engine is built around three cost tiers per admission:
+//
+//  1. a capacity precheck that rejects requests that cannot fit the
+//     substrate even on an empty network (no solve at all),
+//  2. an LP fast tier that solves the root relaxation through a raw
+//     lp.Instance (keeping the basis and LU factors) and decides
+//     immediately when the relaxation is integral,
+//  3. a full branch-and-bound solve otherwise.
+//
+// After each decision the engine pins the outcome into the still-hot LP
+// instance with lp.Instance.AppendRow (x_R and t⁺ band rows) and re-solves
+// with the captured basis/factors (lp.Options.WarmBasis/WarmFactors) — the
+// cutting-plane hot-restart machinery reused as a per-admission commitment
+// certificate, giving an LP bound on the committed system without a single
+// refactorization in the common case.
+//
+// Decisions are deterministic: admissions are serialized, the per-decision
+// branch-and-bound search is bit-identical for every worker count
+// (internal/mip), and the default budget is a node limit rather than a time
+// limit, so replaying the same trace yields the same accept/reject sequence
+// regardless of parallelism or machine speed.
+package admit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"tvnep/internal/certify"
+	"tvnep/internal/core"
+	"tvnep/internal/lp"
+	"tvnep/internal/model"
+	"tvnep/internal/numtol"
+	"tvnep/internal/solution"
+	"tvnep/internal/stats"
+	"tvnep/internal/substrate"
+	"tvnep/internal/vnet"
+)
+
+// DefaultNodeLimit bounds the branch-and-bound search of one admission when
+// the caller sets neither a node nor a time limit. A node limit (unlike a
+// time limit) keeps the decision sequence a pure function of the trace.
+const DefaultNodeLimit = 20000
+
+// Tier names which cost tier produced a decision.
+type Tier string
+
+const (
+	// TierPrecheck: rejected by the capacity precheck, no solve.
+	TierPrecheck Tier = "precheck"
+	// TierLP: decided by an integral LP relaxation, no branch and bound.
+	TierLP Tier = "lp"
+	// TierMIP: decided by a full branch-and-bound solve.
+	TierMIP Tier = "mip"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Sub is the substrate network shared by all admissions.
+	Sub *substrate.Network
+	// Horizon is the planning horizon T; every request window must fit it.
+	Horizon float64
+	// Solve configures each per-decision solve. A zero TimeLimit and
+	// NodeLimit default to NodeLimit = DefaultNodeLimit; setting a TimeLimit
+	// trades replay determinism for a wall-clock bound.
+	Solve model.SolveOptions
+	// CutMode selects how Constraint-(20) cuts reach the per-decision cΣ
+	// models (default static).
+	CutMode core.CutMode
+	// DisablePresolve turns the activity-interval state-space reduction off
+	// in the per-decision models (ablations).
+	DisablePresolve bool
+	// Certify re-verifies every accepting decision with the independent
+	// solution checker before committing it; a violation downgrades the
+	// decision to a rejection (and is reported in Decision.CertErr).
+	Certify bool
+	// ReoptEvery triggers a batched re-optimization of the committed link
+	// allocations after every n-th acceptance (0 → never). Re-optimization
+	// never changes past accept/reject decisions or schedules, only flows.
+	ReoptEvery int
+}
+
+// Decision is the engine's answer to one admission request.
+type Decision struct {
+	// Index is the arrival index of the request (0-based).
+	Index int
+	// Name echoes the request name.
+	Name string
+	// Accepted reports whether the request was embedded.
+	Accepted bool
+	// Start and End are the committed schedule when accepted; for rejected
+	// requests they are the Definition-2.1 fixed times [t^s, t^s+d].
+	Start, End float64
+	// Hosts and Flows are the committed embedding when accepted (Hosts
+	// echoes the pinned mapping; Flows are the splittable link allocations).
+	Hosts []int
+	Flows [][]float64
+	// Stats carries the per-decision solver statistics.
+	Stats DecisionStats
+	// CertErr records a certification failure that downgraded an accepting
+	// solve to a rejection (nil otherwise).
+	CertErr error
+}
+
+// DecisionStats are the per-decision solver statistics.
+type DecisionStats struct {
+	// Tier names the cost tier that produced the decision.
+	Tier Tier
+	// Latency is the wall-clock time of the whole admission.
+	Latency time.Duration
+	// LPIterations counts simplex iterations across all solves of the
+	// admission (fast tier, branch and bound, commitment restart).
+	LPIterations int
+	// Nodes counts branch-and-bound nodes (0 for precheck/LP decisions).
+	Nodes int
+	// WarmUsed reports that the commitment hot-restart ran warm (dual
+	// simplex from the captured basis, no cold fallback).
+	WarmUsed bool
+	// BasisExtended reports that the hot-restart extended the LU factors
+	// over the appended pin rows (sparselu.Extend) instead of refactorizing.
+	BasisExtended bool
+	// PinnedBound is the LP optimum of the decision-pinned model produced
+	// by the commitment hot-restart (NaN when the restart was skipped).
+	PinnedBound float64
+	// ActiveSet is the number of committed requests included in the
+	// per-decision model after temporal pruning.
+	ActiveSet int
+}
+
+// Stats aggregates engine statistics across all decisions.
+type Stats struct {
+	Decisions     int
+	Accepted      int
+	Rejected      int
+	PrecheckTier  int
+	LPTier        int
+	MIPTier       int
+	CertFailures  int
+	Reopts        int
+	TotalLPIters  int
+	TotalNodes    int
+	WarmAttempts  int
+	WarmUsed      int
+	BasisExtended int
+	// LatencyP50 and LatencyP99 summarize per-decision latency.
+	LatencyP50, LatencyP99 time.Duration
+}
+
+// AcceptRate returns the fraction of decisions that accepted (0 for none).
+func (s Stats) AcceptRate() float64 {
+	if s.Decisions == 0 {
+		return 0
+	}
+	return float64(s.Accepted) / float64(s.Decisions)
+}
+
+// WarmRate returns the fraction of commitment restarts that ran warm.
+func (s Stats) WarmRate() float64 {
+	if s.WarmAttempts == 0 {
+		return 0
+	}
+	return float64(s.WarmUsed) / float64(s.WarmAttempts)
+}
+
+// record is the engine's log entry for one decided request.
+type record struct {
+	req     *vnet.Request // original window (not pinned)
+	mapping []int
+	decided Decision
+}
+
+// Engine is the online admission engine. All methods are safe for
+// concurrent use; admissions are serialized internally, which is what makes
+// the accept/reject sequence a pure function of the submission order.
+type Engine struct {
+	mu         sync.Mutex
+	cfg        Config
+	log        []*record // every decided request, in arrival order
+	active     []*record // accepted subset, in arrival order
+	stats      Stats
+	latencies  []float64 // seconds, one per decision
+	sinceReopt int
+}
+
+// New validates the configuration and returns a fresh engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Sub == nil {
+		return nil, errors.New("admit: nil substrate")
+	}
+	if err := cfg.Sub.Validate(); err != nil {
+		return nil, fmt.Errorf("admit: %w", err)
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("admit: nonpositive horizon %v", cfg.Horizon)
+	}
+	if cfg.Solve.TimeLimit == 0 && cfg.Solve.NodeLimit == 0 {
+		cfg.Solve.NodeLimit = DefaultNodeLimit
+	}
+	return &Engine{cfg: cfg}, nil
+}
+
+// Horizon returns the engine's planning horizon T.
+func (e *Engine) Horizon() float64 { return e.cfg.Horizon }
+
+// validate checks one arriving request against the engine configuration.
+func (e *Engine) validate(req *vnet.Request, mapping []int) error {
+	if req == nil {
+		return errors.New("admit: nil request")
+	}
+	if err := req.Validate(); err != nil {
+		return fmt.Errorf("admit: %w", err)
+	}
+	if req.Latest > e.cfg.Horizon+numtol.WindowTol {
+		return fmt.Errorf("admit: request %s window [%v,%v] exceeds horizon %v",
+			req.Name, req.Earliest, req.Latest, e.cfg.Horizon)
+	}
+	if len(mapping) != req.G.N {
+		return fmt.Errorf("admit: request %s: mapping covers %d of %d virtual nodes",
+			req.Name, len(mapping), req.G.N)
+	}
+	for v, s := range mapping {
+		if s < 0 || s >= e.cfg.Sub.NumNodes() {
+			return fmt.Errorf("admit: request %s: virtual node %d mapped to invalid substrate node %d",
+				req.Name, v, s)
+		}
+	}
+	return nil
+}
+
+// precheckReject reports whether the request can be rejected without any
+// solve: its own node demand, aggregated per substrate node under the
+// pinned mapping, exceeds some node capacity — then no schedule can embed
+// it even on an empty substrate.
+func (e *Engine) precheckReject(req *vnet.Request, mapping []int) bool {
+	load := map[int]float64{}
+	for v, s := range mapping {
+		load[s] += req.NodeDemand[v]
+	}
+	for s, l := range load {
+		if l > e.cfg.Sub.NodeCap[s]+numtol.CapTol {
+			return true
+		}
+	}
+	return false
+}
+
+// overlaps reports whether the committed schedule [start,end] can interact
+// with any schedule inside the arriving request's window [earliest,latest].
+// Capacities are enforced pointwise in time, so requests whose committed
+// intervals lie strictly outside the window can never constrain the new
+// request; the tolerance errs on the inclusive side (a false "overlap" only
+// grows the model, never changes the optimum).
+func overlaps(start, end, earliest, latest float64) bool {
+	return end > earliest-numtol.EventCoincide && start < latest+numtol.EventCoincide
+}
+
+// Admit decides one arriving request. mapping pins every virtual node to a
+// substrate node (the engine, like the paper's evaluation, requires a-priori
+// node mappings). The call blocks while earlier admissions are in flight;
+// decisions are made strictly in call order under the engine's lock.
+func (e *Engine) Admit(ctx context.Context, req *vnet.Request, mapping []int) (Decision, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	began := time.Now()
+	if err := e.validate(req, mapping); err != nil {
+		return Decision{}, err
+	}
+
+	// Private copy: the engine retains the request beyond the call.
+	cp := *req
+	rec := &record{req: &cp, mapping: append([]int(nil), mapping...)}
+	d := Decision{Index: len(e.log), Name: cp.Name}
+	d.Stats.PinnedBound = math.NaN()
+
+	if e.precheckReject(&cp, rec.mapping) {
+		d.Stats.Tier = TierPrecheck
+		e.finishReject(rec, &d, began)
+		return d, nil
+	}
+
+	dec, err := e.decide(ctx, rec, &d)
+	if err != nil {
+		return Decision{}, err
+	}
+	if dec != nil && e.cfg.Certify {
+		if cerr := e.certifyDecision(rec, dec); cerr != nil {
+			d.CertErr = cerr
+			e.stats.CertFailures++
+			dec = nil // downgrade to rejection; nothing is committed
+		}
+	}
+	if dec == nil {
+		e.finishReject(rec, &d, began)
+		return d, nil
+	}
+
+	// Commit.
+	d.Accepted = true
+	d.Start, d.End = dec.start, dec.end
+	d.Hosts = dec.hosts
+	d.Flows = dec.flows
+	e.log = append(e.log, rec)
+	e.active = append(e.active, rec)
+	e.stats.Decisions++
+	e.stats.Accepted++
+	e.observe(&d, began)
+	rec.decided = d
+
+	e.sinceReopt++
+	if e.cfg.ReoptEvery > 0 && e.sinceReopt >= e.cfg.ReoptEvery {
+		e.sinceReopt = 0
+		e.reoptimize(ctx)
+	}
+	return d, nil
+}
+
+// acceptance is the embedding a deciding solve produced for the arriving
+// request.
+type acceptance struct {
+	start, end float64
+	hosts      []int
+	flows      [][]float64
+}
+
+// decide runs the LP fast tier and, when inconclusive, the full
+// branch-and-bound solve. It returns nil when the request is rejected.
+func (e *Engine) decide(ctx context.Context, rec *record, d *Decision) (*acceptance, error) {
+	subInst, _, opts, newIdx, pinned := e.subproblem(rec)
+	d.Stats.ActiveSet = newIdx
+
+	b := core.BuildCSigma(subInst, opts)
+	// Pin the committed flows, not just the committed schedules: the solve
+	// has no authority to reroute traffic the engine already committed, so
+	// letting the χ variables of accepted requests float would admit new
+	// requests against a hypothetical rerouting that never happens — the
+	// union of per-decision flows could then overload links. The ±FlowCutoff
+	// band absorbs the quantization applied when the flows were extracted.
+	for i, flows := range pinned {
+		for lv, row := range flows {
+			for ls, f := range row {
+				lo := f - numtol.FlowCutoff
+				if lo < 0 {
+					lo = 0
+				}
+				b.Model.SetBounds(b.XE[i][lv][ls], lo, f+numtol.FlowCutoff)
+			}
+		}
+	}
+	// Objective (21): max T·x_R(new) + (T − t⁻_new).
+	T := e.cfg.Horizon
+	b.Model.SetObjective(model.Expr().
+		Add(T, b.XR[newIdx]).
+		Add(-1, b.TMinus[newIdx]).
+		AddConst(T))
+
+	// LP fast tier: solve the root relaxation through a raw instance so the
+	// basis and LU factors survive for the commitment hot-restart below.
+	inst := lp.NewInstance(b.Model.LP())
+	lpRes := inst.Solve(&lp.Options{CaptureFactors: true, Context: ctx})
+	d.Stats.LPIterations += lpRes.Iterations
+
+	var sol *solution.Solution
+	if lpRes.Status == lp.StatusOptimal && integral(b.Model, lpRes.X) {
+		d.Stats.Tier = TierLP
+		sol = b.Extract(b.Model.SolutionFromLP(lpRes))
+	} else {
+		d.Stats.Tier = TierMIP
+		ms := b.Model.Optimize(ctx, &e.cfg.Solve)
+		d.Stats.LPIterations += ms.LPIterations
+		d.Stats.Nodes += ms.Nodes
+		if ms.Status == model.StatusCancelled {
+			return nil, ctx.Err()
+		}
+		sol = b.Extract(ms)
+	}
+	if sol == nil || !sol.Accepted[newIdx] {
+		e.commitRestart(inst, b, lpRes, nil, newIdx, d)
+		return nil, nil
+	}
+	acc := &acceptance{
+		start: sol.Start[newIdx],
+		end:   sol.End[newIdx],
+		hosts: sol.Hosts[newIdx],
+		flows: sol.Flows[newIdx],
+	}
+	e.commitRestart(inst, b, lpRes, acc, newIdx, d)
+	return acc, nil
+}
+
+// subproblem assembles the per-decision cΣ instance: every committed request
+// whose schedule overlaps the arriving window, pinned to its schedule and
+// force-accepted, plus the arriving request free. The arriving request's
+// subproblem index is returned (it is always last) together with the
+// committed flows of the included requests, in subproblem order, for the
+// caller to pin.
+func (e *Engine) subproblem(rec *record) (*core.Instance, vnet.NodeMapping, core.BuildOptions, int, [][][]float64) {
+	var subReqs []*vnet.Request
+	var subMap vnet.NodeMapping
+	var force []bool
+	var pinned [][][]float64
+	for _, a := range e.active {
+		if !overlaps(a.decided.Start, a.decided.End, rec.req.Earliest, rec.req.Latest) {
+			continue
+		}
+		pin := *a.req
+		pin.Earliest = a.decided.Start
+		pin.Latest = a.decided.End
+		subReqs = append(subReqs, &pin)
+		subMap = append(subMap, a.mapping)
+		force = append(force, true)
+		pinned = append(pinned, a.decided.Flows)
+	}
+	newIdx := len(subReqs)
+	subReqs = append(subReqs, rec.req)
+	subMap = append(subMap, rec.mapping)
+	force = append(force, false)
+	inst := &core.Instance{Sub: e.cfg.Sub, Reqs: subReqs, Horizon: e.cfg.Horizon}
+	opts := core.BuildOptions{
+		Objective:       core.AccessControl, // replaced by objective (21)
+		FixedMapping:    subMap,
+		CutMode:         e.cfg.CutMode,
+		DisablePresolve: e.cfg.DisablePresolve,
+		ForceAccept:     force,
+	}
+	return inst, subMap, opts, newIdx, pinned
+}
+
+// integral reports whether the LP point is integral on every integer column.
+func integral(m *model.Model, x []float64) bool {
+	for j, isInt := range m.IntegerMask() {
+		if !isInt {
+			continue
+		}
+		if frac := math.Abs(x[j] - math.Round(x[j])); frac > numtol.MIPIntTol {
+			return false
+		}
+	}
+	return true
+}
+
+// commitRestart pins the decision into the already-solved LP instance with
+// AppendRow band rows and re-solves warm from the captured basis and LU
+// factors — the lazy-cut hot-restart machinery reused to certify the
+// committed system with an LP bound. acc == nil pins a rejection.
+func (e *Engine) commitRestart(inst *lp.Instance, b *core.Built, lpRes lp.Result, acc *acceptance, newIdx int, d *Decision) {
+	if lpRes.Basis == nil {
+		return // fast-tier LP did not finish; nothing to restart from
+	}
+	xr := int32(b.XR[newIdx].Index())
+	if acc != nil {
+		inst.AppendRow([]int32{xr}, []float64{1}, 0.5, lp.Inf)
+		tp := int32(b.TPlus[newIdx].Index())
+		inst.AppendRow([]int32{tp}, []float64{1}, acc.start-numtol.TimeTol, acc.start+numtol.TimeTol)
+	} else {
+		inst.AppendRow([]int32{xr}, []float64{1}, math.Inf(-1), 0.5)
+	}
+	e.stats.WarmAttempts++
+	res := inst.Solve(&lp.Options{WarmBasis: lpRes.Basis, WarmFactors: lpRes.Factors})
+	d.Stats.LPIterations += res.Iterations
+	d.Stats.WarmUsed = res.WarmUsed
+	d.Stats.BasisExtended = res.BasisExtended
+	if res.WarmUsed {
+		e.stats.WarmUsed++
+	}
+	if res.BasisExtended {
+		e.stats.BasisExtended++
+	}
+	if res.Status == lp.StatusOptimal {
+		d.Stats.PinnedBound = res.Obj
+	}
+}
+
+// certifyDecision re-verifies an accepting decision with the independent
+// checker before it is committed: the arriving embedding is laid over the
+// currently committed system and checked against Definition 2.1.
+func (e *Engine) certifyDecision(rec *record, acc *acceptance) error {
+	subReqs := []*vnet.Request{}
+	subMap := vnet.NodeMapping{}
+	sol := &solution.Solution{}
+	add := func(r *vnet.Request, m []int, start, end float64, hosts []int, flows [][]float64) {
+		subReqs = append(subReqs, r)
+		subMap = append(subMap, m)
+		sol.Accepted = append(sol.Accepted, true)
+		sol.Start = append(sol.Start, start)
+		sol.End = append(sol.End, end)
+		sol.Hosts = append(sol.Hosts, hosts)
+		sol.Flows = append(sol.Flows, flows)
+	}
+	for _, a := range e.active {
+		add(a.req, a.mapping, a.decided.Start, a.decided.End, a.decided.Hosts, a.decided.Flows)
+	}
+	add(rec.req, rec.mapping, acc.start, acc.end, acc.hosts, acc.flows)
+	inst := &core.Instance{Sub: e.cfg.Sub, Reqs: subReqs, Horizon: e.cfg.Horizon}
+	rep := certify.Solution(inst, sol, certify.Options{SkipObjective: true, Mapping: subMap})
+	return rep.Err()
+}
+
+// finishReject records a rejecting decision with the Definition-2.1 fixed
+// times [t^s, t^s + d].
+func (e *Engine) finishReject(rec *record, d *Decision, began time.Time) {
+	d.Accepted = false
+	d.Start = rec.req.Earliest
+	d.End = rec.req.EarliestEnd()
+	e.log = append(e.log, rec)
+	e.stats.Decisions++
+	e.stats.Rejected++
+	e.observe(d, began)
+	rec.decided = *d
+}
+
+// observe folds one decision into the aggregate statistics.
+func (e *Engine) observe(d *Decision, began time.Time) {
+	d.Stats.Latency = time.Since(began)
+	switch d.Stats.Tier {
+	case TierPrecheck:
+		e.stats.PrecheckTier++
+	case TierLP:
+		e.stats.LPTier++
+	case TierMIP:
+		e.stats.MIPTier++
+	}
+	e.stats.TotalLPIters += d.Stats.LPIterations
+	e.stats.TotalNodes += d.Stats.Nodes
+	e.latencies = append(e.latencies, d.Stats.Latency.Seconds())
+}
+
+// reoptimize rebuilds the committed system (schedules and acceptances
+// pinned) and re-solves it to rebalance the splittable link allocations —
+// the batched re-optimization window. Decisions and schedules never change;
+// only flows (and hosts when mappings were free, which they are not here)
+// are refreshed, and only when the refreshed system passes certification.
+func (e *Engine) reoptimize(ctx context.Context) {
+	if len(e.active) == 0 {
+		return
+	}
+	subReqs := make([]*vnet.Request, len(e.active))
+	subMap := make(vnet.NodeMapping, len(e.active))
+	force := make([]bool, len(e.active))
+	for i, a := range e.active {
+		pin := *a.req
+		pin.Earliest = a.decided.Start
+		pin.Latest = a.decided.End
+		subReqs[i] = &pin
+		subMap[i] = a.mapping
+		force[i] = true
+	}
+	inst := &core.Instance{Sub: e.cfg.Sub, Reqs: subReqs, Horizon: e.cfg.Horizon}
+	b := core.BuildCSigma(inst, core.BuildOptions{
+		Objective:       core.AccessControl,
+		FixedMapping:    subMap,
+		CutMode:         e.cfg.CutMode,
+		DisablePresolve: e.cfg.DisablePresolve,
+		ForceAccept:     force,
+	})
+	sol, ms := b.Solve(ctx, &e.cfg.Solve)
+	e.stats.TotalLPIters += ms.LPIterations
+	e.stats.TotalNodes += ms.Nodes
+	if sol == nil {
+		return
+	}
+	if e.cfg.Certify {
+		rep := certify.Solution(inst, sol, certify.Options{SkipObjective: true, Mapping: subMap})
+		if !rep.OK() {
+			return
+		}
+	}
+	for i, a := range e.active {
+		a.decided.Flows = sol.Flows[i]
+	}
+	e.stats.Reopts++
+}
+
+// Stats returns a snapshot of the aggregate statistics, with latency
+// percentiles computed over all decisions so far.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.stats
+	if len(e.latencies) > 0 {
+		s.LatencyP50 = time.Duration(stats.Quantile(e.latencies, 0.50) * float64(time.Second))
+		s.LatencyP99 = time.Duration(stats.Quantile(e.latencies, 0.99) * float64(time.Second))
+	}
+	return s
+}
+
+// Decisions returns a copy of every decision made so far, in arrival order.
+func (e *Engine) Decisions() []Decision {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Decision, len(e.log))
+	for i, r := range e.log {
+		out[i] = r.decided
+	}
+	return out
+}
+
+// Snapshot reconstructs the full instance seen so far and the engine's
+// committed solution over it: accepted requests carry their committed
+// schedules and embeddings, rejected requests the Definition-2.1 fixed
+// times. The solution's objective is the access-control revenue of the
+// accepted set, so the pair certifies directly with certify.Solution under
+// core.AccessControl.
+func (e *Engine) Snapshot() (*core.Instance, vnet.NodeMapping, *solution.Solution) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	k := len(e.log)
+	inst := &core.Instance{Sub: e.cfg.Sub, Reqs: make([]*vnet.Request, k), Horizon: e.cfg.Horizon}
+	mapping := make(vnet.NodeMapping, k)
+	sol := &solution.Solution{
+		Accepted: make([]bool, k),
+		Start:    make([]float64, k),
+		End:      make([]float64, k),
+		Hosts:    make([][]int, k),
+		Flows:    make([][][]float64, k),
+		Optimal:  false,
+	}
+	for i, r := range e.log {
+		cp := *r.req
+		inst.Reqs[i] = &cp
+		mapping[i] = r.mapping
+		sol.Accepted[i] = r.decided.Accepted
+		sol.Start[i] = r.decided.Start
+		sol.End[i] = r.decided.End
+		sol.Hosts[i] = r.decided.Hosts
+		sol.Flows[i] = r.decided.Flows
+		if r.decided.Accepted {
+			sol.Objective += cp.Duration * cp.TotalNodeDemand()
+		}
+	}
+	return inst, mapping, sol
+}

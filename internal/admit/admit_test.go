@@ -1,0 +1,177 @@
+package admit
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"tvnep/internal/certify"
+	"tvnep/internal/core"
+	"tvnep/internal/greedy"
+	"tvnep/internal/model"
+	"tvnep/internal/numtol"
+	"tvnep/internal/solution"
+	"tvnep/internal/workload"
+)
+
+// trace generates a seeded arrival trace sized for the test mode.
+func trace(t *testing.T, n int, seed int64) *workload.Scenario {
+	t.Helper()
+	cfg := workload.Default()
+	cfg.NumRequests = n
+	cfg.FlexibilityHr = 2
+	sc := workload.Generate(cfg, seed)
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("generated scenario invalid: %v", err)
+	}
+	return sc
+}
+
+// replay streams a whole scenario through a fresh engine and returns it.
+func replay(t *testing.T, sc *workload.Scenario, cfg Config) *Engine {
+	t.Helper()
+	cfg.Sub = sc.Substrate
+	cfg.Horizon = sc.Horizon
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i, req := range sc.Requests {
+		if _, err := eng.Admit(context.Background(), req, sc.Mapping[i]); err != nil {
+			t.Fatalf("Admit(%d): %v", i, err)
+		}
+	}
+	return eng
+}
+
+// TestReplayDeterminism replays one seeded trace at several worker counts
+// and requires the bit-identical accept/reject sequence and schedules: the
+// admission engine's contract is that parallelism never changes decisions.
+func TestReplayDeterminism(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 20
+	}
+	sc := trace(t, n, 7)
+	var base []Decision
+	for _, workers := range []int{1, 2, 4, 8} {
+		eng := replay(t, sc, Config{Solve: model.SolveOptions{Workers: workers}, Certify: true})
+		ds := eng.Decisions()
+		if base == nil {
+			base = ds
+			continue
+		}
+		for i := range ds {
+			if ds[i].Accepted != base[i].Accepted {
+				t.Fatalf("workers=%d: decision %d accept=%v, workers=1 gave %v",
+					workers, i, ds[i].Accepted, base[i].Accepted)
+			}
+			if math.Float64bits(ds[i].Start) != math.Float64bits(base[i].Start) ||
+				math.Float64bits(ds[i].End) != math.Float64bits(base[i].End) {
+				t.Fatalf("workers=%d: decision %d schedule [%v,%v] != [%v,%v]",
+					workers, i, ds[i].Start, ds[i].End, base[i].Start, base[i].End)
+			}
+		}
+	}
+}
+
+// TestWarmRestartRegression guards the commitment hot-restart: across a
+// streamed trace the warm-started share of restarts must stay positive —
+// the whole point of keeping the LP instance hot between the deciding solve
+// and the decision pin.
+func TestWarmRestartRegression(t *testing.T) {
+	sc := trace(t, 25, 3)
+	eng := replay(t, sc, Config{})
+	s := eng.Stats()
+	if s.WarmAttempts == 0 {
+		t.Fatal("no commitment hot-restarts were attempted")
+	}
+	if s.WarmUsed == 0 {
+		t.Fatalf("warm-restart hit rate is zero across %d attempts", s.WarmAttempts)
+	}
+	t.Logf("warm rate %.2f (%d/%d), basis extensions %d",
+		s.WarmRate(), s.WarmUsed, s.WarmAttempts, s.BasisExtended)
+	if s.BasisExtended == 0 {
+		t.Fatal("no warm restart extended the LU factors over the appended pin rows")
+	}
+}
+
+// TestMatchesGreedy streams a trace whose arrival order equals the
+// earliest-start order (workload arrivals are Poisson-ordered) and checks
+// the engine reproduces the offline greedy cΣ_A^G accept set and schedules:
+// the engine is the same algorithm, computed incrementally with active-set
+// pruning and tiered solves, so the decisions must coincide.
+func TestMatchesGreedy(t *testing.T) {
+	n := 30
+	if testing.Short() {
+		n = 12
+	}
+	sc := trace(t, n, 11)
+	eng := replay(t, sc, Config{})
+
+	inst := &core.Instance{Sub: sc.Substrate, Reqs: sc.Requests, Horizon: sc.Horizon}
+	gsol, _, err := greedy.Solve(context.Background(), inst, sc.Mapping, greedy.Options{})
+	if err != nil {
+		t.Fatalf("greedy: %v", err)
+	}
+	ds := eng.Decisions()
+	for i := range sc.Requests {
+		if ds[i].Accepted != gsol.Accepted[i] {
+			t.Errorf("request %d: engine accept=%v, greedy accept=%v", i, ds[i].Accepted, gsol.Accepted[i])
+			continue
+		}
+		if !ds[i].Accepted {
+			continue
+		}
+		if math.Abs(ds[i].Start-gsol.Start[i]) > numtol.TimeTol {
+			t.Errorf("request %d: engine start %v, greedy start %v", i, ds[i].Start, gsol.Start[i])
+		}
+	}
+}
+
+// TestSnapshotCertifies certifies the engine's cumulative solution with the
+// independent checker after a full streamed trace, under the access-control
+// objective the engine optimizes.
+func TestSnapshotCertifies(t *testing.T) {
+	sc := trace(t, 25, 5)
+	eng := replay(t, sc, Config{Certify: true, ReoptEvery: 4})
+	inst, mapping, sol := eng.Snapshot()
+	rep := certify.Solution(inst, sol, certify.Options{Objective: core.AccessControl, Mapping: mapping})
+	if err := rep.Err(); err != nil {
+		t.Fatalf("snapshot does not certify: %v", err)
+	}
+	if err := solution.Check(inst.Sub, inst.Reqs, sol); err != nil {
+		t.Fatalf("snapshot fails the feasibility checker: %v", err)
+	}
+	s := eng.Stats()
+	if s.Decisions != len(sc.Requests) {
+		t.Fatalf("decisions %d != requests %d", s.Decisions, len(sc.Requests))
+	}
+	if s.Accepted == 0 {
+		t.Fatal("trace accepted nothing; scenario too tight to be meaningful")
+	}
+	t.Logf("accepted %d/%d, tiers precheck=%d lp=%d mip=%d, reopts=%d",
+		s.Accepted, s.Decisions, s.PrecheckTier, s.LPTier, s.MIPTier, s.Reopts)
+}
+
+// TestPrecheckReject covers the no-solve tier: a request whose own demand
+// exceeds a node capacity must be rejected without touching the solver.
+func TestPrecheckReject(t *testing.T) {
+	sc := trace(t, 1, 1)
+	eng := replay(t, sc, Config{})
+	req := *sc.Requests[0]
+	req.Name = "too-big"
+	req.NodeDemand = append([]float64(nil), req.NodeDemand...)
+	req.NodeDemand[0] = sc.Substrate.NodeCap[sc.Mapping[0][0]] + 1
+	d, err := eng.Admit(context.Background(), &req, sc.Mapping[0])
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	if d.Accepted || d.Stats.Tier != TierPrecheck {
+		t.Fatalf("want precheck rejection, got accepted=%v tier=%q", d.Accepted, d.Stats.Tier)
+	}
+	if d.Start != req.Earliest || d.End != req.EarliestEnd() {
+		t.Fatalf("rejected times [%v,%v] != Definition-2.1 fixed [%v,%v]",
+			d.Start, d.End, req.Earliest, req.EarliestEnd())
+	}
+}

@@ -25,7 +25,10 @@ import (
 	"tvnep/internal/vnet"
 )
 
-// Options tunes the greedy run.
+// Options tunes the greedy run. Direct construction is an internal lowering
+// target and deprecated for API consumers: configure greedy solves through
+// the pkg/tvnep facade (tvnep.WithAlgorithm(tvnep.Greedy) plus the shared
+// limit options).
 type Options struct {
 	// Solve configures each per-request MIP solve; its TimeLimit bounds a
 	// single iteration (default 30 s — the models are tiny because all but

@@ -93,17 +93,6 @@ func (m *Dense) MulVecTrans(x, y []float64) {
 	}
 }
 
-// MaxAbs returns the largest absolute entry of m (0 for empty matrices).
-func (m *Dense) MaxAbs() float64 {
-	max := 0.0
-	for _, v := range m.Data {
-		if a := math.Abs(v); a > max {
-			max = a
-		}
-	}
-	return max
-}
-
 // LU is an LU factorization with partial pivoting: P·A = L·U, stored packed
 // in-place (unit lower triangle implicit).
 type LU struct {

@@ -199,6 +199,17 @@ type Result struct {
 	// Instance clones, which is what makes parallel branch-and-bound
 	// bit-reproducible.
 	Factors *sparselu.Factors
+	// WarmUsed reports that this result came from a successful warm-started
+	// dual-simplex run (rather than the cold two-phase fallback). Unlike the
+	// process-global Debug* counters it is attributable to one solve, which
+	// is what lets concurrent callers (the admission engine, parallel
+	// sweeps) account their own warm-start hit rates race-free.
+	WarmUsed bool
+	// BasisExtended reports that the warm start adopted a basis predating
+	// rows appended with AppendRow AND extended its LU factors with a
+	// bordered block (sparselu.Extend) instead of refactorizing — the
+	// cutting-plane/admission hot-restart fast path.
+	BasisExtended bool
 }
 
 // Options tunes a solve.

@@ -68,6 +68,7 @@ func (inst *Instance) solveWarm(o Options) (res Result, iters int, ok bool) {
 	s := newSolver(inst, o)
 	copy(s.cost, s.real)
 	wb := o.WarmBasis
+	extended := false
 	if len(wb.Basic) < s.m {
 		// The basis predates rows appended by AppendRow: extend it (new
 		// slacks basic) and, when the factor handoff matches, extend the LU
@@ -79,11 +80,20 @@ func (inst *Instance) solveWarm(o Options) (res Result, iters int, ok bool) {
 		}
 		wb = eb
 		s.opts.WarmFactors = ef // nil → adoptBasis refactorizes
+		extended = ef != nil
 	}
 	if !s.adoptBasis(wb) {
 		return Result{}, 0, false
 	}
 	DebugWarmOK.Add(1)
+	// warmResult stamps the per-solve warm-start provenance onto a
+	// successful result; see Result.WarmUsed/BasisExtended.
+	warmResult := func(st Status) Result {
+		r := s.result(st)
+		r.WarmUsed = true
+		r.BasisExtended = extended
+		return r
+	}
 	st := s.dual(o.MaxIters)
 	switch st {
 	case iterOptimal:
@@ -93,14 +103,14 @@ func (inst *Instance) solveWarm(o Options) (res Result, iters int, ok bool) {
 		st2 := s.primal(o.MaxIters)
 		switch st2 {
 		case iterOptimal:
-			return s.result(StatusOptimal), s.iters, true
+			return warmResult(StatusOptimal), s.iters, true
 		case iterUnbounded:
-			return s.result(StatusUnbounded), s.iters, true
+			return warmResult(StatusUnbounded), s.iters, true
 		default:
 			return Result{}, s.iters, false
 		}
 	case iterInfeasible:
-		return s.result(StatusInfeasible), s.iters, true
+		return warmResult(StatusInfeasible), s.iters, true
 	default:
 		return Result{}, s.iters, false // numeric trouble or limit: retry cold
 	}

@@ -108,7 +108,10 @@ type Progress struct {
 	Worker int
 }
 
-// Options tunes the branch-and-bound search.
+// Options tunes the branch-and-bound search. Direct construction is an
+// internal lowering target (model.SolveOptions lowers onto it) and
+// deprecated for API consumers: configure solves through the pkg/tvnep
+// facade's functional options.
 type Options struct {
 	TimeLimit time.Duration // 0 → none
 	NodeLimit int           // 0 → none

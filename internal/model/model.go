@@ -158,10 +158,6 @@ func (m *Model) Fix(v Var, val float64) { m.SetBounds(v, val, val) }
 // Bounds returns a variable's bounds.
 func (m *Model) Bounds(v Var) (lb, ub float64) { return m.lp.ColLB[v.idx], m.lp.ColUB[v.idx] }
 
-// SetObjCoef sets the objective coefficient of v (replacing any previous
-// value).
-func (m *Model) SetObjCoef(v Var, coef float64) { m.lp.Obj[v.idx] = coef }
-
 // SetObjective replaces the whole objective with the expression.
 func (m *Model) SetObjective(e *LinExpr) {
 	for j := range m.lp.Obj {
@@ -313,12 +309,24 @@ func (m *Model) Optimize(ctx context.Context, opts *SolveOptions) *Solution {
 	}
 }
 
-// Relax solves the LP relaxation (integrality dropped).
-func (m *Model) Relax() *Solution {
-	res := lp.Solve(m.lp, nil)
-	sol := &Solution{
-		LPIterations: res.Iterations,
-	}
+// IsInteger reports whether v is an integer (incl. binary) variable.
+func (m *Model) IsInteger(v Var) bool { return m.integer[v.idx] }
+
+// IntegerMask returns the per-column integrality markers (shared slice;
+// treat as read-only). Index it with Var.Index. It exists for callers that
+// drive the raw LP of the model themselves — the admission engine's LP fast
+// tier checks the root relaxation for integrality before deciding whether a
+// branch-and-bound search is needed at all.
+func (m *Model) IntegerMask() []bool { return m.integer }
+
+// SolutionFromLP wraps a raw LP result over this model's columns into a
+// Solution, so callers that solve the model's LP() through their own
+// lp.Instance (to keep the basis and LU factors for warm restarts) can
+// reuse the variable-indexed accessors and extractors. The LP bound is only
+// a bound on the MIP; HasSolution is set for an optimal LP result whether
+// or not it is integral — use IntegerMask to decide that.
+func (m *Model) SolutionFromLP(res lp.Result) *Solution {
+	sol := &Solution{LPIterations: res.Iterations}
 	switch res.Status {
 	case lp.StatusOptimal:
 		sol.Status = StatusOptimal
@@ -337,4 +345,9 @@ func (m *Model) Relax() *Solution {
 		sol.Gap = math.Inf(1)
 	}
 	return sol
+}
+
+// Relax solves the LP relaxation (integrality dropped).
+func (m *Model) Relax() *Solution {
+	return m.SolutionFromLP(lp.Solve(m.lp, nil))
 }

@@ -31,8 +31,14 @@ type CutStats = mip.CutStats
 
 // SolveOptions is the single options struct for every solve in the
 // repository: exact MIP solves (Model.Optimize, core.Built.Solve), the
-// per-iteration subproblems of the greedy algorithm, and the evaluation
-// sweeps. The zero value means "no limits, serial, silent".
+// per-iteration subproblems of the greedy algorithm, the admission engine's
+// per-decision solves, and the evaluation sweeps. The zero value means "no
+// limits, serial, silent".
+//
+// Direct construction is an internal lowering target and deprecated for
+// API consumers: configure solves through the pkg/tvnep facade's functional
+// options (tvnep.WithTimeLimit, tvnep.WithWorkers, …), which lower into
+// this struct in exactly one place.
 type SolveOptions struct {
 	// TimeLimit bounds one solve (0 → none). The greedy algorithm applies
 	// it per iteration; sweeps apply it per scenario solve.
@@ -96,16 +102,6 @@ func WithWorkers(n int) SolveOption {
 // WithProgress installs a per-solve progress callback.
 func WithProgress(fn ProgressFunc) SolveOption {
 	return func(o *SolveOptions) { o.Progress = fn }
-}
-
-// WithNodeLimit bounds the branch-and-bound node count.
-func WithNodeLimit(n int) SolveOption {
-	return func(o *SolveOptions) { o.NodeLimit = n }
-}
-
-// WithGapTol sets the relative optimality gap tolerance.
-func WithGapTol(tol float64) SolveOption {
-	return func(o *SolveOptions) { o.GapTol = tol }
 }
 
 // mipOptions lowers the public options into the branch-and-bound solver's

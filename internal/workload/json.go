@@ -12,7 +12,7 @@ import (
 // scenarioJSON is the on-disk format used by the cmd/ tools.
 type scenarioJSON struct {
 	Substrate substrateJSON `json:"substrate"`
-	Requests  []requestJSON `json:"requests"`
+	Requests  []RequestJSON `json:"requests"`
 	Mapping   [][]int       `json:"mapping,omitempty"`
 	Horizon   float64       `json:"horizon"`
 	Seed      int64         `json:"seed,omitempty"`
@@ -25,7 +25,9 @@ type substrateJSON struct {
 	LinkCaps []float64 `json:"link_caps"`
 }
 
-type requestJSON struct {
+// RequestJSON is the wire format of one VNet request, shared by the
+// scenario files and the admission server's submit endpoint.
+type RequestJSON struct {
 	Name        string    `json:"name"`
 	Nodes       int       `json:"nodes"`
 	Edges       [][2]int  `json:"edges"`
@@ -34,6 +36,45 @@ type requestJSON struct {
 	Duration    float64   `json:"duration"`
 	Earliest    float64   `json:"earliest"`
 	Latest      float64   `json:"latest"`
+}
+
+// EncodeRequest converts a request into its wire form.
+func EncodeRequest(r *vnet.Request) RequestJSON {
+	rj := RequestJSON{
+		Name:        r.Name,
+		Nodes:       r.G.N,
+		NodeDemands: r.NodeDemand,
+		LinkDemands: r.LinkDemand,
+		Duration:    r.Duration,
+		Earliest:    r.Earliest,
+		Latest:      r.Latest,
+	}
+	for e := 0; e < r.G.NumEdges(); e++ {
+		u, v := r.G.Edge(e)
+		rj.Edges = append(rj.Edges, [2]int{u, v})
+	}
+	return rj
+}
+
+// Decode validates the wire form (untrusted input) and assembles a request.
+func (rj RequestJSON) Decode() (*vnet.Request, error) {
+	g, err := buildGraph(rj.Nodes, rj.Edges)
+	if err != nil {
+		return nil, fmt.Errorf("workload: request %q: %w", rj.Name, err)
+	}
+	r := &vnet.Request{
+		Name:       rj.Name,
+		G:          g,
+		NodeDemand: rj.NodeDemands,
+		LinkDemand: rj.LinkDemands,
+		Duration:   rj.Duration,
+		Earliest:   rj.Earliest,
+		Latest:     rj.Latest,
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	return r, nil
 }
 
 // MarshalJSON implements json.Marshaler for Scenario.
@@ -53,20 +94,7 @@ func (sc *Scenario) MarshalJSON() ([]byte, error) {
 		out.Substrate.Edges = append(out.Substrate.Edges, [2]int{u, v})
 	}
 	for _, r := range sc.Requests {
-		rj := requestJSON{
-			Name:        r.Name,
-			Nodes:       r.G.N,
-			NodeDemands: r.NodeDemand,
-			LinkDemands: r.LinkDemand,
-			Duration:    r.Duration,
-			Earliest:    r.Earliest,
-			Latest:      r.Latest,
-		}
-		for e := 0; e < r.G.NumEdges(); e++ {
-			u, v := r.G.Edge(e)
-			rj.Edges = append(rj.Edges, [2]int{u, v})
-		}
-		out.Requests = append(out.Requests, rj)
+		out.Requests = append(out.Requests, EncodeRequest(r))
 	}
 	return json.MarshalIndent(out, "", "  ")
 }
@@ -119,21 +147,9 @@ func (sc *Scenario) UnmarshalJSON(data []byte) error {
 	sc.Substrate = sub
 	sc.Requests = nil
 	for _, rj := range in.Requests {
-		rg, err := buildGraph(rj.Nodes, rj.Edges)
+		r, err := rj.Decode()
 		if err != nil {
-			return fmt.Errorf("workload: request %q: %w", rj.Name, err)
-		}
-		r := &vnet.Request{
-			Name:       rj.Name,
-			G:          rg,
-			NodeDemand: rj.NodeDemands,
-			LinkDemand: rj.LinkDemands,
-			Duration:   rj.Duration,
-			Earliest:   rj.Earliest,
-			Latest:     rj.Latest,
-		}
-		if err := r.Validate(); err != nil {
-			return fmt.Errorf("workload: %w", err)
+			return err
 		}
 		sc.Requests = append(sc.Requests, r)
 	}

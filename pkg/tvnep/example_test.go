@@ -1,0 +1,54 @@
+package tvnep_test
+
+import (
+	"context"
+	"fmt"
+
+	"tvnep/pkg/tvnep"
+)
+
+// Example embeds two star requests into a 2×2 grid substrate: one exact
+// offline solve, then the same pair streamed through the online admission
+// engine.
+func Example() {
+	sub := tvnep.Grid(2, 2, 2.0, 2.0)
+
+	a := tvnep.Star("a", 1, false, 1.0, 0.5)
+	a.Duration, a.Earliest, a.Latest = 2, 0, 6
+	b := tvnep.Star("b", 1, false, 1.0, 0.5)
+	b.Duration, b.Earliest, b.Latest = 3, 1, 8
+	mapping := tvnep.NodeMapping{{0, 1}, {0, 2}}
+
+	// Exact offline solve of the whole instance.
+	solver, err := tvnep.New(sub,
+		tvnep.WithObjective(tvnep.AccessControl),
+		tvnep.WithNodeLimit(10000),
+	)
+	if err != nil {
+		panic(err)
+	}
+	res, err := solver.Solve(context.Background(), []*tvnep.Request{a, b}, mapping)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("offline: status=%v accepted=%d objective=%.1f\n",
+		res.Status, res.Solution.NumAccepted(), res.Solution.Objective)
+
+	// The same requests, streamed one at a time.
+	online, err := tvnep.New(sub, tvnep.WithHorizon(10), tvnep.WithCertify())
+	if err != nil {
+		panic(err)
+	}
+	for i, req := range []*tvnep.Request{a, b} {
+		d, err := online.Admit(context.Background(), req, mapping[i])
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("online: %s accepted=%v start=%.1f\n", d.Name, d.Accepted, d.Start)
+	}
+
+	// Output:
+	// offline: status=optimal accepted=2 objective=10.0
+	// online: a accepted=true start=0.0
+	// online: b accepted=true start=1.0
+}

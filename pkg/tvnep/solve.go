@@ -1,0 +1,187 @@
+package tvnep
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"tvnep/internal/certify"
+	"tvnep/internal/core"
+	"tvnep/internal/greedy"
+	"tvnep/internal/lp"
+	"tvnep/internal/model"
+	"tvnep/internal/solution"
+)
+
+// Result is the outcome of one offline solve.
+type Result struct {
+	// Solution is the extracted solution (never nil on a nil error).
+	Solution *Solution
+	// Status is the solver's typed outcome.
+	Status SolveStatus
+	// Gap is the final relative optimality gap.
+	Gap float64
+	// Nodes and LPIterations count branch-and-bound and simplex work.
+	Nodes        int
+	LPIterations int
+	// Runtime is the wall-clock solve time.
+	Runtime time.Duration
+	// Cuts summarizes lazy separation (zero without separators).
+	Cuts model.CutStats
+	// ModelStats describes the built formulation (nil for greedy runs).
+	ModelStats *ModelStats
+	// Greedy carries the heuristic's per-run statistics (nil for exact
+	// runs).
+	Greedy *GreedyStats
+	// Certificate holds the independent certificates when WithCertify is
+	// set (nil otherwise).
+	Certificate *Certificate
+}
+
+// ModelStats describes a built formulation.
+type ModelStats struct {
+	Formulation Formulation
+	Objective   Objective
+	Vars        int
+	Constrs     int
+	IntVars     int
+	// CutCandidates is the size of the lazily separated Constraint-(20)
+	// family (CutLazy cΣ builds only).
+	CutCandidates int
+}
+
+// Certificate bundles the independent certificates of one result.
+type Certificate struct {
+	// Solution is the Definition-2.1 + objective recomputation certificate.
+	Solution *certify.Report
+	// Cuts re-validates every applied lazy cut (exact solves; nil
+	// otherwise).
+	Cuts *certify.Report
+	// RootLP is the primal/dual optimality certificate of the root
+	// relaxation (exact solves; nil otherwise).
+	RootLP *certify.LPCertificate
+}
+
+// Solve solves the instance formed by the requests over the solver's
+// substrate. mapping pins virtual nodes a priori (the paper's evaluation
+// mode); a nil mapping lets exact models place nodes freely. It returns
+// ErrNoSolution when the limits are exhausted without a feasible solution
+// and *CertificationError when WithCertify is set and a certificate fails.
+func (s *Solver) Solve(ctx context.Context, reqs []*Request, mapping NodeMapping) (*Result, error) {
+	horizon := s.cfg.horizon
+	if horizon <= 0 {
+		for _, r := range reqs {
+			if r != nil && r.Latest > horizon {
+				horizon = r.Latest
+			}
+		}
+	}
+	inst := &core.Instance{Sub: s.sub, Reqs: reqs, Horizon: horizon}
+	if err := inst.Validate(); err != nil {
+		return nil, fmt.Errorf("tvnep: %w", err)
+	}
+	if s.cfg.algorithm == Greedy {
+		return s.solveGreedy(ctx, inst, mapping)
+	}
+	return s.solveExact(ctx, inst, mapping)
+}
+
+func (s *Solver) solveGreedy(ctx context.Context, inst *core.Instance, mapping NodeMapping) (*Result, error) {
+	opts := greedy.Options{
+		Solve:           s.cfg.solve,
+		DisablePresolve: s.cfg.noPresolve,
+		DisableCuts:     s.cfg.cutModeSet && s.cfg.cutMode == CutOff,
+	}
+	sol, stats, err := greedy.Solve(ctx, inst, mapping, opts)
+	if err != nil {
+		return nil, fmt.Errorf("tvnep: %w", err)
+	}
+	res := &Result{
+		Solution:     sol,
+		Status:       StatusFeasible, // heuristic: feasible, no optimality claim
+		Nodes:        stats.TotalBBNodes,
+		LPIterations: stats.TotalLPIters,
+		Runtime:      stats.TotalRuntime,
+		Greedy:       &stats,
+	}
+	if err := s.verify(inst, sol, mapping, res, nil, nil); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (s *Solver) solveExact(ctx context.Context, inst *core.Instance, mapping NodeMapping) (*Result, error) {
+	b := core.Build(s.cfg.formulation, inst, core.BuildOptions{
+		Objective:       s.cfg.objective,
+		LoadFraction:    s.cfg.loadFraction,
+		FixedMapping:    mapping,
+		CutMode:         s.cfg.cutMode,
+		DisablePresolve: s.cfg.noPresolve,
+	})
+	sol, ms := b.Solve(ctx, &s.cfg.solve)
+	res := &Result{
+		Status:       ms.Status,
+		Gap:          ms.Gap,
+		Nodes:        ms.Nodes,
+		LPIterations: ms.LPIterations,
+		Runtime:      ms.Runtime,
+		Cuts:         ms.Cuts,
+		ModelStats: &ModelStats{
+			Formulation:   s.cfg.formulation,
+			Objective:     s.cfg.objective,
+			Vars:          b.Model.NumVars(),
+			Constrs:       b.Model.NumConstrs(),
+			IntVars:       b.Model.NumIntVars(),
+			CutCandidates: b.PrecCutCandidates(),
+		},
+	}
+	if ms.Status == model.StatusCancelled {
+		return nil, ctx.Err()
+	}
+	if sol == nil {
+		return res, ErrNoSolution
+	}
+	res.Solution = sol
+	if err := s.verify(inst, sol, mapping, res, b, ms); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// verify runs the always-on feasibility check and, under WithCertify, the
+// full independent certificates (solution, applied cuts, root LP).
+func (s *Solver) verify(inst *core.Instance, sol *Solution, mapping NodeMapping, res *Result, b *core.Built, ms *model.Solution) error {
+	if err := solution.Check(inst.Sub, inst.Reqs, sol); err != nil {
+		return &CertificationError{Stage: "solution", Err: err}
+	}
+	if !s.cfg.certify {
+		return nil
+	}
+	cert := &Certificate{}
+	res.Certificate = cert
+	certOpts := certify.Options{
+		Objective:    s.cfg.objective,
+		LoadFraction: s.cfg.loadFraction,
+		Mapping:      mapping,
+		// Greedy solutions carry the per-iteration objective; the greedy
+		// driver recomputes the access-control value itself, so the
+		// recomputation applies there too.
+	}
+	cert.Solution = certify.Solution(inst, sol, certOpts)
+	if err := cert.Solution.Err(); err != nil {
+		return &CertificationError{Stage: "solution", Err: err}
+	}
+	if b != nil && ms != nil {
+		cert.Cuts = certify.Cuts(b, ms)
+		if err := cert.Cuts.Err(); err != nil {
+			return &CertificationError{Stage: "cuts", Err: err}
+		}
+		lpp := b.Model.LP()
+		lpRes := lp.Solve(lpp, nil)
+		cert.RootLP = certify.LP(lpp, lpRes, 0)
+		if err := cert.RootLP.Err(); err != nil {
+			return &CertificationError{Stage: "root-lp", Err: err}
+		}
+	}
+	return nil
+}
