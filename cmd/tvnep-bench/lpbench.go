@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
+	"testing"
 	"time"
 
 	"tvnep/internal/admit"
@@ -18,10 +20,23 @@ import (
 // The -json mode: a machine-readable micro-benchmark of the LP solver core,
 // mirroring the two guard benchmarks of the test suite
 // (BenchmarkLPRelaxationCSigma and BenchmarkAblationCSigmaBare) and
-// augmenting them with solver-internal statistics: simplex iterations per
-// solve, warm-start success rate and factorization-cache hit rate from the
-// lp.Debug* counters. Pass -compare with a previously written report to
-// embed it as the baseline and compute speedups.
+// augmenting them with solver-internal statistics: simplex iterations,
+// long-step ratio-test activity, warm-start success rate and factor-handoff
+// rate from the lp.Debug* counters, the equilibration-scaling diagnostics
+// and a steady-state allocation probe. Pass -compare with a previously
+// written report to embed it as the baseline, compute speedups, and fail
+// the run when ns/op or allocs/op regresses beyond regressionTol.
+
+// regressionTol is the fractional slack the -compare regression guard
+// grants over the baseline before failing the run.
+// shortNsSlack is the extra ns/op slack granted in short mode: the capped
+// op counts amortize less warm state per op, which reads a systematic
+// 13-19% slower than the full-run baseline on an otherwise identical
+// build. Allocation counts are deterministic and get no extra slack.
+const (
+	regressionTol = 0.10
+	shortNsSlack  = 0.20
+)
 
 type lpBenchResult struct {
 	Name         string  `json:"name"`
@@ -31,6 +46,10 @@ type lpBenchResult struct {
 	BytesPerOp   float64 `json:"bytes_per_op"`
 	LPItersPerOp float64 `json:"lp_iters_per_op"`
 	BBNodes      float64 `json:"bb_nodes,omitempty"`
+	// Long-step dual ratio-test activity (see lp.Result): nonbasic bound
+	// flips absorbed without a pivot, and breakpoints walked per op.
+	BoundFlipsPerOp  float64 `json:"bound_flips_per_op,omitempty"`
+	RatioPassesPerOp float64 `json:"ratio_passes_per_op,omitempty"`
 	// Lazy-separation statistics (LazyCutCSigma only): rows present in the
 	// root LP vs rows appended on demand, separation rounds, and pool
 	// dedup hits.
@@ -47,32 +66,52 @@ type lpBenchResult struct {
 }
 
 type lpWarmStats struct {
-	Attempts  int64 `json:"attempts"`
-	OK        int64 `json:"ok"`
-	CacheHits int64 `json:"cache_hits"`
+	Attempts int64 `json:"attempts"`
+	OK       int64 `json:"ok"`
 	// FactorHandoffs counts warm starts served by an explicit
 	// Result.Factors → Options.WarmFactors handoff (the parallel
-	// branch-and-bound path), which takes precedence over the per-instance
-	// factorization ring the cache-hit rate measures.
+	// branch-and-bound path); BasisExtensions counts warm starts whose
+	// basis predated appended rows and whose LU factors were extended
+	// with a bordered block instead of refactorized.
 	FactorHandoffs  int64   `json:"factor_handoffs"`
+	BasisExtensions int64   `json:"basis_extensions"`
 	OKRate          float64 `json:"ok_rate"`
-	CacheHitRate    float64 `json:"cache_hit_rate"`
 	FactorHandoffRt float64 `json:"factor_handoff_rate"`
 }
 
+// lpScalingStats reports the equilibration layer's effect on the benchmark
+// model (the LPRelaxationCSigma instance): whether scaling engaged at all
+// and the matrix coefficient spread max|a|/min|a| over nonzeros before and
+// after. The compiled cΣ matrices are near-binary, so "scaled": false with
+// equal spreads is the expected (and cheapest) outcome; the field exists so
+// a model change that starts engaging the scaler is visible here.
+type lpScalingStats struct {
+	Scaled       bool    `json:"scaled"`
+	SpreadBefore float64 `json:"spread_before"`
+	SpreadAfter  float64 `json:"spread_after"`
+}
+
 type lpBenchReport struct {
-	Timestamp  string             `json:"timestamp"`
-	GoVersion  string             `json:"go_version"`
-	Benchmarks []lpBenchResult    `json:"benchmarks"`
-	WarmStart  lpWarmStats        `json:"warm_start"`
-	Baseline   *lpBenchReport     `json:"baseline,omitempty"`
-	Speedup    map[string]float64 `json:"speedup,omitempty"`
+	Timestamp  string          `json:"timestamp"`
+	GoVersion  string          `json:"go_version"`
+	Benchmarks []lpBenchResult `json:"benchmarks"`
+	WarmStart  lpWarmStats     `json:"warm_start"`
+	Scaling    lpScalingStats  `json:"scaling"`
+	// SteadyStateAllocs is the allocation count of the simplex hot path at
+	// steady state, measured differentially: allocations per warm re-solve
+	// that performs dual pivots, minus the fixed result-packaging cost of
+	// an identical zero-iteration re-solve, divided by the pivots
+	// performed. The kernels are allocation-free, so 0 is expected.
+	SteadyStateAllocs float64            `json:"steady_state_allocs"`
+	Baseline          *lpBenchReport     `json:"baseline,omitempty"`
+	Speedup           map[string]float64 `json:"speedup,omitempty"`
 }
 
 // measureLP times f (one op per call) with alloc accounting. f reports the
 // simplex iterations it consumed; extra metrics from the first op survive
-// into the result.
-func measureLP(name string, f func() (lpIters int, extra map[string]float64)) lpBenchResult {
+// into the result, except the ratio-test counters, which accumulate over
+// every op like the iteration count.
+func measureLP(name string, short bool, f func() (lpIters int, extra map[string]float64)) lpBenchResult {
 	// Warmup op, also used to calibrate the iteration count to ~1s.
 	t0 := time.Now()
 	_, extra := f()
@@ -81,29 +120,38 @@ func measureLP(name string, f func() (lpIters int, extra map[string]float64)) lp
 	if n < 5 {
 		n = 5
 	}
-	if n > 2000 {
-		n = 2000
+	nmax := 2000
+	if short {
+		nmax = 25
+	}
+	if n > nmax {
+		n = nmax
 	}
 
 	var ms0, ms1 runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&ms0)
 	iters := 0
+	flips, passes := 0.0, 0.0
 	start := time.Now()
 	for i := 0; i < n; i++ {
-		li, _ := f()
+		li, ex := f()
 		iters += li
+		flips += ex["bound_flips"]
+		passes += ex["ratio_passes"]
 	}
 	dt := time.Since(start)
 	runtime.ReadMemStats(&ms1)
 
 	res := lpBenchResult{
-		Name:         name,
-		Iterations:   n,
-		NsPerOp:      float64(dt.Nanoseconds()) / float64(n),
-		AllocsPerOp:  float64(ms1.Mallocs-ms0.Mallocs) / float64(n),
-		BytesPerOp:   float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(n),
-		LPItersPerOp: float64(iters) / float64(n),
+		Name:             name,
+		Iterations:       n,
+		NsPerOp:          float64(dt.Nanoseconds()) / float64(n),
+		AllocsPerOp:      float64(ms1.Mallocs-ms0.Mallocs) / float64(n),
+		BytesPerOp:       float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(n),
+		LPItersPerOp:     float64(iters) / float64(n),
+		BoundFlipsPerOp:  flips / float64(n),
+		RatioPassesPerOp: passes / float64(n),
 	}
 	if v, ok := extra["bb_nodes"]; ok {
 		res.BBNodes = v
@@ -123,16 +171,77 @@ func measureLP(name string, f func() (lpIters int, extra map[string]float64)) lp
 	return res
 }
 
+// steadyStateAllocs measures the per-pivot allocation count of the simplex
+// hot path on a solved instance. Both probe solves are warm starts with a
+// factor handoff; the first re-solves the unchanged optimum (zero
+// iterations — its allocations are pure result packaging), the second
+// perturbs a basic column bound so the dual simplex actually pivots. The
+// difference per pivot is the hot-path allocation rate.
+func steadyStateAllocs(p *lp.Problem) float64 {
+	inst := lp.NewInstance(p)
+	first := inst.Solve(&lp.Options{CaptureFactors: true})
+	if first.Status != lp.StatusOptimal {
+		return -1
+	}
+	wb, wf := first.Basis, first.Factors
+
+	warm := func() lp.Result {
+		return inst.Solve(&lp.Options{WarmBasis: wb, WarmFactors: wf, CaptureFactors: true})
+	}
+	warm() // warm the solver's persistent scratch
+	base := testing.AllocsPerRun(20, func() { warm() })
+
+	// Find a structural column sitting strictly between its bounds whose
+	// tightening forces dual pivots.
+	perturb := -1
+	var plo, phi float64
+	for j := range first.X {
+		lo, hi := inst.ColBounds(j)
+		if x := first.X[j]; x > lo+1e-6 && x < hi-1e-6 {
+			perturb, plo, phi = j, lo, hi
+			break
+		}
+	}
+	if perturb < 0 {
+		return 0 // nothing to perturb: vacuously allocation-free
+	}
+	x := first.X[perturb]
+	iters := 0
+	run := func() {
+		inst.SetColBounds(perturb, plo, (plo+x)/2) // cut off the optimum
+		r1 := warm()
+		inst.SetColBounds(perturb, plo, phi) // restore
+		r2 := warm()
+		iters += r1.Iterations + r2.Iterations
+	}
+	run() // warm-up: grows any scratch the perturbed solves need
+	iters = 0
+	const runs = 20
+	per := testing.AllocsPerRun(runs, run)
+	itersPerRun := float64(iters) / float64(runs+1) // AllocsPerRun calls run runs+1 times
+	if itersPerRun <= 0 {
+		return 0
+	}
+	extra := per - 2*base
+	if extra < 0 {
+		extra = 0
+	}
+	return extra / itersPerRun
+}
+
 // runLPBench executes the LP benchmark suite and writes the JSON report to
 // outPath. When comparePath names an earlier report, it is embedded as the
-// baseline and per-benchmark speedups are computed.
-func runLPBench(outPath, comparePath string) error {
+// baseline, per-benchmark speedups are computed, and the run fails if any
+// shared benchmark regressed in ns/op or allocs/op by more than
+// regressionTol. Short mode caps the op counts and the admission trace for
+// CI.
+func runLPBench(outPath, comparePath string, short bool) error {
 	report := lpBenchReport{
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 	}
-	wa0, wo0, ch0 := lp.DebugWarmAttempts.Load(), lp.DebugWarmOK.Load(), lp.DebugCacheHits.Load()
-	fh0 := lp.DebugFactorHandoffs.Load()
+	wa0, wo0 := lp.DebugWarmAttempts.Load(), lp.DebugWarmOK.Load()
+	fh0, bx0 := lp.DebugFactorHandoffs.Load(), lp.DebugBasisExtensions.Load()
 
 	// LPRelaxationCSigma: one LP-relaxation solve of the cΣ-Model at the
 	// default evaluation scale (the unit of work in every B&B node).
@@ -147,14 +256,20 @@ func runLPBench(outPath, comparePath string) error {
 			Objective:    core.AccessControl,
 			FixedMapping: sc.Mapping,
 		})
-		report.Benchmarks = append(report.Benchmarks, measureLP("LPRelaxationCSigma",
+		scaled, sb, sa := lp.NewInstance(built.Model.LP()).ScalingStats()
+		report.Scaling = lpScalingStats{Scaled: scaled, SpreadBefore: sb, SpreadAfter: sa}
+		report.SteadyStateAllocs = steadyStateAllocs(built.Model.LP())
+		report.Benchmarks = append(report.Benchmarks, measureLP("LPRelaxationCSigma", short,
 			func() (int, map[string]float64) {
 				sol := built.Model.Relax()
 				if !sol.HasSolution {
 					fmt.Fprintln(os.Stderr, "lpbench: relaxation not solved")
 					os.Exit(1)
 				}
-				return sol.LPIterations, nil
+				return sol.LPIterations, map[string]float64{
+					"bound_flips":  float64(sol.BoundFlips),
+					"ratio_passes": float64(sol.RatioPasses),
+				}
 			}))
 	}
 
@@ -168,7 +283,7 @@ func runLPBench(outPath, comparePath string) error {
 		wl.FlexibilityHr = 2
 		sc := workload.Generate(wl, 7)
 		inst := &core.Instance{Sub: sc.Substrate, Reqs: sc.Requests, Horizon: sc.Horizon}
-		report.Benchmarks = append(report.Benchmarks, measureLP("AblationCSigmaBare",
+		report.Benchmarks = append(report.Benchmarks, measureLP("AblationCSigmaBare", short,
 			func() (int, map[string]float64) {
 				built := core.BuildCSigma(inst, core.BuildOptions{
 					Objective:       core.AccessControl,
@@ -181,7 +296,11 @@ func runLPBench(outPath, comparePath string) error {
 					fmt.Fprintf(os.Stderr, "lpbench: ablation solve failed: %v\n", ms.Status)
 					os.Exit(1)
 				}
-				return ms.LPIterations, map[string]float64{"bb_nodes": float64(ms.Nodes)}
+				return ms.LPIterations, map[string]float64{
+					"bb_nodes":     float64(ms.Nodes),
+					"bound_flips":  float64(ms.BoundFlips),
+					"ratio_passes": float64(ms.RatioPasses),
+				}
 			}))
 	}
 
@@ -197,7 +316,7 @@ func runLPBench(outPath, comparePath string) error {
 		wl.FlexibilityHr = 1.5
 		sc := workload.Generate(wl, 3)
 		inst := &core.Instance{Sub: sc.Substrate, Reqs: sc.Requests, Horizon: sc.Horizon}
-		report.Benchmarks = append(report.Benchmarks, measureLP("LazyCutCSigma",
+		report.Benchmarks = append(report.Benchmarks, measureLP("LazyCutCSigma", short,
 			func() (int, map[string]float64) {
 				built := core.BuildCSigma(inst, core.BuildOptions{
 					Objective:    core.AccessControl,
@@ -211,6 +330,8 @@ func runLPBench(outPath, comparePath string) error {
 				}
 				return ms.LPIterations, map[string]float64{
 					"bb_nodes":           float64(ms.Nodes),
+					"bound_flips":        float64(ms.BoundFlips),
+					"ratio_passes":       float64(ms.RatioPasses),
 					"cut_rows_root":      float64(ms.Cuts.RowsAtRoot),
 					"cut_rows_separated": float64(ms.Cuts.SeparatedRows),
 					"cut_rounds":         float64(ms.Cuts.Rounds),
@@ -219,15 +340,18 @@ func runLPBench(outPath, comparePath string) error {
 			}))
 	}
 
-	// AdmissionStream: a 10 000-request arrival trace replayed through the
-	// online admission engine in one pass. Unlike the micro-benchmarks above
-	// the op is a single admission decision inside one long-lived engine, so
+	// AdmissionStream: a request arrival trace replayed through the online
+	// admission engine in one pass. Unlike the micro-benchmarks above the
+	// op is a single admission decision inside one long-lived engine, so
 	// the trace runs exactly once: ns/op is total wall clock over decisions,
 	// and the p50/p99 fields are the engine's own per-decision latency
 	// quantiles — the bounded-tail-latency claim of the admission service.
 	{
 		wl := workload.Default()
 		wl.NumRequests = 10000
+		if short {
+			wl.NumRequests = 2000
+		}
 		wl.StarLeaves = 1
 		wl.FlexibilityHr = 2
 		sc := workload.Generate(wl, 1)
@@ -269,15 +393,15 @@ func runLPBench(outPath, comparePath string) error {
 
 	wa := lp.DebugWarmAttempts.Load() - wa0
 	wo := lp.DebugWarmOK.Load() - wo0
-	ch := lp.DebugCacheHits.Load() - ch0
 	fh := lp.DebugFactorHandoffs.Load() - fh0
-	report.WarmStart = lpWarmStats{Attempts: wa, OK: wo, CacheHits: ch, FactorHandoffs: fh}
+	bx := lp.DebugBasisExtensions.Load() - bx0
+	report.WarmStart = lpWarmStats{Attempts: wa, OK: wo, FactorHandoffs: fh, BasisExtensions: bx}
 	if wa > 0 {
 		report.WarmStart.OKRate = float64(wo) / float64(wa)
-		report.WarmStart.CacheHitRate = float64(ch) / float64(wa)
 		report.WarmStart.FactorHandoffRt = float64(fh) / float64(wa)
 	}
 
+	var regressions []string
 	if comparePath != "" {
 		data, err := os.ReadFile(comparePath)
 		if err != nil {
@@ -292,8 +416,25 @@ func runLPBench(outPath, comparePath string) error {
 		report.Speedup = map[string]float64{}
 		for _, b := range base.Benchmarks {
 			for _, cur := range report.Benchmarks {
-				if cur.Name == b.Name && cur.NsPerOp > 0 {
+				if cur.Name != b.Name {
+					continue
+				}
+				if cur.NsPerOp > 0 {
 					report.Speedup[b.Name] = b.NsPerOp / cur.NsPerOp
+				}
+				nsTol := regressionTol
+				if short {
+					nsTol += shortNsSlack
+				}
+				if b.NsPerOp > 0 && cur.NsPerOp > b.NsPerOp*(1+nsTol) {
+					regressions = append(regressions, fmt.Sprintf(
+						"%s: ns/op %.0f vs baseline %.0f (+%.0f%%)",
+						b.Name, cur.NsPerOp, b.NsPerOp, 100*(cur.NsPerOp/b.NsPerOp-1)))
+				}
+				if b.AllocsPerOp > 0 && cur.AllocsPerOp > b.AllocsPerOp*(1+regressionTol) {
+					regressions = append(regressions, fmt.Sprintf(
+						"%s: allocs/op %.0f vs baseline %.0f (+%.0f%%)",
+						b.Name, cur.AllocsPerOp, b.AllocsPerOp, 100*(cur.AllocsPerOp/b.AllocsPerOp-1)))
 				}
 			}
 		}
@@ -305,29 +446,40 @@ func runLPBench(outPath, comparePath string) error {
 	}
 	data = append(data, '\n')
 	if outPath == "-" {
-		_, err = os.Stdout.Write(data)
-		return err
-	}
-	if err := os.WriteFile(outPath, data, 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("# wrote %s\n", outPath)
-	for _, b := range report.Benchmarks {
-		line := fmt.Sprintf("# %-22s %12.0f ns/op %10.0f allocs/op %8.1f lp_iters/op", b.Name, b.NsPerOp, b.AllocsPerOp, b.LPItersPerOp)
-		if sp, ok := report.Speedup[b.Name]; ok {
-			line += fmt.Sprintf("   %.2fx vs baseline", sp)
+		if _, err := os.Stdout.Write(data); err != nil {
+			return err
 		}
-		if b.CutRowsRoot > 0 {
-			line += fmt.Sprintf("   cuts: %.0f root rows, %.0f separated in %.0f rounds, %.0f pool hits",
-				b.CutRowsRoot, b.CutRowsSeparated, b.CutRounds, b.CutPoolHits)
+	} else {
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return err
 		}
-		if b.P99NS > 0 {
-			line += fmt.Sprintf("   stream: %d decisions, p50 %.2fms, p99 %.2fms, accept %.2f, warm %.2f",
-				b.Iterations, b.P50NS/1e6, b.P99NS/1e6, b.AcceptRate, b.WarmRate)
+		fmt.Printf("# wrote %s\n", outPath)
+		for _, b := range report.Benchmarks {
+			line := fmt.Sprintf("# %-22s %12.0f ns/op %10.0f allocs/op %8.1f lp_iters/op", b.Name, b.NsPerOp, b.AllocsPerOp, b.LPItersPerOp)
+			if sp, ok := report.Speedup[b.Name]; ok {
+				line += fmt.Sprintf("   %.2fx vs baseline", sp)
+			}
+			if b.BoundFlipsPerOp > 0 {
+				line += fmt.Sprintf("   %.1f bound flips/op", b.BoundFlipsPerOp)
+			}
+			if b.CutRowsRoot > 0 {
+				line += fmt.Sprintf("   cuts: %.0f root rows, %.0f separated in %.0f rounds, %.0f pool hits",
+					b.CutRowsRoot, b.CutRowsSeparated, b.CutRounds, b.CutPoolHits)
+			}
+			if b.P99NS > 0 {
+				line += fmt.Sprintf("   stream: %d decisions, p50 %.2fms, p99 %.2fms, accept %.2f, warm %.2f",
+					b.Iterations, b.P50NS/1e6, b.P99NS/1e6, b.AcceptRate, b.WarmRate)
+			}
+			fmt.Println(line)
 		}
-		fmt.Println(line)
+		fmt.Printf("# warm starts: %d attempts, %.0f%% adopted, %.0f%% factor handoffs, %d basis extensions\n",
+			wa, 100*report.WarmStart.OKRate, 100*report.WarmStart.FactorHandoffRt, bx)
+		fmt.Printf("# scaling: active=%v spread %.3g -> %.3g; steady-state allocs/pivot: %.3g\n",
+			report.Scaling.Scaled, report.Scaling.SpreadBefore, report.Scaling.SpreadAfter, report.SteadyStateAllocs)
 	}
-	fmt.Printf("# warm starts: %d attempts, %.0f%% adopted, %.0f%% factor handoffs, %.0f%% factorization-cache hits\n",
-		wa, 100*report.WarmStart.OKRate, 100*report.WarmStart.FactorHandoffRt, 100*report.WarmStart.CacheHitRate)
+	if len(regressions) > 0 {
+		return fmt.Errorf("lpbench: performance regressed vs %s:\n  %s",
+			comparePath, strings.Join(regressions, "\n  "))
+	}
 	return nil
 }

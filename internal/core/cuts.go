@@ -14,7 +14,6 @@ import (
 
 	"tvnep/internal/depgraph"
 	"tvnep/internal/model"
-	"tvnep/internal/numtol"
 )
 
 // forEachPrecRow enumerates the Constraint-(20) rows exactly as the static
@@ -63,7 +62,16 @@ type precSeparator struct {
 	cands []model.Cut
 }
 
-// Separate implements model.Separator.
+// precSeedSlack is the activity margin within which an unviolated candidate
+// is still offered to the solver's cut pool: the pool's root seeding round
+// (internal/mip) appends near-active rows alongside violated ones, so the
+// tree search starts from the same strengthened root a static build would
+// give. The margin matches the pool's rootCutSeedSlack.
+const precSeedSlack = 0.5
+
+// Separate implements model.Separator: it returns the candidates x violates
+// plus the near-active ones (within precSeedSlack of binding), which the
+// pool appends only during root seeding.
 func (ps *precSeparator) Separate(x []float64) []model.Cut {
 	var out []model.Cut
 	for _, c := range ps.cands {
@@ -71,7 +79,7 @@ func (ps *precSeparator) Separate(x []float64) []model.Cut {
 		for k, j := range c.Idx {
 			act += c.Val[k] * x[j]
 		}
-		if act > c.UB+numtol.CutViolTol {
+		if act > c.UB-precSeedSlack {
 			out = append(out, c)
 		}
 	}

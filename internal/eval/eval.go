@@ -168,6 +168,8 @@ func (c Config) count(ms *model.Solution) {
 	}
 	c.Counters.Nodes.Add(int64(ms.Nodes))
 	c.Counters.LPIters.Add(int64(ms.LPIterations))
+	c.Counters.BoundFlips.Add(int64(ms.BoundFlips))
+	c.Counters.RatioPasses.Add(int64(ms.RatioPasses))
 	c.Counters.CutRowsRoot.Add(int64(ms.Cuts.RowsAtRoot))
 	c.Counters.CutRowsSeparated.Add(int64(ms.Cuts.SeparatedRows))
 	c.Counters.CutRounds.Add(int64(ms.Cuts.Rounds))

@@ -17,6 +17,10 @@ type Counters struct {
 	Cancelled atomic.Int64 // solves stopped by context cancellation
 	Nodes     atomic.Int64 // branch-and-bound nodes across all solves
 	LPIters   atomic.Int64 // simplex iterations across all solves
+	// Long-step dual ratio-test activity across all solves: nonbasic
+	// bound flips absorbed without a pivot, and breakpoints walked.
+	BoundFlips  atomic.Int64
+	RatioPasses atomic.Int64
 
 	// Certification verdicts (populated when Config.Certify is set).
 	Certified     atomic.Int64 // solutions run through internal/certify
@@ -36,6 +40,9 @@ type Counters struct {
 func (c *Counters) String() string {
 	s := fmt.Sprintf("solves=%d optimal=%d cancelled=%d nodes=%d lp_iters=%d",
 		c.Solves.Load(), c.Optimal.Load(), c.Cancelled.Load(), c.Nodes.Load(), c.LPIters.Load())
+	if c.BoundFlips.Load() > 0 || c.RatioPasses.Load() > 0 {
+		s += fmt.Sprintf(" bound_flips=%d ratio_passes=%d", c.BoundFlips.Load(), c.RatioPasses.Load())
+	}
 	if n := c.Certified.Load(); n > 0 {
 		s += fmt.Sprintf(" certified=%d certify_failed=%d", n, c.CertifyFailed.Load())
 	}

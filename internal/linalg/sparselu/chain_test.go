@@ -1,0 +1,100 @@
+package sparselu
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestExtendLongChain grows one factorization through 60 bordered
+// extensions — the lazy-cut hot-restart pattern taken to an extreme — using
+// the same two-buffer ExtendInto ping-pong the simplex solver runs, and
+// re-verifies FTRAN/BTRAN against a fresh factorization of the explicit
+// bordered matrix after every step. Eta updates are replayed periodically so
+// the chain also covers extending mid-solve factors (pivots taken since the
+// last refactorization).
+func TestExtendLongChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m := 12
+	colIdx, colVal := randBasis(rng, m, 0.25)
+	cur, err := Factorize(m, colIdx, colVal)
+	if err != nil {
+		t.Fatalf("base factorization: %v", err)
+	}
+	spare := &Factors{}
+	ws := NewWorkspace()
+	const chain = 60
+	for step := 0; step < chain; step++ {
+		k := 1
+		if step%7 == 3 {
+			k = 2 // occasional multi-row batch, as cut separation appends them
+		}
+		bIdx, bVal, diag := randBorder(rng, m, k)
+		if err := cur.ExtendInto(spare, ws, k, bIdx, bVal, diag); err != nil {
+			t.Fatalf("step %d: extend: %v", step, err)
+		}
+		cur, spare = spare, cur
+		colIdx, colVal = borderedColumns(m, k, colIdx, colVal, bIdx, bVal, diag)
+		m += k
+		if cur.M() != m {
+			t.Fatalf("step %d: M() = %d, want %d", step, cur.M(), m)
+		}
+		checkAgainst(t, step, cur, m, colIdx, colVal, rng)
+		if step%10 == 9 {
+			applyRandomUpdates(t, rng, cur, m, colIdx, colVal, 3)
+			checkAgainst(t, step, cur, m, colIdx, colVal, rng)
+		}
+	}
+}
+
+// TestExtendIntoAllocFree pins the hot-restart allocation contract: once the
+// destination factors and workspace have been through one extension of the
+// same shape, ExtendInto must not allocate — even when the source carries an
+// eta file, which is the common mid-solve restart case.
+func TestExtendIntoAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const m = 24
+	colIdx, colVal := randBasis(rng, m, 0.25)
+	f, err := Factorize(m, colIdx, colVal)
+	if err != nil {
+		t.Fatalf("factorize: %v", err)
+	}
+	applyRandomUpdates(t, rng, f, m, colIdx, colVal, 3)
+	bIdx, bVal, diag := randBorder(rng, m, 2)
+	dst, ws := &Factors{}, NewWorkspace()
+	if err := f.ExtendInto(dst, ws, 2, bIdx, bVal, diag); err != nil {
+		t.Fatalf("warm-up extend: %v", err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := f.ExtendInto(dst, ws, 2, bIdx, bVal, diag); err != nil {
+			t.Fatalf("extend: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ExtendInto with warmed destination allocates %v per call, want 0", allocs)
+	}
+}
+
+// TestTranAllocFree pins the kernel allocation contract: FTRAN/BTRAN work
+// entirely in caller and factor-owned scratch.
+func TestTranAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	const m = 32
+	colIdx, colVal := randBasis(rng, m, 0.25)
+	f, err := Factorize(m, colIdx, colVal)
+	if err != nil {
+		t.Fatalf("factorize: %v", err)
+	}
+	b := make([]float64, m)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	v := make([]float64, m)
+	allocs := testing.AllocsPerRun(100, func() {
+		copy(v, b)
+		f.Ftran(v)
+		f.Btran(v)
+	})
+	if allocs != 0 {
+		t.Fatalf("Ftran+Btran allocate %v per call, want 0", allocs)
+	}
+}

@@ -11,7 +11,20 @@ import "math"
 // k border rows stated over B's basis positions, and D = diag(diag). This is
 // the cutting-plane hot-restart kernel: when rows are appended to a solved
 // LP, each new row's slack enters the basis, so the new basis is exactly M
-// and can be factorized by extension instead of from scratch.
+// and can be factorized by extension instead of from scratch. Hot callers
+// should hold a destination and Workspace and use ExtendInto instead.
+func (f *Factors) Extend(k int, borderIdx [][]int32, borderVal [][]float64, diag []float64) (*Factors, error) {
+	g := &Factors{}
+	if err := f.ExtendInto(g, NewWorkspace(), k, borderIdx, borderVal, diag); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ExtendInto factorizes the bordered basis into dst (see Extend), reusing
+// dst's storage when capacity allows. dst must be distinct from f and must
+// not be shared with any other live Factors. The receiver is not modified
+// and shares nothing with the result.
 //
 // Each appended column (position m+i) is a unit column pivotal in its own
 // appended row, so it contributes an empty elimination step with diagonal
@@ -23,21 +36,26 @@ import "math"
 //
 // borderIdx[i] lists basis positions (0..m-1) and may repeat (entries are
 // accumulated). diag entries must be nonzero; the extension itself is never
-// singular when they are (det M = det B · Π diag[i]). The receiver is not
-// modified; the result shares the receiver's immutable U arrays and eta
-// payloads.
-func (f *Factors) Extend(k int, borderIdx [][]int32, borderVal [][]float64, diag []float64) (*Factors, error) {
+// singular when they are (det M = det B · Π diag[i]).
+func (f *Factors) ExtendInto(dst *Factors, ws *Workspace, k int, borderIdx [][]int32, borderVal [][]float64, diag []float64) error {
 	m := f.m
 	mk := m + k
 	for i := 0; i < k; i++ {
 		if math.Abs(diag[i]) < singTol {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 	}
 
-	// Per border row: multipliers X[i] over the old elimination steps.
-	xs := make([][]float64, k)
-	c := make([]float64, m) // position-indexed workspace
+	// Per border row: multipliers xs[i·m:(i+1)·m] over the old elimination
+	// steps, staged in the workspace (c doubles as the position-indexed
+	// accumulator via ws.w).
+	ws.grow(mk)
+	ws.xbuf = growF64(ws.xbuf, k*m)
+	xs := ws.xbuf
+	c := ws.w[:m]
+	for t := range c {
+		c[t] = 0
+	}
 	for i := 0; i < k; i++ {
 		for e, p := range borderIdx[i] {
 			c[p] += borderVal[i][e]
@@ -47,14 +65,16 @@ func (f *Factors) Extend(k int, borderIdx [][]int32, borderVal [][]float64, diag
 		for ei := len(f.etas) - 1; ei >= 0; ei-- {
 			e := &f.etas[ei]
 			s := c[e.r]
-			for t, idx := range e.idx {
-				s -= e.val[t] * c[idx]
+			idx := f.etaIdx[e.off : e.off+e.n]
+			val := f.etaVal[e.off : e.off+e.n]
+			for t, ix := range idx {
+				s -= val[t] * c[ix]
 			}
 			c[e.r] = s / e.piv
 		}
 		// Solve x·U = ĉ over steps (ĉ[t] = c[order[t]]): the forward Uᵀ
 		// recurrence of Btran.
-		x := make([]float64, m)
+		x := xs[i*m : (i+1)*m]
 		for t := 0; t < m; t++ {
 			s := c[f.order[t]]
 			for e := f.uptr[t]; e < f.uptr[t+1]; e++ {
@@ -62,51 +82,43 @@ func (f *Factors) Extend(k int, borderIdx [][]int32, borderVal [][]float64, diag
 			}
 			x[t] = s / f.udiag[t]
 		}
-		xs[i] = x
 		for t := range c {
 			c[t] = 0
 		}
 	}
 
-	g := &Factors{
-		m:      mk,
-		order:  make([]int32, mk),
-		rowPiv: make([]int32, mk),
-		udiag:  make([]float64, mk),
-		uptr:   make([]int32, mk+1),
-		urow:   f.urow, // immutable after Factorize: share
-		uval:   f.uval,
-		etaNNZ: f.etaNNZ,
-	}
-	copy(g.order, f.order)
-	copy(g.rowPiv, f.rowPiv)
-	copy(g.udiag, f.udiag)
-	copy(g.uptr, f.uptr)
+	g := dst
+	g.m = mk
+	g.order = append(growI32(g.order, mk)[:0], f.order...)
+	g.rowPiv = append(growI32(g.rowPiv, mk)[:0], f.rowPiv...)
+	g.udiag = append(growF64(g.udiag, mk)[:0], f.udiag...)
+	g.uptr = append(growI32(g.uptr, mk+1)[:0], f.uptr...)
+	g.urow = append(growI32(g.urow, len(f.urow))[:0], f.urow...)
+	g.uval = append(growF64(g.uval, len(f.uval))[:0], f.uval...)
 	for i := 0; i < k; i++ {
-		g.order[m+i] = int32(m + i)
-		g.rowPiv[m+i] = int32(m + i)
-		g.udiag[m+i] = diag[i]
-		g.uptr[m+i+1] = f.uptr[m] // empty U columns for the new steps
+		g.order = append(g.order, int32(m+i))
+		g.rowPiv = append(g.rowPiv, int32(m+i))
+		g.udiag = append(g.udiag, diag[i])
+		g.uptr = append(g.uptr, f.uptr[m]) // empty U columns for the new steps
 	}
 
 	// Rebuild L, interleaving each step's border multipliers (row indices
 	// m+i) behind its original entries.
 	extra := 0
-	for i := 0; i < k; i++ {
-		for _, v := range xs[i] {
-			if math.Abs(v) > dropTol {
-				extra++
-			}
+	for _, v := range xs[:k*m] {
+		if math.Abs(v) > dropTol {
+			extra++
 		}
 	}
-	g.lptr = make([]int32, mk+1)
-	g.lrow = make([]int32, 0, len(f.lrow)+extra)
-	g.lval = make([]float64, 0, len(f.lval)+extra)
+	g.lptr = growI32(g.lptr, mk+1)
+	g.lrow = growI32(g.lrow, len(f.lrow)+extra)[:0]
+	g.lval = growF64(g.lval, len(f.lval)+extra)[:0]
+	g.lptr[0] = 0
 	for t := 0; t < m; t++ {
 		g.lrow = append(g.lrow, f.lrow[f.lptr[t]:f.lptr[t+1]]...)
 		g.lval = append(g.lval, f.lval[f.lptr[t]:f.lptr[t+1]]...)
 		for i := 0; i < k; i++ {
-			if v := xs[i][t]; math.Abs(v) > dropTol {
+			if v := xs[i*m+t]; math.Abs(v) > dropTol {
 				g.lrow = append(g.lrow, int32(m+i))
 				g.lval = append(g.lval, v)
 			}
@@ -117,9 +129,17 @@ func (f *Factors) Extend(k int, borderIdx [][]int32, borderVal [][]float64, diag
 		g.lptr[t+1] = g.lptr[t] // empty L columns for the new steps
 	}
 
-	// Eta payload slices are append-only: share them, own the headers.
-	g.etas = make([]eta, len(f.etas))
+	// The eta file carries over verbatim (it acts on the old positions).
+	if cap(g.etas) < len(f.etas) {
+		g.etas = make([]eta, len(f.etas))
+	} else {
+		g.etas = g.etas[:len(f.etas)]
+	}
 	copy(g.etas, f.etas)
-	g.scratch = make([]float64, mk)
-	return g, nil
+	g.etaIdx = append(growI32(g.etaIdx, len(f.etaIdx))[:0], f.etaIdx...)
+	g.etaVal = append(growF64(g.etaVal, len(f.etaVal))[:0], f.etaVal...)
+	g.etaNNZ = f.etaNNZ
+	g.scratch = growF64(g.scratch, mk)
+	g.buildMirrors(ws)
+	return nil
 }

@@ -11,6 +11,19 @@
 // within a threshold of the largest magnitude, preferring the row with the
 // smallest static count (the row half). All choices are deterministic, so
 // repeated factorizations of the same basis are bit-for-bit identical.
+//
+// Both triangular factors are additionally mirrored in transposed (row-major)
+// form so that Btran runs as a pair of scatter-style solves that skip
+// structurally-zero positions — the unit right-hand sides of the simplex
+// pivot row (BTRAN of e_r) touch only the rows actually reachable in the
+// dependency graph instead of all m elimination steps.
+//
+// Allocation discipline: the hot simplex loop must not allocate. Eta vectors
+// live in per-Factors append-only arenas (amortized zero-allocation growth),
+// refactorizations reuse the symbolic scratch of a caller-owned Workspace and
+// the storage of the destination Factors (FactorizeInto), and bordered
+// extensions can likewise reuse a destination (ExtendInto). The convenience
+// wrappers Factorize, Extend and Clone allocate fresh storage.
 package sparselu
 
 import (
@@ -35,13 +48,14 @@ const (
 )
 
 // eta is one product-form update: the basis column at position r was
-// replaced, with FTRAN'd entering column alpha. Applying the inverse of the
-// corresponding elementary matrix to a vector costs O(len(idx)).
+// replaced, with FTRAN'd entering column alpha. The off-pivot entries live in
+// the owning Factors' arena at [off, off+n) so that updates never allocate in
+// steady state and copies relocate cleanly.
 type eta struct {
 	r   int32
+	n   int32
+	off int32
 	piv float64 // alpha[r]
-	idx []int32
-	val []float64 // alpha[idx[k]], k != r
 }
 
 // Factors is a factorized basis B = L·U (modulo permutations) together with
@@ -67,27 +81,117 @@ type Factors struct {
 	uval  []float64
 	udiag []float64
 
-	etas   []eta
-	etaNNZ int
+	// Transposed mirrors for the hyper-sparse Btran. U by row step: for step
+	// j, the steps k > j with U[j,k] ≠ 0. L by pivotal step: for step k, the
+	// earlier steps k' whose L column holds an entry at row rowPiv[k].
+	urptr []int32
+	urcol []int32
+	urval []float64
+	lrptr []int32
+	lrcol []int32
+	lrval []float64
 
+	etas    []eta
+	etaIdx  []int32   // arena backing eta off-pivot indices
+	etaVal  []float64 // arena backing eta off-pivot values
+	etaNNZ  int
 	scratch []float64 // length m, used by Ftran/Btran
+}
+
+// Workspace holds the reusable symbolic and numeric scratch of the
+// factorization and extension kernels. A Workspace may be reused across any
+// number of FactorizeInto/ExtendInto calls (growing on demand, never
+// shrinking) but must not be shared between concurrent calls.
+type Workspace struct {
+	w       []float64 // dense accumulator for the current column
+	rowPos  []int32   // original row → elimination step, or -1
+	visited []bool
+	post    []int32 // DFS postorder (reverse = topological)
+	stack   []int32 // DFS stack of rows
+	estate  []int32 // per-row DFS edge cursor
+	rcount  []int32 // static per-row entry counts
+	cnt     []int32 // transpose-mirror counting scratch
+	xbuf    []float64
+}
+
+// NewWorkspace returns an empty workspace; storage grows on first use.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+func (ws *Workspace) grow(m int) {
+	if cap(ws.w) < m {
+		ws.w = make([]float64, m)
+		ws.rowPos = make([]int32, m)
+		ws.visited = make([]bool, m)
+		ws.estate = make([]int32, m)
+		ws.rcount = make([]int32, m)
+		ws.cnt = make([]int32, m+1)
+		ws.post = growI32(ws.post, m)[:0]
+		ws.stack = growI32(ws.stack, m)[:0]
+		return
+	}
+	ws.w = ws.w[:m]
+	ws.rowPos = ws.rowPos[:m]
+	ws.visited = ws.visited[:m]
+	ws.estate = ws.estate[:m]
+	ws.rcount = ws.rcount[:m]
+	ws.cnt = ws.cnt[:m+1]
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // Factorize computes the sparse LU factorization of the m×m basis whose
 // column at position p has row indices colIdx[p] and values colVal[p].
-// The input slices are not retained.
+// The input slices are not retained. Hot callers should hold a Workspace and
+// a destination and use FactorizeInto instead.
 func Factorize(m int, colIdx [][]int32, colVal [][]float64) (*Factors, error) {
-	f := &Factors{
-		m:      m,
-		order:  make([]int32, m),
-		rowPiv: make([]int32, m),
-		lptr:   make([]int32, m+1),
-		uptr:   make([]int32, m+1),
-		udiag:  make([]float64, m),
+	f := &Factors{}
+	if err := FactorizeInto(f, NewWorkspace(), m, colIdx, colVal); err != nil {
+		return nil, err
 	}
+	return f, nil
+}
+
+// FactorizeInto computes the sparse LU factorization of the m×m basis into
+// dst, reusing dst's storage when its capacity allows. dst must not be
+// shared with (cloned into, copied from, handed off to) any other live
+// Factors: its backing arrays are overwritten. On error dst is left in an
+// unspecified state and must not be used for solves.
+func FactorizeInto(dst *Factors, ws *Workspace, m int, colIdx [][]int32, colVal [][]float64) error {
+	f := dst
+	f.m = m
+	f.order = growI32(f.order, m)
+	f.rowPiv = growI32(f.rowPiv, m)
+	f.lptr = growI32(f.lptr, m+1)
+	f.uptr = growI32(f.uptr, m+1)
+	f.udiag = growF64(f.udiag, m)
+	f.lrow = f.lrow[:0]
+	f.lval = f.lval[:0]
+	f.urow = f.urow[:0]
+	f.uval = f.uval[:0]
+	f.etas = f.etas[:0]
+	f.etaIdx = f.etaIdx[:0]
+	f.etaVal = f.etaVal[:0]
+	f.etaNNZ = 0
+	f.scratch = growF64(f.scratch, m)
 	if m == 0 {
-		return f, nil
+		f.lptr[0], f.uptr[0] = 0, 0
+		f.buildMirrors(ws)
+		return nil
 	}
+	ws.grow(m)
+
 	// Static Markowitz counts: column elimination order by ascending nnz
 	// (ties by position, for determinism) and per-row entry counts for the
 	// pivot-row tie-break.
@@ -97,26 +201,32 @@ func Factorize(m int, colIdx [][]int32, colVal [][]float64) (*Factors, error) {
 	sort.SliceStable(f.order, func(a, b int) bool {
 		return len(colIdx[f.order[a]]) < len(colIdx[f.order[b]])
 	})
-	rcount := make([]int32, m)
+	rcount := ws.rcount
+	for r := range rcount {
+		rcount[r] = 0
+	}
 	for p := 0; p < m; p++ {
 		for _, r := range colIdx[p] {
 			rcount[r]++
 		}
 	}
 
-	w := make([]float64, m)    // dense accumulator for the current column
-	rowPos := make([]int32, m) // original row → elimination step, or -1
-	for r := range rowPos {
+	w := ws.w
+	rowPos := ws.rowPos
+	for r := 0; r < m; r++ {
+		w[r] = 0
 		rowPos[r] = -1
+		ws.visited[r] = false
 	}
 	// Gilbert–Peierls workspaces: the DFS discovers the nonzero pattern of
 	// L_partial⁻¹·A_j so both the triangular solve and the pivot search
 	// touch only (fill-in) nonzeros instead of all m rows.
-	visited := make([]bool, m)
-	post := make([]int32, 0, m)  // DFS postorder (reverse = topological)
-	stack := make([]int32, 0, m) // DFS stack of rows
-	estate := make([]int32, m)   // per-row DFS edge cursor
+	visited := ws.visited
+	post := ws.post[:0]
+	stack := ws.stack[:0]
+	estate := ws.estate
 
+	f.lptr[0], f.uptr[0] = 0, 0
 	for k := 0; k < m; k++ {
 		j := f.order[k]
 		// Symbolic phase: reachable rows from the column's pattern through
@@ -187,7 +297,13 @@ func Factorize(m int, colIdx [][]int32, colVal [][]float64) (*Factors, error) {
 			}
 		}
 		if maxAbs < singTol {
-			return nil, ErrSingular
+			// Clear the scatter state so the workspace stays reusable.
+			for _, r := range post {
+				w[r] = 0
+				visited[r] = false
+			}
+			ws.post, ws.stack = post[:0], stack[:0]
+			return ErrSingular
 		}
 		thresh := threshRel * maxAbs
 		pr := int32(-1)
@@ -228,8 +344,83 @@ func Factorize(m int, colIdx [][]int32, colVal [][]float64) (*Factors, error) {
 		f.lptr[k+1] = int32(len(f.lrow))
 		f.uptr[k+1] = int32(len(f.urow))
 	}
-	f.scratch = make([]float64, m)
-	return f, nil
+	ws.post, ws.stack = post[:0], stack[:0]
+	f.buildMirrors(ws)
+	return nil
+}
+
+// buildMirrors derives the transposed (row-major) views of L and U consumed
+// by the hyper-sparse Btran. U is mirrored by row step (urow entries are step
+// numbers); L is mirrored by the step at which each entry's row becomes
+// pivotal, which is exactly the order the backward Lᵀ scatter finalizes them.
+func (f *Factors) buildMirrors(ws *Workspace) {
+	m := f.m
+	f.urptr = growI32(f.urptr, m+1)
+	f.lrptr = growI32(f.lrptr, m+1)
+	f.urcol = growI32(f.urcol, len(f.urow))
+	f.urval = growF64(f.urval, len(f.uval))
+	f.lrcol = growI32(f.lrcol, len(f.lrow))
+	f.lrval = growF64(f.lrval, len(f.lval))
+	if m == 0 {
+		f.urptr[0], f.lrptr[0] = 0, 0
+		return
+	}
+	if ws == nil || cap(ws.cnt) < m+1 {
+		ws = &Workspace{cnt: make([]int32, m+1)}
+	}
+	cnt := ws.cnt[:m+1]
+
+	// U mirror: count entries per row step, then scatter (k ascending keeps
+	// each row's column list sorted ascending — deterministic).
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for _, j := range f.urow {
+		cnt[j+1]++
+	}
+	for i := 0; i < m; i++ {
+		cnt[i+1] += cnt[i]
+	}
+	copy(f.urptr, cnt[:m+1])
+	for k := 0; k < m; k++ {
+		for e := f.uptr[k]; e < f.uptr[k+1]; e++ {
+			j := f.urow[e]
+			f.urcol[cnt[j]] = int32(k)
+			f.urval[cnt[j]] = f.uval[e]
+			cnt[j]++
+		}
+	}
+
+	// L mirror: entries keyed by the step at which their row becomes
+	// pivotal (ws.estate doubles as the row→step map; the DFS is done
+	// with it by the time mirrors are built).
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	steps := ws.estate
+	if cap(steps) < m {
+		steps = make([]int32, m)
+		ws.estate = steps
+	}
+	steps = steps[:m]
+	for k := 0; k < m; k++ {
+		steps[f.rowPiv[k]] = int32(k)
+	}
+	for _, r := range f.lrow {
+		cnt[steps[r]+1]++
+	}
+	for i := 0; i < m; i++ {
+		cnt[i+1] += cnt[i]
+	}
+	copy(f.lrptr, cnt[:m+1])
+	for k := 0; k < m; k++ {
+		for e := f.lptr[k]; e < f.lptr[k+1]; e++ {
+			s := steps[f.lrow[e]]
+			f.lrcol[cnt[s]] = int32(k)
+			f.lrval[cnt[s]] = f.lval[e]
+			cnt[s]++
+		}
+	}
 }
 
 // M returns the dimension of the factorized basis.
@@ -245,17 +436,19 @@ func (f *Factors) EtaNNZ() int { return f.etaNNZ }
 // Update appends the product-form eta for a pivot that replaced the basis
 // column at position r, where alpha = B⁻¹·(entering column) is the FTRAN'd
 // entering column. alpha[r] must be nonzero (the simplex ratio test
-// guarantees a pivot magnitude above its tolerance).
+// guarantees a pivot magnitude above its tolerance). Steady-state updates
+// are allocation-free once the arena capacity has warmed up.
 func (f *Factors) Update(alpha []float64, r int) {
-	e := eta{r: int32(r), piv: alpha[r]}
+	off := int32(len(f.etaIdx))
 	for i, v := range alpha {
 		if i != r && math.Abs(v) > dropTol {
-			e.idx = append(e.idx, int32(i))
-			e.val = append(e.val, v)
+			f.etaIdx = append(f.etaIdx, int32(i))
+			f.etaVal = append(f.etaVal, v)
 		}
 	}
-	f.etas = append(f.etas, e)
-	f.etaNNZ += len(e.idx) + 1
+	n := int32(len(f.etaIdx)) - off
+	f.etas = append(f.etas, eta{r: int32(r), n: n, off: off, piv: alpha[r]})
+	f.etaNNZ += int(n) + 1
 }
 
 // Ftran solves B·x = v in place: on input v is a right-hand side indexed by
@@ -299,57 +492,102 @@ func (f *Factors) Ftran(v []float64) {
 			continue
 		}
 		pv /= e.piv
-		for t, idx := range e.idx {
-			v[idx] -= e.val[t] * pv
+		idx := f.etaIdx[e.off : e.off+e.n]
+		val := f.etaVal[e.off : e.off+e.n]
+		for t, ix := range idx {
+			v[ix] -= val[t] * pv
 		}
 		v[e.r] = pv
 	}
 }
 
 // Btran solves Bᵀ·y = v in place: on input v is indexed by basis position
-// (e.g. basic costs), on output it holds y indexed by row.
+// (e.g. basic costs), on output it holds y indexed by row. Both triangular
+// solves run in scatter form over the transposed mirrors and skip
+// structurally-zero steps, so the unit right-hand sides of the pivot-row
+// BTRAN touch only the reachable part of the dependency graph.
 func (f *Factors) Btran(v []float64) {
 	// Eta transposes in reverse pivot order.
 	for i := len(f.etas) - 1; i >= 0; i-- {
 		e := &f.etas[i]
 		s := v[e.r]
-		for t, idx := range e.idx {
-			s -= e.val[t] * v[idx]
+		idx := f.etaIdx[e.off : e.off+e.n]
+		val := f.etaVal[e.off : e.off+e.n]
+		for t, ix := range idx {
+			s -= val[t] * v[ix]
 		}
 		v[e.r] = s / e.piv
 	}
 	m := f.m
 	// Column permutation, then Uᵀ solve (forward in elimination steps;
-	// gather form over the stored U columns).
+	// scatter form over the row mirror, skipping zero steps).
 	z := f.scratch
 	for k := 0; k < m; k++ {
 		z[k] = v[f.order[k]]
 	}
 	for k := 0; k < m; k++ {
-		s := z[k]
-		for e := f.uptr[k]; e < f.uptr[k+1]; e++ {
-			s -= f.uval[e] * z[f.urow[e]]
+		t := z[k]
+		if t == 0 {
+			continue
 		}
-		z[k] = s / f.udiag[k]
+		t /= f.udiag[k]
+		z[k] = t
+		for e := f.urptr[k]; e < f.urptr[k+1]; e++ {
+			z[f.urcol[e]] -= f.urval[e] * t
+		}
 	}
-	// Lᵀ solve (backward; rows referenced by an L column are pivotal at
-	// later steps, whose y values are already final).
+	// Lᵀ solve (backward; scatter form over the step-keyed mirror: once
+	// step k is final, its value feeds the earlier steps whose L columns
+	// reference row rowPiv[k]).
 	for k := m - 1; k >= 0; k-- {
-		s := z[k]
-		for e := f.lptr[k]; e < f.lptr[k+1]; e++ {
-			s -= f.lval[e] * v[f.lrow[e]]
+		t := z[k]
+		v[f.rowPiv[k]] = t
+		if t == 0 {
+			continue
 		}
-		v[f.rowPiv[k]] = s
+		for e := f.lrptr[k]; e < f.lrptr[k+1]; e++ {
+			z[f.lrcol[e]] -= f.lrval[e] * t
+		}
 	}
 }
 
-// Clone returns a Factors sharing the immutable base LU with f but owning
-// its eta file and scratch space, so updates to either copy stay private.
-// This is what makes a factorization cacheable across warm starts.
+// CopyInto deep-copies f into dst, reusing dst's storage when capacity
+// allows. dst afterwards shares nothing with f: either side may be updated,
+// refactorized into, or discarded without affecting the other. This is the
+// allocation-free warm-start adoption path.
+func (f *Factors) CopyInto(dst *Factors) {
+	dst.m = f.m
+	dst.order = append(growI32(dst.order, len(f.order))[:0], f.order...)
+	dst.rowPiv = append(growI32(dst.rowPiv, len(f.rowPiv))[:0], f.rowPiv...)
+	dst.lptr = append(growI32(dst.lptr, len(f.lptr))[:0], f.lptr...)
+	dst.lrow = append(growI32(dst.lrow, len(f.lrow))[:0], f.lrow...)
+	dst.lval = append(growF64(dst.lval, len(f.lval))[:0], f.lval...)
+	dst.uptr = append(growI32(dst.uptr, len(f.uptr))[:0], f.uptr...)
+	dst.urow = append(growI32(dst.urow, len(f.urow))[:0], f.urow...)
+	dst.uval = append(growF64(dst.uval, len(f.uval))[:0], f.uval...)
+	dst.udiag = append(growF64(dst.udiag, len(f.udiag))[:0], f.udiag...)
+	dst.urptr = append(growI32(dst.urptr, len(f.urptr))[:0], f.urptr...)
+	dst.urcol = append(growI32(dst.urcol, len(f.urcol))[:0], f.urcol...)
+	dst.urval = append(growF64(dst.urval, len(f.urval))[:0], f.urval...)
+	dst.lrptr = append(growI32(dst.lrptr, len(f.lrptr))[:0], f.lrptr...)
+	dst.lrcol = append(growI32(dst.lrcol, len(f.lrcol))[:0], f.lrcol...)
+	dst.lrval = append(growF64(dst.lrval, len(f.lrval))[:0], f.lrval...)
+	if cap(dst.etas) < len(f.etas) {
+		dst.etas = make([]eta, len(f.etas))
+	} else {
+		dst.etas = dst.etas[:len(f.etas)]
+	}
+	copy(dst.etas, f.etas)
+	dst.etaIdx = append(growI32(dst.etaIdx, len(f.etaIdx))[:0], f.etaIdx...)
+	dst.etaVal = append(growF64(dst.etaVal, len(f.etaVal))[:0], f.etaVal...)
+	dst.etaNNZ = f.etaNNZ
+	dst.scratch = growF64(dst.scratch, f.m)
+}
+
+// Clone returns an independent deep copy of f. Hot callers should hold a
+// destination and use CopyInto instead.
 func (f *Factors) Clone() *Factors {
-	out := *f
-	out.etas = make([]eta, len(f.etas))
-	copy(out.etas, f.etas) // eta payload slices are append-only: share them
-	out.scratch = make([]float64, f.m)
-	return &out
+	out := &Factors{}
+	f.CopyInto(out)
+	return out
 }

@@ -31,12 +31,24 @@ func debugVerifyResult(inst *Instance, res *Result) {
 		}
 	}
 	for i := 0; i < inst.m; i++ {
+		// rowData is stored in the solver's scaled units; check the scaled
+		// identity act' = r_i·(A·x) against the scaled row bounds. On an
+		// unscaled instance the scales are identity.
 		idx, val := inst.rowData(i)
 		act := 0.0
-		for k, j := range idx {
-			act += val[k] * res.X[j]
-		}
 		rlb, rub := inst.lb[inst.n+i], inst.ub[inst.n+i]
+		if inst.scaled {
+			for k, j := range idx {
+				act += val[k] * res.X[j] * inst.colScaleInv[j]
+			}
+			rs := inst.rowScale[i]
+			rlb *= rs
+			rub *= rs
+		} else {
+			for k, j := range idx {
+				act += val[k] * res.X[j]
+			}
+		}
 		if act < rlb-tol*(1+math.Abs(rlb)) || act > rub+tol*(1+math.Abs(rub)) {
 			panic(fmt.Sprintf("lp debugchecks: row %d activity %v outside [%v, %v]",
 				i, act, rlb, rub))

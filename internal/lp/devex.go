@@ -2,27 +2,34 @@ package lp
 
 import "math"
 
-// Devex pricing (Harris 1973): approximate steepest-edge weights maintained
-// against a reference framework. The primal prices entering columns by
-// d_j²/w_j instead of the raw Dantzig rule |d_j|; the dual prices leaving
-// rows by infeasibility²/w_i. Weights start at 1 (the reference framework is
-// the current nonbasic set), are cheap to update from quantities the pivot
-// already computes (the pivot row for the primal, the FTRAN column for the
-// dual), and the framework is reset whenever a weight overflows its budget.
+// Pricing. The primal uses Devex (Harris 1973): approximate steepest-edge
+// weights maintained against a reference framework, pricing entering columns
+// by d_j²/w_j instead of the raw Dantzig rule |d_j|. The dual uses dual
+// steepest-edge (Forrest–Goldfarb 1992) in its cheap-initialization form
+// (Koberstein): leaving rows are priced by infeasibility²/β_i where
+// β_i ≈ ‖B⁻ᵀe_i‖², weights start at 1 and are corrected incrementally —
+// with the leaving row's weight replaced by its exact value each pivot,
+// since the pivot row ρ_r = B⁻ᵀe_r is computed anyway.
 
 const (
-	// devexMax bounds the weights; exceeding it resets the reference
+	// devexMax bounds the primal weights; exceeding it resets the reference
 	// framework (all weights back to 1).
 	devexMax = 1e8
 	// priceSectionMin is the smallest sectional-scan size of the primal's
-	// partial pricing; tiny problems degrade to a full scan.
-	priceSectionMin = 128
+	// partial pricing; tiny problems degrade to a full scan. The floor is
+	// deliberately wide: on the TVNEP models narrow sections pick weak
+	// entering columns whose effect compounds through the branch-and-bound
+	// trajectory (measured as 2-5x the node count), while the scan itself is
+	// a cheap contiguous pass.
+	priceSectionMin = 384
 )
 
 // devexPrimalUpdate refreshes the entering-column weights for the pivot in
 // which column q enters at row r. Must run after pivotRow(r) (it reads
-// s.arow) and before the basis swap (it relies on the pre-pivot nonbasic
-// set). leaving is the column exiting the basis.
+// s.arow over the hyper-sparse stack s.arowNZ) and before the basis swap
+// (it relies on the pre-pivot nonbasic set). leaving is the column exiting
+// the basis. Columns off the pivot row's support keep their weights, so the
+// loop runs over the stack instead of all N columns.
 func (s *solver) devexPrimalUpdate(q, r, leaving int) {
 	arq := s.arow[q]
 	if arq == 0 {
@@ -31,8 +38,8 @@ func (s *solver) devexPrimalUpdate(q, r, leaving int) {
 	wq := s.devexW[q]
 	scale := wq / (arq * arq)
 	reset := false
-	for j := 0; j < s.N; j++ {
-		if s.vstat[j] == vsBasic || j == q {
+	for _, j := range s.arowNZ {
+		if s.vstat[j] == vsBasic || int(j) == q {
 			continue
 		}
 		a := s.arow[j]
@@ -60,17 +67,40 @@ func (s *solver) devexPrimalUpdate(q, r, leaving int) {
 	}
 }
 
-// devexDualUpdate refreshes the leaving-row weights for the pivot in which
-// the basic variable of row r leaves. alpha is the FTRAN'd entering column.
-// Must run before the basis swap.
-func (s *solver) devexDualUpdate(alpha []float64, r int) {
+// dseUpdate refreshes the dual steepest-edge weights β_i = ‖B⁻ᵀe_i‖² for
+// the pivot in which column q enters at row r. alpha is the FTRAN'd
+// entering column; s.rho must still hold the pivot row B⁻ᵀe_r (from
+// pivotRow) and s.tau receives B⁻¹ρ_r, the one extra FTRAN this rule costs
+// per iteration. Must run before the basis swap.
+//
+// With β_r taken exactly as ‖ρ_r‖² (free — ρ_r is already computed), the
+// Forrest–Goldfarb recurrence for the post-pivot weights is
+//
+//	β̂_r = β_r/α_r²
+//	β̂_i = β_i − 2·(α_i/α_r)·τ_i + (α_i/α_r)²·β_r,  τ = B⁻¹ρ_r
+//
+// so rows untouched by the entering column (α_i = 0) keep their weights.
+// The exact β_r each iteration is what lets the cheap all-ones
+// initialization converge to true steepest-edge behavior after a warm
+// start.
+//
+// The recurrence is only exact when β_i itself is exact. Under the cheap
+// initialization a stale (too small) β_i can drive the computed value
+// negative — the floor would then overprice that row by orders of magnitude
+// and pricing thrashes. The standard safeguard clamps the update from below
+// at (α_i/α_r)²·β_r, the part of the new row norm contributed by the pivot
+// row, which keeps stale weights from collapsing.
+func (s *solver) dseUpdate(alpha []float64, r int) {
 	ar := alpha[r]
 	if ar == 0 {
 		return
 	}
-	wr := s.dualW[r]
-	scale := wr / (ar * ar)
-	reset := false
+	betaR := 0.0
+	for _, v := range s.rho {
+		betaR += v * v
+	}
+	copy(s.tau, s.rho)
+	s.fac.Ftran(s.tau)
 	for i := 0; i < s.m; i++ {
 		if i == r {
 			continue
@@ -79,25 +109,21 @@ func (s *solver) devexDualUpdate(alpha []float64, r int) {
 		if a == 0 {
 			continue
 		}
-		if cand := a * a * scale; cand > s.dualW[i] {
-			if cand > devexMax {
-				reset = true
-				break
-			}
-			s.dualW[i] = cand
+		k := a / ar
+		nb := s.dualW[i] - 2*k*s.tau[i] + k*k*betaR
+		if low := k * k * betaR; nb < low {
+			nb = low
 		}
-	}
-	if reset {
-		for i := range s.dualW {
-			s.dualW[i] = 1
+		if nb < dseFloor {
+			nb = dseFloor
 		}
-		return
+		s.dualW[i] = nb
 	}
-	if scale > 1 {
-		s.dualW[r] = scale
-	} else {
-		s.dualW[r] = 1
+	nb := betaR / (ar * ar)
+	if nb < dseFloor {
+		nb = dseFloor
 	}
+	s.dualW[r] = nb
 }
 
 // priceEntering selects an entering column, returning (-1, 0) at

@@ -21,9 +21,11 @@ import (
 // columns and returns its row index. Duplicate indices are merged and zero
 // coefficients dropped. The column-major matrix is updated copy-on-write:
 // clones sharing the pre-append column storage stay valid, and clones taken
-// after the append see the new row. Bases snapshotted before the append no
-// longer match the instance's dimensions; Solve extends them automatically
-// (see extendWarmStart).
+// after the append see the new row. On a scaled instance the stored row is
+// equilibrated like the compiled rows (a fresh power-of-two row scale over
+// the already column-scaled coefficients); bounds stay in original units.
+// Bases snapshotted before the append no longer match the instance's
+// dimensions; Solve extends them automatically (see extendWarmStart).
 func (inst *Instance) AppendRow(idx []int32, val []float64, rlb, rub float64) int {
 	if len(idx) != len(val) {
 		panic("lp: AppendRow index/value length mismatch")
@@ -66,6 +68,21 @@ func (inst *Instance) AppendRow(idx []int32, val []float64, rlb, rub float64) in
 	}
 	rowIdx, rowVal = rowIdx[:w], rowVal[:w]
 
+	// Equilibrate the stored row like the compiled ones. Scaling was fixed
+	// at compile time; an unscaled instance stays unscaled (row scale 1).
+	if inst.scaled {
+		rs := inst.appendedRowScale(rowIdx, rowVal)
+		for k, j := range rowIdx {
+			rowVal[k] *= rs * inst.colScale[j]
+		}
+		// rowScale grows copy-on-write, like unitIdx below: clones sharing
+		// the old slice must not observe the new row.
+		nrs := make([]float64, r+1)
+		copy(nrs, inst.rowScale)
+		nrs[r] = rs
+		inst.rowScale = nrs
+	}
+
 	// Copy-on-write column updates: the old column slices may be shared with
 	// clones (or with the compile-time backing arrays), so each affected
 	// column gets fresh storage.
@@ -81,7 +98,7 @@ func (inst *Instance) AppendRow(idx []int32, val []float64, rlb, rub float64) in
 	}
 	inst.extraIdx = append(inst.extraIdx, rowIdx)
 	inst.extraVal = append(inst.extraVal, rowVal)
-	// Row (slack) bounds live at the tail of lb/ub.
+	// Row (slack) bounds live at the tail of lb/ub, in original units.
 	inst.lb = append(inst.lb, rlb)
 	inst.ub = append(inst.ub, rub)
 	ui := make([]int32, r+1)
@@ -96,16 +113,21 @@ func (inst *Instance) AppendRow(idx []int32, val []float64, rlb, rub float64) in
 // compiled Problem.
 func (inst *Instance) NumAppendedRows() int { return inst.m - inst.baseRows }
 
-// rowData returns row i's structural indices and coefficients, covering both
-// compiled and appended rows. The slices are shared storage; do not mutate.
+// rowData returns row i's structural indices and coefficients in the
+// solver's (scaled) units, covering both compiled and appended rows. The
+// slices are shared storage; do not mutate.
 func (inst *Instance) rowData(i int) ([]int32, []float64) {
 	if i < inst.baseRows {
-		return inst.p.Row(i)
+		idx, val := inst.p.Row(i)
+		if inst.scaled {
+			return idx, inst.baseRowVal[i]
+		}
+		return idx, val
 	}
 	return inst.extraIdx[i-inst.baseRows], inst.extraVal[i-inst.baseRows]
 }
 
-// RowBounds returns the bounds of row i.
+// RowBounds returns the bounds of row i in original units.
 func (inst *Instance) RowBounds(i int) (lb, ub float64) {
 	return inst.lb[inst.n+i], inst.ub[inst.n+i]
 }
@@ -117,16 +139,18 @@ func (inst *Instance) RowBounds(i int) (lb, ub float64) {
 // preserved because the new duals start at zero). Slack and artificial
 // column indices are remapped around the grown slack block. When wf holds
 // the LU factors matching b, they are extended with a bordered block
-// (sparselu.Extend) so the hot restart skips refactorization entirely.
+// (sparselu.ExtendInto, into a solver-owned buffer installed as s.preFac)
+// so the hot restart skips refactorization entirely.
 //
-// Returns (nil, nil) if b does not look like a basis of this instance with
-// fewer rows; returns (basis, nil) if only the basis could be extended (the
-// adopting solver then refactorizes).
-func (inst *Instance) extendWarmStart(b *Basis, wf *sparselu.Factors) (*Basis, *sparselu.Factors) {
+// Returns nil if b does not look like a basis of this instance with fewer
+// rows; returns the extended basis with s.preFac unset if only the basis
+// could be extended (the adopting solver then refactorizes).
+func (s *solver) extendWarmStart(b *Basis, wf *sparselu.Factors) *Basis {
+	inst := s.inst
 	n, m := inst.n, inst.m
 	mOld := len(b.Basic)
 	if mOld >= m || len(b.Status) != n+2*mOld {
-		return nil, nil
+		return nil
 	}
 	shift := m - mOld
 	eb := &Basis{Basic: make([]int32, m), Status: make([]int8, n+2*m)}
@@ -145,32 +169,43 @@ func (inst *Instance) extendWarmStart(b *Basis, wf *sparselu.Factors) (*Basis, *
 	// New artificials keep the zero value (vsLower), fixed at 0 by newSolver.
 
 	if wf == nil || wf.M() != mOld {
-		return eb, nil
+		return eb
 	}
 	// Border block: the appended rows' coefficients on the old basic
 	// columns, stated in basis positions. Appended rows touch structural
 	// columns only, so basic slacks and artificials contribute nothing.
-	pos := make(map[int32]int32, mOld)
+	// The position lookup and border storage are solver-owned scratch.
 	for p, j := range b.Basic {
-		pos[j] = int32(p)
+		s.posOf[j] = int32(p)
 	}
-	borderIdx := make([][]int32, shift)
-	borderVal := make([][]float64, shift)
-	diag := make([]float64, shift)
+	if cap(s.extIdx) < shift {
+		s.extIdx = make([][]int32, shift)
+		s.extVal = make([][]float64, shift)
+		s.extDiag = make([]float64, shift)
+	}
+	s.extIdx = s.extIdx[:shift]
+	s.extVal = s.extVal[:shift]
+	s.extDiag = s.extDiag[:shift]
 	for t := 0; t < shift; t++ {
 		ridx, rval := inst.rowData(mOld + t)
+		bi, bv := s.extIdx[t][:0], s.extVal[t][:0]
 		for k, j := range ridx {
-			if p, ok := pos[j]; ok {
-				borderIdx[t] = append(borderIdx[t], p)
-				borderVal[t] = append(borderVal[t], rval[k])
+			if p := s.posOf[j]; p >= 0 {
+				bi = append(bi, p)
+				bv = append(bv, rval[k])
 			}
 		}
-		diag[t] = -1 // the appended slack column is −e_row
+		s.extIdx[t], s.extVal[t] = bi, bv
+		s.extDiag[t] = -1 // the appended slack column is −e_row
 	}
-	ext, err := wf.Extend(shift, borderIdx, borderVal, diag)
-	if err != nil {
-		return eb, nil
+	for _, j := range b.Basic {
+		s.posOf[j] = -1
 	}
+	dst := s.grabFacBuf()
+	if err := wf.ExtendInto(dst, s.facWS, shift, s.extIdx, s.extVal, s.extDiag); err != nil {
+		return eb
+	}
+	s.preFac = dst
 	DebugBasisExtensions.Add(1)
-	return eb, ext
+	return eb
 }

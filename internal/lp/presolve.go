@@ -275,10 +275,31 @@ func presolve(p *Problem) *presolved {
 		return nil
 	}
 
-	// Assemble the reduced problem over the survivors.
+	// Assemble the reduced problem over the survivors. Survivor counts are
+	// known up front, so every slice is reserved exactly once: the append
+	// doubling this loop otherwise pays shows up directly in cold-Solve GC.
+	keptCols, keptRows := 0, 0
+	for j := 0; j < n; j++ {
+		if !removedCol[j] {
+			keptCols++
+		}
+	}
+	for i := 0; i < m; i++ {
+		if !removedRow[i] {
+			keptRows++
+		}
+	}
 	red := NewProblem()
 	red.Sense = p.Sense
 	red.ObjOffset = p.ObjOffset
+	red.Obj = make([]float64, 0, keptCols)
+	red.ColLB = make([]float64, 0, keptCols)
+	red.ColUB = make([]float64, 0, keptCols)
+	red.ColName = make([]string, 0, keptCols)
+	red.rows = make([]sparseRow, 0, keptRows)
+	red.RowLB = make([]float64, 0, keptRows)
+	red.RowUB = make([]float64, 0, keptRows)
+	red.RowName = make([]string, 0, keptRows)
 	ps.colMap = make([]int32, 0, n)
 	for j := 0; j < n; j++ {
 		if removedCol[j] {
@@ -292,6 +313,23 @@ func presolve(p *Problem) *presolved {
 		ps.colMap = append(ps.colMap, int32(j))
 	}
 	ps.rowMap = make([]int32, 0, m)
+	// Counted two-pass build into shared backing arrays, mirroring the
+	// adjacency build above: two fresh slices per kept row would put ~2m
+	// allocations on every cold Solve.
+	keptNNZ := 0
+	for i := 0; i < m; i++ {
+		if removedRow[i] {
+			continue
+		}
+		idx, _ := p.Row(i)
+		for _, j := range idx {
+			if !removedCol[j] {
+				keptNNZ++
+			}
+		}
+	}
+	ridxBack := make([]int32, 0, keptNNZ)
+	rvalBack := make([]float64, 0, keptNNZ)
 	for i := 0; i < m; i++ {
 		if removedRow[i] {
 			ps.rowPos[i] = -1
@@ -301,16 +339,15 @@ func presolve(p *Problem) *presolved {
 		// Append the filtered row directly: the source row is already
 		// deduplicated and in range, so AddRow's merging map is dead weight
 		// on this hot path (one assembly per cold Solve).
-		ridx := make([]int32, 0, len(idx))
-		rval := make([]float64, 0, len(idx))
+		start := len(ridxBack)
 		for k, j := range idx {
 			if !removedCol[j] {
-				ridx = append(ridx, ps.colPos[j])
-				rval = append(rval, val[k])
+				ridxBack = append(ridxBack, ps.colPos[j])
+				rvalBack = append(rvalBack, val[k])
 			}
 		}
 		ps.rowPos[i] = int32(len(red.rows))
-		red.rows = append(red.rows, sparseRow{idx: ridx, val: rval})
+		red.rows = append(red.rows, sparseRow{idx: ridxBack[start:len(ridxBack):len(ridxBack)], val: rvalBack[start:len(rvalBack):len(rvalBack)]})
 		red.RowLB = append(red.RowLB, rlb[i])
 		red.RowUB = append(red.RowUB, rub[i])
 		red.RowName = append(red.RowName, p.RowName[i])

@@ -20,7 +20,13 @@ const (
 // failed and the solve cannot proceed on this basis.
 func (s *solver) crashBasis() (bool, error) {
 	n, m := s.inst.n, s.m
-	// All structural columns nonbasic at their natural bound.
+	// All structural columns nonbasic at their natural bound. Phase-1 costs
+	// are zero everywhere except the artificials set below — the solver is
+	// reused across solves, so the previous solve's phase-2 costs must be
+	// cleared explicitly.
+	for j := 0; j < s.nm; j++ {
+		s.cost[j] = 0
+	}
 	for j := 0; j < n; j++ {
 		s.vstat[j] = s.defaultStatus(j)
 		s.inBasis[j] = -1
@@ -262,4 +268,50 @@ func (s *solver) noteProgress(step float64) {
 		s.stall = 0
 		s.bland = false
 	}
+}
+
+// crashSlackBasis installs the all-slack basis for the dual phase 1: every
+// slack basic at its row activity, structural columns at their natural
+// bounds, artificials nonbasic and fixed at zero. Under the all-zero cost
+// vector every reduced cost is zero, so this basis is dual feasible no
+// matter how many rows it violates — the dual simplex can then restore
+// primal feasibility directly, without the artificial-variable detour (and
+// its factorization is diagonal, so the initial refactor is trivial).
+func (s *solver) crashSlackBasis() error {
+	n, m := s.inst.n, s.m
+	for j := 0; j < s.nm; j++ {
+		s.cost[j] = 0
+	}
+	for j := 0; j < n; j++ {
+		s.vstat[j] = s.defaultStatus(j)
+		s.inBasis[j] = -1
+	}
+	act := make([]float64, m)
+	for j := 0; j < n; j++ {
+		v := 0.0
+		switch s.vstat[j] {
+		case vsLower:
+			v = s.lb[j]
+		case vsUpper:
+			v = s.ub[j]
+		}
+		if v == 0 {
+			continue
+		}
+		for k, r := range s.inst.colIdx[j] {
+			act[r] += s.inst.colVal[j][k] * v
+		}
+	}
+	for i := 0; i < m; i++ {
+		slack := n + i
+		art := s.nm + i
+		s.cost[art] = 0
+		s.basis[i] = int32(slack)
+		s.inBasis[slack] = int32(i)
+		s.vstat[slack] = vsBasic
+		s.vstat[art] = vsLower
+		s.lb[art], s.ub[art] = 0, 0
+		s.xB[i] = act[i]
+	}
+	return s.refactor()
 }

@@ -192,12 +192,17 @@ type Result struct {
 	Duals      []float64 // row duals (minimization convention)
 	Iterations int
 	Basis      *Basis // final basis snapshot (valid when Optimal or Infeasible-by-dual)
+	// BoundFlips counts nonbasic variables flipped between their bounds by
+	// the long-step dual ratio test; each flip absorbs a would-be
+	// (typically degenerate) pivot. RatioPasses counts the breakpoints the
+	// long-step test walked through (flips plus entering choices).
+	BoundFlips  int
+	RatioPasses int
 	// Factors is the LU factorization matching Basis, filled only when
 	// Options.CaptureFactors is set (and Basis is). Handing it back as
 	// Options.WarmFactors of a later solve warm-starts that solve without a
-	// refactorization — and, unlike the per-Instance cache, works across
-	// Instance clones, which is what makes parallel branch-and-bound
-	// bit-reproducible.
+	// refactorization, and works across Instance clones, which is what
+	// makes parallel branch-and-bound bit-reproducible.
 	Factors *sparselu.Factors
 	// WarmUsed reports that this result came from a successful warm-started
 	// dual-simplex run (rather than the cold two-phase fallback). Unlike the
@@ -217,14 +222,14 @@ type Options struct {
 	MaxIters  int    // 0 → automatic (20000 + 50·(rows+cols))
 	WarmBasis *Basis // if non-nil, attempt a dual-simplex warm start
 	// WarmFactors, when non-nil, is the LU factorization of WarmBasis
-	// (typically a prior Result.Factors). The warm start clones it instead
-	// of refactorizing or consulting the instance's factorization cache,
-	// making the solve a pure function of its inputs. The caller must
-	// guarantee the factors actually belong to WarmBasis.
+	// (typically a prior Result.Factors). The warm start copies it into
+	// solver-owned storage instead of refactorizing, making the solve a
+	// pure function of its inputs. The caller must guarantee the factors
+	// actually belong to WarmBasis.
 	WarmFactors *sparselu.Factors
-	// CaptureFactors asks the solve to return a clone of its final basis
-	// factorization in Result.Factors (whenever Result.Basis is filled).
-	// Capturing replaces the instance-cache store for that solve.
+	// CaptureFactors asks the solve to return a deep copy of its final
+	// basis factorization in Result.Factors (whenever Result.Basis is
+	// filled).
 	CaptureFactors bool
 	FeasTol        float64
 	OptTol         float64

@@ -37,6 +37,14 @@ const (
 	// degenStepTol is the step length below which an iteration counts as
 	// degenerate for the stall detector.
 	degenStepTol = 1e-12
+	// flipSlopeTol is the dual-infeasibility slope below which the
+	// long-step (bound-flipping) ratio test stops passing breakpoints: a
+	// flip is only taken while the remaining primal violation of the
+	// leaving row stays safely positive afterwards.
+	flipSlopeTol = 1e-9
+	// dseFloor keeps the dual steepest-edge weights away from zero; a
+	// too-small weight would make one row's score explode on roundoff.
+	dseFloor = 1e-4
 )
 
 // refactorEvery returns the number of eta-file updates tolerated before a
@@ -62,66 +70,53 @@ func etaNNZBudget(m int) int {
 }
 
 // Instance is a solvable snapshot of a Problem with mutable column bounds.
-// It caches the sparse column-wise matrix; the branch-and-bound solver
-// mutates bounds between solves instead of rebuilding the problem.
+// It caches the sparse column-wise matrix in equilibrated (scaled) form; the
+// branch-and-bound solver mutates bounds between solves instead of
+// rebuilding the problem. Bounds, objective, solutions and duals stay in the
+// original units — the scaling is applied and removed inside the solver (see
+// scaling.go). Instances are not safe for concurrent use.
 type Instance struct {
 	p *Problem
 	n int // structural columns
 	m int // rows
 
-	colIdx [][]int32 // structural columns only
+	colIdx [][]int32 // structural columns only; values are scaled
 	colVal [][]float64
 
 	// Rows added by AppendRow (cuts), row-wise: row baseRows+i is
-	// extraIdx[i]/extraVal[i]. The column-major matrix above already
-	// contains their entries; this row view serves warm-basis extension and
-	// the row-wise consumers (pivotRow, debug checks).
+	// extraIdx[i]/extraVal[i], stored scaled. The column-major matrix above
+	// already contains their entries; this row view serves warm-basis
+	// extension and the row-wise consumers (pivotRow, debug checks).
 	baseRows int
 	extraIdx [][]int32
 	extraVal [][]float64
 
+	// Scaled row view of the compiled rows (indices shared with the
+	// Problem); nil when the instance is unscaled.
+	baseRowVal [][]float64
+
 	unitIdx []int32 // unitIdx[i] = i; slack/artificial column index storage
 
-	lb, ub []float64 // length n+m: structural bounds then row (slack) bounds
-	objMin []float64 // minimization costs for structural columns
+	lb, ub []float64 // length n+m, original units: structural then row bounds
+	objMin []float64 // minimization costs for structural columns (original)
 	negate bool      // true if original sense was Maximize
 
-	// Factorization cache: the sparse LU factors matching the basis
-	// snapshots most recently returned by solves on this instance. Warm
-	// starts that adopt exactly one of those snapshots (the common
-	// branch-and-bound case: both children reuse the parent's final basis)
-	// skip the refactorization entirely. A small ring suffices because
-	// siblings are solved close together. Instances are not safe for
-	// concurrent use.
-	cache    [4]facCacheEntry
-	cachePos int
+	// Power-of-two equilibration scales (see scaling.go): the solver works
+	// on A' = R·A·C with R = diag(rowScale), C = diag(colScale). All scales
+	// are powers of two, so applying and removing them is exact and the
+	// scaled solve stays bit-deterministic. nil/scaled=false means identity.
+	scaled      bool
+	rowScale    []float64
+	colScale    []float64
+	colScaleInv []float64
+
+	// sv is the per-instance solver state, reused across solves so the hot
+	// restart path (branch-and-bound, admission, cutting planes) allocates
+	// nothing in steady state. Lazily (re)built when dimensions change.
+	sv *solver
 }
 
-type facCacheEntry struct {
-	key *Basis
-	fac *sparselu.Factors
-}
-
-// cachedFactors returns the cached factorization for the snapshot, or nil.
-func (inst *Instance) cachedFactors(b *Basis) *sparselu.Factors {
-	for i := range inst.cache {
-		if inst.cache[i].key == b {
-			return inst.cache[i].fac
-		}
-	}
-	return nil
-}
-
-// storeFactors remembers the factorization for a snapshot. The entry is a
-// clone, so the donating solver's later eta updates stay private.
-func (inst *Instance) storeFactors(b *Basis, fac *sparselu.Factors) {
-	e := &inst.cache[inst.cachePos]
-	inst.cachePos = (inst.cachePos + 1) % len(inst.cache)
-	e.key = b
-	e.fac = fac.Clone()
-}
-
-// NewInstance compiles p into column-major form.
+// NewInstance compiles p into column-major form and equilibrates it.
 func NewInstance(p *Problem) *Instance {
 	n, m := p.NumCols(), p.NumRows()
 	inst := &Instance{
@@ -175,13 +170,14 @@ func NewInstance(p *Problem) *Instance {
 			inst.colVal[j] = append(inst.colVal[j], val[k])
 		}
 	}
+	inst.equilibrate()
 	return inst
 }
 
 // Clone returns an independent Instance over the same compiled problem.
 // The immutable per-column and per-row storage (and the Problem it was
 // compiled from) is shared; the mutable column bounds are copied and the
-// factorization cache starts empty. Clones are what give every worker of a
+// solver state starts empty. Clones are what give every worker of a
 // parallel branch-and-bound search its own simplex state without recompiling
 // the problem: the shared inner slices are never written after compilation,
 // and AppendRow replaces — never grows in place — the outer slices it
@@ -189,16 +185,21 @@ func NewInstance(p *Problem) *Instance {
 func (inst *Instance) Clone() *Instance {
 	out := &Instance{
 		p: inst.p, n: inst.n, m: inst.m,
-		baseRows: inst.baseRows,
-		colIdx:   append([][]int32(nil), inst.colIdx...),
-		colVal:   append([][]float64(nil), inst.colVal...),
-		extraIdx: append([][]int32(nil), inst.extraIdx...),
-		extraVal: append([][]float64(nil), inst.extraVal...),
-		unitIdx:  inst.unitIdx,
-		lb:       append([]float64(nil), inst.lb...),
-		ub:       append([]float64(nil), inst.ub...),
-		objMin:   inst.objMin,
-		negate:   inst.negate,
+		baseRows:    inst.baseRows,
+		colIdx:      append([][]int32(nil), inst.colIdx...),
+		colVal:      append([][]float64(nil), inst.colVal...),
+		extraIdx:    append([][]int32(nil), inst.extraIdx...),
+		extraVal:    append([][]float64(nil), inst.extraVal...),
+		baseRowVal:  inst.baseRowVal,
+		unitIdx:     inst.unitIdx,
+		lb:          append([]float64(nil), inst.lb...),
+		ub:          append([]float64(nil), inst.ub...),
+		objMin:      inst.objMin,
+		negate:      inst.negate,
+		scaled:      inst.scaled,
+		rowScale:    inst.rowScale,
+		colScale:    inst.colScale,
+		colScaleInv: inst.colScaleInv,
 	}
 	return out
 }
@@ -220,14 +221,17 @@ func (inst *Instance) SetColBounds(j int, lb, ub float64) {
 // ColBounds returns the current bounds of structural column j.
 func (inst *Instance) ColBounds(j int) (lb, ub float64) { return inst.lb[j], inst.ub[j] }
 
-// solver holds the transient simplex state for one solve.
+// solver holds the simplex state for solves on one instance. It is owned by
+// the instance and reused across solves: all slices below are allocated once
+// per (n, m) shape, so warm restarts and steady-state iterations allocate
+// nothing.
 type solver struct {
 	inst *Instance
 	m    int // rows
 	nm   int // structural + slack columns
 	N    int // total columns including m permanent artificials
 
-	lb, ub  []float64 // length N
+	lb, ub  []float64 // length N, scaled units
 	cost    []float64 // active phase costs, length N
 	real    []float64 // phase-2 costs, length N
 	vstat   []int8    // length N
@@ -237,29 +241,66 @@ type solver struct {
 	fac *sparselu.Factors // sparse LU of the basis + eta updates
 	xB  []float64         // basic variable values
 
+	// Factorization buffers: the active factorization always lives in one
+	// of these two solver-owned buffers (never handed out — Result.Factors
+	// is a deep copy), so refactorizations and warm-factor adoptions reuse
+	// their storage. Two buffers because a mid-solve refactorization must
+	// not destroy the current factors before it succeeds.
+	facBuf [2]*sparselu.Factors
+	facCur int
+	facWS  *sparselu.Workspace
+	refIdx [][]int32 // refactorization column headers, length m
+	refVal [][]float64
+	// preFac, when set by extendWarmStart, is a solver-owned buffer already
+	// holding the bordered extension of the caller's WarmFactors; adoptBasis
+	// installs it directly instead of copying WarmFactors.
+	preFac *sparselu.Factors
+	// extendWarmStart scratch: border rows in basis positions, their
+	// diagonal, and the basic-column → position lookup (-1-initialized).
+	extIdx  [][]int32
+	extVal  [][]float64
+	extDiag []float64
+	posOf   []int32
+
 	// workspaces
 	alpha []float64
 	y     []float64
 	rho   []float64
 	work  []float64
+	tau   []float64 // B⁻¹ρ for the dual steepest-edge update
 
 	// Incrementally maintained reduced costs (see reduced.go).
 	d       []float64
 	arow    []float64
-	dValid  bool
-	dFresh  bool // d recomputed from scratch since the last pivot
-	xbFresh bool // xB recomputed from scratch since the last pivot
+	arowNZ  []int32 // hyper-sparse index stack: columns touched by pivotRow
+	arowTag []bool  // membership marks for arowNZ
 
-	// Devex reference-framework weights (see devex.go): devexW prices
-	// entering columns in the primal, dualW prices leaving rows in the
-	// dual. priceCursor is the rotating start of the primal's sectional
-	// candidate scan.
+	basisSeen []bool // adoptBasis duplicate-column check scratch, length N
+	dValid    bool
+	dFresh    bool // d recomputed from scratch since the last pivot
+	xbFresh   bool // xB recomputed from scratch since the last pivot
+
+	// Long-step (bound-flipping) dual ratio test scratch: a binary min-heap
+	// of breakpoints keyed (ratio, column), the ratio-sorted drain of that
+	// heap, and the flip list of the current iteration (see dual.go).
+	bfRatio []float64
+	bfJ     []int32
+	bpRatio []float64
+	bpJ     []int32
+	flips   []int32
+
+	// Pricing weights (see devex.go): devexW are primal Devex weights for
+	// entering columns; dualW are dual steepest-edge weights β_i ≈ ‖B⁻ᵀe_i‖²
+	// for leaving rows. priceCursor is the rotating start of the primal's
+	// sectional candidate scan.
 	devexW      []float64
 	dualW       []float64
 	priceCursor int
 
 	opts       Options
 	iters      int
+	boundFlips int // nonbasic bound flips taken by the long-step ratio test
+	ratioPass  int // breakpoints passed (flipped through) in ratio tests
 	bland      bool
 	stall      int
 	sincefac   int
@@ -274,39 +315,111 @@ func (s *solver) fixedCol(j int) bool {
 	return s.lb[j] == s.ub[j]
 }
 
+// newSolver returns the instance's solver, reset for a fresh solve. The
+// state is allocated on first use (or when AppendRow changed the dimensions)
+// and reused otherwise.
 func newSolver(inst *Instance, opts Options) *solver {
 	n, m := inst.n, inst.m
-	s := &solver{
-		inst: inst, m: m, nm: n + m, N: n + 2*m,
-		lb: make([]float64, n+2*m), ub: make([]float64, n+2*m),
-		cost: make([]float64, n+2*m), real: make([]float64, n+2*m),
-		vstat: make([]int8, n+2*m), basis: make([]int32, m),
-		inBasis: make([]int32, n+2*m),
-		xB:      make([]float64, m),
-		alpha:   make([]float64, m), y: make([]float64, m),
-		rho: make([]float64, m), work: make([]float64, m),
-		d: make([]float64, n+2*m), arow: make([]float64, n+2*m),
-		devexW: make([]float64, n+2*m), dualW: make([]float64, m),
-		opts: opts, lastPivotQ: -1,
+	s := inst.sv
+	if s == nil || s.m != m || s.N != n+2*m {
+		s = &solver{
+			inst: inst, m: m, nm: n + m, N: n + 2*m,
+			lb: make([]float64, n+2*m), ub: make([]float64, n+2*m),
+			cost: make([]float64, n+2*m), real: make([]float64, n+2*m),
+			vstat: make([]int8, n+2*m), basis: make([]int32, m),
+			inBasis: make([]int32, n+2*m),
+			xB:      make([]float64, m),
+			alpha:   make([]float64, m), y: make([]float64, m),
+			rho: make([]float64, m), work: make([]float64, m),
+			tau: make([]float64, m),
+			d:   make([]float64, n+2*m), arow: make([]float64, n+2*m),
+			arowNZ: make([]int32, 0, n+2*m), arowTag: make([]bool, n+2*m),
+			basisSeen: make([]bool, n+2*m),
+			devexW:    make([]float64, n+2*m), dualW: make([]float64, m),
+			facWS:  sparselu.NewWorkspace(),
+			refIdx: make([][]int32, m), refVal: make([][]float64, m),
+			posOf: make([]int32, n+2*m),
+		}
+		for j := range s.posOf {
+			s.posOf[j] = -1
+		}
+		inst.sv = s
 	}
+	s.reset(opts)
+	return s
+}
+
+// reset prepares the solver for a new solve under the instance's current
+// bounds: scaled bounds and costs are (re)installed, all incremental state
+// is invalidated, and the pricing weights return to their reference values.
+func (s *solver) reset(opts Options) {
+	inst := s.inst
+	s.opts = opts
+	s.iters = 0
+	s.bland = false
+	s.stall = 0
+	s.sincefac = 0
+	s.lastPivotQ = -1
+	s.priceCursor = 0
+	s.boundFlips = 0
+	s.ratioPass = 0
+	s.dValid, s.dFresh, s.xbFresh = false, false, false
+	s.fac = nil
+	s.preFac = nil
 	for j := range s.devexW {
 		s.devexW[j] = 1
 	}
 	for i := range s.dualW {
 		s.dualW[i] = 1
 	}
-	copy(s.lb, inst.lb)
-	copy(s.ub, inst.ub)
-	copy(s.real, inst.objMin) // slacks and artificials cost 0
+	for j := range s.inBasis {
+		s.inBasis[j] = -1
+	}
+	for j := range s.arow {
+		s.arow[j] = 0
+		s.arowTag[j] = false
+	}
+	s.arowNZ = s.arowNZ[:0]
+	if inst.scaled {
+		// x'_j = x_j/c_j and slack s'_i = r_i·s_i; the scales are powers of
+		// two, so these transforms are exact (and map ±Inf to ±Inf).
+		for j := 0; j < inst.n; j++ {
+			ci := inst.colScaleInv[j]
+			s.lb[j] = inst.lb[j] * ci
+			s.ub[j] = inst.ub[j] * ci
+			s.real[j] = inst.objMin[j] * inst.colScale[j]
+		}
+		for i := 0; i < s.m; i++ {
+			r := inst.rowScale[i]
+			s.lb[inst.n+i] = inst.lb[inst.n+i] * r
+			s.ub[inst.n+i] = inst.ub[inst.n+i] * r
+		}
+	} else {
+		copy(s.lb, inst.lb)
+		copy(s.ub, inst.ub)
+		copy(s.real[:inst.n], inst.objMin)
+	}
+	for j := inst.n; j < s.N; j++ {
+		s.real[j] = 0
+		s.cost[j] = 0
+	}
 	// Artificials default to fixed at zero; phase-1 setup relaxes the ones
 	// it needs.
 	for j := s.nm; j < s.N; j++ {
 		s.lb[j], s.ub[j] = 0, 0
 	}
-	for j := range s.inBasis {
-		s.inBasis[j] = -1
+}
+
+// grabFacBuf returns the inactive solver-owned factorization buffer,
+// allocating it on first use. The caller installs the result as s.fac after
+// filling it; the previously active buffer then becomes the spare.
+func (s *solver) grabFacBuf() *sparselu.Factors {
+	next := 1 - s.facCur
+	if s.facBuf[next] == nil {
+		s.facBuf[next] = &sparselu.Factors{}
 	}
-	return s
+	s.facCur = next
+	return s.facBuf[next]
 }
 
 // Shared single-entry value slices for the slack (−1) and artificial (+1)
@@ -426,19 +539,23 @@ func (s *solver) computeXB() {
 
 // refactor rebuilds the sparse LU factorization of the basis from scratch,
 // discarding the eta file. Returns sparselu.ErrSingular if the basis matrix
-// is singular.
+// is singular; the previous factorization (if any) stays intact and active
+// in that case.
 func (s *solver) refactor() error {
 	m := s.m
-	colIdx := make([][]int32, m)
-	colVal := make([][]float64, m)
 	for pos := 0; pos < m; pos++ {
-		colIdx[pos], colVal[pos] = s.col(int(s.basis[pos]))
+		s.refIdx[pos], s.refVal[pos] = s.col(int(s.basis[pos]))
 	}
-	fac, err := sparselu.Factorize(m, colIdx, colVal)
-	if err != nil {
+	// Factorize into the spare buffer so a failure leaves s.fac usable.
+	next := 1 - s.facCur
+	if s.facBuf[next] == nil {
+		s.facBuf[next] = &sparselu.Factors{}
+	}
+	if err := sparselu.FactorizeInto(s.facBuf[next], s.facWS, m, s.refIdx, s.refVal); err != nil {
 		return err
 	}
-	s.fac = fac
+	s.facCur = next
+	s.fac = s.facBuf[next]
 	s.sincefac = 0
 	return nil
 }
@@ -480,17 +597,27 @@ func (s *solver) snapshot() *Basis {
 	return b
 }
 
-// adoptBasis installs a snapshot, refactorizes and recomputes basic values.
+// adoptBasis installs a snapshot, refactorizes (or adopts the handed-off
+// factors) and recomputes basic values.
 func (s *solver) adoptBasis(b *Basis) bool {
 	if b == nil || len(b.Basic) != s.m || len(b.Status) != s.N {
 		return false
 	}
-	seen := make(map[int32]bool, s.m)
+	okBasis := true
 	for _, j := range b.Basic {
-		if int(j) < 0 || int(j) >= s.N || seen[j] {
-			return false
+		if int(j) < 0 || int(j) >= s.N || s.basisSeen[j] {
+			okBasis = false
+			break
 		}
-		seen[j] = true
+		s.basisSeen[j] = true
+	}
+	for _, j := range b.Basic {
+		if int(j) >= 0 && int(j) < s.N {
+			s.basisSeen[j] = false
+		}
+	}
+	if !okBasis {
+		return false
 	}
 	copy(s.basis, b.Basic)
 	copy(s.vstat, b.Status)
@@ -501,22 +628,23 @@ func (s *solver) adoptBasis(b *Basis) bool {
 		s.inBasis[j] = int32(pos)
 		s.vstat[j] = vsBasic
 	}
-	usedCache := false
-	if wf := s.opts.WarmFactors; wf != nil && wf.M() == s.m {
+	adopted := false
+	if s.preFac != nil {
+		// extendWarmStart already built the bordered extension in a
+		// solver-owned buffer; install it directly.
+		s.fac = s.preFac
+		s.preFac = nil
+		adopted = true
+	} else if wf := s.opts.WarmFactors; wf != nil && wf.M() == s.m {
 		// Explicit factor handoff (Result.Factors of the solve that produced
-		// b): takes precedence over the instance cache so the solve's
-		// outcome never depends on cache history. Clone so this solver's eta
-		// updates stay out of the caller's copy, which siblings share.
-		s.fac = wf.Clone()
-		usedCache = true
+		// b). Deep-copied into a solver-owned buffer so this solver's eta
+		// updates stay out of the caller's copy, which siblings share; the
+		// copy reuses the buffer's storage, so steady-state handoffs do not
+		// allocate.
+		wf.CopyInto(s.grabFacBuf())
+		s.fac = s.facBuf[s.facCur]
+		adopted = true
 		DebugFactorHandoffs.Add(1)
-	} else if cached := s.inst.cachedFactors(b); cached != nil && cached.M() == s.m {
-		// The factorization depends only on the basis columns, which match
-		// the cached snapshot exactly; bound changes do not invalidate it.
-		// Clone so this solver's eta updates stay out of the cache.
-		s.fac = cached.Clone()
-		usedCache = true
-		DebugCacheHits.Add(1)
 	}
 	// Repair nonbasic statuses that reference bounds which no longer exist
 	// (possible after branching tightened/removed a bound).
@@ -539,7 +667,7 @@ func (s *solver) adoptBasis(b *Basis) bool {
 			}
 		}
 	}
-	if !usedCache {
+	if !adopted {
 		if err := s.refactor(); err != nil {
 			return false
 		}
@@ -549,7 +677,7 @@ func (s *solver) adoptBasis(b *Basis) bool {
 }
 
 // objValue returns the current phase-2 objective (minimization form, no
-// offset).
+// offset). Scaled costs times scaled values give original-unit terms.
 func (s *solver) objValue() float64 {
 	obj := 0.0
 	for j := 0; j < s.inst.n; j++ {

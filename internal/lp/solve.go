@@ -43,12 +43,11 @@ func (inst *Instance) solveDispatch(opts *Options) Result {
 
 // Debug counters, safe for concurrent solves (each worker of a parallel
 // sweep owns its own Instance, but these aggregates are shared). They
-// quantify how often warm starts succeed and how often the basis-inverse
-// cache avoids refactorization.
+// quantify how often warm starts succeed and how they obtain their basis
+// factorization.
 var (
 	DebugWarmAttempts atomic.Int64
 	DebugWarmOK       atomic.Int64
-	DebugCacheHits    atomic.Int64
 	// DebugFactorHandoffs counts warm starts that adopted an explicitly
 	// supplied Options.WarmFactors (the cache-independent handoff used by
 	// the parallel branch-and-bound workers).
@@ -72,15 +71,16 @@ func (inst *Instance) solveWarm(o Options) (res Result, iters int, ok bool) {
 	if len(wb.Basic) < s.m {
 		// The basis predates rows appended by AppendRow: extend it (new
 		// slacks basic) and, when the factor handoff matches, extend the LU
-		// factors too. The extended point stays dual feasible, so the usual
-		// dual → primal-polish restart below applies unchanged.
-		eb, ef := inst.extendWarmStart(wb, o.WarmFactors)
+		// factors too (into a solver-owned buffer, installed via s.preFac).
+		// The extended point stays dual feasible, so the usual dual →
+		// primal-polish restart below applies unchanged.
+		eb := s.extendWarmStart(wb, o.WarmFactors)
 		if eb == nil {
 			return Result{}, 0, false
 		}
 		wb = eb
-		s.opts.WarmFactors = ef // nil → adoptBasis refactorizes
-		extended = ef != nil
+		extended = s.preFac != nil
+		s.opts.WarmFactors = nil // preFac or refactorization, never a raw copy
 	}
 	if !s.adoptBasis(wb) {
 		return Result{}, 0, false
@@ -116,10 +116,46 @@ func (inst *Instance) solveWarm(o Options) (res Result, iters int, ok bool) {
 	}
 }
 
-// solveCold runs the two-phase primal algorithm from the slack/artificial
-// crash basis.
+// solveCold solves from scratch: a dual phase 1 from the all-slack basis
+// restores primal feasibility, then the primal simplex optimizes the real
+// objective. The classic artificial-variable two-phase primal remains as
+// the fallback for runs the dual phase cannot finish.
 func (inst *Instance) solveCold(o Options) Result {
 	s := newSolver(inst, o)
+	// Dual phase 1: the all-slack basis under zero costs is trivially dual
+	// feasible, so the dual simplex restores primal feasibility directly —
+	// no artificial variables, and with the long-step ratio test the
+	// all-zero reduced costs make every breakpoint a tie, so the entering
+	// column is simply the most stable pivot. An inconclusive run (numeric
+	// trouble or a stall at the iteration budget) falls back to the
+	// classic artificial-variable phase 1 on the remaining budget.
+	if err := s.crashSlackBasis(); err != nil {
+		return s.result(StatusNumeric)
+	}
+	s.dValid = false
+	s.xbFresh = true
+	switch s.dual(o.MaxIters) {
+	case iterOptimal:
+		for j := range s.cost {
+			s.cost[j] = s.real[j]
+		}
+		s.dValid = false
+		switch s.primal(o.MaxIters) {
+		case iterOptimal:
+			return s.finishOptimal(o)
+		case iterUnbounded:
+			return s.result(StatusUnbounded)
+		default:
+			return s.result(StatusIterLimit)
+		}
+	case iterInfeasible:
+		return s.result(StatusInfeasible)
+	}
+	o.MaxIters -= s.iters
+	if o.MaxIters <= 0 {
+		return s.result(StatusIterLimit)
+	}
+	s = newSolver(inst, o)
 	needPhase1, err := s.crashBasis()
 	if err != nil {
 		// No usable factorization: report the numerical failure instead of
@@ -144,17 +180,7 @@ func (inst *Instance) solveCold(o Options) Result {
 	st := s.primal(o.MaxIters)
 	switch st {
 	case iterOptimal:
-		// Guard against drift: verify primal feasibility; repair once via
-		// refactorization + dual cleanup if needed.
-		if err := s.refactor(); err == nil {
-			s.computeXB()
-		}
-		if s.primalInfeasibility() > 10*o.FeasTol {
-			if s.dual(o.MaxIters) == iterOptimal {
-				s.primal(o.MaxIters)
-			}
-		}
-		return s.result(StatusOptimal)
+		return s.finishOptimal(o)
 	case iterUnbounded:
 		return s.result(StatusUnbounded)
 	default:
@@ -162,26 +188,53 @@ func (inst *Instance) solveCold(o Options) Result {
 	}
 }
 
-// result packages the solver state into a Result.
+// finishOptimal guards a claimed primal optimum against incremental drift:
+// basic values are recomputed from a fresh factorization, and a residual
+// infeasibility is repaired once with a dual-then-primal cleanup before the
+// result is packaged.
+func (s *solver) finishOptimal(o Options) Result {
+	if err := s.refactor(); err == nil {
+		s.computeXB()
+	}
+	if s.primalInfeasibility() > 10*o.FeasTol {
+		if s.dual(o.MaxIters) == iterOptimal {
+			s.primal(o.MaxIters)
+		}
+	}
+	return s.result(StatusOptimal)
+}
+
+// result packages the solver state into a Result, removing the
+// equilibration scaling: solutions, duals and objective are reported in the
+// problem's original units (exactly — the scales are powers of two).
 func (s *solver) result(status Status) Result {
 	inst := s.inst
-	res := Result{Status: status, Iterations: s.iters}
+	res := Result{
+		Status:      status,
+		Iterations:  s.iters,
+		BoundFlips:  s.boundFlips,
+		RatioPasses: s.ratioPass,
+	}
 	if status == StatusOptimal {
 		res.X = make([]float64, inst.n)
 		for j := 0; j < inst.n; j++ {
 			v := s.colValue(j)
-			// Snap to bounds within tolerance for clean downstream use.
-			if !math.IsInf(s.lb[j], -1) && math.Abs(v-s.lb[j]) < numtol.BoundSnapTol {
-				v = s.lb[j]
-			} else if !math.IsInf(s.ub[j], 1) && math.Abs(v-s.ub[j]) < numtol.BoundSnapTol {
-				v = s.ub[j]
+			if inst.scaled {
+				v *= inst.colScale[j] // x_j = c_j·x'_j, exact
+			}
+			// Snap to (original-unit) bounds within tolerance for clean
+			// downstream use.
+			if !math.IsInf(inst.lb[j], -1) && math.Abs(v-inst.lb[j]) < numtol.BoundSnapTol {
+				v = inst.lb[j]
+			} else if !math.IsInf(inst.ub[j], 1) && math.Abs(v-inst.ub[j]) < numtol.BoundSnapTol {
+				v = inst.ub[j]
 			}
 			res.X[j] = v
 		}
 		obj := inst.p.ObjOffset
 		min := 0.0
 		for j := 0; j < inst.n; j++ {
-			min += s.real[j] * res.X[j]
+			min += inst.objMin[j] * res.X[j]
 		}
 		if inst.negate {
 			obj -= min
@@ -191,7 +244,13 @@ func (s *solver) result(status Status) Result {
 		res.Obj = obj
 		s.computeDuals()
 		res.Duals = make([]float64, s.m)
-		copy(res.Duals, s.y)
+		if inst.scaled {
+			for i := 0; i < s.m; i++ {
+				res.Duals[i] = s.y[i] * inst.rowScale[i] // y_i = r_i·y'_i, exact
+			}
+		} else {
+			copy(res.Duals, s.y)
+		}
 		if inst.negate {
 			for i := range res.Duals {
 				res.Duals[i] = -res.Duals[i]
@@ -201,14 +260,11 @@ func (s *solver) result(status Status) Result {
 	if status == StatusOptimal || status == StatusInfeasible {
 		res.Basis = s.snapshot()
 		if s.opts.CaptureFactors {
-			// The caller wants an explicit, cache-independent handoff (it
-			// will pass the clone back as WarmFactors); skip the instance
-			// cache so the factorization is cloned exactly once.
+			// Deep copy: the solver's factorization buffers are reused by
+			// later solves on this instance, so the handed-off factors must
+			// own their storage (siblings of a branch-and-bound node share
+			// them read-only).
 			res.Factors = s.fac.Clone()
-		} else {
-			// Remember the factorization for this snapshot so warm starts
-			// from it (both branch-and-bound children) skip refactorization.
-			inst.storeFactors(res.Basis, s.fac)
 		}
 	}
 	return res

@@ -7,16 +7,15 @@ import (
 )
 
 // warmCounters snapshots the package debug counters around a block.
-func warmCounters(f func()) (attempts, ok, cacheHits int64) {
-	a0, o0, c0 := DebugWarmAttempts.Load(), DebugWarmOK.Load(), DebugCacheHits.Load()
+func warmCounters(f func()) (attempts, ok, handoffs int64) {
+	a0, o0, h0 := DebugWarmAttempts.Load(), DebugWarmOK.Load(), DebugFactorHandoffs.Load()
 	f()
-	return DebugWarmAttempts.Load() - a0, DebugWarmOK.Load() - o0, DebugCacheHits.Load() - c0
+	return DebugWarmAttempts.Load() - a0, DebugWarmOK.Load() - o0, DebugFactorHandoffs.Load() - h0
 }
 
-// TestWarmStartCacheHit: re-solving on the same Instance from the basis it
-// just returned must adopt the cached factorization (a cache hit) and
-// succeed as a warm start.
-func TestWarmStartCacheHit(t *testing.T) {
+// TestWarmStartRefactorizes: a warm start from a bare basis (no factor
+// handoff) must refactorize from the instance data and succeed.
+func TestWarmStartRefactorizes(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	p, _ := buildRandomLP(rng, 8, 10)
 	inst := NewInstance(p)
@@ -24,7 +23,7 @@ func TestWarmStartCacheHit(t *testing.T) {
 	if res.Status != StatusOptimal {
 		t.Fatalf("cold status %v", res.Status)
 	}
-	attempts, ok, hits := warmCounters(func() {
+	attempts, ok, handoffs := warmCounters(func() {
 		warm := inst.Solve(&Options{WarmBasis: res.Basis})
 		if warm.Status != StatusOptimal {
 			t.Fatalf("warm status %v", warm.Status)
@@ -36,37 +35,77 @@ func TestWarmStartCacheHit(t *testing.T) {
 	if attempts != 1 || ok != 1 {
 		t.Fatalf("warm attempts/ok = %d/%d, want 1/1", attempts, ok)
 	}
-	if hits < 1 {
-		t.Fatalf("expected a factorization cache hit, got %d", hits)
+	if handoffs != 0 {
+		t.Fatalf("factor handoffs = %d without WarmFactors, want 0", handoffs)
 	}
 }
 
-// TestWarmStartCacheMiss: a basis snapshot from a DIFFERENT Instance is a
-// valid warm basis (dimensions match) but cannot hit this instance's
-// factorization cache — the solver must refactorize and still succeed.
-func TestWarmStartCacheMiss(t *testing.T) {
+// TestWarmStartFactorHandoff: supplying the captured factorization alongside
+// the basis must be adopted as a handoff (no refactorization) and produce
+// the same optimum — including on a DIFFERENT Instance of the same problem,
+// which is what the parallel branch-and-bound workers rely on.
+func TestWarmStartFactorHandoff(t *testing.T) {
 	rng := rand.New(rand.NewSource(12))
 	p, _ := buildRandomLP(rng, 8, 10)
 	other := NewInstance(p)
-	res := other.Solve(nil)
+	res := other.Solve(&Options{CaptureFactors: true})
 	if res.Status != StatusOptimal {
 		t.Fatalf("cold status %v", res.Status)
 	}
-	inst := NewInstance(p)
-	attempts, ok, hits := warmCounters(func() {
-		warm := inst.Solve(&Options{WarmBasis: res.Basis.Clone()})
-		if warm.Status != StatusOptimal {
-			t.Fatalf("warm status %v", warm.Status)
-		}
-		if math.Abs(warm.Obj-res.Obj) > 1e-7*(1+math.Abs(res.Obj)) {
-			t.Fatalf("warm obj %v vs cold %v", warm.Obj, res.Obj)
-		}
-	})
-	if attempts != 1 || ok != 1 {
-		t.Fatalf("warm attempts/ok = %d/%d, want 1/1", attempts, ok)
+	if res.Factors == nil {
+		t.Fatal("CaptureFactors set but Result.Factors is nil")
 	}
-	if hits != 0 {
-		t.Fatalf("cache hits = %d on a fresh instance, want 0", hits)
+	for _, inst := range []*Instance{other, NewInstance(p)} {
+		attempts, ok, handoffs := warmCounters(func() {
+			warm := inst.Solve(&Options{WarmBasis: res.Basis.Clone(), WarmFactors: res.Factors})
+			if warm.Status != StatusOptimal {
+				t.Fatalf("warm status %v", warm.Status)
+			}
+			if math.Abs(warm.Obj-res.Obj) > 1e-7*(1+math.Abs(res.Obj)) {
+				t.Fatalf("warm obj %v vs cold %v", warm.Obj, res.Obj)
+			}
+		})
+		if attempts != 1 || ok != 1 {
+			t.Fatalf("warm attempts/ok = %d/%d, want 1/1", attempts, ok)
+		}
+		if handoffs != 1 {
+			t.Fatalf("factor handoffs = %d, want 1", handoffs)
+		}
+	}
+}
+
+// TestCapturedFactorsOutliveSolver: captured factors must be a deep copy —
+// later solves on the same instance reuse the solver's internal buffers, and
+// must not corrupt a handoff captured earlier (siblings of a
+// branch-and-bound node share the parent's factors read-only).
+func TestCapturedFactorsOutliveSolver(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	p, _ := buildRandomLP(rng, 8, 10)
+	inst := NewInstance(p)
+	res := inst.Solve(&Options{CaptureFactors: true})
+	if res.Status != StatusOptimal || res.Factors == nil {
+		t.Fatalf("cold status %v (factors %v)", res.Status, res.Factors != nil)
+	}
+
+	// Churn the solver state with perturbed re-solves.
+	for k := 0; k < 4; k++ {
+		j := rng.Intn(p.NumCols())
+		if math.IsInf(p.ColUB[j], 1) || p.ColUB[j]-p.ColLB[j] < 1e-6 {
+			continue
+		}
+		inst.SetColBounds(j, p.ColLB[j], p.ColLB[j]+(p.ColUB[j]-p.ColLB[j])*0.9)
+		inst.Solve(&Options{WarmBasis: res.Basis.Clone(), WarmFactors: res.Factors})
+	}
+
+	// The original handoff must still reproduce the original optimum on a
+	// fresh instance.
+	fresh := NewInstance(p)
+	warm := fresh.Solve(&Options{WarmBasis: res.Basis.Clone(), WarmFactors: res.Factors})
+	if warm.Status != StatusOptimal {
+		t.Fatalf("warm status %v after churn", warm.Status)
+	}
+	if math.Abs(warm.Obj-res.Obj) > 1e-7*(1+math.Abs(res.Obj)) {
+		t.Fatalf("warm obj %v vs original %v — captured factors were clobbered", warm.Obj, res.Obj)
 	}
 }
 
@@ -112,41 +151,44 @@ func TestWarmStartIncompatibleBasis(t *testing.T) {
 	}
 }
 
-// TestFactorizationCacheRing: the cache keeps the last 4 snapshots keyed by
-// pointer; a 5th evicts the oldest (FIFO ring), while the newest 4 all hit.
-func TestFactorizationCacheRing(t *testing.T) {
+// TestWarmStartChain: a sequence of bound nudges re-solved warm, each
+// handing the previous solve's factors forward, must track the cold solves
+// exactly — the steady-state pattern of the admission engine.
+func TestWarmStartChain(t *testing.T) {
 	rng := rand.New(rand.NewSource(14))
 	p, _ := buildRandomLP(rng, 10, 8)
 	inst := NewInstance(p)
-	res := inst.Solve(nil)
+	res := inst.Solve(&Options{CaptureFactors: true})
 	if res.Status != StatusOptimal {
 		t.Fatalf("cold status %v", res.Status)
 	}
 
-	// Produce 5 distinct snapshots by nudging bounds and re-solving warm;
-	// each optimal solve stores its own basis in the ring.
-	bases := []*Basis{res.Basis}
-	for k := 0; len(bases) < 5 && k < 20; k++ {
+	cold := NewInstance(p)
+	steps := 0
+	for k := 0; k < 20 && steps < 5; k++ {
 		j := rng.Intn(p.NumCols())
 		if math.IsInf(p.ColUB[j], 1) || p.ColUB[j]-p.ColLB[j] < 1e-6 {
 			continue
 		}
-		inst.SetColBounds(j, p.ColLB[j], p.ColLB[j]+(p.ColUB[j]-p.ColLB[j])*0.9)
-		r := inst.Solve(&Options{WarmBasis: bases[len(bases)-1]})
-		if r.Status != StatusOptimal || r.Basis == bases[len(bases)-1] {
-			continue
+		lo := p.ColLB[j]
+		hi := lo + (p.ColUB[j]-lo)*(0.5+0.4*rng.Float64())
+		inst.SetColBounds(j, lo, hi)
+		cold.SetColBounds(j, lo, hi)
+
+		warm := inst.Solve(&Options{WarmBasis: res.Basis, WarmFactors: res.Factors, CaptureFactors: true})
+		ref := cold.Solve(nil)
+		if warm.Status != ref.Status {
+			t.Fatalf("step %d: warm status %v vs cold %v", steps, warm.Status, ref.Status)
 		}
-		bases = append(bases, r.Basis)
-	}
-	if len(bases) < 5 {
-		t.Skip("could not generate 5 distinct basis snapshots")
-	}
-	if inst.cachedFactors(bases[0]) != nil {
-		t.Fatal("oldest snapshot still cached after 4 newer stores (ring should evict FIFO)")
-	}
-	for i := 1; i < 5; i++ {
-		if inst.cachedFactors(bases[i]) == nil {
-			t.Fatalf("snapshot %d of the last 4 missing from the cache ring", i)
+		if warm.Status == StatusOptimal {
+			if math.Abs(warm.Obj-ref.Obj) > 1e-7*(1+math.Abs(ref.Obj)) {
+				t.Fatalf("step %d: warm obj %v vs cold %v", steps, warm.Obj, ref.Obj)
+			}
+			res = warm
 		}
+		steps++
+	}
+	if steps == 0 {
+		t.Skip("no perturbable columns")
 	}
 }

@@ -135,18 +135,33 @@ func (r *rowByCol) Swap(i, j int) {
 	r.val[i], r.val[j] = r.val[j], r.val[i]
 }
 
-// rowViolation is the amount by which x violates the cut (0 when satisfied).
+// rootCutSeedSlack is the activity margin of the root seeding round: the
+// first separation round at the root also appends pooled cuts that are
+// within this slack of binding at the root optimum, not just violated ones.
+// Near-active rows do not cut the current point, but they pin down which of
+// the relaxation's alternate optima later re-solves land on — the same
+// vertex-steering a static build gets from emitting the family up front —
+// and on the benchmark models that steering is worth a ~2x smaller proof
+// tree. Separators opt in simply by returning near-active members (the
+// Separator contract always allowed unviolated cuts).
+const rootCutSeedSlack = 0.5
+
+// rowViolation is the signed amount by which x violates the cut: positive
+// when violated, negative (the slack to the nearest bound) when satisfied.
 func rowViolation(c Cut, x []float64) float64 {
 	act := 0.0
 	for k, j := range c.Idx {
 		act += c.Val[k] * x[j]
 	}
-	v := 0.0
-	if d := c.LB - act; d > v {
-		v = d
+	v := math.Inf(-1)
+	if !math.IsInf(c.LB, -1) {
+		v = c.LB - act
 	}
 	if d := act - c.UB; d > v {
 		v = d
+	}
+	if math.IsInf(v, -1) {
+		v = 0 // bound-free row: vacuously satisfied
 	}
 	return v
 }
@@ -209,11 +224,14 @@ func (cp *cutPool) offer(c Cut) {
 	cp.entries = append(cp.entries, pe)
 }
 
-// selectViolated returns the (at most) batch most violated unapplied cuts at
-// x, refreshing lastViolated on every violated entry — including those
-// beyond the batch, which stay pooled for the next round instead of aging
-// out.
-func (cp *cutPool) selectViolated(x []float64, batch int) []*poolEntry {
+// selectViolated returns the (at most) batch unapplied cuts with the
+// largest violation above minViol at x, refreshing lastViolated on every
+// genuinely violated entry — including those beyond the batch, which stay
+// pooled for the next round instead of aging out. Ordinary rounds pass
+// numtol.CutViolTol; the root seeding round passes -rootCutSeedSlack, which
+// admits near-active rows (their lastViolated is not refreshed, so
+// unappended ones still age out normally).
+func (cp *cutPool) selectViolated(x []float64, batch int, minViol float64) []*poolEntry {
 	var cand []*poolEntry
 	for _, pe := range cp.entries {
 		if pe.added {
@@ -222,6 +240,8 @@ func (cp *cutPool) selectViolated(x []float64, batch int) []*poolEntry {
 		pe.viol = rowViolation(pe.cut, x)
 		if pe.viol > numtol.CutViolTol {
 			pe.lastViolated = cp.round
+		}
+		if pe.viol > minViol {
 			cand = append(cand, pe)
 		}
 	}
@@ -266,13 +286,20 @@ func (cp *cutPool) endRound(maxAge int) {
 // append the most violated batch to the committer's instance, publish the
 // grown cut list to the workers, and age the pool. Returns the number of
 // rows appended (0 → the point is cut-free and the caller stops rounding).
-func (s *searcher) separate(x []float64) int {
+// A seed round (the first root round) drops the batch cap and the violation
+// floor to -rootCutSeedSlack so the near-active family members land in the
+// root LP together.
+func (s *searcher) separate(x []float64, seed bool) int {
 	for _, sep := range s.opts.Separators {
 		for _, c := range sep.Separate(x) {
 			s.pool.offer(c)
 		}
 	}
-	batch := s.pool.selectViolated(x, s.opts.CutBatch)
+	limit, minViol := s.opts.CutBatch, numtol.CutViolTol
+	if seed {
+		limit, minViol = len(s.pool.entries), -rootCutSeedSlack
+	}
+	batch := s.pool.selectViolated(x, limit, minViol)
 	for _, pe := range batch {
 		pe.added = true
 		s.inst.AppendRow(pe.cut.Idx, pe.cut.Val, pe.cut.LB, pe.cut.UB)
@@ -308,19 +335,29 @@ func (s *searcher) solveSeparated(nd *node) (*lpTask, bool) {
 		res := t.res
 		s.iters += res.Iterations
 		s.taskIters += res.Iterations
+		s.bflips += res.BoundFlips
+		s.rpasses += res.RatioPasses
 		s.lastWorker = t.worker
 		// Integral points (children == nil) satisfy every valid cut by the
 		// Separator contract, so only fractional optima are worth separating.
 		if round >= maxRounds || res.Status != lp.StatusOptimal || t.children == nil {
 			return t, true
 		}
-		if s.separate(res.X) == 0 {
+		root := nd.col == -1
+		if s.separate(res.X, root && round == 0) == 0 {
 			return t, true
 		}
 		// Hot-restart the same node at the new epoch from its own final
 		// basis; the stale task (and its speculated children, built from the
 		// pre-cut point) is discarded by the epoch check in engine.resolve.
+		// The root instead restarts cold: its relaxation is solved once per
+		// search, and a from-scratch trajectory over the strengthened row
+		// set reaches the same vertex a static build would start from,
+		// which is what makes the two pipelines' trees comparable.
 		nd.basis, nd.fac = res.Basis, res.Factors
+		if root {
+			nd.basis, nd.fac = nil, nil
+		}
 		nd.task = nil
 	}
 }

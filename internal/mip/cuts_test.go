@@ -7,6 +7,8 @@ import (
 	"reflect"
 	"sort"
 	"testing"
+
+	"tvnep/internal/numtol"
 )
 
 // coverSeparator is the test Separator: for every finite ≤-capacity row with
@@ -103,18 +105,18 @@ func TestCutPoolDedupSelectEvict(t *testing.T) {
 	// A more violated row must sort first.
 	cp.offer(Cut{Idx: []int32{0}, Val: []float64{3}, LB: inf, UB: 1, Name: "big"})
 
-	sel := cp.selectViolated(x, 10)
+	sel := cp.selectViolated(x, 10, numtol.CutViolTol)
 	if len(sel) != 2 {
 		t.Fatalf("selected %d cuts, want 2", len(sel))
 	}
 	if sel[0].cut.Name != "big" || sel[1].cut.Name != "a" {
 		t.Fatalf("violation order wrong: %q, %q", sel[0].cut.Name, sel[1].cut.Name)
 	}
-	if got := cp.selectViolated(x, 1); len(got) != 1 || got[0].cut.Name != "big" {
+	if got := cp.selectViolated(x, 1, numtol.CutViolTol); len(got) != 1 || got[0].cut.Name != "big" {
 		t.Fatalf("batch limit not honored")
 	}
 	sel[0].added = true
-	if got := cp.selectViolated(x, 10); len(got) != 1 || got[0].cut.Name != "a" {
+	if got := cp.selectViolated(x, 10, numtol.CutViolTol); len(got) != 1 || got[0].cut.Name != "a" {
 		t.Fatalf("added cut re-selected")
 	}
 

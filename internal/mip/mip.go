@@ -26,6 +26,10 @@ const (
 	// branchObjWeight is the tiny weight mixing objective magnitude into
 	// the fractionality branching score as a deterministic tie-break.
 	branchObjWeight = 1e-6
+	// maxDivePasses bounds the fix-and-dive heuristic: each pass fixes one
+	// integer column and pays one warm LP solve, so the cap is also the
+	// heuristic's per-invocation LP budget.
+	maxDivePasses = 200
 )
 
 // Problem couples an LP with integrality markers.
@@ -207,6 +211,11 @@ type Result struct {
 	X            []float64 // incumbent solution
 	Nodes        int
 	LPIterations int // LP iterations of the committed search (deterministic)
+	// BoundFlips and RatioPasses aggregate the LP solver's long-step dual
+	// ratio-test activity over the committed search (see lp.Result); like
+	// LPIterations they are deterministic for any worker count.
+	BoundFlips  int
+	RatioPasses int
 	// WastedLPIterations counts LP iterations spent on speculative node
 	// evaluations that the committed search never used (pruned before
 	// commit or still in flight at termination). Always 0 with a single
@@ -290,6 +299,8 @@ type searcher struct {
 	nodes      int
 	iters      int // committed LP iterations (node relaxations + heuristics)
 	taskIters  int // committed LP iterations from node relaxations only
+	bflips     int // committed long-step bound flips
+	rpasses    int // committed ratio-test breakpoint passes
 	nextSeq    int64
 	lastWorker int
 
@@ -348,6 +359,8 @@ func Solve(ctx context.Context, p *Problem, opts *Options) Result {
 		HasSolution:  s.hasInc,
 		Nodes:        s.nodes,
 		LPIterations: s.iters,
+		BoundFlips:   s.bflips,
+		RatioPasses:  s.rpasses,
 		Runtime:      time.Since(start),
 	}
 	if s.eng != nil {
@@ -515,13 +528,19 @@ func (s *searcher) tryIncumbent(x []float64, objMin float64) bool {
 	return true
 }
 
-// roundingHeuristic fixes all integer columns to their rounded LP values and
-// re-solves the LP over the continuous columns. On success the result is a
-// feasible integral solution. It runs on the committer's own instance —
-// whose bounds the caller has already set to the node's box — warm-started
-// from the node's final basis and factors, so its outcome is as much a pure
-// function of the committed node as the relaxations are. The instance
-// bounds are left fixed; every use of s.inst reinstalls bounds from scratch.
+// roundingHeuristic tries to turn the node's fractional relaxation into a
+// feasible integral solution. It first fixes all integer columns to their
+// rounded LP values at once and re-solves over the continuous columns —
+// cheap, and sufficient on near-integral vertices. When that fails (typical
+// on symmetric relaxations whose vertices sit at one-half everywhere), it
+// falls back to a bounded fix-and-dive pass: fix the integer column closest
+// to integrality, re-solve warm, and repeat, letting the LP repair the
+// remaining columns after every fix. Both passes run on the committer's own
+// instance — whose bounds the caller has already set to the node's box —
+// warm-started from the node's final basis and factors, so their outcome is
+// as much a pure function of the committed node as the relaxations are. The
+// instance bounds are left dirty; every use of s.inst reinstalls bounds
+// from scratch.
 func (s *searcher) roundingHeuristic(nd *node, res lp.Result) {
 	touched := false
 	for j, isInt := range s.prob.Integer {
@@ -545,15 +564,104 @@ func (s *searcher) roundingHeuristic(nd *node, res lp.Result) {
 	if !touched {
 		return
 	}
-	lpo := lp.Options{WarmBasis: res.Basis, WarmFactors: res.Factors, Context: s.ctx}
+	hres := s.heurSolve(&lp.Options{WarmBasis: res.Basis, WarmFactors: res.Factors})
+	if hres.Status == lp.StatusOptimal {
+		s.tryIncumbent(hres.X, s.toMin(hres.Obj))
+		return
+	}
+	// The dive is a first-feasible rescue for models whose vertices the
+	// simultaneous rounding can never repair (symmetric halves). Once any
+	// incumbent exists the search prunes on it and the dive's extra LP
+	// solves stop paying for themselves, so it is gated off.
+	if !s.hasInc {
+		s.diveHeuristic(nd, res)
+	}
+}
+
+// diveHeuristic is the fix-and-dive fallback of roundingHeuristic: starting
+// from the node's relaxation, repeatedly fix the fractional integer column
+// closest to integrality (lowest index on ties) to its rounded value and
+// re-solve warm, until the relaxation comes back integral, infeasible, or
+// the pass budget is spent. One column is fixed per pass, so the LP can
+// shift the remaining fractional columns after each fix — which is what
+// lets the dive succeed where simultaneous rounding rounds into
+// infeasibility.
+func (s *searcher) diveHeuristic(nd *node, res lp.Result) {
+	if !s.applyBounds(nd) {
+		return
+	}
+	basis, factors := res.Basis, res.Factors
+	x := res.X
+	for pass := 0; pass < maxDivePasses; pass++ {
+		fix, bestFrac := -1, 1.0 // f ≤ 0.5 always; 1.0 admits exact halves
+		for j, isInt := range s.prob.Integer {
+			if !isInt {
+				continue
+			}
+			f := math.Abs(x[j] - math.Round(x[j]))
+			if f <= s.opts.IntTol {
+				continue
+			}
+			if f < bestFrac {
+				fix, bestFrac = j, f
+			}
+		}
+		if fix == -1 {
+			// Integral already (the caller would have branched otherwise
+			// only on the first pass): nothing to dive on.
+			return
+		}
+		lo, hi := s.inst.ColBounds(fix)
+		v := math.Round(x[fix])
+		if v < lo {
+			v = math.Ceil(lo)
+		}
+		if v > hi {
+			v = math.Floor(hi)
+		}
+		if v < lo || v > hi {
+			return
+		}
+		s.inst.SetColBounds(fix, v, v)
+		hres := s.heurSolve(&lp.Options{WarmBasis: basis, WarmFactors: factors, CaptureFactors: true})
+		if hres.Status != lp.StatusOptimal {
+			// One-level backtrack: rounding to the nearest integer painted
+			// the dive into an infeasible corner; the other integer
+			// neighbor may still work (typical for link-activation
+			// columns, where rounding down severs a flow).
+			alt := v + 1
+			if math.Round(x[fix]) >= x[fix] {
+				alt = v - 1
+			}
+			if alt < lo || alt > hi {
+				return
+			}
+			s.inst.SetColBounds(fix, alt, alt)
+			hres = s.heurSolve(&lp.Options{WarmBasis: basis, WarmFactors: factors, CaptureFactors: true})
+			if hres.Status != lp.StatusOptimal {
+				return
+			}
+		}
+		if s.fractional(hres.X) == -1 {
+			s.tryIncumbent(hres.X, s.toMin(hres.Obj))
+			return
+		}
+		basis, factors, x = hres.Basis, hres.Factors, hres.X
+	}
+}
+
+// heurSolve runs one heuristic LP on the committer instance with the
+// committed iteration accounting applied.
+func (s *searcher) heurSolve(lpo *lp.Options) lp.Result {
+	lpo.Context = s.ctx
 	if s.hasDL {
 		lpo.Deadline = s.deadline
 	}
-	hres := s.inst.Solve(&lpo)
+	hres := s.inst.Solve(lpo)
 	s.iters += hres.Iterations
-	if hres.Status == lp.StatusOptimal {
-		s.tryIncumbent(hres.X, s.toMin(hres.Obj))
-	}
+	s.bflips += hres.BoundFlips
+	s.rpasses += hres.RatioPasses
+	return hres
 }
 
 // run is the committer: the single goroutine that executes the sequential

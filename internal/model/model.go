@@ -238,7 +238,12 @@ type Solution struct {
 	Gap          float64
 	Nodes        int
 	LPIterations int
-	Runtime      time.Duration
+	// BoundFlips and RatioPasses summarize the LP solver's long-step dual
+	// ratio-test activity over the committed search (deterministic, like
+	// LPIterations).
+	BoundFlips  int
+	RatioPasses int
+	Runtime     time.Duration
 	// Cuts summarizes lazy separation (zero apart from RowsAtRoot when no
 	// separators were registered).
 	Cuts CutStats
@@ -302,6 +307,8 @@ func (m *Model) Optimize(ctx context.Context, opts *SolveOptions) *Solution {
 		Gap:          res.Gap,
 		Nodes:        res.Nodes,
 		LPIterations: res.LPIterations,
+		BoundFlips:   res.BoundFlips,
+		RatioPasses:  res.RatioPasses,
 		Runtime:      res.Runtime,
 		Cuts:         res.Cuts,
 		AppliedCuts:  res.AppliedCuts,
@@ -326,7 +333,7 @@ func (m *Model) IntegerMask() []bool { return m.integer }
 // a bound on the MIP; HasSolution is set for an optimal LP result whether
 // or not it is integral — use IntegerMask to decide that.
 func (m *Model) SolutionFromLP(res lp.Result) *Solution {
-	sol := &Solution{LPIterations: res.Iterations}
+	sol := &Solution{LPIterations: res.Iterations, BoundFlips: res.BoundFlips, RatioPasses: res.RatioPasses}
 	switch res.Status {
 	case lp.StatusOptimal:
 		sol.Status = StatusOptimal
