@@ -193,11 +193,12 @@ func steadyStateAllocs(p *lp.Problem) float64 {
 
 	// Find a structural column sitting strictly between its bounds whose
 	// tightening forces dual pivots.
+	const interiorTol = 1e-6 // strictly-interior margin for picking a perturbable column
 	perturb := -1
 	var plo, phi float64
 	for j := range first.X {
 		lo, hi := inst.ColBounds(j)
-		if x := first.X[j]; x > lo+1e-6 && x < hi-1e-6 {
+		if x := first.X[j]; x > lo+interiorTol && x < hi-interiorTol {
 			perturb, plo, phi = j, lo, hi
 			break
 		}

@@ -1,17 +1,25 @@
 // tvnep-lint is the repository's custom static-analysis gate: the floateq,
-// ctxflow and errdrop analyzers (see internal/analyzers) packaged as a
-// `go vet -vettool`. It speaks the cmd/go unitchecker protocol directly —
-// no golang.org/x/tools dependency — so it builds offline from the standard
-// library alone.
+// ctxflow, errdrop, maporder, nondet, hotalloc and waiverstale analyzers
+// (see internal/analyzers) packaged as a `go vet -vettool`. It speaks the
+// cmd/go unitchecker protocol directly — no golang.org/x/tools dependency —
+// so it builds offline from the standard library alone, and it carries real
+// per-analyzer facts through the protocol's vetx files so cross-package
+// rules (hot-path annotation coverage, nondeterminism taint) see imported
+// packages in dependency order.
 //
 // Usage:
 //
-//	go vet -vettool=$(command -v tvnep-lint) ./...   # vettool mode
-//	tvnep-lint ./...                                 # standalone: re-execs go vet
+//	go vet -vettool=$(command -v tvnep-lint) ./...        # vettool mode
+//	go vet -vettool=... -json ./...                       # JSON diagnostics
+//	go vet -vettool=... -only=floateq,hotalloc ./...      # subset
+//	tvnep-lint ./...                                      # standalone: re-execs go vet
 //
 // Findings print to stderr as file:line:col: analyzer: message and make the
-// process exit non-zero, so the tool doubles as a CI gate. Intentional
-// violations are waived in source with `//lint:allow <analyzer> -- reason`.
+// process exit non-zero; with -json they print to stdout as the unitchecker
+// JSON object {"pkg": {"analyzer": [{"posn", "message"}]}} and the exit code
+// stays zero (diagnostics become data). Intentional violations are waived in
+// source with `//lint:allow <analyzer> -- reason`; waivers that stop
+// suppressing anything are themselves flagged by waiverstale.
 package main
 
 import (
@@ -32,19 +40,57 @@ import (
 	"tvnep/internal/analyzers"
 )
 
+// lintOpts are the tool flags cmd/go forwards after validating them against
+// the -flags probe.
+type lintOpts struct {
+	json bool
+	only []string
+}
+
 func main() {
 	args := os.Args[1:]
 	switch {
 	case len(args) == 1 && (args[0] == "-V=full" || args[0] == "--V=full"):
 		printVersion()
+		return
 	case len(args) == 1 && (args[0] == "-flags" || args[0] == "--flags"):
-		// No tool-specific flags; cmd/go requires valid JSON here.
-		fmt.Println("[]")
-	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
-		runUnit(args[0])
-	default:
-		standalone(args)
+		// Tool flags cmd/go may forward; the schema is the one cmd/go's
+		// vetFlags parser expects ({Name, Bool, Usage} objects).
+		fmt.Println(`[{"Name":"json","Bool":true,"Usage":"emit diagnostics as JSON on stdout and exit 0"},` +
+			`{"Name":"only","Bool":false,"Usage":"comma-separated subset of analyzers to run"}]`)
+		return
 	}
+	var opts lintOpts
+	var rest []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-json" || a == "--json" || a == "-json=true":
+			opts.json = true
+		case strings.HasPrefix(a, "-only="), strings.HasPrefix(a, "--only="):
+			opts.only = splitNames(a[strings.Index(a, "=")+1:])
+		case (a == "-only" || a == "--only") && i+1 < len(args):
+			i++
+			opts.only = splitNames(args[i])
+		default:
+			rest = append(rest, a)
+		}
+	}
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		runUnit(rest[0], opts)
+		return
+	}
+	standalone(args)
+}
+
+func splitNames(s string) []string {
+	var out []string
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 // printVersion answers cmd/go's tool-identity probe. The buildID must
@@ -55,24 +101,34 @@ func printVersion() {
 	progname, _ := os.Executable()
 	h := sha256.New()
 	if f, err := os.Open(progname); err == nil {
-		_, _ = io.Copy(h, f) //lint:allow errdrop -- hash of self is best-effort; a partial hash still changes on rebuild
+		_, _ = io.Copy(h, f)
 		f.Close()
 	}
 	fmt.Printf("%s version devel buildID=%x\n", progname, h.Sum(nil))
 }
 
 // standalone re-execs `go vet -vettool=<self>` so `tvnep-lint ./...` works
-// as a plain command, with cmd/go doing the package loading.
-func standalone(patterns []string) {
+// as a plain command, with cmd/go doing the package loading. Leading flags
+// (-json, -only=...) pass through to the per-package tool invocations.
+func standalone(args []string) {
 	self, err := os.Executable()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tvnep-lint: %v\n", err)
 		os.Exit(1)
 	}
+	var flags, patterns []string
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") {
+			flags = append(flags, a)
+		} else {
+			patterns = append(patterns, a)
+		}
+	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, patterns...)...)
+	vetArgs := append([]string{"vet", "-vettool=" + self}, flags...)
+	cmd := exec.Command("go", append(vetArgs, patterns...)...)
 	cmd.Stdout = os.Stdout
 	cmd.Stderr = os.Stderr
 	if err := cmd.Run(); err != nil {
@@ -105,9 +161,67 @@ type unitConfig struct {
 	SucceedOnTypecheckFailure bool
 }
 
+// vetxMagic is the first line of every facts file the tool writes. Files
+// without it (older tool versions, foreign tools) read as fact-free.
+const vetxMagic = "tvnep-lint facts v2\n"
+
+// vetxFacts adapts the unitchecker vetx files to analysis.Facts: imported
+// packages' blobs come from cfg.PackageVetx, and this package's exports
+// accumulate for writeVetx.
+type vetxFacts struct {
+	importMap map[string]string // source import path -> canonical
+	files     map[string]string // canonical import path -> vetx file
+	cache     map[string]map[string]json.RawMessage
+	out       map[string]json.RawMessage
+}
+
+func newVetxFacts(cfg *unitConfig) *vetxFacts {
+	return &vetxFacts{
+		importMap: cfg.ImportMap,
+		files:     cfg.PackageVetx,
+		cache:     make(map[string]map[string]json.RawMessage),
+		out:       make(map[string]json.RawMessage),
+	}
+}
+
+func (v *vetxFacts) Read(pkgPath, analyzer string) []byte {
+	file, ok := v.files[pkgPath]
+	if !ok {
+		if canon, c := v.importMap[pkgPath]; c {
+			file, ok = v.files[canon]
+		}
+		if !ok {
+			return nil
+		}
+	}
+	blobs, ok := v.cache[file]
+	if !ok {
+		blobs = parseVetx(file)
+		v.cache[file] = blobs
+	}
+	return blobs[analyzer]
+}
+
+func (v *vetxFacts) Write(analyzer string, data []byte) {
+	v.out[analyzer] = json.RawMessage(data)
+}
+
+func parseVetx(file string) map[string]json.RawMessage {
+	data, err := os.ReadFile(file)
+	if err != nil || !strings.HasPrefix(string(data), vetxMagic) {
+		return nil
+	}
+	var blobs map[string]json.RawMessage
+	if err := json.Unmarshal(data[len(vetxMagic):], &blobs); err != nil {
+		return nil
+	}
+	return blobs
+}
+
 // runUnit analyzes one package as described by the .cfg file and exits with
-// cmd/go's expected status: 0 clean, 2 findings, 1 operational failure.
-func runUnit(cfgPath string) {
+// cmd/go's expected status: 0 clean, 2 findings, 1 operational failure. In
+// JSON mode findings go to stdout as data and the exit status stays 0.
+func runUnit(cfgPath string, opts lintOpts) {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		fatalf("read config: %v", err)
@@ -116,11 +230,18 @@ func runUnit(cfgPath string) {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		fatalf("parse config %s: %v", cfgPath, err)
 	}
+	facts := newVetxFacts(&cfg)
 	// cmd/go schedules the tool over dependencies (stdlib included) purely
-	// to propagate facts. This suite keeps no cross-package facts, so
-	// fact-only invocations just acknowledge with an output file.
-	if cfg.VetxOnly {
-		writeVetx(cfg.VetxOutput)
+	// to propagate facts. Analyzing the standard library would dwarf the
+	// lint run itself, so out-of-module fact-only invocations acknowledge
+	// with an empty facts file; the analyzers' cross-package rules degrade
+	// gracefully when an import carries no facts. In-module dependencies DO
+	// run the full analysis with diagnostics discarded: cmd/go often vets a
+	// package twice (a fact-only library unit feeding dependents plus a root
+	// unit carrying its in-package tests), and dependents read the fact-only
+	// unit's vetx — it must hold the real facts.
+	if cfg.VetxOnly && !inModule(&cfg) {
+		writeVetx(cfg.VetxOutput, facts)
 		os.Exit(0)
 	}
 
@@ -130,7 +251,7 @@ func runUnit(cfgPath string) {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				writeVetx(cfg.VetxOutput)
+				writeVetx(cfg.VetxOutput, facts)
 				os.Exit(0)
 			}
 			fatalf("parse %s: %v", name, err)
@@ -158,17 +279,24 @@ func runUnit(cfgPath string) {
 	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			writeVetx(cfg.VetxOutput)
+			writeVetx(cfg.VetxOutput, facts)
 			os.Exit(0)
 		}
 		fatalf("typecheck %s: %v", cfg.ImportPath, err)
 	}
 
-	diags, err := analysis.Run(fset, files, pkg, info, analyzers.All)
+	diags, err := analysis.RunWithFacts(fset, files, pkg, info, analyzers.ByName(opts.only), facts)
 	if err != nil {
 		fatalf("analyze %s: %v", cfg.ImportPath, err)
 	}
-	writeVetx(cfg.VetxOutput)
+	writeVetx(cfg.VetxOutput, facts)
+	if cfg.VetxOnly {
+		os.Exit(0) // fact-only unit: the root unit reports the diagnostics
+	}
+	if opts.json {
+		printJSON(cfg.ID, diags)
+		os.Exit(0)
+	}
 	if len(diags) > 0 {
 		for _, d := range diags {
 			fmt.Fprintln(os.Stderr, d)
@@ -178,14 +306,53 @@ func runUnit(cfgPath string) {
 	os.Exit(0)
 }
 
-// writeVetx writes the (empty) facts file cmd/go expects at VetxOutput.
-func writeVetx(path string) {
+// jsonDiagnostic mirrors the x/tools unitchecker -json wire shape.
+type jsonDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// printJSON emits the unitchecker JSON object for one package:
+// {"pkgID": {"analyzer": [{"posn", "message"}, ...]}}.
+func printJSON(pkgID string, diags []analysis.Diagnostic) {
+	byAnalyzer := make(map[string][]jsonDiagnostic)
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiagnostic{
+			Posn:    d.Posn.String(),
+			Message: d.Message,
+		})
+	}
+	out := map[string]map[string][]jsonDiagnostic{pkgID: byAnalyzer}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(out); err != nil {
+		fatalf("encode json: %v", err)
+	}
+}
+
+// writeVetx persists the package's exported facts at VetxOutput, where
+// cmd/go hands them to dependent packages' invocations via PackageVetx.
+func writeVetx(path string, facts *vetxFacts) {
 	if path == "" {
 		return
 	}
-	if err := os.WriteFile(path, []byte("tvnep-lint facts v1\n"), 0o666); err != nil {
+	blob, err := json.Marshal(facts.out)
+	if err != nil {
+		fatalf("marshal facts: %v", err)
+	}
+	if err := os.WriteFile(path, append([]byte(vetxMagic), blob...), 0o666); err != nil {
 		fatalf("write vetx: %v", err)
 	}
+}
+
+// inModule reports whether the unit belongs to the module under analysis.
+// Standard-library units carry an empty ModulePath (and do not list
+// themselves in cfg.Standard), so the import path must match the module
+// path to count as in-module.
+func inModule(cfg *unitConfig) bool {
+	return cfg.ModulePath != "" &&
+		(cfg.ImportPath == cfg.ModulePath ||
+			strings.HasPrefix(cfg.ImportPath, cfg.ModulePath+"/"))
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -1,0 +1,233 @@
+package main_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// buildLint compiles the vettool once per test binary into a temp dir and
+// returns its absolute path.
+func buildLint(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "tvnep-lint")
+	if runtime.GOOS == "windows" {
+		bin += ".exe"
+	}
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("build tvnep-lint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeFixtureModule lays out a self-contained module exercising the
+// protocol: a clean package, a dirty one (floateq finding), a waived one,
+// a stale-waiver one, and a two-package hot/a hot/b pair whose finding only
+// exists if hotalloc facts flow across the package boundary in dependency
+// order.
+func writeFixtureModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module lintfix\n\ngo 1.21\n",
+		"clean/clean.go": `package clean
+
+func Add(a, b int) int { return a + b }
+`,
+		"dirty/dirty.go": `package dirty
+
+func Same(a, b float64) bool { return a == b }
+`,
+		"waived/waived.go": `package waived
+
+func Same(a, b float64) bool {
+	//lint:allow floateq -- exact representability is guaranteed by the caller
+	return a == b
+}
+`,
+		"stale/stale.go": `package stale
+
+func Same(a, b int) bool {
+	//lint:allow floateq -- left over from a float refactor
+	return a == b
+}
+`,
+		"hot/a/a.go": `package a
+
+// Step is the annotated hot kernel.
+//
+//hot:path
+func Step(v []float64) float64 {
+	t := 0.0
+	for _, x := range v {
+		t += x
+	}
+	return t
+}
+
+// Cold carries no annotation, so hot callers in other packages must not
+// call it without a waiver.
+func Cold(v []float64) float64 { return Step(v) }
+`,
+		"hot/b/b.go": `package b
+
+import "lintfix/hot/a"
+
+// Drive is hot and calls into package a: Step is annotated there (fine),
+// Cold is not (finding, via facts).
+//
+//hot:path
+func Drive(v []float64) float64 {
+	return a.Step(v) + a.Cold(v)
+}
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// runVet drives `go vet -vettool=<bin> <flags> <pattern>` inside dir and
+// returns stdout, stderr and the exit code.
+func runVet(t *testing.T, dir, bin string, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + bin}, args...)...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("go vet: %v\nstderr: %s", err, stderr.String())
+		}
+		code = ee.ExitCode()
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+// TestUnitcheckerProtocol is the end-to-end round trip for the vettool:
+// cmd/go probes the binary (-V=full, -flags), writes .cfg unit configs, and
+// the tool must produce the right diagnostics, exit codes, JSON shape and
+// cross-package facts.
+func TestUnitcheckerProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives go vet subprocesses; skipped in -short")
+	}
+	bin := buildLint(t)
+	fix := writeFixtureModule(t)
+
+	t.Run("clean-exits-zero", func(t *testing.T) {
+		stdout, stderr, code := runVet(t, fix, bin, "./clean")
+		if code != 0 {
+			t.Fatalf("exit %d on clean package\nstdout: %s\nstderr: %s", code, stdout, stderr)
+		}
+	})
+
+	t.Run("dirty-fails-with-diagnostic", func(t *testing.T) {
+		_, stderr, code := runVet(t, fix, bin, "./dirty")
+		if code == 0 {
+			t.Fatalf("expected non-zero exit on dirty package\nstderr: %s", stderr)
+		}
+		if !strings.Contains(stderr, "floateq") || !strings.Contains(stderr, "==") {
+			t.Fatalf("stderr missing floateq diagnostic:\n%s", stderr)
+		}
+		if !strings.Contains(stderr, "dirty.go:3") {
+			t.Fatalf("stderr missing file:line position:\n%s", stderr)
+		}
+	})
+
+	t.Run("waived-exits-zero", func(t *testing.T) {
+		stdout, stderr, code := runVet(t, fix, bin, "./waived")
+		if code != 0 {
+			t.Fatalf("exit %d on waived package\nstdout: %s\nstderr: %s", code, stdout, stderr)
+		}
+	})
+
+	t.Run("stale-waiver-fails", func(t *testing.T) {
+		_, stderr, code := runVet(t, fix, bin, "./stale")
+		if code == 0 {
+			t.Fatalf("expected non-zero exit on stale waiver\nstderr: %s", stderr)
+		}
+		if !strings.Contains(stderr, "waiverstale") || !strings.Contains(stderr, "suppresses no floateq diagnostic") {
+			t.Fatalf("stderr missing waiverstale diagnostic:\n%s", stderr)
+		}
+	})
+
+	t.Run("json-mode-exits-zero-with-diagnostics", func(t *testing.T) {
+		stdout, stderr, code := runVet(t, fix, bin, "-json", "./dirty")
+		if code != 0 {
+			t.Fatalf("JSON mode must exit 0 even with findings; got %d\nstderr: %s", code, stderr)
+		}
+		// cmd/go relays the vettool's stdout through its own build-output
+		// stream (stderr), prefixed with "# pkg" comment lines; strip those
+		// before decoding. Accept either stream to stay robust across go
+		// versions.
+		var jsonLines []string
+		for _, line := range strings.Split(stdout+"\n"+stderr, "\n") {
+			if !strings.HasPrefix(strings.TrimSpace(line), "#") {
+				jsonLines = append(jsonLines, line)
+			}
+		}
+		var got map[string]map[string][]struct {
+			Posn    string `json:"posn"`
+			Message string `json:"message"`
+		}
+		dec := json.NewDecoder(strings.NewReader(strings.Join(jsonLines, "\n")))
+		if err := dec.Decode(&got); err != nil {
+			t.Fatalf("decode JSON diagnostics: %v\nstdout:\n%s", err, stdout)
+		}
+		diags := got["lintfix/dirty"]["floateq"]
+		if len(diags) != 1 {
+			t.Fatalf("want exactly one floateq diagnostic for lintfix/dirty, got %#v", got)
+		}
+		if !strings.Contains(diags[0].Posn, "dirty.go:3") {
+			t.Fatalf("posn = %q, want dirty.go:3", diags[0].Posn)
+		}
+		if !strings.Contains(diags[0].Message, "==") {
+			t.Fatalf("message = %q, want float compare text", diags[0].Message)
+		}
+	})
+
+	t.Run("facts-cross-package-hotalloc", func(t *testing.T) {
+		_, stderr, code := runVet(t, fix, bin, "./hot/...")
+		if code == 0 {
+			t.Fatalf("expected non-zero exit: b.Drive calls unannotated a.Cold\nstderr: %s", stderr)
+		}
+		if !strings.Contains(stderr, "calls a.Cold, which is not //hot:path in its package") {
+			t.Fatalf("stderr missing cross-package hotalloc diagnostic:\n%s", stderr)
+		}
+		if strings.Contains(stderr, "a.Step") {
+			t.Fatalf("a.Step is annotated hot and must not be flagged:\n%s", stderr)
+		}
+	})
+
+	t.Run("only-flag-subsets-the-suite", func(t *testing.T) {
+		stdout, stderr, code := runVet(t, fix, bin, "-only=floateq", "./hot/...")
+		if code != 0 {
+			t.Fatalf("-only=floateq must make ./hot/... clean; exit %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+		}
+		// Subset runs must also mute waiverstale for out-of-run analyzers.
+		stdout, stderr, code = runVet(t, fix, bin, "-only=errdrop", "./waived")
+		if code != 0 {
+			t.Fatalf("-only=errdrop must not judge the floateq waiver; exit %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+		}
+	})
+}

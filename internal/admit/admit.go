@@ -271,6 +271,8 @@ func overlaps(start, end, earliest, latest float64) bool {
 // substrate node (the engine, like the paper's evaluation, requires a-priori
 // node mappings). The call blocks while earlier admissions are in flight;
 // decisions are made strictly in call order under the engine's lock.
+//
+//det:entry
 func (e *Engine) Admit(ctx context.Context, req *vnet.Request, mapping []int) (Decision, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -278,7 +280,7 @@ func (e *Engine) Admit(ctx context.Context, req *vnet.Request, mapping []int) (D
 	e.mu.Lock()
 	defer e.mu.Unlock()
 
-	began := time.Now()
+	began := time.Now() //lint:allow nondet -- admission latency accounting; decisions never read the clock
 	if err := e.validate(req, mapping); err != nil {
 		return Decision{}, err
 	}
@@ -527,7 +529,7 @@ func (e *Engine) finishReject(rec *record, d *Decision, began time.Time) {
 
 // observe folds one decision into the aggregate statistics.
 func (e *Engine) observe(d *Decision, began time.Time) {
-	d.Stats.Latency = time.Since(began)
+	d.Stats.Latency = time.Since(began) //lint:allow nondet -- latency accounting only
 	switch d.Stats.Tier {
 	case TierPrecheck:
 		e.stats.PrecheckTier++

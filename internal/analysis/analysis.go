@@ -2,9 +2,21 @@
 // golang.org/x/tools/go/analysis API: an Analyzer inspects one typechecked
 // package and reports diagnostics. It exists because this repository builds
 // offline against the standard library only; the subset implemented here is
-// exactly what the tvnep-lint analyzers need (no facts, no cross-analyzer
-// requirements), and analyzers written against it port to the upstream API
-// by changing one import path.
+// exactly what the tvnep-lint analyzers need, and analyzers written against
+// it port to the upstream API by changing one import path.
+//
+// Beyond the plain per-package walk the framework provides three services
+// the deeper analyzers (maporder, nondet, hotalloc, waiverstale) rely on:
+//
+//   - an intra-package callgraph with function-directive scanning and
+//     waiver-aware reachability (see callgraph.go);
+//   - per-analyzer facts: opaque blobs an analyzer exports for the current
+//     package and reads back for imported packages, serialized by the
+//     driver through the unitchecker vetx files so information flows in
+//     dependency order across the module;
+//   - waiver usage accounting: the framework records which //lint:allow
+//     comments actually suppressed a diagnostic, so a post-pass analyzer
+//     (waiverstale) can flag the ones that no longer do.
 //
 // Suppression: a diagnostic is dropped when the line it is reported on — or
 // the line directly above it — carries a comment of the form
@@ -36,6 +48,12 @@ type Analyzer struct {
 	// pass.Reportf. The error return is for operational failures only
 	// (never for findings).
 	Run func(pass *Pass) error
+	// RunWaivers, when set, makes the analyzer a post-pass over waiver
+	// usage instead of source: it runs after every ordinary analyzer in
+	// the suite and receives the //lint:allow waivers that named an
+	// ordinary analyzer of the current run but suppressed none of its
+	// diagnostics. An analyzer sets Run or RunWaivers, not both.
+	RunWaivers func(pass *Pass, unused []Waiver) error
 }
 
 // Pass hands one typechecked package to an Analyzer.
@@ -45,8 +63,12 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Facts is the cross-package fact store supplied by the driver; nil
+	// when the driver has no fact channel (single-package fixture runs).
+	Facts Facts
 
-	diags []Diagnostic
+	allowed map[string]*waiverUse
+	diags   []Diagnostic
 }
 
 // Diagnostic is one finding.
@@ -61,6 +83,34 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Posn, d.Analyzer, d.Message)
 }
 
+// Waiver is one (comment, analyzer-name) pair from a //lint:allow
+// annotation, tracked so waiverstale can report the ones that suppress
+// nothing.
+type Waiver struct {
+	// Analyzer is the waived analyzer's name.
+	Analyzer string
+	// Pos / Posn locate the //lint:allow comment itself.
+	Pos  token.Pos
+	Posn token.Position
+}
+
+// waiverUse tracks whether a waiver suppressed at least one diagnostic.
+type waiverUse struct {
+	w    Waiver
+	used bool
+}
+
+// Facts is the cross-package fact channel. An analyzer may export one
+// opaque blob per package; drivers persist the blobs (the unitchecker vetx
+// files) and surface the blobs of imported packages on later passes.
+// Implementations return nil from Read when the package has no fact blob
+// for the analyzer — which is also how analyzers distinguish in-module
+// packages (analyzed by this tool, facts present) from external ones.
+type Facts interface {
+	Read(pkgPath, analyzer string) []byte
+	Write(analyzer string, data []byte)
+}
+
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	p.diags = append(p.diags, Diagnostic{
@@ -70,14 +120,55 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	})
 }
 
+// Allowed reports whether a //lint:allow waiver naming this pass's analyzer
+// covers the line of pos. Analyzers that walk callgraphs use it to stop at
+// waived call sites: the waiver vouches for the whole chain behind the call,
+// not just the one diagnostic on that line. A waiver that is consulted and
+// honored here counts as used for waiverstale — cutting a callgraph edge is
+// work even when no diagnostic existed to suppress.
+func (p *Pass) Allowed(pos token.Pos) bool {
+	if p.allowed == nil {
+		return false
+	}
+	posn := p.Fset.Position(pos)
+	u := p.allowed[allowKey(posn.Filename, posn.Line, p.Analyzer.Name)]
+	if u == nil {
+		return false
+	}
+	u.used = true
+	return true
+}
+
+// ReadFacts returns the blob this pass's analyzer exported when pkgPath was
+// analyzed, or nil when there is none (external package, or no fact
+// channel).
+func (p *Pass) ReadFacts(pkgPath string) []byte {
+	if p.Facts == nil {
+		return nil
+	}
+	return p.Facts.Read(pkgPath, p.Analyzer.Name)
+}
+
+// ExportFacts publishes this pass's analyzer blob for the current package.
+func (p *Pass) ExportFacts(data []byte) {
+	if p.Facts != nil {
+		p.Facts.Write(p.Analyzer.Name, data)
+	}
+}
+
 var allowRe = regexp.MustCompile(`^//\s*lint:allow\s+([a-zA-Z0-9_,\s]+?)\s*(?:--.*)?$`)
 
-// allowedLines collects, per filename, the set of "line:analyzer" keys that
-// //lint:allow comments waive. A comment waives its own line and the line
-// below it (so the annotation can sit on its own line above the flagged
-// statement).
-func allowedLines(fset *token.FileSet, files []*ast.File) map[string]bool {
-	allowed := make(map[string]bool)
+func allowKey(file string, line int, analyzer string) string {
+	return fmt.Sprintf("%s:%d:%s", file, line, analyzer)
+}
+
+// collectWaivers gathers every //lint:allow comment. The returned map keys
+// "file:line:analyzer" cover both the comment's own line and the line below
+// it (so the annotation can sit on its own line above the flagged
+// statement); both keys share one waiverUse so usage on either line counts.
+func collectWaivers(fset *token.FileSet, files []*ast.File) (map[string]*waiverUse, []*waiverUse) {
+	allowed := make(map[string]*waiverUse)
+	var all []*waiverUse
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -90,30 +181,70 @@ func allowedLines(fset *token.FileSet, files []*ast.File) map[string]bool {
 					if name == "" {
 						continue
 					}
-					allowed[fmt.Sprintf("%s:%d:%s", posn.Filename, posn.Line, name)] = true
-					allowed[fmt.Sprintf("%s:%d:%s", posn.Filename, posn.Line+1, name)] = true
+					u := &waiverUse{w: Waiver{Analyzer: name, Pos: c.Pos(), Posn: posn}}
+					all = append(all, u)
+					allowed[allowKey(posn.Filename, posn.Line, name)] = u
+					allowed[allowKey(posn.Filename, posn.Line+1, name)] = u
 				}
 			}
 		}
 	}
-	return allowed
+	return allowed, all
 }
 
 // Run applies the analyzers to one typechecked package and returns the
-// surviving diagnostics, sorted by position.
+// surviving diagnostics, sorted by position. It is RunWithFacts without a
+// fact channel.
 func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
-	allowed := allowedLines(fset, files)
+	return RunWithFacts(fset, files, pkg, info, analyzers, nil)
+}
+
+// RunWithFacts applies the analyzers to one typechecked package with a
+// cross-package fact channel. Ordinary analyzers run first; waiver
+// post-passes (RunWaivers) run once usage of every //lint:allow annotation
+// is known. Diagnostics of both phases go through waiver suppression.
+func RunWithFacts(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, facts Facts) ([]Diagnostic, error) {
+	allowed, all := collectWaivers(fset, files)
 	var out []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %w", a.Name, err)
+	ordinary := make(map[string]bool)
+	run := func(a *Analyzer, exec func(p *Pass) error) error {
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, Facts: facts, allowed: allowed}
+		if err := exec(pass); err != nil {
+			return fmt.Errorf("%s: %w", a.Name, err)
 		}
 		for _, d := range pass.diags {
-			if allowed[fmt.Sprintf("%s:%d:%s", d.Posn.Filename, d.Posn.Line, d.Analyzer)] {
+			if u := allowed[allowKey(d.Posn.Filename, d.Posn.Line, d.Analyzer)]; u != nil {
+				u.used = true
 				continue
 			}
 			out = append(out, d)
+		}
+		return nil
+	}
+	for _, a := range analyzers {
+		if a.RunWaivers != nil {
+			continue
+		}
+		ordinary[a.Name] = true
+		if err := run(a, a.Run); err != nil {
+			return nil, err
+		}
+	}
+	// A waiver is judged stale only when the analyzer it names was part of
+	// this run; subset runs stay silent about waivers they cannot judge.
+	var unused []Waiver
+	for _, u := range all {
+		if !u.used && ordinary[u.w.Analyzer] {
+			unused = append(unused, u.w)
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunWaivers == nil {
+			continue
+		}
+		rw := a.RunWaivers
+		if err := run(a, func(p *Pass) error { return rw(p, unused) }); err != nil {
+			return nil, err
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -1,6 +1,41 @@
+// Package analyzers holds the custom static-analysis passes behind the
+// tvnep-lint vettool: floateq (float comparison and tolerance-literal
+// hygiene), ctxflow (context threading through solver entry points),
+// errdrop (discarded errors from fallible solver-internal calls), maporder
+// (map iteration order leaking into solver state), nondet (wall-clock /
+// global-rand / GOMAXPROCS reads reachable from deterministic entry
+// points), hotalloc (allocation sites in //hot:path functions) and
+// waiverstale (//lint:allow annotations that suppress nothing). Each
+// analyzer encodes a repository-wide convention that is otherwise enforced
+// only by review or by runtime tests on specific trajectories; see the Doc
+// string on each for the exact rule and for the sanctioned escape hatch
+// (named constants, sort-after-collect, //lint:allow annotations).
 package analyzers
 
 import "tvnep/internal/analysis"
 
-// All is the tvnep-lint suite in its canonical order.
-var All = []*analysis.Analyzer{Floateq, Ctxflow, Errdrop}
+// All is the tvnep-lint suite in its canonical order. Waiverstale must run
+// last conceptually (it judges the others' waiver usage); the framework
+// enforces that by running RunWaivers passes after every ordinary one
+// regardless of position.
+var All = []*analysis.Analyzer{Floateq, Ctxflow, Errdrop, Maporder, Nondet, Hotalloc, Waiverstale}
+
+// ByName returns the analyzers whose names appear in the comma-separated
+// list, preserving suite order; unknown names are ignored. An empty list
+// selects the whole suite.
+func ByName(names []string) []*analysis.Analyzer {
+	if len(names) == 0 {
+		return All
+	}
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	var out []*analysis.Analyzer
+	for _, a := range All {
+		if want[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -11,30 +11,49 @@ import (
 
 // TestAnalyzers runs each analyzer over its fixture directory; the fixtures
 // pin both the flagged lines (via // want markers) and the allowed idioms
-// (exact-zero compares, nil-guards, //lint:allow waivers, external callees).
+// (exact-zero compares, nil-guards, sort-after-collect, seeded generators,
+// cold paths, //lint:allow waivers). Waiverstale runs under the full suite:
+// it judges a waiver only when the analyzer the waiver names is part of the
+// same run.
 func TestAnalyzers(t *testing.T) {
 	cases := []struct {
-		name     string
-		analyzer *analysis.Analyzer
+		name      string
+		analyzers []*analysis.Analyzer
 	}{
-		{"floateq", analyzers.Floateq},
-		{"ctxflow", analyzers.Ctxflow},
-		{"errdrop", analyzers.Errdrop},
+		{"floateq", []*analysis.Analyzer{analyzers.Floateq}},
+		{"ctxflow", []*analysis.Analyzer{analyzers.Ctxflow}},
+		{"errdrop", []*analysis.Analyzer{analyzers.Errdrop}},
+		{"maporder", []*analysis.Analyzer{analyzers.Maporder}},
+		{"nondet", []*analysis.Analyzer{analyzers.Nondet}},
+		{"hotalloc", []*analysis.Analyzer{analyzers.Hotalloc}},
+		{"waiverstale", analyzers.All},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			antest.Run(t, filepath.Join("testdata", tc.name), tc.analyzer)
+			antest.Run(t, filepath.Join("testdata", tc.name), tc.analyzers...)
 		})
 	}
 }
 
 // TestSuite applies the whole suite at once to every fixture dir: each
-// fixture must stay clean under the other analyzers, so the suite can run
-// as one vettool pass without cross-talk.
+// fixture must stay clean under the other analyzers (including the
+// waiverstale post-pass over its //lint:allow annotations), so the suite
+// can run as one vettool pass without cross-talk.
 func TestSuite(t *testing.T) {
-	for _, dir := range []string{"floateq", "ctxflow", "errdrop"} {
+	for _, dir := range []string{"floateq", "ctxflow", "errdrop", "maporder", "nondet", "hotalloc", "waiverstale"} {
 		t.Run(dir, func(t *testing.T) {
 			antest.Run(t, filepath.Join("testdata", dir), analyzers.All...)
 		})
+	}
+}
+
+// TestByName pins the analyzer subset selector the -only lint flag uses.
+func TestByName(t *testing.T) {
+	if got := analyzers.ByName(nil); len(got) != len(analyzers.All) {
+		t.Fatalf("ByName(nil) returned %d analyzers, want the whole suite (%d)", len(got), len(analyzers.All))
+	}
+	got := analyzers.ByName([]string{"hotalloc", "floateq", "bogus"})
+	if len(got) != 2 || got[0] != analyzers.Floateq || got[1] != analyzers.Hotalloc {
+		t.Fatalf("ByName selection wrong: got %v", got)
 	}
 }

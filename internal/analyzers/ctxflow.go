@@ -40,13 +40,13 @@ func runCtxflow(pass *analysis.Pass) error {
 				continue
 			}
 			if fd.Name.IsExported() {
-				for ident, obj := range ctxParams {
-					if ident.Name == "_" {
-						pass.Reportf(ident.Pos(), "exported %s discards its context.Context parameter; name it and thread it through", fd.Name.Name)
+				for _, p := range ctxParams {
+					if p.ident.Name == "_" {
+						pass.Reportf(p.ident.Pos(), "exported %s discards its context.Context parameter; name it and thread it through", fd.Name.Name)
 						continue
 					}
-					if !identUsed(pass, fd.Body, obj) {
-						pass.Reportf(ident.Pos(), "exported %s accepts context.Context %q but never uses it; thread it into the calls it guards", fd.Name.Name, ident.Name)
+					if !identUsed(pass, fd.Body, p.obj) {
+						pass.Reportf(p.ident.Pos(), "exported %s accepts context.Context %q but never uses it; thread it into the calls it guards", fd.Name.Name, p.ident.Name)
 					}
 				}
 			}
@@ -56,10 +56,17 @@ func runCtxflow(pass *analysis.Pass) error {
 	return nil
 }
 
-// contextParams returns the function's parameters of type context.Context,
-// keyed by their declaring identifier.
-func contextParams(pass *analysis.Pass, fd *ast.FuncDecl) map[*ast.Ident]types.Object {
-	out := make(map[*ast.Ident]types.Object)
+// ctxParam is one context.Context parameter: its declaring identifier and
+// the object it defines.
+type ctxParam struct {
+	ident *ast.Ident
+	obj   types.Object
+}
+
+// contextParams returns the function's parameters of type context.Context
+// in declaration order, so diagnostics come out deterministically.
+func contextParams(pass *analysis.Pass, fd *ast.FuncDecl) []ctxParam {
+	var out []ctxParam
 	if fd.Type.Params == nil {
 		return out
 	}
@@ -69,7 +76,7 @@ func contextParams(pass *analysis.Pass, fd *ast.FuncDecl) map[*ast.Ident]types.O
 			continue
 		}
 		for _, name := range field.Names {
-			out[name] = pass.TypesInfo.Defs[name]
+			out = append(out, ctxParam{name, pass.TypesInfo.Defs[name]})
 		}
 	}
 	return out
@@ -105,11 +112,11 @@ func identUsed(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool 
 // reportFreshContexts flags context.Background()/TODO() calls inside a
 // function that already has a context parameter, except the nil-guard
 // assignment back onto that parameter.
-func reportFreshContexts(pass *analysis.Pass, fd *ast.FuncDecl, ctxParams map[*ast.Ident]types.Object) {
+func reportFreshContexts(pass *analysis.Pass, fd *ast.FuncDecl, ctxParams []ctxParam) {
 	paramObjs := make(map[types.Object]bool, len(ctxParams))
-	for _, obj := range ctxParams {
-		if obj != nil {
-			paramObjs[obj] = true
+	for _, p := range ctxParams {
+		if p.obj != nil {
+			paramObjs[p.obj] = true
 		}
 	}
 	// Calls whose result is assigned directly to a context parameter are the

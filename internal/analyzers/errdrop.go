@@ -11,12 +11,15 @@ import (
 // Errdrop flags discarded error results from fallible solver-internal calls.
 //
 // A call is solver-internal when its callee is declared in the analyzed
-// package itself or anywhere inside the tvnep module. Two discard shapes
+// package itself or anywhere inside the tvnep module. Three discard shapes
 // are reported: a call used as a bare expression statement whose results
-// include an error, and an assignment that binds an error-typed result to
-// the blank identifier. Errors from the standard library and other external
-// packages are out of scope — their contracts are not ours to police — and
-// deliberate discards are annotated with //lint:allow errdrop.
+// include an error, an assignment that binds an error-typed result to the
+// blank identifier, and a fallible call launched by a defer or go statement
+// (both discard every result by construction, so the error vanishes without
+// even a blank assignment to grep for). Errors from the standard library
+// and other external packages are out of scope — their contracts are not
+// ours to police — and deliberate discards are annotated with
+// //lint:allow errdrop.
 var Errdrop = &analysis.Analyzer{
 	Name: "errdrop",
 	Doc:  "flags discarded error returns from calls into this module",
@@ -44,6 +47,10 @@ func runErrdrop(pass *analysis.Pass) error {
 				}
 			case *ast.AssignStmt:
 				reportBlankErrAssigns(pass, n)
+			case *ast.DeferStmt:
+				reportStmtCallDrop(pass, n.Call, "defer")
+			case *ast.GoStmt:
+				reportStmtCallDrop(pass, n.Call, "go")
 			}
 			return true
 		})
@@ -86,6 +93,17 @@ func reportBlankErrAssigns(pass *analysis.Pass, as *ast.AssignStmt) {
 		if name != "" && len(positions) > 0 {
 			pass.Reportf(as.Lhs[i].Pos(), "error result of %s assigned to _; handle it or annotate with //lint:allow errdrop", name)
 		}
+	}
+}
+
+// reportStmtCallDrop flags fallible in-module calls launched by defer/go
+// statements, which discard every result by construction. Calls to function
+// literals resolve to no callee object and are skipped (the literal's own
+// body is analyzed normally).
+func reportStmtCallDrop(pass *analysis.Pass, call *ast.CallExpr, kw string) {
+	name, positions := internalErrorResults(pass, call)
+	if name != "" && len(positions) > 0 {
+		pass.Reportf(call.Pos(), "error result of %s discarded by %s statement; wrap it in a closure that handles the error or annotate with //lint:allow errdrop", name, kw)
 	}
 }
 

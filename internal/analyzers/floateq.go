@@ -1,10 +1,3 @@
-// Package analyzers holds the custom static-analysis passes behind the
-// tvnep-lint vettool: floateq (float comparison and tolerance-literal
-// hygiene), ctxflow (context threading through solver entry points) and
-// errdrop (discarded errors from fallible solver-internal calls). Each
-// analyzer encodes a repository-wide convention that is otherwise enforced
-// only by review; see the Doc string on each for the exact rule and for the
-// sanctioned escape hatch (named constants, //lint:allow annotations).
 package analyzers
 
 import (

@@ -1,0 +1,289 @@
+package analyzers
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"tvnep/internal/analysis"
+)
+
+// Hotalloc flags allocation sites in the solver's hot path. The simplex
+// kernels (sparselu.Ftran/Btran/ExtendInto, the steady-state pivot) carry
+// runtime AllocsPerRun pins; this analyzer makes the same contract a
+// build-time property over every function the hot path can reach, not just
+// the trajectories the pinned tests happen to exercise.
+//
+// A function is hot when its declaration carries a `//hot:path` directive,
+// or when it is reachable from a hot function through the intra-package
+// callgraph. Reachability stops at call sites waived with
+// //lint:allow hotalloc — that is how amortized cold paths (refactorization,
+// arena growth, error exits) are carved out of the hot region.
+//
+// Inside a hot function the analyzer reports:
+//
+//   - make/new calls and slice/map composite literals (including &T{...}),
+//     except inside an if-body guarded by a cap(...) read — that is the
+//     amortized warm-up idiom, allocating only until storage reaches its
+//     steady-state size;
+//   - append calls, except append(buf[:0], ...) whose destination is an
+//     explicit reslice (capacity reserved up front, growth impossible);
+//     amortized-arena appends are waived with a reason;
+//   - function literals (closures capture and escape);
+//   - string<->[]byte/[]rune conversions;
+//   - calls into package fmt (formatting allocates and reflects);
+//   - interface boxing: a concrete-typed argument passed in an
+//     interface-typed (incl. variadic ...interface{}) parameter slot;
+//   - calls into other in-module packages whose target is not itself
+//     //hot:path-annotated there (checked via facts, so the annotation
+//     contract is enforced across package boundaries).
+var Hotalloc = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags allocation sites (make/append/closures/boxing/fmt) in //hot:path functions and everything they reach",
+	Run:  runHotalloc,
+}
+
+// hotallocFacts is the per-package fact blob: the FuncKeys of this
+// package's hot region (annotated roots plus everything they reach), which
+// dependents use to check that their hot paths only call hot-vetted code.
+type hotallocFacts struct {
+	Hot []string `json:"hot,omitempty"`
+}
+
+func runHotalloc(pass *analysis.Pass) error {
+	g := analysis.BuildCallGraph(pass)
+	roots := g.DirectiveRoots("hot:path")
+	reached := g.Reachable(pass, roots)
+
+	for _, node := range g.Functions() {
+		root := reached[node.Func]
+		if root == nil {
+			continue
+		}
+		where := "//hot:path " + node.Func.Name()
+		if root != node.Func {
+			where = fmt.Sprintf("%s (hot: reachable from //hot:path %s)", node.Func.Name(), root.Name())
+		}
+		checkHotFunc(pass, node, where)
+	}
+
+	exportHotallocFacts(pass, reached)
+	return nil
+}
+
+func checkHotFunc(pass *analysis.Pass, node *analysis.CallNode, where string) {
+	guards := capGuardedRanges(node.Decl.Body)
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure literal in %s allocates when it escapes; hoist it or annotate with //lint:allow hotalloc", where)
+			return false // the literal's body is not the hot function's own code path
+		case *ast.CompositeLit:
+			if guards.contains(n.Pos()) {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[n]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				pass.Reportf(n.Pos(), "composite literal allocates in %s; reuse solver-owned scratch", where)
+			}
+		case *ast.UnaryExpr:
+			if cl, ok := n.X.(*ast.CompositeLit); ok && n.Op.String() == "&" && !guards.contains(n.Pos()) {
+				pass.Reportf(cl.Pos(), "&composite literal escapes to the heap in %s; reuse solver-owned scratch", where)
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, n, guards, where)
+		}
+		return true
+	})
+}
+
+// posRanges is a set of half-open source intervals.
+type posRanges [][2]token.Pos
+
+func (r posRanges) contains(p token.Pos) bool {
+	for _, iv := range r {
+		if p >= iv[0] && p < iv[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// capGuardedRanges collects the bodies of if-statements whose condition
+// reads cap(...). An allocation behind a capacity guard is the amortized
+// warm-up idiom — it fires only while storage is still growing toward its
+// steady-state size — so allocation checks inside those bodies are
+// sanctioned without a waiver.
+func capGuardedRanges(body *ast.BlockStmt) posRanges {
+	var out posRanges
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || ifs.Cond == nil {
+			return true
+		}
+		readsCap := false
+		ast.Inspect(ifs.Cond, func(c ast.Node) bool {
+			if call, ok := c.(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "cap" {
+					readsCap = true
+				}
+			}
+			return !readsCap
+		})
+		if readsCap {
+			out = append(out, [2]token.Pos{ifs.Body.Pos(), ifs.Body.End()})
+		}
+		return true
+	})
+	return out
+}
+
+func checkHotCall(pass *analysis.Pass, call *ast.CallExpr, guards posRanges, where string) {
+	// Builtins and conversions.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				if guards.contains(call.Pos()) {
+					return // capacity-guarded warm-up allocation
+				}
+				pass.Reportf(call.Pos(), "%s in %s allocates; reuse solver-owned scratch or annotate with //lint:allow hotalloc", b.Name(), where)
+			case "append":
+				// append(buf[:0], ...) — a reslice as the destination is the
+				// explicit capacity-reuse idiom (the repo's grow helpers);
+				// growth was reserved up front, so the append cannot grow.
+				if len(call.Args) > 0 {
+					if _, resliced := ast.Unparen(call.Args[0]).(*ast.SliceExpr); resliced {
+						return
+					}
+				}
+				pass.Reportf(call.Pos(), "append in %s allocates on growth; reserve capacity, or waive with a reason if growth is amortized", where)
+			}
+			return
+		}
+	}
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if stringBytesConversion(tv.Type, pass.TypesInfo.Types[call.Args[0]].Type) {
+			pass.Reportf(call.Pos(), "string/byte-slice conversion copies in %s", where)
+		}
+		return
+	}
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s in %s allocates and reflects; move formatting off the hot path", fn.Name(), where)
+		return
+	}
+	checkBoxing(pass, call, where)
+	checkCrossPackageHot(pass, call, fn, where)
+}
+
+// checkBoxing reports concrete values passed in interface-typed parameter
+// slots — each such pass boxes the value on the heap (modulo escape
+// analysis, which the hot path must not gamble on).
+func checkBoxing(pass *analysis.Pass, call *ast.CallExpr, where string) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		atv, ok := pass.TypesInfo.Types[arg]
+		if !ok || atv.Type == nil || atv.IsNil() {
+			continue
+		}
+		if types.IsInterface(atv.Type) {
+			continue // already boxed upstream
+		}
+		if atv.Value != nil {
+			continue // untyped constants box at compile time into rodata
+		}
+		pass.Reportf(arg.Pos(), "argument boxes %s into interface %s in %s", atv.Type, pt, where)
+	}
+}
+
+// checkCrossPackageHot enforces the annotation contract across package
+// boundaries: a hot function calling into another in-module package must
+// target a function that is hot-annotated (and therefore hotalloc-checked)
+// in its home package. In-module is detected by fact presence — only
+// packages analyzed by this tool export hotalloc facts.
+func checkCrossPackageHot(pass *analysis.Pass, call *ast.CallExpr, fn *types.Func, where string) {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg() == pass.Pkg {
+		return
+	}
+	data := pass.ReadFacts(fn.Pkg().Path())
+	if data == nil {
+		return
+	}
+	var facts hotallocFacts
+	if err := json.Unmarshal(data, &facts); err != nil {
+		return
+	}
+	key := analysis.FuncKey(fn)
+	for _, h := range facts.Hot {
+		if h == key {
+			return
+		}
+	}
+	pass.Reportf(call.Pos(), "%s calls %s.%s, which is not //hot:path in its package; annotate it there so hotalloc covers it, or waive this call as a cold path", where, fn.Pkg().Name(), fn.Name())
+}
+
+func stringBytesConversion(dst, src types.Type) bool {
+	if dst == nil || src == nil {
+		return false
+	}
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteish := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isStr(dst) && isByteish(src)) || (isByteish(dst) && isStr(src))
+}
+
+func exportHotallocFacts(pass *analysis.Pass, reached map[*types.Func]*types.Func) {
+	if pass.Facts == nil {
+		return
+	}
+	keys := make([]string, 0, len(reached))
+	for fn := range reached {
+		keys = append(keys, analysis.FuncKey(fn))
+	}
+	sort.Strings(keys)
+	data, err := json.Marshal(hotallocFacts{Hot: keys})
+	if err != nil {
+		return
+	}
+	pass.ExportFacts(data)
+}

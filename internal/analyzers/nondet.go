@@ -1,0 +1,182 @@
+package analyzers
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"tvnep/internal/analysis"
+)
+
+// Nondet flags nondeterminism sources reachable from the solver's
+// deterministic entry points. The repository's contract (PRs 4–6) is that
+// mip.Solve, lp.Instance.Solve, the eval sweeps and admit replay are pure
+// functions of their inputs — bit-identical for any worker count and across
+// runs — so wall-clock reads, the global math/rand generator and
+// GOMAXPROCS/NumCPU-dependent branching on those paths are bugs unless
+// explicitly sanctioned.
+//
+// Entry points are declared in source with a `//det:entry` directive on the
+// function. From each entry the analyzer walks the intra-package callgraph
+// (cutting edges at //lint:allow nondet call sites — the waiver vouches for
+// the chain behind the call) and reports direct calls to:
+//
+//   - time.Now / time.Since / time.Until,
+//   - package-level math/rand functions (the global, unseeded generator;
+//     explicitly seeded rand.New(rand.NewSource(k)) locals are fine),
+//   - runtime.GOMAXPROCS and runtime.NumCPU.
+//
+// Cross-package reach uses facts: each package exports the set of its
+// functions that transitively hit an unwaived source, and callers see those
+// functions as sources in turn. Calls into the stats/profiling packages are
+// sanctioned by construction (latency accounting is allowed to read the
+// clock). Deliberate wall-clock dependence — deadlines, latency stats —
+// carries a //lint:allow nondet waiver at the call site with a reason.
+var Nondet = &analysis.Analyzer{
+	Name: "nondet",
+	Doc:  "flags time.Now/global math-rand/GOMAXPROCS-dependent calls reachable from //det:entry deterministic entry points",
+	Run:  runNondet,
+}
+
+// nondetExemptSuffixes are package paths whose callees are sanctioned
+// wall-clock consumers: latency statistics and profiling plumbing.
+var nondetExemptSuffixes = []string{"internal/stats", "internal/prof"}
+
+// nondetFacts is the per-package fact blob: Tainted maps the FuncKey of
+// every function that transitively reaches an unwaived nondeterminism
+// source to a human-readable description of that source.
+type nondetFacts struct {
+	Tainted map[string]string `json:"tainted,omitempty"`
+}
+
+// nondetSource describes why a direct call site is nondeterministic; empty
+// when it is not.
+func nondetSource(pass *analysis.Pass, fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	switch pkg.Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return "time." + fn.Name()
+		}
+	case "math/rand", "math/rand/v2":
+		// Package-level functions draw from the process-global generator;
+		// the New*/constructor family builds explicitly seeded locals and
+		// is the sanctioned deterministic alternative.
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil && !strings.HasPrefix(fn.Name(), "New") {
+			return "global " + pkg.Name() + "." + fn.Name()
+		}
+	case "runtime":
+		switch fn.Name() {
+		case "GOMAXPROCS", "NumCPU":
+			return "runtime." + fn.Name()
+		}
+	}
+	if pkg == pass.Pkg {
+		return ""
+	}
+	for _, s := range nondetExemptSuffixes {
+		if p := pkg.Path(); p == s || strings.HasSuffix(p, "/"+s) {
+			return ""
+		}
+	}
+	// Imported in-module functions that transitively reach a source are
+	// sources themselves, via facts.
+	if data := pass.ReadFacts(pkg.Path()); data != nil {
+		var facts nondetFacts
+		if err := json.Unmarshal(data, &facts); err == nil {
+			if src, ok := facts.Tainted[analysis.FuncKey(fn)]; ok {
+				return fmt.Sprintf("%s (%s.%s eventually calls it)", src, pkg.Name(), fn.Name())
+			}
+		}
+	}
+	return ""
+}
+
+func runNondet(pass *analysis.Pass) error {
+	g := analysis.BuildCallGraph(pass)
+
+	// Per-function direct offenses (unwaived call sites of a source).
+	type offense struct {
+		pos token.Pos
+		src string
+	}
+	direct := make(map[*types.Func][]offense)
+	for _, node := range g.Functions() {
+		for _, e := range node.Edges {
+			src := nondetSource(pass, e.Callee)
+			if src == "" || pass.Allowed(e.Pos) {
+				continue
+			}
+			direct[node.Func] = append(direct[node.Func], offense{e.Pos, src})
+		}
+	}
+
+	// Propagate taint up the intra-package callgraph (for facts export):
+	// a function is tainted when it directly offends or calls a tainted
+	// local function at an unwaived site.
+	tainted := make(map[*types.Func]string)
+	for fn, offs := range direct {
+		tainted[fn] = offs[0].src
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, node := range g.Functions() {
+			if tainted[node.Func] != "" {
+				continue
+			}
+			for _, e := range node.Edges {
+				src := tainted[e.Callee]
+				if src == "" || pass.Allowed(e.Pos) {
+					continue
+				}
+				tainted[node.Func] = src
+				changed = true
+				break
+			}
+		}
+	}
+
+	// Diagnostics: every function reachable from a //det:entry root has its
+	// direct offenses reported at the call site.
+	roots := g.DirectiveRoots("det:entry")
+	reached := g.Reachable(pass, roots)
+	for _, node := range g.Functions() {
+		root := reached[node.Func]
+		if root == nil {
+			continue
+		}
+		for _, off := range direct[node.Func] {
+			where := node.Func.Name()
+			if root != node.Func {
+				where = fmt.Sprintf("%s (reachable from //det:entry %s)", node.Func.Name(), root.Name())
+			}
+			pass.Reportf(off.pos, "nondeterministic %s in %s; gate it off the deterministic path or annotate with //lint:allow nondet", off.src, where)
+		}
+	}
+
+	exportNondetFacts(pass, tainted)
+	return nil
+}
+
+func exportNondetFacts(pass *analysis.Pass, tainted map[*types.Func]string) {
+	if pass.Facts == nil {
+		return
+	}
+	set := make(map[string]string)
+	for fn, src := range tainted {
+		set[analysis.FuncKey(fn)] = src
+	}
+	// json.Marshal emits map keys in sorted order, so the blob is
+	// deterministic and cacheable.
+	data, err := json.Marshal(nondetFacts{Tainted: set})
+	if err != nil {
+		return
+	}
+	pass.ExportFacts(data)
+}

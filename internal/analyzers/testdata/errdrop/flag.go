@@ -32,3 +32,22 @@ func consume(s *store) int {
 	fmt.Println(v) // external callee: allowed
 	return v
 }
+
+// deferred pins the defer/go discard shapes: both statements throw away
+// every result of the call they launch.
+func deferred(s *store, done chan struct{}) {
+	defer s.flush() // want "error result of flush discarded by defer statement"
+	go fallible()   // want "error result of fallible discarded by go statement"
+
+	//lint:allow errdrop -- shutdown flush is best-effort by design
+	defer s.flush()
+
+	defer func() {
+		if err := s.flush(); err != nil { // handled inside the closure: allowed
+			<-done
+		}
+	}()
+	go func() {
+		fallible() // want "error result of fallible discarded"
+	}()
+}

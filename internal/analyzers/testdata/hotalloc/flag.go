@@ -1,0 +1,95 @@
+// Fixture for the hotalloc analyzer: allocation sites inside //hot:path
+// functions and everything they reach. Lines with `// want` markers must be
+// flagged; the rest pins the sanctioned forms (cold functions, waived
+// cold-path call edges, waived amortized growth).
+package hotalloc
+
+import "fmt"
+
+type solver struct {
+	scratch []float64
+	arena   []float64
+	sink    interface{}
+}
+
+func describe(v interface{}) string { return "x" }
+
+// kernel is the fixture's pinned hot kernel.
+//
+//hot:path
+func (s *solver) kernel(v []float64, name string) float64 {
+	buf := make([]float64, len(v))   // want "make in //hot:path kernel allocates"
+	tmp := []float64{1, 2}           // want "composite literal allocates in //hot:path kernel"
+	out := &solver{}                 // want "composite literal escapes to the heap in //hot:path kernel"
+	b := []byte(name)                // want "string/byte-slice conversion copies in //hot:path kernel"
+	s.sink = describe(len(v))        // want "argument boxes int into interface"
+	msg := fmt.Sprintf("%d", len(v)) // want "fmt.Sprintf in //hot:path kernel allocates and reflects"
+	total := s.inner(v)
+	//lint:allow hotalloc -- refactorization is the amortized cold path
+	total += s.refactor(v)
+	f := func() float64 { return total } // want "closure literal in //hot:path kernel allocates"
+	_ = buf
+	_ = tmp
+	_ = out
+	_ = b
+	_ = msg
+	return total + f()
+}
+
+// inner carries no annotation but is reachable from kernel, so it is hot
+// and its allocation sites are flagged with provenance.
+func (s *solver) inner(v []float64) float64 {
+	w := make([]float64, len(v)) // want "make in inner (hot: reachable from //hot:path kernel) allocates"
+	copy(w, v)
+	t := 0.0
+	for _, x := range w {
+		t += x
+	}
+	//lint:allow hotalloc -- amortized arena growth; steady state is pre-reserved
+	s.arena = append(s.arena, t)
+	return t
+}
+
+// refactor is only called through a waived edge: the //lint:allow at the
+// call site cuts it out of the hot region, so its allocations are cold.
+func (s *solver) refactor(v []float64) float64 {
+	s.scratch = make([]float64, 2*len(v))
+	return float64(len(s.scratch))
+}
+
+// coldSetup has no //hot:path annotation and is not reachable from one.
+func coldSetup(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i)
+	}
+	return out
+}
+
+// grow is hot and appends: growth allocates unless waived.
+//
+//hot:path
+func (s *solver) grow(x float64) {
+	s.scratch = append(s.scratch, x) // want "append in //hot:path grow allocates on growth"
+}
+
+// reuse appends into an explicitly resliced destination: capacity was
+// reserved up front, the append cannot grow, so it is sanctioned.
+//
+//hot:path
+func (s *solver) reuse(v []float64) {
+	s.scratch = append(s.scratch[:0], v...)
+}
+
+// warmup allocates only behind a capacity guard: the amortized warm-up
+// idiom is sanctioned, while the unguarded make below it still flags.
+//
+//hot:path
+func (s *solver) warmup(n int) []float64 {
+	if cap(s.scratch) < n {
+		s.scratch = make([]float64, n)
+	}
+	extra := make([]float64, n) // want "make in //hot:path warmup allocates"
+	_ = extra
+	return s.scratch[:n]
+}

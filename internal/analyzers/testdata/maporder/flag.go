@@ -1,0 +1,114 @@
+// Fixture for the maporder analyzer: map-range loops whose bodies have
+// iteration-order-dependent effects. Lines with `// want` markers must be
+// flagged; the rest pins the sanctioned forms (loop-local state, visible
+// sort-after-collect, exact integer accumulation, //lint:allow waivers).
+package maporder
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+)
+
+type reporter struct{}
+
+func (reporter) Reportf(format string, args ...interface{}) {}
+
+func appendLeaks(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside map range leaks randomized iteration order"
+	}
+	return keys
+}
+
+func appendThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // sorted below: the canonical deterministic idiom
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func appendLoopLocal(m map[string][]int, want int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		for _, v := range vs {
+			if v == want {
+				local = append(local, v) // loop-local slice: order cannot leak
+			}
+		}
+		n += len(local)
+	}
+	return n
+}
+
+func sendLeaks(m map[int]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want "channel send inside map range"
+	}
+}
+
+func printLeaks(m map[int]int, w io.Writer) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%d=%d\n", k, v) // want "fmt.Fprintf inside map range emits output"
+	}
+}
+
+func hashLeaks(m map[string]int) uint32 {
+	h := fnv.New32a()
+	for k := range m {
+		h.Write([]byte(k)) // want "Write inside map range feeds a hash/writer"
+	}
+	return h.Sum32()
+}
+
+func hashPerKey(m map[string]uint32) bool {
+	ok := true
+	for k, want := range m {
+		h := fnv.New32a()
+		h.Write([]byte(k)) // hash created inside the loop: per-key digest, no order leak
+		if h.Sum32() != want {
+			ok = false
+		}
+	}
+	return ok
+}
+
+func reportLeaks(m map[string]int, r reporter) {
+	for k := range m {
+		r.Reportf("saw %s", k) // want "Reportf inside map range feeds a hash/writer"
+	}
+}
+
+func accumulate(m map[string]float64) (float64, int, string) {
+	var sum float64
+	var n int
+	var joined string
+	for k, v := range m {
+		sum += v    // want "sum += inside map range accumulates"
+		n++         // exact integer accumulation commutes: allowed
+		joined += k // want "joined += inside map range accumulates"
+	}
+	return sum, n, joined
+}
+
+func waived(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		//lint:allow maporder -- debug-only aggregate, never feeds solver state
+		sum += v
+	}
+	return sum
+}
+
+func sliceRangesAreFine(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x) // slice iteration is ordered
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+// Fixture for the nondet analyzer: nondeterminism sources reachable from
+// //det:entry functions. Lines with `// want` markers must be flagged; the
+// rest pins the sanctioned forms (unreachable helpers, explicitly seeded
+// generators, waived deadline/latency reads that cut the callgraph edge).
+package nondet
+
+import (
+	"math/rand"
+	"runtime"
+	"time"
+)
+
+// Solve is the deterministic entry point of this fixture.
+//
+//det:entry
+func Solve(n int) int {
+	t := time.Now() // want "nondeterministic time.Now in Solve"
+	total := shuffleOrder(n)
+	total += workerCount()
+	total += seeded(n)
+	//lint:allow nondet -- latency accounting only; never feeds the result
+	observeLatency()
+	if t.IsZero() {
+		total++
+	}
+	return total
+}
+
+// shuffleOrder is reachable from Solve, so its global-rand use is flagged.
+func shuffleOrder(n int) int {
+	return rand.Intn(n + 1) // want "nondeterministic global rand.Intn in shuffleOrder (reachable from //det:entry Solve)"
+}
+
+// workerCount is reachable from Solve: sizing by NumCPU makes the search
+// shape depend on the host.
+func workerCount() int {
+	return runtime.NumCPU() // want "nondeterministic runtime.NumCPU in workerCount"
+}
+
+// seeded uses an explicitly seeded local generator: deterministic, allowed.
+func seeded(n int) int {
+	r := rand.New(rand.NewSource(int64(n)))
+	return r.Intn(n + 1)
+}
+
+// observeLatency reads the clock, but every edge into it is waived: the
+// //lint:allow nondet at the call site vouches for the whole chain.
+func observeLatency() time.Time {
+	return time.Now()
+}
+
+// coldPath is not reachable from any //det:entry root; its clock read is
+// out of scope.
+func coldPath() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

@@ -1,0 +1,37 @@
+// Fixture for the waiverstale analyzer: //lint:allow annotations that no
+// longer suppress anything. It runs under the full suite so the named
+// analyzers are present to be judged. Lines with `// want` markers must be
+// flagged; the rest pins live waivers and the waiverstale meta-exemption.
+package fixture
+
+import (
+	"io"
+	"strings"
+)
+
+func liveWaiver(a, b float64) bool {
+	//lint:allow floateq -- bit-exact memo key comparison
+	return a == b
+}
+
+func staleWaiver(a, b int) bool {
+	//lint:allow floateq -- ints never needed a waiver // want "//lint:allow floateq suppresses no floateq diagnostic"
+	return a == b
+}
+
+func staleExternalDrop(r io.Reader) {
+	// io.Copy is an external callee, so errdrop never fired here and the
+	// waiver is dead weight.
+	//lint:allow errdrop -- hash of self is best-effort // want "//lint:allow errdrop suppresses no errdrop diagnostic"
+	_, _ = io.Copy(io.Discard, r)
+}
+
+func halfStale(a, b float64) bool {
+	return a == b //lint:allow floateq,errdrop -- only the float half is real // want "//lint:allow errdrop suppresses no errdrop diagnostic"
+}
+
+func dormantButKept(s string) bool {
+	//lint:allow waiverstale -- kept dormant while the memo path is refactored
+	//lint:allow floateq -- memo key comparison returns next PR
+	return strings.HasPrefix(s, "memo:")
+}

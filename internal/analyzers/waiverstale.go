@@ -1,0 +1,28 @@
+package analyzers
+
+import (
+	"tvnep/internal/analysis"
+)
+
+// Waiverstale flags //lint:allow comments that no longer suppress any
+// diagnostic. Waivers are deliberate, reviewed exceptions; once the code
+// they excused is fixed or deleted they become misleading documentation —
+// a reader assumes the named rule still fires there — and they mask future
+// regressions on the same line for free. The framework records which
+// waivers actually absorbed a diagnostic during the run; this post-pass
+// reports the rest.
+//
+// A waiver is judged only when the analyzer it names was part of the same
+// run, so partial-suite invocations never produce false staleness. Waivers
+// naming waiverstale itself are exempt (they are meta-annotations for
+// intentionally dormant waivers kept during refactors).
+var Waiverstale = &analysis.Analyzer{
+	Name: "waiverstale",
+	Doc:  "flags //lint:allow waivers that suppress no diagnostic of the named analyzer",
+	RunWaivers: func(pass *analysis.Pass, unused []analysis.Waiver) error {
+		for _, w := range unused {
+			pass.Reportf(w.Pos, "//lint:allow %s suppresses no %s diagnostic; delete the stale waiver", w.Analyzer, w.Analyzer)
+		}
+		return nil
+	},
+}

@@ -166,7 +166,7 @@ func cutRowKey(idx []int32, val []float64, lb, ub float64) string {
 	buf := make([]byte, 0, 12*len(merged)+16)
 	var w [8]byte
 	for _, t := range merged {
-		if t.coef == 0 { //lint:allow floateq -- exact zeros carry no information in a canonical row
+		if t.coef == 0 {
 			continue
 		}
 		binary.LittleEndian.PutUint32(w[:4], uint32(t.col))

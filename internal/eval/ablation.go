@@ -51,6 +51,8 @@ type AblationRecord struct {
 // variants and records runtimes, node counts and model sizes. Variants must
 // (and are verified to) agree on the optimum whenever both solve to proven
 // optimality.
+//
+//det:entry
 func (c Config) AblationSweep(ctx context.Context, progress io.Writer) ([]AblationRecord, error) {
 	type ablResult struct {
 		recs []AblationRecord

@@ -272,6 +272,8 @@ func (c Config) sweep(ctx context.Context, progress io.Writer,
 // access-control objective with each formulation. It yields the data behind
 // Figures 3, 4, 8 and 9. Scenarios run concurrently (Config.Solve.Workers);
 // records and progress lines keep serial order.
+//
+//det:entry
 func (c Config) AccessControlSweep(ctx context.Context, forms []core.Formulation, progress io.Writer) []Record {
 	return c.sweep(ctx, progress, func(ctx context.Context, key scenKey, log *strings.Builder) []Record {
 		inst, mapping := c.scenario(key.flex, key.seed)
@@ -291,6 +293,8 @@ func (c Config) AccessControlSweep(ctx context.Context, forms []core.Formulation
 // scenario, embedding the request set accepted by an access-control
 // pre-pass (the paper's Figure 8 reports exactly that set size). Data for
 // Figures 5 and 6.
+//
+//det:entry
 func (c Config) ObjectivesSweep(ctx context.Context, progress io.Writer) []Record {
 	return c.sweep(ctx, progress, func(ctx context.Context, key scenKey, log *strings.Builder) []Record {
 		inst, mapping := c.scenario(key.flex, key.seed)
@@ -330,17 +334,19 @@ func (c Config) ObjectivesSweep(ctx context.Context, progress io.Writer) []Recor
 
 // GreedySweep runs cΣ_A^G and the optimal cΣ-Model side by side on every
 // scenario (Figure 7 reports the relative performance).
+//
+//det:entry
 func (c Config) GreedySweep(ctx context.Context, progress io.Writer) []Record {
 	return c.sweep(ctx, progress, func(ctx context.Context, key scenKey, log *strings.Builder) []Record {
 		inst, mapping := c.scenario(key.flex, key.seed)
 		opt := c.solveOne(ctx, core.CSigma, core.AccessControl, inst, mapping, key.flex, key.seed)
 
-		start := time.Now()
+		start := time.Now() //lint:allow nondet -- greedy runtime measurement; recorded, not branched on
 		gsol, gstats, err := greedy.Solve(ctx, inst, mapping, greedy.Options{Solve: c.innerSolve()})
 		rec := Record{
 			FlexMin: key.flex, Seed: key.seed, Form: core.CSigma,
 			Obj: core.AccessControl, Algo: "greedy",
-			Runtime: time.Since(start),
+			Runtime: time.Since(start), //lint:allow nondet -- greedy runtime measurement
 			Nodes:   gstats.TotalBBNodes, LPIters: gstats.TotalLPIters,
 		}
 		if err == nil && gsol != nil {

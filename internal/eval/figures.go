@@ -3,6 +3,7 @@ package eval
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"tvnep/internal/core"
 )
@@ -122,6 +123,18 @@ func Figure7(records []Record, cfg Config) []Series {
 			Value: 100 * (o - g) / o,
 		})
 	}
+	// grd is a map, so the records arrive in randomized iteration order; fix
+	// the order before any consumer can accumulate floats across it.
+	sort.Slice(gapRecords, func(i, j int) bool {
+		a, b := gapRecords[i], gapRecords[j]
+		if a.FlexMin < b.FlexMin {
+			return true
+		}
+		if b.FlexMin < a.FlexMin {
+			return false
+		}
+		return a.Seed < b.Seed
+	})
 	x, sums := collect(gapRecords, cfg.FlexMinutes,
 		func(r Record) bool { return true },
 		func(r Record) float64 { return r.Value })

@@ -66,7 +66,7 @@ func (c *Counters) String() string {
 // w ≤ 0 selects runtime.NumCPU(); w == 1 degenerates to a plain loop.
 func runOrdered[T any](ctx context.Context, w, n int, run func(context.Context, int) T, emit func(int, T)) {
 	if w <= 0 {
-		w = runtime.NumCPU()
+		w = runtime.NumCPU() //lint:allow nondet -- worker count affects scheduling only; results merge in input order
 	}
 	if w > n {
 		w = n

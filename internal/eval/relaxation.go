@@ -24,6 +24,8 @@ type RelaxationRecord struct {
 // it solves the LP relaxation of the Δ-, Σ- and cΣ-Model on every scenario
 // (plus the cΣ integer optimum as the reference) and reports the bounds.
 // The expected ordering is bound(Δ) ≥ bound(Σ) ≥ bound(cΣ) ≥ optimum.
+//
+//det:entry
 func (c Config) RelaxationSweep(ctx context.Context, progress io.Writer) []RelaxationRecord {
 	type relResult struct {
 		recs []RelaxationRecord

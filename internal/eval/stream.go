@@ -45,6 +45,8 @@ type streamResult struct {
 // order, and each engine's decision sequence is deterministic, so the sweep
 // output is bit-identical for every worker count as long as Config.Solve
 // carries node-based limits.
+//
+//det:entry
 func (c Config) StreamSweep(ctx context.Context, progress io.Writer) ([]StreamRecord, error) {
 	keys := c.pairs()
 	out := make([]StreamRecord, 0, len(keys))
@@ -80,7 +82,7 @@ func (c Config) streamOne(ctx context.Context, flexMin float64, seed int64, log 
 	if err != nil {
 		return StreamRecord{FlexMin: flexMin, Seed: seed}, err
 	}
-	start := time.Now()
+	start := time.Now() //lint:allow nondet -- stream runtime measurement; recorded, not branched on
 	for r, req := range inst.Reqs {
 		if ctx != nil && ctx.Err() != nil {
 			break
@@ -103,7 +105,7 @@ func (c Config) streamOne(ctx context.Context, flexMin float64, seed int64, log 
 		LPTier:       es.LPTier,
 		MIPTier:      es.MIPTier,
 		CertFailures: es.CertFailures,
-		Runtime:      time.Since(start),
+		Runtime:      time.Since(start), //lint:allow nondet -- stream runtime measurement
 	}
 	if c.Counters != nil {
 		c.Counters.Solves.Add(int64(es.LPTier + es.MIPTier))

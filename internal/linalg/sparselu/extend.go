@@ -37,6 +37,8 @@ func (f *Factors) Extend(k int, borderIdx [][]int32, borderVal [][]float64, diag
 // borderIdx[i] lists basis positions (0..m-1) and may repeat (entries are
 // accumulated). diag entries must be nonzero; the extension itself is never
 // singular when they are (det M = det B · Π diag[i]).
+//
+//hot:path
 func (f *Factors) ExtendInto(dst *Factors, ws *Workspace, k int, borderIdx [][]int32, borderVal [][]float64, diag []float64) error {
 	m := f.m
 	mk := m + k
@@ -95,11 +97,15 @@ func (f *Factors) ExtendInto(dst *Factors, ws *Workspace, k int, borderIdx [][]i
 	g.uptr = append(growI32(g.uptr, mk+1)[:0], f.uptr...)
 	g.urow = append(growI32(g.urow, len(f.urow))[:0], f.urow...)
 	g.uval = append(growF64(g.uval, len(f.uval))[:0], f.uval...)
+	g.order = g.order[:mk]
+	g.rowPiv = g.rowPiv[:mk]
+	g.udiag = g.udiag[:mk]
+	g.uptr = g.uptr[:mk+1]
 	for i := 0; i < k; i++ {
-		g.order = append(g.order, int32(m+i))
-		g.rowPiv = append(g.rowPiv, int32(m+i))
-		g.udiag = append(g.udiag, diag[i])
-		g.uptr = append(g.uptr, f.uptr[m]) // empty U columns for the new steps
+		g.order[m+i] = int32(m + i)
+		g.rowPiv[m+i] = int32(m + i)
+		g.udiag[m+i] = diag[i]
+		g.uptr[m+1+i] = f.uptr[m] // empty U columns for the new steps
 	}
 
 	// Rebuild L, interleaving each step's border multipliers (row indices
@@ -110,20 +116,25 @@ func (f *Factors) ExtendInto(dst *Factors, ws *Workspace, k int, borderIdx [][]i
 			extra++
 		}
 	}
+	nl := len(f.lrow) + extra
 	g.lptr = growI32(g.lptr, mk+1)
-	g.lrow = growI32(g.lrow, len(f.lrow)+extra)[:0]
-	g.lval = growF64(g.lval, len(f.lval)+extra)[:0]
+	g.lrow = growI32(g.lrow, nl)
+	g.lval = growF64(g.lval, nl)
 	g.lptr[0] = 0
+	w := 0
 	for t := 0; t < m; t++ {
-		g.lrow = append(g.lrow, f.lrow[f.lptr[t]:f.lptr[t+1]]...)
-		g.lval = append(g.lval, f.lval[f.lptr[t]:f.lptr[t+1]]...)
+		lo, hi := f.lptr[t], f.lptr[t+1]
+		copy(g.lrow[w:], f.lrow[lo:hi])
+		copy(g.lval[w:], f.lval[lo:hi])
+		w += int(hi - lo)
 		for i := 0; i < k; i++ {
 			if v := xs[i*m+t]; math.Abs(v) > dropTol {
-				g.lrow = append(g.lrow, int32(m+i))
-				g.lval = append(g.lval, v)
+				g.lrow[w] = int32(m + i)
+				g.lval[w] = v
+				w++
 			}
 		}
-		g.lptr[t+1] = int32(len(g.lrow))
+		g.lptr[t+1] = int32(w)
 	}
 	for t := m; t < mk; t++ {
 		g.lptr[t+1] = g.lptr[t] // empty L columns for the new steps

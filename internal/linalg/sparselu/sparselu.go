@@ -431,6 +431,8 @@ func (f *Factors) NumEtas() int { return len(f.etas) }
 
 // EtaNNZ reports the total number of stored eta entries; the refactorization
 // policy uses it to bound update-file growth on dense pivot columns.
+//
+//hot:path
 func (f *Factors) EtaNNZ() int { return f.etaNNZ }
 
 // Update appends the product-form eta for a pivot that replaced the basis
@@ -438,16 +440,18 @@ func (f *Factors) EtaNNZ() int { return f.etaNNZ }
 // entering column. alpha[r] must be nonzero (the simplex ratio test
 // guarantees a pivot magnitude above its tolerance). Steady-state updates
 // are allocation-free once the arena capacity has warmed up.
+//
+//hot:path
 func (f *Factors) Update(alpha []float64, r int) {
 	off := int32(len(f.etaIdx))
 	for i, v := range alpha {
 		if i != r && math.Abs(v) > dropTol {
-			f.etaIdx = append(f.etaIdx, int32(i))
+			f.etaIdx = append(f.etaIdx, int32(i)) //lint:allow hotalloc -- amortized eta-arena growth; compacted at refactorization
 			f.etaVal = append(f.etaVal, v)
 		}
 	}
 	n := int32(len(f.etaIdx)) - off
-	f.etas = append(f.etas, eta{r: int32(r), n: n, off: off, piv: alpha[r]})
+	f.etas = append(f.etas, eta{r: int32(r), n: n, off: off, piv: alpha[r]}) //lint:allow hotalloc -- amortized eta-file growth; compacted at refactorization
 	f.etaNNZ += int(n) + 1
 }
 
@@ -455,6 +459,8 @@ func (f *Factors) Update(alpha []float64, r int) {
 // row, on output it holds x indexed by basis position. Structurally-zero
 // pivot positions are skipped, so sparse right-hand sides (unit columns,
 // sparse entering columns) cost far less than a dense solve.
+//
+//hot:path
 func (f *Factors) Ftran(v []float64) {
 	m := f.m
 	// L solve (forward, scatter form: skip zero pivots).
@@ -506,6 +512,8 @@ func (f *Factors) Ftran(v []float64) {
 // solves run in scatter form over the transposed mirrors and skip
 // structurally-zero steps, so the unit right-hand sides of the pivot-row
 // BTRAN touch only the reachable part of the dependency graph.
+//
+//hot:path
 func (f *Factors) Btran(v []float64) {
 	// Eta transposes in reverse pivot order.
 	for i := len(f.etas) - 1; i >= 0; i-- {

@@ -17,6 +17,8 @@ import "math"
 // reduced costs are unchanged (a bound flip moves no dual), so dual
 // feasibility is preserved by construction. Under Bland's rule the classic
 // single-breakpoint test is kept verbatim for the anti-cycling guarantee.
+//
+//hot:path
 func (s *solver) dual(maxIters int) iterStatus {
 	feas := s.opts.FeasTol
 	for ; s.iters < maxIters; s.iters++ {
@@ -76,7 +78,7 @@ func (s *solver) dual(maxIters int) iterStatus {
 			if s.xbFresh && s.sincefac == 0 {
 				return iterInfeasible
 			}
-			if err := s.refactor(); err != nil {
+			if err := s.refactor(); err != nil { //lint:allow hotalloc -- periodic refactorization is the amortized cold path
 				return iterNumeric
 			}
 			s.computeXB()
@@ -93,7 +95,7 @@ func (s *solver) dual(maxIters int) iterStatus {
 			// refactorize and retry once, otherwise give up. (Any bound
 			// flips taken above remain valid: computeXB rebuilds the basic
 			// values from the flipped statuses.)
-			if err := s.refactor(); err != nil {
+			if err := s.refactor(); err != nil { //lint:allow hotalloc -- periodic refactorization is the amortized cold path
 				return iterNumeric
 			}
 			s.computeXB()
@@ -206,7 +208,7 @@ func (s *solver) ratioTestLongStep(below bool, viol float64) int {
 	s.bpRatio, s.bpJ = s.bpRatio[:0], s.bpJ[:0]
 	for len(s.bfJ) > 0 {
 		r, j := s.bfPop()
-		s.bpRatio = append(s.bpRatio, r)
+		s.bpRatio = append(s.bpRatio, r) //lint:allow hotalloc -- amortized breakpoint scratch; capacity persists across solves
 		s.bpJ = append(s.bpJ, j)
 	}
 	// Forward walk: tentatively flip while the row stays violated and a
@@ -235,7 +237,7 @@ func (s *solver) ratioTestLongStep(below bool, viol float64) int {
 			q, qAbs = int(s.bpJ[i]), a
 		}
 	}
-	s.flips = append(s.flips, s.bpJ[:k]...)
+	s.flips = append(s.flips, s.bpJ[:k]...) //lint:allow hotalloc -- amortized flip scratch; capacity persists across solves
 	return q
 }
 
@@ -278,13 +280,13 @@ func (s *solver) applyBoundFlips() {
 // bfPush inserts a breakpoint into the ratio-test min-heap, ordered by
 // (ratio, column) so the walk is deterministic.
 func (s *solver) bfPush(ratio float64, j int32) {
-	s.bfRatio = append(s.bfRatio, ratio)
+	s.bfRatio = append(s.bfRatio, ratio) //lint:allow hotalloc -- amortized heap scratch; capacity persists across solves
 	s.bfJ = append(s.bfJ, j)
 	i := len(s.bfJ) - 1
 	for i > 0 {
 		p := (i - 1) / 2
 		if s.bfRatio[p] < s.bfRatio[i] ||
-			(s.bfRatio[p] == s.bfRatio[i] && s.bfJ[p] <= s.bfJ[i]) {
+			(s.bfRatio[p] == s.bfRatio[i] && s.bfJ[p] <= s.bfJ[i]) { //lint:allow floateq -- exact compare of stored heap keys for a deterministic tie-break
 			break
 		}
 		s.bfRatio[p], s.bfRatio[i] = s.bfRatio[i], s.bfRatio[p]
@@ -304,11 +306,11 @@ func (s *solver) bfPop() (float64, int32) {
 		l, rr := 2*i+1, 2*i+2
 		small := i
 		if l < last && (s.bfRatio[l] < s.bfRatio[small] ||
-			(s.bfRatio[l] == s.bfRatio[small] && s.bfJ[l] < s.bfJ[small])) {
+			(s.bfRatio[l] == s.bfRatio[small] && s.bfJ[l] < s.bfJ[small])) { //lint:allow floateq -- exact compare of stored heap keys for a deterministic tie-break
 			small = l
 		}
 		if rr < last && (s.bfRatio[rr] < s.bfRatio[small] ||
-			(s.bfRatio[rr] == s.bfRatio[small] && s.bfJ[rr] < s.bfJ[small])) {
+			(s.bfRatio[rr] == s.bfRatio[small] && s.bfJ[rr] < s.bfJ[small])) { //lint:allow floateq -- exact compare of stored heap keys for a deterministic tie-break
 			small = rr
 		}
 		if small == i {

@@ -130,6 +130,8 @@ func (s *solver) sealArtificials() {
 
 // primal runs primal simplex iterations with the current cost vector until
 // optimality, unboundedness or the iteration budget is exhausted.
+//
+//hot:path
 func (s *solver) primal(maxIters int) iterStatus {
 	feas := s.opts.FeasTol
 	for ; s.iters < maxIters; s.iters++ {

@@ -53,7 +53,7 @@ func (s *solver) pivotRow(r int) {
 		for k, j := range idx {
 			if !s.arowTag[j] {
 				s.arowTag[j] = true
-				s.arowNZ = append(s.arowNZ, j)
+				s.arowNZ = append(s.arowNZ, j) //lint:allow hotalloc -- amortized sparse-row scratch; steady state is pre-reserved
 			}
 			s.arow[j] += rv * val[k]
 		}
@@ -61,11 +61,11 @@ func (s *solver) pivotRow(r int) {
 		s.arow[nm+i] = rv // artificial column +e_i
 		if !s.arowTag[n+i] {
 			s.arowTag[n+i] = true
-			s.arowNZ = append(s.arowNZ, int32(n+i))
+			s.arowNZ = append(s.arowNZ, int32(n+i)) //lint:allow hotalloc -- amortized sparse-row scratch; steady state is pre-reserved
 		}
 		if !s.arowTag[nm+i] {
 			s.arowTag[nm+i] = true
-			s.arowNZ = append(s.arowNZ, int32(nm+i))
+			s.arowNZ = append(s.arowNZ, int32(nm+i)) //lint:allow hotalloc -- amortized sparse-row scratch; steady state is pre-reserved
 		}
 	}
 	if s.bland {

@@ -127,14 +127,14 @@ func (inst *Instance) equilibrate() {
 	}
 	identity := true
 	for _, v := range rs {
-		if v != 1 {
+		if v != 1 { //lint:allow floateq -- pow2Round yields exact powers of two; 1.0 is an exact no-op sentinel
 			identity = false
 			break
 		}
 	}
 	if identity {
 		for _, v := range cs {
-			if v != 1 {
+			if v != 1 { //lint:allow floateq -- pow2Round yields exact powers of two; 1.0 is an exact no-op sentinel
 				identity = false
 				break
 			}

@@ -569,6 +569,8 @@ func (s *solver) updateFactors(alpha []float64, r int) {
 
 // pivot makes column q basic in row r. enterVal is the new value of x_q and
 // leaveStat the nonbasic status assigned to the leaving variable.
+//
+//hot:path
 func (s *solver) pivot(q int, r int, alpha []float64, enterVal float64, leaveStat int8) {
 	leaving := int(s.basis[r])
 	s.vstat[leaving] = leaveStat
@@ -581,7 +583,7 @@ func (s *solver) pivot(q int, r int, alpha []float64, enterVal float64, leaveSta
 	s.lastPivotQ = q
 	s.xbFresh = false
 	if s.sincefac >= refactorEvery(s.m) || s.fac.EtaNNZ() >= etaNNZBudget(s.m) {
-		if err := s.refactor(); err == nil {
+		if err := s.refactor(); err == nil { //lint:allow hotalloc -- periodic refactorization is the amortized cold path
 			s.computeXB()
 			s.dValid = false // refresh reduced costs against numerical drift
 		}
@@ -689,7 +691,7 @@ func (s *solver) objValue() float64 {
 // interrupted reports whether the solve should stop: its deadline has
 // passed or its context has been cancelled.
 func (s *solver) interrupted() bool {
-	if !s.opts.Deadline.IsZero() && time.Now().After(s.opts.Deadline) {
+	if !s.opts.Deadline.IsZero() && time.Now().After(s.opts.Deadline) { //lint:allow nondet -- deadline enforcement is deliberate wall-clock dependence
 		return true
 	}
 	if ctx := s.opts.Context; ctx != nil && ctx.Err() != nil {

@@ -13,6 +13,8 @@ import (
 // Under the debugchecks build tag every optimal result is additionally
 // re-checked against the instance's row and bound data before it is
 // returned (see debugcheck_on.go).
+//
+//det:entry
 func (inst *Instance) Solve(opts *Options) Result {
 	res := inst.solveDispatch(opts)
 	debugVerifyResult(inst, &res)

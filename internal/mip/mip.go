@@ -320,8 +320,10 @@ type searcher struct {
 // cooperatively — within one branch-and-bound node, i.e. at worst one LP
 // iteration-checkpoint interval — with StatusCancelled. A nil ctx is
 // treated as context.Background().
+//
+//det:entry
 func Solve(ctx context.Context, p *Problem, opts *Options) Result {
-	start := time.Now()
+	start := time.Now() //lint:allow nondet -- wall-clock Runtime stat only
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -361,7 +363,7 @@ func Solve(ctx context.Context, p *Problem, opts *Options) Result {
 		LPIterations: s.iters,
 		BoundFlips:   s.bflips,
 		RatioPasses:  s.rpasses,
-		Runtime:      time.Since(start),
+		Runtime:      time.Since(start), //lint:allow nondet -- wall-clock Runtime stat only
 	}
 	if s.eng != nil {
 		// Everything the workers evaluated minus everything the committed
@@ -447,7 +449,7 @@ func (s *searcher) timedOut() bool {
 		return false
 	}
 	s.dlCountdown = timedOutEvery
-	return time.Now().After(s.deadline)
+	return time.Now().After(s.deadline) //lint:allow nondet -- deadline enforcement is deliberate wall-clock dependence
 }
 
 // cancelled reports whether the solve's context has been cancelled.
@@ -470,7 +472,7 @@ func (s *searcher) emitProgress(newIncumbent bool) {
 		Incumbent:    inc,
 		Bound:        s.fromMin(bound),
 		Gap:          relGap(s.incumbentMin, bound),
-		Elapsed:      time.Since(s.start),
+		Elapsed:      time.Since(s.start), //lint:allow nondet -- progress-callback timing stat
 		NewIncumbent: newIncumbent,
 		Worker:       s.lastWorker,
 	})
