@@ -14,6 +14,8 @@ import (
 	"tvnep/internal/core"
 	"tvnep/internal/lp"
 	"tvnep/internal/model"
+	"tvnep/internal/round"
+	"tvnep/internal/stats"
 	"tvnep/internal/workload"
 )
 
@@ -59,10 +61,17 @@ type lpBenchResult struct {
 	CutPoolHits      float64 `json:"cut_pool_hits,omitempty"`
 	// Streaming-admission statistics (AdmissionStream only): per-decision
 	// latency quantiles and trace-level accept / warm-restart rates.
+	// RandomizedRounding reuses the quantile fields for its per-solve
+	// latencies.
 	P50NS      float64 `json:"p50_ns,omitempty"`
 	P99NS      float64 `json:"p99_ns,omitempty"`
 	AcceptRate float64 `json:"accept_rate,omitempty"`
 	WarmRate   float64 `json:"warm_rate,omitempty"`
+	// FallbackRate is the fraction of RandomizedRounding ops that exhausted
+	// every sample and fell back to exact branch-and-bound (a pointer so a
+	// genuine 0.0 rate still lands in the report, while the entry stays
+	// absent from every other benchmark).
+	FallbackRate *float64 `json:"fallback_rate,omitempty"`
 }
 
 type lpWarmStats struct {
@@ -341,6 +350,62 @@ func runLPBench(outPath, comparePath string, short bool) error {
 			}))
 	}
 
+	// RandomizedRounding: one approximate cΣ solve — LP relaxation,
+	// fractional decomposition, sampling and repair — per op. It runs
+	// before the admission stream on purpose: the stream's long-lived
+	// engine leaves a mode-dependent live heap (10000 vs 2000 decisions)
+	// that would skew GC pacing of this allocation-heavy loop and make
+	// short-mode ns/op incomparable to the full-run baseline.
+	// Per-op seeds derive via round.MixSeed so consecutive ops exercise
+	// different sample streams deterministically. The p50/p99 fields are
+	// per-solve latency quantiles and FallbackRate counts ops that
+	// exhausted every sample and ran exact branch-and-bound instead.
+	{
+		wl := workload.Default()
+		wl.FlexibilityHr = 2
+		sc := workload.Generate(wl, 1)
+		inst := &core.Instance{Sub: sc.Substrate, Reqs: sc.Requests, Horizon: sc.Horizon}
+		n := 64
+		if short {
+			n = 16
+		}
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		lpIters, fellBack := 0, 0
+		lat := make([]float64, 0, n)
+		start := time.Now()
+		for op := 0; op < n; op++ {
+			sol, rs, err := round.Solve(context.Background(), inst, sc.Mapping, round.Options{
+				Seed:      round.MixSeed(1, int64(op)),
+				Objective: core.AccessControl,
+				Solve:     model.SolveOptions{TimeLimit: 30 * time.Second},
+			})
+			if err != nil || sol == nil {
+				return fmt.Errorf("lpbench: rounding op %d: sol=%v err=%v", op, sol, err)
+			}
+			lpIters += rs.LPIterations
+			if rs.FellBack {
+				fellBack++
+			}
+			lat = append(lat, float64(rs.Runtime.Nanoseconds()))
+		}
+		total := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		fbRate := float64(fellBack) / float64(n)
+		report.Benchmarks = append(report.Benchmarks, lpBenchResult{
+			Name:         "RandomizedRounding",
+			Iterations:   n,
+			NsPerOp:      float64(total.Nanoseconds()) / float64(n),
+			AllocsPerOp:  float64(ms1.Mallocs-ms0.Mallocs) / float64(n),
+			BytesPerOp:   float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(n),
+			LPItersPerOp: float64(lpIters) / float64(n),
+			P50NS:        stats.Quantile(lat, 0.5),
+			P99NS:        stats.Quantile(lat, 0.99),
+			FallbackRate: &fbRate,
+		})
+	}
+
 	// AdmissionStream: a request arrival trace replayed through the online
 	// admission engine in one pass. Unlike the micro-benchmarks above the
 	// op is a single admission decision inside one long-lived engine, so
@@ -467,7 +532,15 @@ func runLPBench(outPath, comparePath string, short bool) error {
 				line += fmt.Sprintf("   cuts: %.0f root rows, %.0f separated in %.0f rounds, %.0f pool hits",
 					b.CutRowsRoot, b.CutRowsSeparated, b.CutRounds, b.CutPoolHits)
 			}
-			if b.P99NS > 0 {
+			switch {
+			case b.Name == "RandomizedRounding":
+				fb := 0.0
+				if b.FallbackRate != nil {
+					fb = *b.FallbackRate
+				}
+				line += fmt.Sprintf("   p50 %.2fms, p99 %.2fms, fallback %.2f",
+					b.P50NS/1e6, b.P99NS/1e6, fb)
+			case b.P99NS > 0:
 				line += fmt.Sprintf("   stream: %d decisions, p50 %.2fms, p99 %.2fms, accept %.2f, warm %.2f",
 					b.Iterations, b.P50NS/1e6, b.P99NS/1e6, b.AcceptRate, b.WarmRate)
 			}

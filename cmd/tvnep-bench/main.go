@@ -38,7 +38,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 3..9, 'ablation', 'relax', 'stream', or all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 3..9, 'ablation', 'relax', 'stream', 'rounding', or all")
 		seeds    = flag.Int("seeds", 0, "number of scenario seeds per flexibility (0 → config default)")
 		limit    = flag.Duration("timelimit", 0, "per-solve time limit (0 → config default)")
 		workers  = flag.Int("workers", 0, "concurrent scenario solves (0 → one per CPU)")
@@ -49,6 +49,7 @@ func main() {
 		flexList = flag.String("flex", "", "comma-separated flexibility steps in minutes (default per config)")
 		cutModeF = flag.String("cutmode", "static", "Constraint-(20) cut pipeline for every cΣ solve of the sweep: static | lazy | off")
 		certFlag = flag.Bool("certify", false, "run the full internal/certify certificate on every sweep solution (including applied-cut re-validation under -cutmode lazy); exit non-zero on any violation")
+		seedFlag = flag.Int64("seed", 0, "base seed of the randomized components (rounding tier, admission stream); sweeps are bit-identical per seed")
 		verbose  = flag.Bool("v", false, "print per-solve progress")
 		progFlag = flag.Bool("progress", false, "stream branch-and-bound progress (incumbents, node counts) to stderr")
 		jsonMode = flag.Bool("json", false, "run the LP solver micro-benchmarks and write a machine-readable report instead of figures")
@@ -118,6 +119,7 @@ func main() {
 	counters := &eval.Counters{}
 	cfg.Counters = counters
 	cfg.Certify = *certFlag
+	cfg.Seed = *seedFlag
 	cm, err := core.ParseCutMode(*cutModeF)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tvnep-bench:", err)
@@ -216,6 +218,10 @@ func main() {
 		}
 		eval.WriteStreamTable(os.Stdout,
 			"Streaming admission — per-decision latency and accept rate vs temporal flexibility", recs, cfg)
+	}
+	if want["rounding"] {
+		recs := cfg.RoundingSweep(ctx, progress)
+		eval.WriteRoundingTable(os.Stdout, recs)
 	}
 	fmt.Printf("# aggregate: %v\n", counters)
 	fmt.Printf("# total bench time: %v\n", time.Since(start).Round(time.Millisecond))

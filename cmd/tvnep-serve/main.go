@@ -37,6 +37,8 @@ func main() {
 		cutMode  = flag.String("cutmode", "static", "Constraint-(20) cut pipeline: static | lazy | off")
 		nodeLim  = flag.Int("nodelimit", 0, "branch-and-bound node budget per decision (0 → engine default; keeps replays deterministic)")
 		workers  = flag.Int("workers", 1, "branch-and-bound workers per decision (decisions are bit-identical for every count)")
+		algoName = flag.String("algorithm", "exact", "admission fast-tier mode: exact (LP → MIP) | rounding (LP → randomized rounding → MIP)")
+		seed     = flag.Int64("seed", 0, "seed for the rounding tier's sampler (replays are bit-identical per seed)")
 		certify  = flag.Bool("certify", false, "independently certify every accepting decision before committing it")
 		reopt    = flag.Int("reopt", 0, "re-optimize committed link allocations after every n-th acceptance (0 → never)")
 		quiet    = flag.Bool("q", false, "suppress per-decision replay output")
@@ -75,6 +77,13 @@ func main() {
 		tvnep.WithCutMode(cm),
 		tvnep.WithWorkers(*workers),
 		tvnep.WithReoptEvery(*reopt),
+	}
+	switch *algoName {
+	case "", "exact":
+	case "rounding":
+		opts = append(opts, tvnep.WithAlgorithm(tvnep.Rounding), tvnep.WithSeed(*seed))
+	default:
+		fail(fmt.Errorf("unknown algorithm %q (want exact or rounding)", *algoName))
 	}
 	if *nodeLim > 0 {
 		opts = append(opts, tvnep.WithNodeLimit(*nodeLim))
@@ -138,8 +147,8 @@ func runReplay(solver *tvnep.Solver, sc *tvnep.Scenario, quiet bool) int {
 		}
 	}
 	s := solver.EngineStats()
-	fmt.Printf("decisions=%d accepted=%d (rate %.3f) tiers: precheck=%d lp=%d mip=%d\n",
-		s.Decisions, s.Accepted, s.AcceptRate(), s.PrecheckTier, s.LPTier, s.MIPTier)
+	fmt.Printf("decisions=%d accepted=%d (rate %.3f) tiers: precheck=%d lp=%d rounding=%d mip=%d\n",
+		s.Decisions, s.Accepted, s.AcceptRate(), s.PrecheckTier, s.LPTier, s.RoundingTier, s.MIPTier)
 	fmt.Printf("latency: p50=%v p99=%v   warm rate %.3f (%d/%d, %d LU extensions)   reopts=%d\n",
 		s.LatencyP50, s.LatencyP99, s.WarmRate(), s.WarmUsed, s.WarmAttempts, s.BasisExtended, s.Reopts)
 

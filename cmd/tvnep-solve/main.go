@@ -29,7 +29,9 @@ func main() {
 		in        = flag.String("in", "", "scenario JSON file (required)")
 		modelName = flag.String("model", "csigma", "formulation: delta | sigma | csigma")
 		objName   = flag.String("objective", "access", "objective: access | earliness | balance | disable | makespan")
-		useGreedy = flag.Bool("greedy", false, "run the greedy algorithm cΣ_A^G instead of the exact model")
+		useGreedy = flag.Bool("greedy", false, "deprecated alias of -algorithm greedy")
+		algoName  = flag.String("algorithm", "", "algorithm: exact | greedy | rounding (default exact)")
+		seed      = flag.Int64("seed", 0, "seed for the randomized-rounding sampler (deterministic per seed)")
 		limit     = flag.Duration("timelimit", time.Minute, "MIP time limit")
 		workers   = flag.Int("workers", 1, "branch-and-bound relaxation workers (deterministic: the committed result is bit-identical for every count)")
 		cutMode   = flag.String("cutmode", "static", "Constraint-(20) precedence-cut pipeline, cΣ only: static (emit all rows at build time) | lazy (separate violated rows on demand) | off (drop the cut family)")
@@ -90,6 +92,20 @@ func main() {
 		cm = tvnep.CutOff
 	}
 
+	algo := tvnep.Exact
+	switch strings.ToLower(*algoName) {
+	case "", "exact":
+		if *useGreedy {
+			algo = tvnep.Greedy
+		}
+	case "greedy":
+		algo = tvnep.Greedy
+	case "rounding":
+		algo = tvnep.Rounding
+	default:
+		fail(fmt.Errorf("unknown algorithm %q (want exact, greedy or rounding)", *algoName))
+	}
+
 	var obj tvnep.Objective
 	switch strings.ToLower(*objName) {
 	case "access":
@@ -119,8 +135,11 @@ func main() {
 	if *noPre {
 		opts = append(opts, tvnep.WithoutPresolve())
 	}
-	if *useGreedy {
-		opts = append(opts, tvnep.WithAlgorithm(tvnep.Greedy))
+	if algo != tvnep.Exact {
+		opts = append(opts, tvnep.WithAlgorithm(algo))
+	}
+	if algo == tvnep.Rounding {
+		opts = append(opts, tvnep.WithSeed(*seed))
 	}
 	if *doCertify {
 		opts = append(opts, tvnep.WithCertify())
@@ -144,7 +163,7 @@ func main() {
 	var conflict *tvnep.OptionConflictError
 	if errors.As(err, &conflict) {
 		fmt.Fprintf(os.Stderr, "tvnep-solve: warning: %v (ignoring it)\n", conflict)
-		solver, err = tvnep.New(sc.Substrate, dropConflicting(sc, form, obj, *limit, *workers, *useGreedy, *doCertify)...)
+		solver, err = tvnep.New(sc.Substrate, dropConflicting(sc, form, obj, *limit, *workers, *seed, algo, *doCertify)...)
 	}
 	if err != nil {
 		fail(err)
@@ -172,6 +191,15 @@ func main() {
 	if res.Greedy != nil {
 		fmt.Printf("algorithm: cΣ_A^G greedy (%d iterations, %d B&B nodes, %d LP iterations)\n",
 			res.Greedy.Iterations, res.Greedy.TotalBBNodes, res.Greedy.TotalLPIters)
+	}
+	if rs := res.Rounding; rs != nil {
+		fmt.Printf("algorithm: randomized rounding (seed %d: %d samples, %d feasible, best #%d, %d repairs, %d repair-rejections)\n",
+			*seed, rs.Samples, rs.Feasible, rs.BestSample, rs.Repairs, rs.Rejections)
+		if rs.FellBack {
+			fmt.Printf("rounding: fell back to exact branch-and-bound (%d nodes)\n", rs.FallbackNodes)
+		} else {
+			fmt.Printf("rounding: LP bound %.4f, %d LP iterations, no fallback\n", rs.LPBound, rs.LPIterations)
+		}
 	}
 	if m := res.ModelStats; m != nil {
 		fmt.Printf("model: %v  objective: %v  vars=%d constrs=%d ints=%d\n",
@@ -213,8 +241,9 @@ func main() {
 }
 
 // dropConflicting rebuilds the option list without the cΣ-only ablation
-// options that the facade rejected for this formulation.
-func dropConflicting(sc tvnep.Scenario, form tvnep.Formulation, obj tvnep.Objective, limit time.Duration, workers int, useGreedy, doCertify bool) []tvnep.Option {
+// options (and algorithm-conflicting cut modes) that the facade rejected
+// for this configuration.
+func dropConflicting(sc tvnep.Scenario, form tvnep.Formulation, obj tvnep.Objective, limit time.Duration, workers int, seed int64, algo tvnep.Algorithm, doCertify bool) []tvnep.Option {
 	opts := []tvnep.Option{
 		tvnep.WithFormulation(form),
 		tvnep.WithObjective(obj),
@@ -222,8 +251,11 @@ func dropConflicting(sc tvnep.Scenario, form tvnep.Formulation, obj tvnep.Object
 		tvnep.WithTimeLimit(limit),
 		tvnep.WithWorkers(workers),
 	}
-	if useGreedy {
-		opts = append(opts, tvnep.WithAlgorithm(tvnep.Greedy))
+	if algo != tvnep.Exact {
+		opts = append(opts, tvnep.WithAlgorithm(algo))
+	}
+	if algo == tvnep.Rounding {
+		opts = append(opts, tvnep.WithSeed(seed))
 	}
 	if doCertify {
 		opts = append(opts, tvnep.WithCertify())

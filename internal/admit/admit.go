@@ -44,6 +44,7 @@ import (
 	"tvnep/internal/lp"
 	"tvnep/internal/model"
 	"tvnep/internal/numtol"
+	"tvnep/internal/round"
 	"tvnep/internal/solution"
 	"tvnep/internal/stats"
 	"tvnep/internal/substrate"
@@ -63,9 +64,16 @@ const (
 	TierPrecheck Tier = "precheck"
 	// TierLP: decided by an integral LP relaxation, no branch and bound.
 	TierLP Tier = "lp"
+	// TierRounding: accepted by rounding the fractional LP relaxation
+	// (Config.Rounding; only accepts — rejections stay with the MIP tier).
+	TierRounding Tier = "rounding"
 	// TierMIP: decided by a full branch-and-bound solve.
 	TierMIP Tier = "mip"
 )
+
+// roundingSamples is the number of random flow samples the rounding tier
+// tries per admission after the deterministic path mix.
+const roundingSamples = 8
 
 // Config configures an Engine.
 type Config struct {
@@ -83,6 +91,18 @@ type Config struct {
 	// DisablePresolve turns the activity-interval state-space reduction off
 	// in the per-decision models (ablations).
 	DisablePresolve bool
+	// Rounding enables the randomized-rounding fast tier between the LP
+	// relaxation and the branch-and-bound: when the relaxation is optimal
+	// but fractional, the engine first tries to round the arriving request
+	// into the committed system (internal/round.AdmitSample). The tier only
+	// ever accepts; anything it cannot place falls through to the exact
+	// solve, so rejections keep their branch-and-bound justification.
+	Rounding bool
+	// Seed drives the rounding tier's per-decision sampling (ignored when
+	// Rounding is off). Decisions derive their own seeds from it via
+	// round.MixSeed, so replaying a trace with the same seed is
+	// bit-identical.
+	Seed int64
 	// Certify re-verifies every accepting decision with the independent
 	// solution checker before committing it; a violation downgrades the
 	// decision to a rejection (and is reported in Decision.CertErr).
@@ -147,6 +167,7 @@ type Stats struct {
 	Rejected      int
 	PrecheckTier  int
 	LPTier        int
+	RoundingTier  int
 	MIPTier       int
 	CertFailures  int
 	Reopts        int
@@ -383,14 +404,27 @@ func (e *Engine) decide(ctx context.Context, rec *record, d *Decision) (*accepta
 		d.Stats.Tier = TierLP
 		sol = b.Extract(b.Model.SolutionFromLP(lpRes))
 	} else {
-		d.Stats.Tier = TierMIP
-		ms := b.Model.Optimize(ctx, &e.cfg.Solve)
-		d.Stats.LPIterations += ms.LPIterations
-		d.Stats.Nodes += ms.Nodes
-		if ms.Status == model.StatusCancelled {
-			return nil, ctx.Err()
+		if e.cfg.Rounding && lpRes.Status == lp.StatusOptimal {
+			// Rounding fast tier: try to place the arriving request by
+			// rounding the fractional relaxation before paying for a full
+			// branch-and-bound. Accept-only; the per-decision seed is
+			// derived from the arrival index so traces replay identically.
+			if rsol := round.AdmitSample(b, b.Model.SolutionFromLP(lpRes), newIdx,
+				round.MixSeed(e.cfg.Seed, int64(len(e.log))), roundingSamples); rsol != nil {
+				d.Stats.Tier = TierRounding
+				sol = rsol
+			}
 		}
-		sol = b.Extract(ms)
+		if sol == nil {
+			d.Stats.Tier = TierMIP
+			ms := b.Model.Optimize(ctx, &e.cfg.Solve)
+			d.Stats.LPIterations += ms.LPIterations
+			d.Stats.Nodes += ms.Nodes
+			if ms.Status == model.StatusCancelled {
+				return nil, ctx.Err()
+			}
+			sol = b.Extract(ms)
+		}
 	}
 	if sol == nil || !sol.Accepted[newIdx] {
 		e.commitRestart(inst, b, lpRes, nil, newIdx, d)
@@ -535,6 +569,8 @@ func (e *Engine) observe(d *Decision, began time.Time) {
 		e.stats.PrecheckTier++
 	case TierLP:
 		e.stats.LPTier++
+	case TierRounding:
+		e.stats.RoundingTier++
 	case TierMIP:
 		e.stats.MIPTier++
 	}

@@ -57,6 +57,11 @@ type Config struct {
 	// sweep: static emission (default), lazy separation, or off. Δ/Σ builds
 	// ignore it.
 	CutMode core.CutMode
+	// Seed is the base seed of every randomized component of a sweep (the
+	// rounding tier). Scenario-local seeds are derived from it with
+	// round.MixSeed, so sweeps are bit-identical for equal Seed values and
+	// every worker count; there is no package-level randomness anywhere.
+	Seed int64
 }
 
 // Default returns a configuration sized for the pure-Go solver: the paper's
@@ -114,6 +119,9 @@ type Record struct {
 	Certified bool
 	Nodes     int
 	LPIters   int
+	// FellBack reports that a rounding solve exhausted its samples and ran
+	// the exact branch-and-bound fallback (rounding records only).
+	FellBack bool
 }
 
 // scenKey identifies one scenario of the sweep grid.

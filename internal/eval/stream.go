@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 	"time"
 
 	"tvnep/internal/admit"
+	"tvnep/internal/round"
 	"tvnep/internal/stats"
 )
 
@@ -77,6 +79,7 @@ func (c Config) streamOne(ctx context.Context, flexMin float64, seed int64, log 
 		Horizon: inst.Horizon,
 		Solve:   c.innerSolve(),
 		CutMode: c.CutMode,
+		Seed:    round.MixSeed(c.Seed, seed, int64(math.Float64bits(flexMin))),
 		Certify: c.Certify,
 	})
 	if err != nil {

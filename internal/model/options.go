@@ -68,6 +68,10 @@ type SolveOptions struct {
 	// ProgressEvery is the periodic progress interval in nodes (default
 	// 100; < 0 keeps only incumbent callbacks).
 	ProgressEvery int
+	// Seed drives the explicitly seeded sampling of the randomized-rounding
+	// tier (internal/round) and any future randomized component. The exact
+	// branch-and-bound is deterministic by construction and ignores it.
+	Seed int64
 }
 
 // SolveOption mutates a SolveOptions; see NewSolveOptions.
@@ -102,6 +106,12 @@ func WithWorkers(n int) SolveOption {
 // WithProgress installs a per-solve progress callback.
 func WithProgress(fn ProgressFunc) SolveOption {
 	return func(o *SolveOptions) { o.Progress = fn }
+}
+
+// WithSeed sets the seed for randomized components (the rounding tier);
+// the deterministic exact solver ignores it.
+func WithSeed(seed int64) SolveOption {
+	return func(o *SolveOptions) { o.Seed = seed }
 }
 
 // mipOptions lowers the public options into the branch-and-bound solver's

@@ -1,0 +1,84 @@
+package round
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"tvnep/internal/certify"
+	"tvnep/internal/core"
+	"tvnep/internal/solution"
+	"tvnep/internal/workload"
+)
+
+// Size caps of one fuzz execution: anything larger is rejected up front so
+// a single input can never turn the harness into an LP stress test.
+const (
+	fuzzMaxRequests = 8
+	fuzzMaxNodes    = 16
+	fuzzMaxHorizon  = 1e5
+)
+
+// FuzzRoundingRepair is the crash-and-contract harness of the rounding
+// tier: any byte string that decodes to a valid workload scenario is
+// rounded (fallback disabled, so the sampling + repair pipeline itself is
+// on trial) and every solution that comes back must pass the independent
+// certify.Solution checker with zero violations — the same trust property
+// TestRoundingPropertyCertifies pins on the curated grid, extended to
+// adversarial instances.
+func FuzzRoundingRepair(f *testing.F) {
+	cfg := workload.Default()
+	cfg.GridRows, cfg.GridCols, cfg.NumRequests = 2, 2, 3
+	for seed := int64(1); seed <= 3; seed++ {
+		cfg.FlexibilityHr = float64(seed - 1)
+		sc := workload.Generate(cfg, seed)
+		data, err := json.Marshal(sc)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"substrate":{"nodes":1,"node_caps":[1]},"horizon":1}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var sc workload.Scenario
+		if err := json.Unmarshal(data, &sc); err != nil {
+			return // rejected inputs are out of contract
+		}
+		if sc.Validate() != nil {
+			return
+		}
+		if len(sc.Requests) == 0 || len(sc.Requests) > fuzzMaxRequests ||
+			sc.Substrate.NumNodes() > fuzzMaxNodes || sc.Horizon > fuzzMaxHorizon {
+			return
+		}
+		inst := &core.Instance{Sub: sc.Substrate, Reqs: sc.Requests, Horizon: sc.Horizon}
+		if inst.Validate() != nil {
+			return
+		}
+		for _, obj := range []core.Objective{core.AccessControl, core.MinMakespan} {
+			sol, stats, err := Solve(context.Background(), inst, sc.Mapping, Options{
+				Seed:            MixSeed(1, int64(len(data)), int64(obj)),
+				Samples:         4,
+				Objective:       obj,
+				DisableFallback: true,
+			})
+			if err != nil {
+				t.Fatalf("obj=%v: %v", obj, err)
+			}
+			if sol == nil {
+				continue
+			}
+			if stats.FellBack {
+				t.Fatalf("obj=%v: fell back with fallback disabled", obj)
+			}
+			rep := certify.Solution(inst, sol, certify.Options{Objective: obj, Mapping: sc.Mapping})
+			if !rep.OK() {
+				t.Fatalf("obj=%v: rounded solution failed certification: %v\nscenario: %s", obj, rep.Err(), data)
+			}
+			if err := solution.Check(inst.Sub, inst.Reqs, sol); err != nil {
+				t.Fatalf("obj=%v: %v", obj, err)
+			}
+		}
+	})
+}

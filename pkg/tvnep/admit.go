@@ -20,6 +20,8 @@ func (s *Solver) engine() (*admit.Engine, error) {
 			Solve:           s.cfg.solve,
 			CutMode:         s.cfg.cutMode,
 			DisablePresolve: s.cfg.noPresolve,
+			Rounding:        s.cfg.algorithm == Rounding,
+			Seed:            s.cfg.solve.Seed,
 			Certify:         s.cfg.certify,
 			ReoptEvery:      s.cfg.reoptEvery,
 		})

@@ -10,6 +10,7 @@ import (
 	"tvnep/internal/greedy"
 	"tvnep/internal/lp"
 	"tvnep/internal/model"
+	"tvnep/internal/round"
 	"tvnep/internal/solution"
 )
 
@@ -33,6 +34,9 @@ type Result struct {
 	// Greedy carries the heuristic's per-run statistics (nil for exact
 	// runs).
 	Greedy *GreedyStats
+	// Rounding carries the randomized-rounding tier's per-run statistics
+	// (nil unless WithAlgorithm(Rounding) was used).
+	Rounding *RoundingStats
 	// Certificate holds the independent certificates when WithCertify is
 	// set (nil otherwise).
 	Certificate *Certificate
@@ -80,8 +84,11 @@ func (s *Solver) Solve(ctx context.Context, reqs []*Request, mapping NodeMapping
 	if err := inst.Validate(); err != nil {
 		return nil, fmt.Errorf("tvnep: %w", err)
 	}
-	if s.cfg.algorithm == Greedy {
+	switch s.cfg.algorithm {
+	case Greedy:
 		return s.solveGreedy(ctx, inst, mapping)
+	case Rounding:
+		return s.solveRounding(ctx, inst, mapping)
 	}
 	return s.solveExact(ctx, inst, mapping)
 }
@@ -103,6 +110,40 @@ func (s *Solver) solveGreedy(ctx context.Context, inst *core.Instance, mapping N
 		LPIterations: stats.TotalLPIters,
 		Runtime:      stats.TotalRuntime,
 		Greedy:       &stats,
+	}
+	if err := s.verify(inst, sol, mapping, res, nil, nil); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (s *Solver) solveRounding(ctx context.Context, inst *core.Instance, mapping NodeMapping) (*Result, error) {
+	opts := round.Options{
+		Seed:            s.cfg.solve.Seed,
+		Objective:       s.cfg.objective,
+		LoadFraction:    s.cfg.loadFraction,
+		CutMode:         s.cfg.cutMode,
+		DisablePresolve: s.cfg.noPresolve,
+		Solve:           s.cfg.solve,
+	}
+	sol, stats, err := round.Solve(ctx, inst, mapping, opts)
+	if err != nil {
+		return nil, fmt.Errorf("tvnep: %w", err)
+	}
+	res := &Result{
+		Status:       StatusFeasible, // heuristic: feasible, no optimality claim
+		Nodes:        stats.FallbackNodes,
+		LPIterations: stats.LPIterations,
+		Runtime:      stats.Runtime,
+		Rounding:     &stats,
+	}
+	if sol == nil {
+		return res, ErrNoSolution
+	}
+	res.Solution = sol
+	res.Gap = sol.Gap
+	if sol.Optimal {
+		res.Status = StatusOptimal
 	}
 	if err := s.verify(inst, sol, mapping, res, nil, nil); err != nil {
 		return nil, err

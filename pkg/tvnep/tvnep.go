@@ -12,6 +12,7 @@ import (
 	"tvnep/internal/core"
 	"tvnep/internal/greedy"
 	"tvnep/internal/model"
+	"tvnep/internal/round"
 	"tvnep/internal/solution"
 	"tvnep/internal/substrate"
 	"tvnep/internal/vnet"
@@ -53,6 +54,9 @@ type (
 	Progress = model.Progress
 	// GreedyStats reports per-run statistics of the greedy algorithm.
 	GreedyStats = greedy.Stats
+	// RoundingStats reports per-run statistics of the randomized-rounding
+	// tier (samples, repairs, fallback).
+	RoundingStats = round.Stats
 
 	// Decision is the admission engine's answer to one streamed request.
 	Decision = admit.Decision
@@ -101,6 +105,7 @@ const (
 const (
 	TierPrecheck = admit.TierPrecheck
 	TierLP       = admit.TierLP
+	TierRounding = admit.TierRounding
 	TierMIP      = admit.TierMIP
 )
 
@@ -137,6 +142,13 @@ const (
 	// It supports the AccessControl objective only and requires a node
 	// mapping.
 	Greedy
+	// Rounding runs the approximate LP-relaxation randomized-rounding tier
+	// (internal/round): relax, decompose, sample, repair by deferral, and
+	// fall back to exact branch-and-bound only when no sample survives. It
+	// requires a node mapping and the cΣ formulation; every returned
+	// solution has passed the independent certifier. Online admission
+	// (Solver.Admit) uses it as an extra fast tier ahead of the MIP tier.
+	Rounding
 )
 
 // String implements fmt.Stringer.
@@ -146,24 +158,38 @@ func (a Algorithm) String() string {
 		return "exact"
 	case Greedy:
 		return "greedy"
+	case Rounding:
+		return "rounding"
 	default:
 		return fmt.Sprintf("tvnep.Algorithm(%d)", int(a))
 	}
 }
 
 // OptionConflictError reports an option that does not apply to the
-// configured formulation: the cut pipeline and the activity-interval
-// presolve exist in the cΣ-Model only, so requesting them with Δ or Σ is a
-// configuration error, not a silent no-op (and not a stderr warning).
+// configured formulation or algorithm: the cut pipeline and the
+// activity-interval presolve exist in the cΣ-Model only, so requesting
+// them with Δ or Σ is a configuration error, not a silent no-op (and not
+// a stderr warning). Likewise, the rounding algorithm solves only a bare
+// LP relaxation, so options that shape the branch-and-bound cut pipeline
+// (lazy separation) are meaningless with it, and the algorithm itself is
+// cΣ-only.
 type OptionConflictError struct {
 	// Option is the conflicting option's name, e.g. "WithCutMode".
 	Option string
-	// Formulation is the formulation the option does not apply to.
+	// Formulation is the formulation the option does not apply to (for
+	// formulation conflicts; Algorithm is Exact then).
 	Formulation Formulation
+	// Algorithm is the algorithm the option does not combine with (for
+	// algorithm conflicts, e.g. WithCutMode(lazy) with Rounding).
+	Algorithm Algorithm
 }
 
 // Error implements error.
 func (e *OptionConflictError) Error() string {
+	if e.Algorithm != Exact {
+		return fmt.Sprintf("tvnep: %s does not combine with the %v algorithm",
+			e.Option, e.Algorithm)
+	}
 	return fmt.Sprintf("tvnep: %s applies to the cΣ model only; the %v model has no such ablation",
 		e.Option, e.Formulation)
 }
@@ -287,6 +313,14 @@ func WithWorkers(n int) Option {
 	return func(c *config) { c.solve.Workers = n }
 }
 
+// WithSeed sets the seed for the randomized-rounding tier's explicitly
+// seeded sampling (WithAlgorithm(Rounding) and the admission engine's
+// rounding tier). Equal seeds give bit-identical results; the exact
+// branch-and-bound is deterministic by construction and ignores it.
+func WithSeed(seed int64) Option {
+	return func(c *config) { c.solve.Seed = seed }
+}
+
 // WithProgress installs a per-solve progress callback.
 func WithProgress(fn func(Progress)) Option {
 	return func(c *config) {
@@ -341,6 +375,17 @@ func New(sub *Substrate, opts ...Option) (*Solver, error) {
 	if cfg.algorithm == Greedy && cfg.objective != AccessControl {
 		return nil, fmt.Errorf("tvnep: the greedy algorithm supports the %v objective only, not %v",
 			AccessControl, cfg.objective)
+	}
+	if cfg.algorithm == Rounding {
+		if cfg.formulation != CSigma {
+			return nil, &OptionConflictError{Option: "WithAlgorithm(rounding)", Formulation: cfg.formulation}
+		}
+		if cfg.cutModeSet && cfg.cutMode == CutLazy {
+			// Rounding solves a bare relaxation: nothing ever separates
+			// lazy cuts, so the request is a configuration error rather
+			// than a silently weaker relaxation.
+			return nil, &OptionConflictError{Option: "WithCutMode(lazy)", Algorithm: Rounding}
+		}
 	}
 	return &Solver{sub: sub, cfg: cfg}, nil
 }
