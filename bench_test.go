@@ -167,11 +167,15 @@ func benchCSigmaVariant(b *testing.B, noCuts, noPresolve bool) {
 	sc := workload.Generate(wl, 7)
 	inst := &core.Instance{Sub: sc.Substrate, Reqs: sc.Requests, Horizon: sc.Horizon}
 	b.ResetTimer()
+	cutMode := core.CutStatic
+	if noCuts {
+		cutMode = core.CutOff
+	}
 	for i := 0; i < b.N; i++ {
 		built := core.BuildCSigma(inst, core.BuildOptions{
 			Objective:       core.AccessControl,
 			FixedMapping:    sc.Mapping,
-			DisableCuts:     noCuts,
+			CutMode:         cutMode,
 			DisablePresolve: noPresolve,
 		})
 		sol, ms := built.Solve(context.Background(), model.NewSolveOptions(model.WithTimeLimit(30*time.Second)))
@@ -211,7 +215,7 @@ func BenchmarkGreedyEndToEnd(b *testing.B) {
 	inst := &core.Instance{Sub: sc.Substrate, Reqs: sc.Requests, Horizon: sc.Horizon}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := greedy.Solve(context.Background(), inst, sc.Mapping, greedy.Options{}); err != nil {
+		if _, _, err := greedy.Solve(context.Background(), inst, sc.Mapping, core.BuildOptions{}, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

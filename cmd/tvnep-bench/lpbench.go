@@ -59,6 +59,13 @@ type lpBenchResult struct {
 	CutRowsSeparated float64 `json:"cut_rows_separated,omitempty"`
 	CutRounds        float64 `json:"cut_rounds,omitempty"`
 	CutPoolHits      float64 `json:"cut_pool_hits,omitempty"`
+	// Column-generation statistics (WANCSigmaPath only): structural columns
+	// in the root LP, columns appended by pricing, pricing rounds and pool
+	// dedup hits — the pricing mirror of the lazy-cut fields above.
+	ColsRoot    float64 `json:"cols_root,omitempty"`
+	ColsPriced  float64 `json:"cols_priced,omitempty"`
+	ColRounds   float64 `json:"col_rounds,omitempty"`
+	ColPoolHits float64 `json:"col_pool_hits,omitempty"`
 	// Streaming-admission statistics (AdmissionStream only): per-decision
 	// latency quantiles and trace-level accept / warm-restart rates.
 	// RandomizedRounding reuses the quantile fields for its per-solve
@@ -176,6 +183,18 @@ func measureLP(name string, short bool, f func() (lpIters int, extra map[string]
 	}
 	if v, ok := extra["cut_pool_hits"]; ok {
 		res.CutPoolHits = v
+	}
+	if v, ok := extra["cols_root"]; ok {
+		res.ColsRoot = v
+	}
+	if v, ok := extra["cols_priced"]; ok {
+		res.ColsPriced = v
+	}
+	if v, ok := extra["col_rounds"]; ok {
+		res.ColRounds = v
+	}
+	if v, ok := extra["col_pool_hits"]; ok {
+		res.ColPoolHits = v
 	}
 	return res
 }
@@ -298,7 +317,7 @@ func runLPBench(outPath, comparePath string, short bool) error {
 				built := core.BuildCSigma(inst, core.BuildOptions{
 					Objective:       core.AccessControl,
 					FixedMapping:    sc.Mapping,
-					DisableCuts:     true,
+					CutMode:         core.CutOff,
 					DisablePresolve: true,
 				})
 				sol, ms := built.Solve(context.Background(), model.NewSolveOptions(model.WithTimeLimit(30*time.Second)))
@@ -348,6 +367,60 @@ func runLPBench(outPath, comparePath string, short bool) error {
 					"cut_pool_hits":      float64(ms.Cuts.PoolHits),
 				}
 			}))
+	}
+
+	// WANCSigmaArc / WANCSigmaPath: full branch-and-bound solves of one
+	// WAN-scale scenario (ISP-style Waxman substrate, per-link capacities)
+	// under the two link-flow formulations. Arc mode carries a flow variable
+	// per (request, virtual link, substrate arc); path mode replaces them
+	// with priced path columns generated by the reduced-cost Dijkstra
+	// pricer, so on link-rich WANs the path LP is far smaller — fewer
+	// simplex iterations per op and lower ns/op, with the column-generation
+	// counters reported alongside.
+	{
+		wl := workload.Default()
+		wl.Topology = "wan"
+		wl.WANNodes = 12
+		wl.WANAvgDeg = 4
+		wl.NumRequests = 4
+		wl.StarLeaves = 1
+		wl.FlexibilityHr = 1.5
+		sc := workload.Generate(wl, 5)
+		inst := &core.Instance{Sub: sc.Substrate, Reqs: sc.Requests, Horizon: sc.Horizon}
+		for _, mode := range []struct {
+			name string
+			fm   core.FlowMode
+		}{
+			{"WANCSigmaArc", core.FlowArc},
+			{"WANCSigmaPath", core.FlowPath},
+		} {
+			mode := mode
+			report.Benchmarks = append(report.Benchmarks, measureLP(mode.name, short,
+				func() (int, map[string]float64) {
+					built := core.BuildCSigma(inst, core.BuildOptions{
+						Objective:    core.AccessControl,
+						FixedMapping: sc.Mapping,
+						FlowMode:     mode.fm,
+					})
+					sol, ms := built.Solve(context.Background(), model.NewSolveOptions(model.WithTimeLimit(30*time.Second)))
+					if sol == nil || ms.Status != model.StatusOptimal {
+						fmt.Fprintf(os.Stderr, "lpbench: WAN %v solve failed: %v\n", mode.fm, ms.Status)
+						os.Exit(1)
+					}
+					extra := map[string]float64{
+						"bb_nodes":     float64(ms.Nodes),
+						"bound_flips":  float64(ms.BoundFlips),
+						"ratio_passes": float64(ms.RatioPasses),
+					}
+					if mode.fm == core.FlowPath {
+						extra["cols_root"] = float64(ms.Columns.ColsAtRoot)
+						extra["cols_priced"] = float64(ms.Columns.PricedCols)
+						extra["col_rounds"] = float64(ms.Columns.Rounds)
+						extra["col_pool_hits"] = float64(ms.Columns.PoolHits)
+					}
+					return ms.LPIterations, extra
+				}))
+		}
 	}
 
 	// RandomizedRounding: one approximate cΣ solve — LP relaxation,
@@ -531,6 +604,10 @@ func runLPBench(outPath, comparePath string, short bool) error {
 			if b.CutRowsRoot > 0 {
 				line += fmt.Sprintf("   cuts: %.0f root rows, %.0f separated in %.0f rounds, %.0f pool hits",
 					b.CutRowsRoot, b.CutRowsSeparated, b.CutRounds, b.CutPoolHits)
+			}
+			if b.ColsRoot > 0 {
+				line += fmt.Sprintf("   cols: %.0f root, %.0f priced in %.0f rounds, %.0f pool hits",
+					b.ColsRoot, b.ColsPriced, b.ColRounds, b.ColPoolHits)
 			}
 			switch {
 			case b.Name == "RandomizedRounding":

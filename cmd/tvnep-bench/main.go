@@ -38,26 +38,27 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 3..9, 'ablation', 'relax', 'stream', 'rounding', or all")
-		seeds    = flag.Int("seeds", 0, "number of scenario seeds per flexibility (0 → config default)")
-		limit    = flag.Duration("timelimit", 0, "per-solve time limit (0 → config default)")
-		workers  = flag.Int("workers", 0, "concurrent scenario solves (0 → one per CPU)")
-		paper    = flag.Bool("paper", false, "use the paper's exact scale (very slow with this solver)")
-		rows     = flag.Int("rows", 0, "substrate grid rows override")
-		cols     = flag.Int("cols", 0, "substrate grid cols override")
-		requests = flag.Int("requests", 0, "requests per scenario override")
-		flexList = flag.String("flex", "", "comma-separated flexibility steps in minutes (default per config)")
-		cutModeF = flag.String("cutmode", "static", "Constraint-(20) cut pipeline for every cΣ solve of the sweep: static | lazy | off")
-		certFlag = flag.Bool("certify", false, "run the full internal/certify certificate on every sweep solution (including applied-cut re-validation under -cutmode lazy); exit non-zero on any violation")
-		seedFlag = flag.Int64("seed", 0, "base seed of the randomized components (rounding tier, admission stream); sweeps are bit-identical per seed")
-		verbose  = flag.Bool("v", false, "print per-solve progress")
-		progFlag = flag.Bool("progress", false, "stream branch-and-bound progress (incumbents, node counts) to stderr")
-		jsonMode = flag.Bool("json", false, "run the LP solver micro-benchmarks and write a machine-readable report instead of figures")
-		jsonOut  = flag.String("o", "BENCH_lp.json", "output path of the -json report ('-' for stdout)")
-		baseline = flag.String("compare", "", "embed a previous -json report as baseline, compute speedups, and fail on >10% ns/op or allocs/op regressions")
-		short    = flag.Bool("short", false, "with -json, cap benchmark op counts and shorten the admission trace (CI regression-guard mode)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		fig       = flag.String("fig", "all", "figure to regenerate: 3..9, 'ablation', 'relax', 'stream', 'rounding', or all")
+		seeds     = flag.Int("seeds", 0, "number of scenario seeds per flexibility (0 → config default)")
+		limit     = flag.Duration("timelimit", 0, "per-solve time limit (0 → config default)")
+		workers   = flag.Int("workers", 0, "concurrent scenario solves (0 → one per CPU)")
+		paper     = flag.Bool("paper", false, "use the paper's exact scale (very slow with this solver)")
+		rows      = flag.Int("rows", 0, "substrate grid rows override")
+		cols      = flag.Int("cols", 0, "substrate grid cols override")
+		requests  = flag.Int("requests", 0, "requests per scenario override")
+		flexList  = flag.String("flex", "", "comma-separated flexibility steps in minutes (default per config)")
+		cutModeF  = flag.String("cutmode", "static", "Constraint-(20) cut pipeline for every cΣ solve of the sweep: static | lazy | off")
+		flowModeF = flag.String("flowmode", "arc", "link-flow formulation for every cΣ solve of the sweep: arc | path (priced path columns)")
+		certFlag  = flag.Bool("certify", false, "run the full internal/certify certificate on every sweep solution (including applied-cut re-validation under -cutmode lazy); exit non-zero on any violation")
+		seedFlag  = flag.Int64("seed", 0, "base seed of the randomized components (rounding tier, admission stream); sweeps are bit-identical per seed")
+		verbose   = flag.Bool("v", false, "print per-solve progress")
+		progFlag  = flag.Bool("progress", false, "stream branch-and-bound progress (incumbents, node counts) to stderr")
+		jsonMode  = flag.Bool("json", false, "run the LP solver micro-benchmarks and write a machine-readable report instead of figures")
+		jsonOut   = flag.String("o", "BENCH_lp.json", "output path of the -json report ('-' for stdout)")
+		baseline  = flag.String("compare", "", "embed a previous -json report as baseline, compute speedups, and fail on >10% ns/op or allocs/op regressions")
+		short     = flag.Bool("short", false, "with -json, cap benchmark op counts and shorten the admission trace (CI regression-guard mode)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -126,6 +127,12 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.CutMode = cm
+	fm, err := core.ParseFlowMode(*flowModeF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tvnep-bench:", err)
+		os.Exit(2)
+	}
+	cfg.FlowMode = fm
 	if *progFlag {
 		// The callback fires from whichever worker goroutine owns the solve;
 		// lines may interleave between concurrent solves but each line is
@@ -154,9 +161,9 @@ func main() {
 		want[*fig] = true
 	}
 
-	fmt.Printf("# tvnep-bench: grid %dx%d, %d requests, %d seeds, flex %v min, time limit %v, workers %d, cutmode %v\n\n",
+	fmt.Printf("# tvnep-bench: grid %dx%d, %d requests, %d seeds, flex %v min, time limit %v, workers %d, cutmode %v, flowmode %v\n\n",
 		cfg.Workload.GridRows, cfg.Workload.GridCols, cfg.Workload.NumRequests,
-		len(cfg.Seeds), cfg.FlexMinutes, cfg.Solve.TimeLimit, *workers, cfg.CutMode)
+		len(cfg.Seeds), cfg.FlexMinutes, cfg.Solve.TimeLimit, *workers, cfg.CutMode, cfg.FlowMode)
 
 	start := time.Now()
 	// Figures 3/4 need all three formulations; 8/9 only cΣ. Reuse records.

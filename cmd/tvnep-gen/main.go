@@ -20,8 +20,11 @@ func main() {
 	var (
 		seed     = flag.Int64("seed", 1, "random seed")
 		flexMin  = flag.Float64("flex", 0, "temporal flexibility per request in minutes")
+		topology = flag.String("topology", "grid", "substrate topology: grid (the paper's bidirected grid) | wan (ISP-style Waxman WAN with per-link capacities)")
 		rows     = flag.Int("rows", 3, "substrate grid rows")
 		cols     = flag.Int("cols", 3, "substrate grid cols")
+		nodes    = flag.Int("nodes", 0, "wan topology: number of PoPs (0 → rows×cols)")
+		avgDeg   = flag.Float64("avgdeg", 0, "wan topology: average-degree target (0 → 4)")
 		requests = flag.Int("requests", 8, "number of requests")
 		leaves   = flag.Int("leaves", 2, "star leaves per request")
 		paper    = flag.Bool("paper", false, "use the paper's exact scale (4×5 grid, 20 requests, 5-node stars)")
@@ -37,6 +40,15 @@ func main() {
 		cfg.NumRequests = *requests
 		cfg.StarLeaves = *leaves
 	}
+	switch *topology {
+	case "grid", "wan":
+		cfg.Topology = *topology
+	default:
+		fmt.Fprintf(os.Stderr, "tvnep-gen: unknown topology %q (want grid or wan)\n", *topology)
+		os.Exit(2)
+	}
+	cfg.WANNodes = *nodes
+	cfg.WANAvgDeg = *avgDeg
 	cfg.FlexibilityHr = *flexMin / 60
 
 	sc := tvnep.Generate(cfg, *seed)

@@ -35,6 +35,7 @@ func main() {
 		limit     = flag.Duration("timelimit", time.Minute, "MIP time limit")
 		workers   = flag.Int("workers", 1, "branch-and-bound relaxation workers (deterministic: the committed result is bit-identical for every count)")
 		cutMode   = flag.String("cutmode", "static", "Constraint-(20) precedence-cut pipeline, cΣ only: static (emit all rows at build time) | lazy (separate violated rows on demand) | off (drop the cut family)")
+		flowMode  = flag.String("flowmode", "arc", "link-flow formulation, cΣ only: arc (per-link flow variables) | path (convexity rows + path columns priced on demand; requires the scenario's node mapping)")
 		noCuts    = flag.Bool("nocuts", false, "deprecated alias of -cutmode off: disable temporal dependency graph cuts (applies to the cΣ model only)")
 		noPre     = flag.Bool("nopresolve", false, "disable the activity-interval presolve (applies to the cΣ model only)")
 		freeMap   = flag.Bool("freemap", false, "ignore the scenario's fixed node mapping and let the model place nodes")
@@ -91,6 +92,13 @@ func main() {
 		}
 		cm = tvnep.CutOff
 	}
+	fm, err := tvnep.ParseFlowMode(strings.ToLower(*flowMode))
+	if err != nil {
+		fail(err)
+	}
+	if fm == tvnep.FlowPath && *freeMap {
+		fail(fmt.Errorf("-flowmode path requires the scenario's fixed node mapping; drop -freemap"))
+	}
 
 	algo := tvnep.Exact
 	switch strings.ToLower(*algoName) {
@@ -131,6 +139,9 @@ func main() {
 	}
 	if cm != tvnep.CutStatic || *noCuts {
 		opts = append(opts, tvnep.WithCutMode(cm))
+	}
+	if fm != tvnep.FlowArc {
+		opts = append(opts, tvnep.WithFlowMode(fm))
 	}
 	if *noPre {
 		opts = append(opts, tvnep.WithoutPresolve())
@@ -210,6 +221,11 @@ func main() {
 				res.Cuts.RowsAtRoot, res.Cuts.SeparatedRows, res.Cuts.Rounds,
 				res.Cuts.Offered, res.Cuts.PoolHits, res.Cuts.Evicted)
 		}
+		if fm == tvnep.FlowPath && form == tvnep.CSigma {
+			fmt.Printf("columns: mode=path root_cols=%d priced=%d rounds=%d offered=%d pool_hits=%d evicted=%d\n",
+				res.ColumnStats.ColsAtRoot, res.ColumnStats.PricedCols, res.ColumnStats.Rounds,
+				res.ColumnStats.Offered, res.ColumnStats.PoolHits, res.ColumnStats.Evicted)
+		}
 		fmt.Printf("status: %v  gap: %.4g  nodes: %d  lp-iterations: %d\n",
 			res.Status, res.Gap, res.Nodes, res.LPIterations)
 	}
@@ -218,6 +234,9 @@ func main() {
 			cert.Solution.RecomputedObjective)
 		if cert.Cuts != nil {
 			fmt.Println("certificate: applied cuts OK (family membership + incumbent validity)")
+		}
+		if cert.Columns != nil {
+			fmt.Println("certificate: priced columns OK (path validity + coefficient reconstruction)")
 		}
 		if cert.RootLP != nil {
 			fmt.Printf("certificate: root LP OK (primal residual %.3g, dual residual %.3g, duality gap %.3g)\n",

@@ -73,7 +73,7 @@ func main() {
 
 	fmt.Println("\n== Flexible requests, greedy cΣ_A^G ==")
 	inst := &core.Instance{Sub: flex.Substrate, Reqs: flex.Requests, Horizon: flex.Horizon}
-	gsol, gstats, err := greedy.Solve(context.Background(), inst, flex.Mapping, greedy.Options{})
+	gsol, gstats, err := greedy.Solve(context.Background(), inst, flex.Mapping, core.BuildOptions{}, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -110,7 +110,7 @@ func TestMatchesGreedy(t *testing.T) {
 	eng := replay(t, sc, Config{})
 
 	inst := &core.Instance{Sub: sc.Substrate, Reqs: sc.Requests, Horizon: sc.Horizon}
-	gsol, _, err := greedy.Solve(context.Background(), inst, sc.Mapping, greedy.Options{})
+	gsol, _, err := greedy.Solve(context.Background(), inst, sc.Mapping, core.BuildOptions{}, nil)
 	if err != nil {
 		t.Fatalf("greedy: %v", err)
 	}

@@ -118,7 +118,7 @@ func TestKnownGoodObjectives(t *testing.T) {
 func TestKnownGoodGreedy(t *testing.T) {
 	sc := smallScenario(t)
 	inst := &core.Instance{Sub: sc.Substrate, Reqs: sc.Requests, Horizon: sc.Horizon}
-	sol, _, err := greedy.Solve(context.Background(), inst, sc.Mapping, greedy.Options{Solve: *solveOpts()})
+	sol, _, err := greedy.Solve(context.Background(), inst, sc.Mapping, core.BuildOptions{}, solveOpts())
 	if err != nil {
 		t.Fatalf("greedy: %v", err)
 	}

@@ -1,0 +1,127 @@
+package certify
+
+import (
+	"context"
+	"testing"
+
+	"tvnep/internal/core"
+	"tvnep/internal/graph"
+	"tvnep/internal/model"
+	"tvnep/internal/substrate"
+	"tvnep/internal/vnet"
+)
+
+// diamondPathSolve builds and solves the minimal column-generation instance:
+// two requests each embedding one virtual link from substrate node 0 to node
+// 3 over a diamond with unit link capacities, so both BFS seeds collide on
+// 0→1→3 and the pricer must open the alternate route.
+func diamondPathSolve(t *testing.T, obj core.Objective) (*core.Built, *model.Solution) {
+	t.Helper()
+	g := graph.NewDigraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 3)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	sub := substrate.New(g, 4, 1)
+	req := func(name string) *vnet.Request {
+		rg := graph.NewDigraph(2)
+		rg.AddEdge(0, 1)
+		return &vnet.Request{
+			Name: name, G: rg,
+			NodeDemand: []float64{0.5, 0.5}, LinkDemand: []float64{1},
+			Earliest: 0, Duration: 2, Latest: 2,
+		}
+	}
+	inst := &core.Instance{Sub: sub, Reqs: []*vnet.Request{req("a"), req("b")}, Horizon: 2}
+	b := core.BuildCSigma(inst, core.BuildOptions{
+		Objective:    obj,
+		FixedMapping: vnet.NodeMapping{{0, 3}, {0, 3}},
+		FlowMode:     core.FlowPath,
+	})
+	sol, ms := b.Solve(context.Background(), nil)
+	if ms.Status != model.StatusOptimal || sol == nil {
+		t.Fatalf("diamond solve (%v): status %v", obj, ms.Status)
+	}
+	if len(ms.AppliedColumns) == 0 {
+		t.Fatalf("diamond solve (%v) applied no columns; the fixture no longer exercises pricing", obj)
+	}
+	return b, ms
+}
+
+func TestColumnsCertificateKnownGood(t *testing.T) {
+	for _, obj := range []core.Objective{core.AccessControl, core.DisableLinks} {
+		b, ms := diamondPathSolve(t, obj)
+		if rep := Columns(b, ms); !rep.OK() {
+			t.Fatalf("%v: known-good priced columns rejected: %v", obj, rep.Err())
+		}
+	}
+}
+
+func TestColumnsCertificateTrivialPass(t *testing.T) {
+	if rep := Columns(nil, nil); !rep.OK() {
+		t.Fatalf("nil solution should pass trivially: %v", rep.Err())
+	}
+}
+
+// mutateColumns deep-copies the applied-column list so a mutation cannot leak
+// between subtests, applies f to the copy, and certifies.
+func mutateColumns(b *core.Built, ms *model.Solution, f func(cols []model.Column)) *Report {
+	mutated := *ms
+	mutated.AppliedColumns = make([]model.Column, len(ms.AppliedColumns))
+	for i, c := range ms.AppliedColumns {
+		c.Idx = append([]int32(nil), c.Idx...)
+		c.Val = append([]float64(nil), c.Val...)
+		mutated.AppliedColumns[i] = c
+	}
+	f(mutated.AppliedColumns)
+	return Columns(b, &mutated)
+}
+
+func TestColumnsCertificateMutations(t *testing.T) {
+	b, ms := diamondPathSolve(t, core.AccessControl)
+	cases := []struct {
+		name   string
+		mutate func(cols []model.Column)
+		want   Kind
+	}{
+		{"coef-shifted", func(cols []model.Column) { cols[0].Val[0] += 0.5 }, ColCoef},
+		{"row-dropped", func(cols []model.Column) {
+			cols[0].Idx = cols[0].Idx[:len(cols[0].Idx)-1]
+			cols[0].Val = cols[0].Val[:len(cols[0].Val)-1]
+		}, ColCoef},
+		{"length-mismatch", func(cols []model.Column) { cols[0].Idx = cols[0].Idx[:len(cols[0].Idx)-1] }, ColShape},
+		{"row-out-of-range", func(cols []model.Column) { cols[0].Idx[0] = 1 << 20 }, ColShape},
+		{"bounds-widened", func(cols []model.Column) { cols[0].UB = 2 }, ColShape},
+		{"tag-stripped", func(cols []model.Column) { cols[0].Tag = nil }, ColTag},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := mutateColumns(b, ms, tc.mutate)
+			if rep.OK() {
+				t.Fatal("mutation not detected")
+			}
+			if !rep.Has(tc.want) {
+				t.Fatalf("want a %q violation, got %v", tc.want, rep.Err())
+			}
+		})
+	}
+}
+
+// TestColumnsCertificateRejectsBogusPath retags a genuine column with a
+// non-contiguous link sequence and expects a path violation.
+func TestColumnsCertificateRejectsBogusPath(t *testing.T) {
+	b, ms := diamondPathSolve(t, core.AccessControl)
+	c := ms.AppliedColumns[0]
+	r, lv, links, ok := core.PathTagInfo(c)
+	if !ok {
+		t.Fatal("applied column carries no path tag")
+	}
+	// Edges 0 (0→1) and 3 (2→3) do not join: a walk cannot traverse them.
+	c.Tag = core.MakePathTag(r, lv, []int{0, 3})
+	mutated := *ms
+	mutated.AppliedColumns = []model.Column{c}
+	rep := Columns(b, &mutated)
+	if !rep.Has(ColPath) {
+		t.Fatalf("non-contiguous retag %v→[0 3] not flagged: %v", links, rep.Err())
+	}
+}

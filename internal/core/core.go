@@ -168,6 +168,51 @@ func ParseCutMode(s string) (CutMode, error) {
 	}
 }
 
+// FlowMode selects how the splittable link flows of Constraint (2) reach the
+// solver in the cΣ-Model.
+type FlowMode int
+
+const (
+	// FlowArc emits per-(virtual link, substrate link) arc variables x_E with
+	// per-substrate-node flow-conservation rows — the formulation exactly as
+	// written in the paper. O(|E_R|·|E_S|) columns and O(|E_R|·|V_S|) rows
+	// per request up front.
+	FlowArc FlowMode = iota
+	// FlowPath replaces the arc variables with path variables: one convexity
+	// row per virtual link (Σ_p λ_p + artificial = x_R), a seed column along
+	// a fewest-hops substrate path, and further paths priced in on demand by
+	// a reduced-cost shortest-path pricer (internal/mip column generation).
+	// Same certified optimum — every arc flow decomposes into simple paths
+	// and capacity-useless cycles — with far fewer root-LP columns on
+	// WAN-sized substrates. cΣ only, and requires a fixed node mapping (path
+	// endpoints must be known at build time).
+	FlowPath
+)
+
+// String implements fmt.Stringer.
+func (f FlowMode) String() string {
+	switch f {
+	case FlowArc:
+		return "arc"
+	case FlowPath:
+		return "path"
+	default:
+		return "?"
+	}
+}
+
+// ParseFlowMode parses the CLI spelling of a flow mode.
+func ParseFlowMode(s string) (FlowMode, error) {
+	switch s {
+	case "arc", "":
+		return FlowArc, nil
+	case "path":
+		return FlowPath, nil
+	default:
+		return FlowArc, fmt.Errorf("core: unknown flow mode %q (want arc or path)", s)
+	}
+}
+
 // BuildOptions configures a formulation build.
 type BuildOptions struct {
 	Objective Objective
@@ -180,11 +225,10 @@ type BuildOptions struct {
 	// CutMode selects static emission (default), lazy separation or no
 	// Constraint-(20) cuts for the cΣ-Model; see the CutMode constants.
 	CutMode CutMode
-	// DisableCuts turns the temporal dependency graph cuts (Constraints
-	// 19/20) off. cΣ only; used for ablations. Deprecated spelling of
-	// CutMode == CutOff, kept for existing callers: when set it overrides
-	// CutMode.
-	DisableCuts bool
+	// FlowMode selects arc variables (default) or priced path variables for
+	// the link flows of the cΣ-Model; see the FlowMode constants. FlowPath
+	// requires a FixedMapping and the cΣ formulation.
+	FlowMode FlowMode
 	// DisablePresolve turns the activity-interval state-space reduction
 	// off. cΣ only; used for ablations.
 	DisablePresolve bool
@@ -193,15 +237,6 @@ type BuildOptions struct {
 	// allowed.
 	ForceAccept []bool
 	ForceReject []bool
-}
-
-// cutMode resolves the effective cut mode: the deprecated DisableCuts flag
-// wins so existing ablation callers keep their exact semantics.
-func (o BuildOptions) cutMode() CutMode {
-	if o.DisableCuts {
-		return CutOff
-	}
-	return o.CutMode
 }
 
 func (o BuildOptions) loadFraction() float64 {
@@ -224,8 +259,22 @@ type Built struct {
 	// XV[r][v][s] maps virtual node v of request r onto substrate node s;
 	// nil when a fixed mapping is used.
 	XV [][][]model.Var
-	// XE[r][lv][ls] maps virtual link lv onto substrate link ls.
+	// XE[r][lv][ls] maps virtual link lv onto substrate link ls; nil in
+	// FlowPath mode, where link flows live on path variables instead.
 	XE [][][]model.Var
+	// Lambda[r][lv] holds the statically seeded path variables of FlowPath
+	// mode (further paths are priced in as raw LP columns, reported through
+	// model.Solution.AppliedColumns); nil in FlowArc mode.
+	Lambda [][][]model.Var
+	// SeedPaths[r][lv][k] is the substrate-link sequence of seed column
+	// Lambda[r][lv][k].
+	SeedPaths [][][][]int
+	// Art[r][lv] is the FlowPath convexity artificial, a big-M-penalized
+	// binary that absorbs the unit flow when no priced path can carry it
+	// (nonzero only when the request is forced accepted yet unroutable —
+	// Extract treats that as no solution). The zero Var for trivial links
+	// whose endpoints share a substrate node.
+	Art [][]model.Var
 	// ChiPlus[r][i] / ChiMinus[r][i] map request starts/ends onto abstract
 	// event points (1-based event index i; entries outside the model's
 	// event range or cut windows are the zero Var).
@@ -244,10 +293,37 @@ type Built struct {
 	// node ns during state n (1-based); installed by each builder and used
 	// by the BalanceNodeLoad objective.
 	stateNodeLoad func(n, ns int) *model.LinExpr
+	// linkUse[r][lv][ls] lists the compiled rows in which one unit of
+	// (r, lv)-flow over substrate link ls participates (FlowPath builds
+	// only); the pricer assembles priced path columns from it, and the seed
+	// columns carry exactly the same coefficients through the expressions.
+	linkUse [][][][]rowCoef
+	// convRow[r][lv] is the FlowPath convexity row index (−1 for trivial
+	// virtual links whose endpoints share a substrate node).
+	convRow [][]int
+}
+
+// rowCoef is one (compiled row, coefficient-per-unit-flow) entry of the
+// FlowPath link-use registry.
+type rowCoef struct {
+	row  int
+	coef float64
 }
 
 // numReq is a convenience accessor.
 func (b *Built) numReq() int { return len(b.Inst.Reqs) }
+
+// SetObjective replaces the built model's objective with a custom expression
+// (the greedy algorithm swaps in its per-iteration objective this way). Use
+// it instead of Model.SetObjective on a Built: in FlowPath mode the big-M
+// penalties on the convexity artificials scale with the objective and must be
+// re-applied after every replacement.
+func (b *Built) SetObjective(e *model.LinExpr) {
+	b.Model.SetObjective(e)
+	if b.Opts.FlowMode == FlowPath && b.linkUse != nil {
+		applyArtPenalty(b)
+	}
+}
 
 // Solve optimizes the built model and converts the result into a
 // solution.Solution. The raw model solution is returned alongside for
@@ -312,15 +388,61 @@ func (b *Built) Extract(ms *model.Solution) *solution.Solution {
 		flows := make([][]float64, req.G.NumEdges())
 		for lv := range flows {
 			flows[lv] = make([]float64, sub.NumLinks())
-			for ls := 0; ls < sub.NumLinks(); ls++ {
-				f := ms.Value(b.XE[r][lv][ls])
-				if f < numtol.FlowCutoff {
-					f = 0
+			if b.XE != nil {
+				for ls := 0; ls < sub.NumLinks(); ls++ {
+					f := ms.Value(b.XE[r][lv][ls])
+					if f < numtol.FlowCutoff {
+						f = 0
+					}
+					flows[lv][ls] = f
 				}
-				flows[lv][ls] = f
+				continue
+			}
+			// FlowPath: the arc flow on ls is the total path-variable value
+			// over the paths crossing it — seed columns first, priced
+			// columns below (they cover every request at once).
+			for k, p := range b.SeedPaths[r][lv] {
+				v := ms.Value(b.Lambda[r][lv][k])
+				if v < numtol.FlowCutoff {
+					continue
+				}
+				for _, ls := range p {
+					flows[lv][ls] += v
+				}
+			}
+			if art := b.Art[r][lv]; art.Valid() && sol.Accepted[r] {
+				if v := ms.Value(art); v > numtol.FlowTol {
+					// The request was accepted but its unit flow fell on the
+					// big-M artificial: no substrate path could carry it, so
+					// the reported assignment is not a real embedding.
+					sol.Warnings = append(sol.Warnings, fmt.Sprintf(
+						"request %s: virtual link %d routed %.3g of its flow on the convexity artificial",
+						req.Name, lv, v))
+					return nil
+				}
 			}
 		}
 		sol.Flows[r] = flows
+	}
+	if b.XE == nil {
+		x := ms.X()
+		for k, c := range ms.AppliedColumns {
+			tag, ok := c.Tag.(pathTag)
+			if !ok {
+				continue
+			}
+			j := ms.Columns.ColsAtRoot + k
+			if j >= len(x) {
+				continue // incumbent predates this column: value is zero
+			}
+			v := x[j]
+			if v < numtol.FlowCutoff {
+				continue
+			}
+			for _, ls := range tag.links {
+				sol.Flows[tag.r][tag.lv][ls] += v
+			}
+		}
 	}
 	return sol
 }

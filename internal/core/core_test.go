@@ -172,7 +172,9 @@ func TestCutsAndPresolveAblation(t *testing.T) {
 		cuts, presolve bool
 	}{{false, false}, {false, true}, {true, false}, {true, true}} {
 		o := opts
-		o.DisableCuts = !variant.cuts
+		if !variant.cuts {
+			o.CutMode = CutOff
+		}
 		o.DisablePresolve = !variant.presolve
 		b := BuildCSigma(inst, o)
 		sol, ms := b.Solve(context.Background(), nil)

@@ -28,7 +28,7 @@ func BuildCSigma(inst *Instance, opts BuildOptions) *Built {
 	buildTimeVars(b, numEvents)
 
 	dg := depgraph.Build(inst.Reqs)
-	cutMode := opts.cutMode()
+	cutMode := opts.CutMode
 
 	// Event windows: except in CutOff mode, χ variables exist only inside
 	// the Constraint-(19) windows; otherwise over the full legal ranges.
@@ -110,12 +110,20 @@ func BuildCSigma(inst *Instance, opts BuildOptions) *Built {
 
 	aVars := make(map[[3]int]model.Var) // (r, state, resource) → a
 	nRes := b.resourceCount()
+	numNodes := inst.Sub.NumNodes()
 	for n := 1; n <= k; n++ {
 		for rsc := 0; rsc < nRes; rsc++ {
 			capRsc := b.resourceCap(rsc)
 			capacity := model.Expr()
 			any := false
+			// FlowPath: priced path columns join link rows after the build,
+			// so link-resource rows must exist for every request whose paths
+			// can carry demand even when the compiled (seed-only) allocation
+			// is empty; pendAlways defers their cap-row registration until
+			// the row index exists.
+			var pendAlways []int
 			for r := 0; r < k; r++ {
+				force := b.linkUse != nil && rsc >= numNodes && b.pathLinkDemand(r)
 				switch activity(r, n) {
 				case depgraph.Never:
 					continue
@@ -124,13 +132,16 @@ func BuildCSigma(inst *Instance, opts BuildOptions) *Built {
 					// active; its allocation joins Constraint (9) directly
 					// and needs no a variable.
 					alloc := b.allocExpr(r, rsc)
-					if alloc.Len() > 0 {
+					if alloc.Len() > 0 || force {
 						capacity.AddExpr(1, alloc)
 						any = true
+						if force {
+							pendAlways = append(pendAlways, r)
+						}
 					}
 				case depgraph.Maybe:
 					alloc := b.allocExpr(r, rsc)
-					if alloc.Len() == 0 {
+					if alloc.Len() == 0 && !force {
 						continue
 					}
 					a := m.Continuous(fmt.Sprintf("a[%d][%d][%d]", r, n, rsc), 0, model.Inf())
@@ -142,14 +153,20 @@ func BuildCSigma(inst *Instance, opts BuildOptions) *Built {
 					con.AddExpr(-1, alloc)
 					con.AddExpr(-capRsc, chiSumUpTo(b.ChiPlus[r], n))
 					con.AddExpr(capRsc, chiSumUpTo(b.ChiMinus[r], n))
-					m.AddGE(con, -capRsc, fmt.Sprintf("state[%d][%d][%d]", r, n, rsc))
+					row := m.AddGE(con, -capRsc, fmt.Sprintf("state[%d][%d][%d]", r, n, rsc))
+					if force {
+						b.recordLinkUse(r, rsc-numNodes, row, -1)
+					}
 					capacity.Add(1, a)
 					any = true
 				}
 			}
 			if any {
 				// (9): total state allocation within capacity.
-				m.AddLE(capacity, capRsc, fmt.Sprintf("cap[%d][%d]", n, rsc))
+				row := m.AddLE(capacity, capRsc, fmt.Sprintf("cap[%d][%d]", n, rsc))
+				for _, r := range pendAlways {
+					b.recordLinkUse(r, rsc-numNodes, row, 1)
+				}
 			}
 		}
 	}
@@ -196,5 +213,8 @@ func BuildCSigma(inst *Instance, opts BuildOptions) *Built {
 	}
 
 	applyObjective(b)
+	if opts.FlowMode == FlowPath {
+		finishPathFlows(b)
+	}
 	return b
 }

@@ -85,38 +85,26 @@ func TestStaticVsLazyAllObjectives(t *testing.T) {
 	}
 }
 
-// TestCutModeOffMatchesDisableCuts: the deprecated DisableCuts flag and
-// CutMode == CutOff must build the identical model.
-func TestCutModeOffMatchesDisableCuts(t *testing.T) {
+// TestCutModeOffMatchesStaticOptimum: dropping Constraint (19)/(20) widens
+// the relaxation but must not change the certified integer optimum.
+func TestCutModeOffMatchesStaticOptimum(t *testing.T) {
 	inst, opts := precInstance()
+
+	static := opts
+	static.CutMode = CutStatic
+	bStatic := BuildCSigma(inst, static)
 
 	off := opts
 	off.CutMode = CutOff
 	bOff := BuildCSigma(inst, off)
 
-	dep := opts
-	dep.DisableCuts = true
-	bDep := BuildCSigma(inst, dep)
-
-	if bOff.Model.NumConstrs() != bDep.Model.NumConstrs() || bOff.Model.NumVars() != bDep.Model.NumVars() {
-		t.Fatalf("CutOff build (%d rows, %d vars) differs from DisableCuts build (%d rows, %d vars)",
-			bOff.Model.NumConstrs(), bOff.Model.NumVars(), bDep.Model.NumConstrs(), bDep.Model.NumVars())
-	}
-	// DisableCuts must also override an explicit CutMode (back-compat).
-	both := opts
-	both.CutMode = CutLazy
-	both.DisableCuts = true
-	if got := both.cutMode(); got != CutOff {
-		t.Fatalf("DisableCuts + CutLazy resolved to %v, want off", got)
-	}
-
+	sStatic, msStatic := bStatic.Solve(context.Background(), nil)
 	sOff, msOff := bOff.Solve(context.Background(), nil)
-	sDep, msDep := bDep.Solve(context.Background(), nil)
-	if msOff.Status != model.StatusOptimal || msDep.Status != model.StatusOptimal {
-		t.Fatalf("statuses %v / %v", msOff.Status, msDep.Status)
+	if msStatic.Status != model.StatusOptimal || msOff.Status != model.StatusOptimal {
+		t.Fatalf("statuses %v / %v", msStatic.Status, msOff.Status)
 	}
-	if math.Abs(sOff.Objective-sDep.Objective) > 1e-9 {
-		t.Fatalf("objectives differ: %v vs %v", sOff.Objective, sDep.Objective)
+	if math.Abs(sStatic.Objective-sOff.Objective) > 1e-9 {
+		t.Fatalf("objectives differ: %v vs %v", sStatic.Objective, sOff.Objective)
 	}
 }
 

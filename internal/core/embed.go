@@ -11,6 +11,10 @@ import (
 // mapping variables x_V (or a fixed mapping), link-flow variables x_E, and
 // Constraints (1) and (2) of Table IV.
 func buildEmbedding(b *Built) {
+	if b.Opts.FlowMode == FlowPath {
+		buildPathEmbedding(b)
+		return
+	}
 	m := b.Model
 	inst := b.Inst
 	sub := inst.Sub
@@ -23,18 +27,7 @@ func buildEmbedding(b *Built) {
 	}
 
 	for r, req := range inst.Reqs {
-		b.XR[r] = m.Binary(fmt.Sprintf("xR[%d]", r))
-		// Pin acceptance when the objective or the caller demands it.
-		forced := b.Opts.Objective.FixedSet()
-		if b.Opts.ForceAccept != nil && r < len(b.Opts.ForceAccept) && b.Opts.ForceAccept[r] {
-			forced = true
-		}
-		if forced {
-			m.Fix(b.XR[r], 1)
-		}
-		if b.Opts.ForceReject != nil && r < len(b.Opts.ForceReject) && b.Opts.ForceReject[r] {
-			m.Fix(b.XR[r], 0)
-		}
+		buildAcceptVar(b, r)
 
 		if b.XV != nil {
 			// Free node mapping: Constraint (1) — every virtual node sits
@@ -114,8 +107,13 @@ func (b *Built) allocNodeExpr(r, ns int) *model.LinExpr {
 	return e
 }
 
-// allocLinkExpr returns the macro alloc_E(R, L_s) of Table V.
+// allocLinkExpr returns the macro alloc_E(R, L_s) of Table V. In FlowPath
+// mode only the seeded path columns appear in the compiled expression;
+// priced columns join the same rows later through the linkUse registry.
 func (b *Built) allocLinkExpr(r, ls int) *model.LinExpr {
+	if b.XE == nil {
+		return b.seedAllocLinkExpr(r, ls)
+	}
 	req := b.Inst.Reqs[r]
 	e := model.Expr()
 	for lv := 0; lv < req.G.NumEdges(); lv++ {

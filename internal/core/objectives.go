@@ -113,12 +113,32 @@ func applyDisableLinks(b *Built) {
 		D := m.Binary(fmt.Sprintf("D[%d]", ls))
 		obj.Add(1, D)
 		con := model.Expr().Add(M, D)
+		if b.XE != nil {
+			for r, req := range b.Inst.Reqs {
+				for lv := 0; lv < req.G.NumEdges(); lv++ {
+					con.Add(1, b.XE[r][lv][ls])
+				}
+			}
+			m.AddLE(con, M, fmt.Sprintf("dis[%d]", ls))
+			continue
+		}
+		// FlowPath: the activity on ls is the total path-variable value over
+		// the paths crossing it — seeds in the compiled row, priced columns
+		// via the unit-flow link-use registry (flow counts, not allocation,
+		// so the coefficient is 1 regardless of demand).
 		for r, req := range b.Inst.Reqs {
 			for lv := 0; lv < req.G.NumEdges(); lv++ {
-				con.Add(1, b.XE[r][lv][ls])
+				for kp, p := range b.SeedPaths[r][lv] {
+					for _, pls := range p {
+						if pls == ls {
+							con.Add(1, b.Lambda[r][lv][kp])
+						}
+					}
+				}
 			}
 		}
-		m.AddLE(con, M, fmt.Sprintf("dis[%d]", ls))
+		row := m.AddLE(con, M, fmt.Sprintf("dis[%d]", ls))
+		b.recordLinkUseUnit(ls, row, 1)
 	}
 	m.SetObjective(obj)
 }

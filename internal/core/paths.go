@@ -1,0 +1,403 @@
+package core
+
+// Path-based link flows for the cΣ-Model (FlowPath mode), the column-side
+// twin of the lazy precedence cuts in cuts.go. The arc formulation emits
+// O(|E_R|·|E_S|) flow variables and O(|E_R|·|V_S|) conservation rows per
+// request up front; the path formulation replaces all of it with one
+// convexity row per virtual link,
+//
+//	Σ_p λ_p + art = x_R,
+//
+// a single statically seeded fewest-hops path column, and further path
+// columns priced in on demand by a reduced-cost shortest-path pricer riding
+// the branch-and-bound solver's column-generation pipeline (internal/mip).
+// The two formulations have the same certified optimum: any feasible arc
+// flow decomposes into simple paths plus cycles, and cycles only consume
+// capacity without helping connectivity, so restricting to simple paths
+// never cuts off an optimal embedding, while every path column maps back to
+// a feasible arc flow.
+//
+// The artificial keeps every restricted master primal feasible — a seed path
+// may be capacity-blocked while another route exists, and pricing can only
+// rescue a node whose relaxation still has duals. It is a binary variable
+// with a big-M objective penalty dominating the whole objective: integer
+// solutions either route the full unit flow or park all of it on the
+// artificial, and parking it always loses to the penalty, so the artificial
+// carries flow only when the request is force-accepted yet genuinely
+// unroutable, which Extract reports as "no solution".
+
+import (
+	"fmt"
+	"math"
+
+	"tvnep/internal/graph"
+	"tvnep/internal/lp"
+	"tvnep/internal/model"
+	"tvnep/internal/numtol"
+)
+
+// pathTag is the pricer payload carried on every priced path column: which
+// virtual link the column serves and the substrate-link sequence it routes
+// over. Extract and internal/certify read it back from
+// model.Solution.AppliedColumns.
+type pathTag struct {
+	r, lv int
+	links []int
+}
+
+// PathTagInfo exposes a priced path column's payload — the (request, virtual
+// link) pair it serves and its substrate-link sequence — to packages outside
+// core (internal/certify re-validates every priced column against the
+// substrate graph). ok is false when the column was not produced by the
+// path pricer.
+func PathTagInfo(c model.Column) (r, lv int, links []int, ok bool) {
+	tag, ok := c.Tag.(pathTag)
+	if !ok {
+		return 0, 0, nil, false
+	}
+	return tag.r, tag.lv, tag.links, true
+}
+
+// MakePathTag constructs a path-column tag as the pricer would attach it.
+// It exists for internal/certify's mutation tests, which forge tags to prove
+// the column certificate rejects them; production columns get their tags from
+// pathColumn.
+func MakePathTag(r, lv int, links []int) interface{} {
+	return pathTag{r: r, lv: lv, links: append([]int(nil), links...)}
+}
+
+// pathLinkDemand reports whether request r has any nontrivial virtual link
+// with positive demand — i.e. whether any path column of r can ever
+// participate in a link-capacity row.
+func (b *Built) pathLinkDemand(r int) bool {
+	req := b.Inst.Reqs[r]
+	for lv := 0; lv < req.G.NumEdges(); lv++ {
+		if req.LinkDemand[lv] > 0 && b.convRow[r][lv] >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// recordLinkUse registers "one unit of (r, lv)-flow over substrate link ls
+// participates in row with coefficient sign·d" for every nontrivial virtual
+// link of r with positive demand. Seed columns receive exactly the same
+// coefficients through the allocLinkExpr expressions, so priced and seeded
+// paths are interchangeable LP columns.
+func (b *Built) recordLinkUse(r, ls, row int, sign float64) {
+	req := b.Inst.Reqs[r]
+	for lv := 0; lv < req.G.NumEdges(); lv++ {
+		d := req.LinkDemand[lv]
+		if d <= 0 || b.convRow[r][lv] < 0 {
+			continue
+		}
+		b.linkUse[r][lv][ls] = append(b.linkUse[r][lv][ls], rowCoef{row: row, coef: sign * d})
+	}
+}
+
+// recordLinkUseUnit registers a demand-independent unit-flow coefficient
+// (the DisableLinks activity rows count flow, not allocation) on every
+// nontrivial virtual link of every request.
+func (b *Built) recordLinkUseUnit(ls, row int, coef float64) {
+	for r, req := range b.Inst.Reqs {
+		for lv := 0; lv < req.G.NumEdges(); lv++ {
+			if b.convRow[r][lv] < 0 {
+				continue
+			}
+			b.linkUse[r][lv][ls] = append(b.linkUse[r][lv][ls], rowCoef{row: row, coef: coef})
+		}
+	}
+}
+
+// buildPathEmbedding is the FlowPath counterpart of buildEmbedding: the
+// acceptance variables are identical, but instead of arc variables and
+// conservation rows each virtual link gets a convexity row over path
+// variables — one seeded fewest-hops path plus the big-M artificial.
+func buildPathEmbedding(b *Built) {
+	if b.Kind != CSigma {
+		panic(fmt.Sprintf("core: FlowPath requires the cΣ formulation, not %v", b.Kind))
+	}
+	if b.Opts.FixedMapping == nil {
+		panic("core: FlowPath requires a fixed node mapping (path endpoints must be known at build time)")
+	}
+	m := b.Model
+	inst := b.Inst
+	sub := inst.Sub
+	k := b.numReq()
+
+	b.XR = make([]model.Var, k)
+	b.Lambda = make([][][]model.Var, k)
+	b.SeedPaths = make([][][][]int, k)
+	b.Art = make([][]model.Var, k)
+	b.convRow = make([][]int, k)
+	b.linkUse = make([][][][]rowCoef, k)
+
+	for r, req := range inst.Reqs {
+		buildAcceptVar(b, r)
+		nE := req.G.NumEdges()
+		b.Lambda[r] = make([][]model.Var, nE)
+		b.SeedPaths[r] = make([][][]int, nE)
+		b.Art[r] = make([]model.Var, nE)
+		b.convRow[r] = make([]int, nE)
+		b.linkUse[r] = make([][][]rowCoef, nE)
+		for lv := 0; lv < nE; lv++ {
+			b.linkUse[r][lv] = make([][]rowCoef, sub.NumLinks())
+			u, v := req.G.Edge(lv)
+			hu, hv := b.Opts.FixedMapping[r][u], b.Opts.FixedMapping[r][v]
+			if hu == hv {
+				// Both endpoints share a substrate node: the unit flow is
+				// internal and no path (or row) is needed.
+				b.convRow[r][lv] = -1
+				continue
+			}
+			conv := model.Expr()
+			if p, ok := shortestHopPath(sub.G, hu, hv); ok {
+				lam := m.Continuous(fmt.Sprintf("lambda[%d][%d][0]", r, lv), 0, 1)
+				b.Lambda[r][lv] = []model.Var{lam}
+				b.SeedPaths[r][lv] = [][]int{p}
+				conv.Add(1, lam)
+			}
+			// The artificial is BINARY, not continuous: a continuous artificial
+			// could absorb a capacity residual (route 1−δ, park δ) at a big-M
+			// penalty linear in δ while the matching objective gain is a step —
+			// e.g. keeping a disable-links D at 1 — which would admit integer
+			// incumbents strictly better than the arc optimum. As a binary it
+			// relaxes to [0,1] in every node LP (keeping the restricted master
+			// feasible and duals available for pricing), while integer
+			// solutions either route the full unit flow or park all of it,
+			// and a full unit always loses to big-M.
+			art := m.Binary(fmt.Sprintf("artE[%d][%d]", r, lv))
+			b.Art[r][lv] = art
+			conv.Add(1, art).Add(-1, b.XR[r])
+			b.convRow[r][lv] = m.AddEQ(conv, 0, fmt.Sprintf("conv[%d][%d]", r, lv))
+		}
+	}
+}
+
+// buildAcceptVar creates x_R for request r with the acceptance pinning the
+// objective and build options demand; shared by the arc and path embeddings.
+func buildAcceptVar(b *Built, r int) {
+	m := b.Model
+	b.XR[r] = m.Binary(fmt.Sprintf("xR[%d]", r))
+	forced := b.Opts.Objective.FixedSet()
+	if b.Opts.ForceAccept != nil && r < len(b.Opts.ForceAccept) && b.Opts.ForceAccept[r] {
+		forced = true
+	}
+	if forced {
+		m.Fix(b.XR[r], 1)
+	}
+	if b.Opts.ForceReject != nil && r < len(b.Opts.ForceReject) && b.Opts.ForceReject[r] {
+		m.Fix(b.XR[r], 0)
+	}
+}
+
+// seedAllocLinkExpr is allocLinkExpr's FlowPath branch: the allocation on
+// substrate link ls from the statically seeded path columns (priced columns
+// contribute through linkUse instead).
+func (b *Built) seedAllocLinkExpr(r, ls int) *model.LinExpr {
+	req := b.Inst.Reqs[r]
+	e := model.Expr()
+	for lv := 0; lv < req.G.NumEdges(); lv++ {
+		d := req.LinkDemand[lv]
+		if d <= 0 {
+			continue
+		}
+		for kp, p := range b.SeedPaths[r][lv] {
+			for _, pls := range p {
+				if pls == ls {
+					e.Add(d, b.Lambda[r][lv][kp])
+				}
+			}
+		}
+	}
+	return e
+}
+
+// finishPathFlows installs the big-M artificial penalties (the objective is
+// final by now) and registers the path pricer. Called at the end of
+// BuildCSigma, after applyObjective has filled linkUse with every row a path
+// column can participate in.
+func finishPathFlows(b *Built) {
+	if applyArtPenalty(b) {
+		b.Model.RegisterPricer(&pathPricer{b: b})
+	}
+}
+
+// applyArtPenalty big-M penalizes the FlowPath convexity artificials against
+// the current objective, reporting whether any artificial exists. Any
+// solution routing ε of flow on an artificial is worse than the same
+// solution with the request rejected, whatever the rest of the objective
+// contributes — that is what makes "art > tol" a reliable no-embedding
+// signal in Extract. The artificials must carry objective 0 on entry (fresh
+// build, or right after Model.SetObjective rebuilt the objective vector).
+func applyArtPenalty(b *Built) bool {
+	M := 1 + b.Model.AbsObjSum()
+	any := false
+	for r, req := range b.Inst.Reqs {
+		for lv := 0; lv < req.G.NumEdges(); lv++ {
+			if b.convRow[r][lv] < 0 {
+				continue
+			}
+			b.Model.BumpObjective(b.Art[r][lv], -M)
+			any = true
+		}
+	}
+	return any
+}
+
+// pathColumn assembles the LP column of path (a substrate-link sequence) for
+// virtual link (r, lv): +1 on the convexity row plus the registered per-unit
+// capacity and activity coefficients of every traversed link. The solver's
+// column pool canonicalizes (sorts, merges) the raw entries.
+func (b *Built) pathColumn(r, lv int, path []int) model.Column {
+	idx := []int32{int32(b.convRow[r][lv])}
+	val := []float64{1}
+	for _, ls := range path {
+		for _, rc := range b.linkUse[r][lv][ls] {
+			idx = append(idx, int32(rc.row))
+			val = append(val, rc.coef)
+		}
+	}
+	return model.Column{
+		Idx: idx, Val: val, LB: 0, UB: 1, Obj: 0,
+		Name: fmt.Sprintf("lambda[%d][%d]@%v", r, lv, path),
+		Tag:  pathTag{r: r, lv: lv, links: append([]int(nil), path...)},
+	}
+}
+
+// pathPricer prices path columns for every nontrivial virtual link: the
+// reduced cost of a path column is −y_conv − Σ_{ls∈p} cost(ls) with
+// cost(ls) = Σ_{(row,coef)∈linkUse} coef·y_row, so the most improving path
+// is the cost-shortest substrate path. At an exactly dual-feasible point
+// every cost(ls) is nonnegative — the state rows contribute (−d)·(y ≤ 0),
+// the capacity and activity rows (+d)·(y ≥ 0) — so Dijkstra applies;
+// LP-tolerance dual noise is clamped away and the winner re-checked with the
+// exact reduced cost before it is offered. A pure function of duals with
+// index-ordered tie-breaks, as the mip.Pricer contract requires.
+type pathPricer struct {
+	b *Built
+}
+
+// Price implements model.Pricer.
+func (pp *pathPricer) Price(duals, x []float64) []model.Column {
+	b := pp.b
+	sub := b.Inst.Sub
+	w := make([]float64, sub.NumLinks())
+	var out []model.Column
+	for r, req := range b.Inst.Reqs {
+		for lv := 0; lv < req.G.NumEdges(); lv++ {
+			if b.convRow[r][lv] < 0 {
+				continue
+			}
+			for ls := range w {
+				c := 0.0
+				for _, rc := range b.linkUse[r][lv][ls] {
+					c += rc.coef * duals[rc.row]
+				}
+				if c < 0 {
+					c = 0 // dual noise; the exact recheck below decides
+				}
+				w[ls] = c
+			}
+			u, v := req.G.Edge(lv)
+			hu, hv := b.Opts.FixedMapping[r][u], b.Opts.FixedMapping[r][v]
+			path, ok := shortestWeightedPath(sub.G, hu, hv, w)
+			if !ok {
+				continue
+			}
+			col := b.pathColumn(r, lv, path)
+			if lp.CandidateReducedCost(col.Obj, col.Idx, col.Val, duals) > numtol.PriceRedTol {
+				out = append(out, col)
+			}
+		}
+	}
+	return out
+}
+
+// shortestHopPath returns the fewest-hops directed path from src to dst as
+// an edge sequence (BFS, deterministic: neighbors expand in edge-index
+// order). ok is false when dst is unreachable.
+func shortestHopPath(g *graph.Digraph, src, dst int) ([]int, bool) {
+	if src == dst {
+		return nil, true
+	}
+	parentEdge := make([]int, g.N)
+	for i := range parentEdge {
+		parentEdge[i] = -1
+	}
+	queue := []int{src}
+	seen := make([]bool, g.N)
+	seen[src] = true
+	for len(queue) > 0 && !seen[dst] {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Out(u) {
+			_, v := g.Edge(int(e))
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			parentEdge[v] = int(e)
+			queue = append(queue, v)
+		}
+	}
+	if !seen[dst] {
+		return nil, false
+	}
+	return tracePath(g, parentEdge, src, dst), true
+}
+
+// shortestWeightedPath returns the minimum-weight directed path from src to
+// dst under nonnegative edge weights w, as an edge sequence. Deterministic
+// Dijkstra: the unsettled node with the smallest distance wins, smallest
+// index on ties, and edges relax in index order with strict improvement —
+// the same duals always yield the same path. ok is false when dst is
+// unreachable.
+func shortestWeightedPath(g *graph.Digraph, src, dst int, w []float64) ([]int, bool) {
+	dist := make([]float64, g.N)
+	parentEdge := make([]int, g.N)
+	done := make([]bool, g.N)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parentEdge[i] = -1
+	}
+	dist[src] = 0
+	for {
+		u, best := -1, math.Inf(1)
+		for i, d := range dist {
+			if !done[i] && d < best {
+				u, best = i, d
+			}
+		}
+		if u == -1 {
+			return nil, false
+		}
+		if u == dst {
+			return tracePath(g, parentEdge, src, dst), true
+		}
+		done[u] = true
+		for _, e := range g.Out(u) {
+			_, v := g.Edge(int(e))
+			if nd := dist[u] + w[e]; nd < dist[v] {
+				dist[v] = nd
+				parentEdge[v] = int(e)
+			}
+		}
+	}
+}
+
+// tracePath walks parent edges back from dst and returns the forward edge
+// sequence.
+func tracePath(g *graph.Digraph, parentEdge []int, src, dst int) []int {
+	var rev []int
+	for v := dst; v != src; {
+		e := parentEdge[v]
+		rev = append(rev, e)
+		u, _ := g.Edge(e)
+		v = u
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

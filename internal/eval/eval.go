@@ -57,6 +57,10 @@ type Config struct {
 	// sweep: static emission (default), lazy separation, or off. Δ/Σ builds
 	// ignore it.
 	CutMode core.CutMode
+	// FlowMode selects arc-based (default) or path-based link flows for
+	// every cΣ build of the sweep; path mode prices path columns on demand.
+	// Δ/Σ builds ignore it.
+	FlowMode core.FlowMode
 	// Seed is the base seed of every randomized component of a sweep (the
 	// rounding tier). Scenario-local seeds are derived from it with
 	// round.MixSeed, so sweeps are bit-identical for equal Seed values and
@@ -202,7 +206,11 @@ func (c Config) solveOne(ctx context.Context, f core.Formulation, obj core.Objec
 			Gap: math.Inf(1),
 		}
 	}
-	b := core.Build(f, inst, core.BuildOptions{Objective: obj, FixedMapping: mapping, CutMode: c.CutMode})
+	bo := core.BuildOptions{Objective: obj, FixedMapping: mapping, CutMode: c.CutMode}
+	if f == core.CSigma {
+		bo.FlowMode = c.FlowMode // Δ/Σ have no path-flow variant
+	}
+	b := core.Build(f, inst, bo)
 	inner := c.innerSolve()
 	sol, ms := b.Solve(ctx, &inner)
 	c.count(ms)
@@ -234,6 +242,9 @@ func (c Config) certifyOne(inst *core.Instance, sol *solution.Solution,
 	rep := certify.Solution(inst, sol, certify.Options{Objective: obj, Mapping: mapping})
 	if rep.OK() && b != nil && ms != nil {
 		rep = certify.Cuts(b, ms)
+	}
+	if rep.OK() && b != nil && ms != nil {
+		rep = certify.Columns(b, ms)
 	}
 	if c.Counters != nil {
 		c.Counters.Certified.Add(1)
@@ -308,6 +319,7 @@ func (c Config) ObjectivesSweep(ctx context.Context, progress io.Writer) []Recor
 		inst, mapping := c.scenario(key.flex, key.seed)
 		pre := core.BuildCSigma(inst, core.BuildOptions{
 			Objective: core.AccessControl, FixedMapping: mapping, CutMode: c.CutMode,
+			FlowMode: c.FlowMode,
 		})
 		preInner := c.innerSolve()
 		preSol, preMS := pre.Solve(ctx, &preInner)
@@ -350,7 +362,9 @@ func (c Config) GreedySweep(ctx context.Context, progress io.Writer) []Record {
 		opt := c.solveOne(ctx, core.CSigma, core.AccessControl, inst, mapping, key.flex, key.seed)
 
 		start := time.Now() //lint:allow nondet -- greedy runtime measurement; recorded, not branched on
-		gsol, gstats, err := greedy.Solve(ctx, inst, mapping, greedy.Options{Solve: c.innerSolve()})
+		gso := c.innerSolve()
+		gsol, gstats, err := greedy.Solve(ctx, inst, mapping,
+			core.BuildOptions{CutMode: c.CutMode, FlowMode: c.FlowMode}, &gso)
 		rec := Record{
 			FlexMin: key.flex, Seed: key.seed, Form: core.CSigma,
 			Obj: core.AccessControl, Algo: "greedy",

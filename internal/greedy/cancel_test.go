@@ -23,7 +23,7 @@ func TestGreedyCancelledContext(t *testing.T) {
 	inst := &core.Instance{Sub: sc.Substrate, Reqs: sc.Requests, Horizon: sc.Horizon}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	sol, _, err := Solve(ctx, inst, sc.Mapping, Options{})
+	sol, _, err := Solve(ctx, inst, sc.Mapping, core.BuildOptions{}, nil)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}

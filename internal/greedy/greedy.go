@@ -25,23 +25,6 @@ import (
 	"tvnep/internal/vnet"
 )
 
-// Options tunes the greedy run. Direct construction is an internal lowering
-// target and deprecated for API consumers: configure greedy solves through
-// the pkg/tvnep facade (tvnep.WithAlgorithm(tvnep.Greedy) plus the shared
-// limit options).
-type Options struct {
-	// Solve configures each per-request MIP solve; its TimeLimit bounds a
-	// single iteration (default 30 s — the models are tiny because all but
-	// one request is fixed). This is the same options struct the exact
-	// models take, so callers configure both paths identically
-	// (model.NewSolveOptions(model.WithTimeLimit(...))).
-	Solve model.SolveOptions
-	// DisableCuts / DisablePresolve are passed through to the cΣ builder
-	// (for ablations).
-	DisableCuts     bool
-	DisablePresolve bool
-}
-
 // Stats reports per-run statistics.
 type Stats struct {
 	Iterations    int
@@ -57,10 +40,15 @@ type Stats struct {
 var ErrNoMapping = errors.New("greedy: cΣ_A^G requires a fixed node mapping")
 
 // Solve runs cΣ_A^G on the instance. The returned solution is indexed like
-// inst.Reqs. Cancelling ctx stops the run between (and cooperatively
-// within) iterations, returning ctx.Err(); a nil ctx is treated as
-// context.Background().
-func Solve(ctx context.Context, inst *core.Instance, mapping vnet.NodeMapping, opts Options) (*solution.Solution, Stats, error) {
+// inst.Reqs. build carries the per-iteration cΣ builder configuration
+// (CutMode, FlowMode, DisablePresolve — the objective, mapping and
+// force-accept/reject fields are owned by the algorithm and overwritten);
+// solve configures each per-request MIP solve, whose TimeLimit bounds a
+// single iteration (nil or a nonpositive limit defaults to 30 s — the models
+// are tiny because all but one request is fixed). Cancelling ctx stops the
+// run between (and cooperatively within) iterations, returning ctx.Err(); a
+// nil ctx is treated as context.Background().
+func Solve(ctx context.Context, inst *core.Instance, mapping vnet.NodeMapping, build core.BuildOptions, solve *model.SolveOptions) (*solution.Solution, Stats, error) {
 	var stats Stats
 	if ctx == nil {
 		ctx = context.Background()
@@ -68,8 +56,12 @@ func Solve(ctx context.Context, inst *core.Instance, mapping vnet.NodeMapping, o
 	if mapping == nil {
 		return nil, stats, ErrNoMapping
 	}
-	if opts.Solve.TimeLimit <= 0 {
-		opts.Solve.TimeLimit = 30 * time.Second
+	var so model.SolveOptions
+	if solve != nil {
+		so = *solve
+	}
+	if so.TimeLimit <= 0 {
+		so.TimeLimit = 30 * time.Second
 	}
 	start := time.Now() //lint:allow nondet -- runtime accounting only; never branches the search
 	k := len(inst.Reqs)
@@ -114,23 +106,21 @@ func Solve(ctx context.Context, inst *core.Instance, mapping vnet.NodeMapping, o
 			}
 		}
 		subInst := &core.Instance{Sub: inst.Sub, Reqs: subReqs, Horizon: inst.Horizon}
-		b := core.BuildCSigma(subInst, core.BuildOptions{
-			Objective:       core.AccessControl, // placeholder; replaced below
-			FixedMapping:    subMap,
-			ForceAccept:     forceAccept,
-			ForceReject:     forceReject,
-			DisableCuts:     opts.DisableCuts,
-			DisablePresolve: opts.DisablePresolve,
-		})
+		bo := build
+		bo.Objective = core.AccessControl // placeholder; replaced below
+		bo.FixedMapping = subMap
+		bo.ForceAccept = forceAccept
+		bo.ForceReject = forceReject
+		b := core.BuildCSigma(subInst, bo)
 		// Objective (21): max T·x_R(cur) + (T − t⁻_cur).
 		T := inst.Horizon
-		b.Model.SetObjective(model.Expr().
+		b.SetObjective(model.Expr().
 			Add(T, b.XR[curSub]).
 			Add(-1, b.TMinus[curSub]).
 			AddConst(T))
 
 		iterStart := time.Now() //lint:allow nondet -- per-iteration timing stat
-		sol, ms := b.Solve(ctx, &opts.Solve)
+		sol, ms := b.Solve(ctx, &so)
 		iterTime := time.Since(iterStart) //lint:allow nondet -- per-iteration timing stat
 		stats.Iterations++
 		stats.TotalLPIters += ms.LPIterations
@@ -143,20 +133,13 @@ func Solve(ctx context.Context, inst *core.Instance, mapping vnet.NodeMapping, o
 		if sol == nil {
 			// Retry with the current request explicitly rejected; the
 			// remaining fixed-schedule system is feasible by induction.
-			forceReject[curSub] = true
-			b = core.BuildCSigma(subInst, core.BuildOptions{
-				Objective:       core.AccessControl,
-				FixedMapping:    subMap,
-				ForceAccept:     forceAccept,
-				ForceReject:     forceReject,
-				DisableCuts:     opts.DisableCuts,
-				DisablePresolve: opts.DisablePresolve,
-			})
-			b.Model.SetObjective(model.Expr().Add(-1, b.TMinus[curSub]).AddConst(T))
+			forceReject[curSub] = true // bo.ForceReject aliases this slice
+			b = core.BuildCSigma(subInst, bo)
+			b.SetObjective(model.Expr().Add(-1, b.TMinus[curSub]).AddConst(T))
 			// The retry burns real solver work; fold its statistics into the
 			// run totals instead of discarding them with the model solution.
 			var retry *model.Solution
-			sol, retry = b.Solve(ctx, &opts.Solve)
+			sol, retry = b.Solve(ctx, &so)
 			stats.TotalLPIters += retry.LPIterations
 			stats.TotalBBNodes += retry.Nodes
 			if sol == nil {

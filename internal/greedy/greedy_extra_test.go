@@ -30,7 +30,7 @@ func TestGreedyExploitsFlexibility(t *testing.T) {
 			cfg.FlexibilityHr = flex
 			sc := workload.Generate(cfg, seed)
 			inst := &core.Instance{Sub: sc.Substrate, Reqs: sc.Requests, Horizon: sc.Horizon}
-			sol, _, err := Solve(context.Background(), inst, sc.Mapping, Options{Solve: model.SolveOptions{TimeLimit: 10 * time.Second}})
+			sol, _, err := Solve(context.Background(), inst, sc.Mapping, core.BuildOptions{}, &model.SolveOptions{TimeLimit: 10 * time.Second})
 			if err != nil {
 				t.Fatalf("seed %d flex %v: %v", seed, flex, err)
 			}
@@ -58,7 +58,7 @@ func TestGreedyStatsPopulated(t *testing.T) {
 	}
 	sc := workload.Generate(wl, 4)
 	inst := &core.Instance{Sub: sc.Substrate, Reqs: sc.Requests, Horizon: sc.Horizon}
-	sol, stats, err := Solve(context.Background(), inst, sc.Mapping, Options{})
+	sol, stats, err := Solve(context.Background(), inst, sc.Mapping, core.BuildOptions{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,13 +87,13 @@ func TestGreedyAblationVariantsAgreeOnTiny(t *testing.T) {
 	inst := &core.Instance{Sub: substrate.Grid(1, 2, 1, 1), Reqs: reqs, Horizon: 6}
 	mapping := vnet.NodeMapping{{0}, {0}, {0}}
 	var want int = -1
-	for _, opt := range []Options{
+	for _, opt := range []core.BuildOptions{
 		{},
-		{DisableCuts: true},
+		{CutMode: core.CutOff},
 		{DisablePresolve: true},
-		{DisableCuts: true, DisablePresolve: true},
+		{CutMode: core.CutOff, DisablePresolve: true},
 	} {
-		sol, _, err := Solve(context.Background(), inst, mapping, opt)
+		sol, _, err := Solve(context.Background(), inst, mapping, opt, nil)
 		if err != nil {
 			t.Fatalf("%+v: %v", opt, err)
 		}

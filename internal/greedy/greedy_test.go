@@ -35,7 +35,7 @@ func TestGreedyAcceptsSequentialPair(t *testing.T) {
 	}
 	inst := &core.Instance{Sub: sub, Reqs: reqs, Horizon: 4}
 	mapping := vnet.NodeMapping{{0}, {0}}
-	sol, stats, err := Solve(context.Background(), inst, mapping, Options{})
+	sol, stats, err := Solve(context.Background(), inst, mapping, core.BuildOptions{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestGreedyRejectsWhenForced(t *testing.T) {
 		singleNodeReq("b", 1, 0, 2, 2),
 	}
 	inst := &core.Instance{Sub: sub, Reqs: reqs, Horizon: 2}
-	sol, _, err := Solve(context.Background(), inst, vnet.NodeMapping{{0}, {0}}, Options{})
+	sol, _, err := Solve(context.Background(), inst, vnet.NodeMapping{{0}, {0}}, core.BuildOptions{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestGreedyStartsEarly(t *testing.T) {
 	sub := substrate.Grid(1, 2, 1, 1)
 	reqs := []*vnet.Request{singleNodeReq("a", 1, 1, 2, 10)}
 	inst := &core.Instance{Sub: sub, Reqs: reqs, Horizon: 10}
-	sol, _, err := Solve(context.Background(), inst, vnet.NodeMapping{{0}}, Options{})
+	sol, _, err := Solve(context.Background(), inst, vnet.NodeMapping{{0}}, core.BuildOptions{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestGreedyStartsEarly(t *testing.T) {
 
 func TestGreedyRequiresMapping(t *testing.T) {
 	inst := &core.Instance{Sub: substrate.Grid(1, 2, 1, 1), Horizon: 1}
-	if _, _, err := Solve(context.Background(), inst, nil, Options{}); err != ErrNoMapping {
+	if _, _, err := Solve(context.Background(), inst, nil, core.BuildOptions{}, nil); err != ErrNoMapping {
 		t.Fatalf("err = %v, want ErrNoMapping", err)
 	}
 }
@@ -103,7 +103,7 @@ func TestGreedyNeverBeatsOptimal(t *testing.T) {
 	for seed := int64(1); seed <= 5; seed++ {
 		sc := workload.Generate(cfg, seed)
 		inst := &core.Instance{Sub: sc.Substrate, Reqs: sc.Requests, Horizon: sc.Horizon}
-		gsol, _, err := Solve(context.Background(), inst, sc.Mapping, Options{Solve: model.SolveOptions{TimeLimit: 10 * time.Second}})
+		gsol, _, err := Solve(context.Background(), inst, sc.Mapping, core.BuildOptions{}, &model.SolveOptions{TimeLimit: 10 * time.Second})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -125,7 +125,7 @@ func TestGreedyNeverBeatsOptimal(t *testing.T) {
 
 func TestGreedyEmptyInstance(t *testing.T) {
 	inst := &core.Instance{Sub: substrate.Grid(1, 2, 1, 1), Horizon: 1}
-	sol, stats, err := Solve(context.Background(), inst, vnet.NodeMapping{}, Options{})
+	sol, stats, err := Solve(context.Background(), inst, vnet.NodeMapping{}, core.BuildOptions{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,199 @@
+package sparselu
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// borderedColumnsRight builds the explicit column form of [[B,C],[0,D]] from
+// the base columns, border columns (over original rows) and diagonal.
+func borderedColumnsRight(m, k int, colIdx [][]int32, colVal [][]float64,
+	bIdx [][]int32, bVal [][]float64, diag []float64) ([][]int32, [][]float64) {
+	mk := m + k
+	outIdx := make([][]int32, mk)
+	outVal := make([][]float64, mk)
+	for p := 0; p < m; p++ {
+		outIdx[p] = append(outIdx[p], colIdx[p]...)
+		outVal[p] = append(outVal[p], colVal[p]...)
+	}
+	for i := 0; i < k; i++ {
+		outIdx[m+i] = append(outIdx[m+i], bIdx[i]...)
+		outVal[m+i] = append(outVal[m+i], bVal[i]...)
+		outIdx[m+i] = append(outIdx[m+i], int32(m+i))
+		outVal[m+i] = append(outVal[m+i], diag[i])
+	}
+	return outIdx, outVal
+}
+
+// randColBorder draws k sparse border columns over m original rows.
+func randColBorder(rng *rand.Rand, m, k int) ([][]int32, [][]float64, []float64) {
+	bIdx := make([][]int32, k)
+	bVal := make([][]float64, k)
+	diag := make([]float64, k)
+	for i := 0; i < k; i++ {
+		for r := 0; r < m; r++ {
+			if rng.Float64() < 0.3 {
+				bIdx[i] = append(bIdx[i], int32(r))
+				bVal[i] = append(bVal[i], rng.NormFloat64())
+			}
+		}
+		diag[i] = 1 // a column pivotal in its own appended row
+	}
+	return bIdx, bVal, diag
+}
+
+func TestExtendColumnMatchesFreshFactorization(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		m := 1 + rng.Intn(30)
+		k := 1 + rng.Intn(5)
+		colIdx, colVal := randBasis(rng, m, 0.2)
+		f, err := Factorize(m, colIdx, colVal)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Half the trials extend a factorization that already carries eta
+		// updates (the mid-solve case: pivots happened since refactorization).
+		if trial%2 == 1 {
+			applyRandomUpdates(t, rng, f, m, colIdx, colVal, 4)
+		}
+		bIdx, bVal, diag := randColBorder(rng, m, k)
+		g, err := f.ExtendColumn(k, bIdx, bVal, diag)
+		if err != nil {
+			t.Fatalf("trial %d: extend column: %v", trial, err)
+		}
+		if g.M() != m+k {
+			t.Fatalf("trial %d: M() = %d, want %d", trial, g.M(), m+k)
+		}
+		fullIdx, fullVal := borderedColumnsRight(m, k, colIdx, colVal, bIdx, bVal, diag)
+		checkAgainst(t, trial, g, m+k, fullIdx, fullVal, rng)
+
+		// Updates must keep working on the extended factors.
+		applyRandomUpdates(t, rng, g, m+k, fullIdx, fullVal, 3)
+		checkAgainst(t, trial, g, m+k, fullIdx, fullVal, rng)
+
+		// And a second column extension must stack on top of the first.
+		bIdx2, bVal2, diag2 := randColBorder(rng, m+k, 2)
+		g2, err := g.ExtendColumn(2, bIdx2, bVal2, diag2)
+		if err != nil {
+			t.Fatalf("trial %d: second extend column: %v", trial, err)
+		}
+		fullIdx2, fullVal2 := borderedColumnsRight(m+k, 2, fullIdx, fullVal, bIdx2, bVal2, diag2)
+		checkAgainst(t, trial, g2, m+k+2, fullIdx2, fullVal2, rng)
+	}
+}
+
+// TestExtendColumnAfterRowExtend interleaves the two bordered kernels: a row
+// extension (Extend) followed by a column extension on the result, matching
+// the cut-then-price restart order of the branch-and-bound engine's replay.
+func TestExtendColumnAfterRowExtend(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 20; trial++ {
+		m := 2 + rng.Intn(20)
+		colIdx, colVal := randBasis(rng, m, 0.25)
+		f, err := Factorize(m, colIdx, colVal)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		rIdx, rVal, rDiag := randBorder(rng, m, 2)
+		g, err := f.Extend(2, rIdx, rVal, rDiag)
+		if err != nil {
+			t.Fatalf("trial %d: extend: %v", trial, err)
+		}
+		fullIdx, fullVal := borderedColumns(m, 2, colIdx, colVal, rIdx, rVal, rDiag)
+
+		cIdx, cVal, cDiag := randColBorder(rng, m+2, 1)
+		h, err := g.ExtendColumn(1, cIdx, cVal, cDiag)
+		if err != nil {
+			t.Fatalf("trial %d: extend column: %v", trial, err)
+		}
+		fullIdx2, fullVal2 := borderedColumnsRight(m+2, 1, fullIdx, fullVal, cIdx, cVal, cDiag)
+		checkAgainst(t, trial, h, m+3, fullIdx2, fullVal2, rng)
+	}
+}
+
+func TestExtendColumnReceiverUnmodified(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m := 12
+	colIdx, colVal := randBasis(rng, m, 0.25)
+	f, err := Factorize(m, colIdx, colVal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, m)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	before := append([]float64(nil), b...)
+	f.Ftran(before)
+
+	bIdx, bVal, diag := randColBorder(rng, m, 3)
+	if _, err := f.ExtendColumn(3, bIdx, bVal, diag); err != nil {
+		t.Fatal(err)
+	}
+	after := append([]float64(nil), b...)
+	f.Ftran(after)
+	if d := maxDiff(before, after); d != 0 {
+		t.Fatalf("receiver solve changed by %v after ExtendColumn", d)
+	}
+	if f.M() != m {
+		t.Fatalf("receiver dimension changed to %d", f.M())
+	}
+}
+
+func TestExtendColumnZeroDiagSingular(t *testing.T) {
+	colIdx := [][]int32{{0}}
+	colVal := [][]float64{{1}}
+	f, err := Factorize(1, colIdx, colVal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ExtendColumn(1, [][]int32{{0}}, [][]float64{{1}}, []float64{0}); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestExtendColumnEmptyBase(t *testing.T) {
+	f, err := Factorize(0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := f.ExtendColumn(2, [][]int32{nil, nil}, [][]float64{nil, nil}, []float64{1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := []float64{3, -4}
+	g.Ftran(v)
+	if v[0] != 3 || v[1] != 4 {
+		t.Fatalf("ftran on diag(1,-1) = %v, want [3 4]", v)
+	}
+}
+
+// TestExtendColumnIntoAllocFree pins the //hot:path contract: with a warmed
+// destination and workspace, ExtendColumnInto performs no allocations.
+func TestExtendColumnIntoAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	const m = 24
+	colIdx, colVal := randBasis(rng, m, 0.25)
+	f, err := Factorize(m, colIdx, colVal)
+	if err != nil {
+		t.Fatalf("factorize: %v", err)
+	}
+	bIdx, bVal, diag := randColBorder(rng, m, 2)
+	dst := &Factors{}
+	ws := NewWorkspace()
+	// Warm the destination and workspace capacities.
+	for i := 0; i < 2; i++ {
+		if err := f.ExtendColumnInto(dst, ws, 2, bIdx, bVal, diag); err != nil {
+			t.Fatalf("warmup extend column: %v", err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := f.ExtendColumnInto(dst, ws, 2, bIdx, bVal, diag); err != nil {
+			t.Fatalf("extend column: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ExtendColumnInto with warmed destination allocates %v per call, want 0", allocs)
+	}
+}

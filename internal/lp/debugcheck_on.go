@@ -41,12 +41,23 @@ func debugVerifyResult(inst *Instance, res *Result) {
 			for k, j := range idx {
 				act += val[k] * res.X[j] * inst.colScaleInv[j]
 			}
+			if i < len(inst.apRowIdx) {
+				// Columns appended after the row (see Instance.apRowIdx).
+				for k, j := range inst.apRowIdx[i] {
+					act += inst.apRowVal[i][k] * res.X[j] * inst.colScaleInv[j]
+				}
+			}
 			rs := inst.rowScale[i]
 			rlb *= rs
 			rub *= rs
 		} else {
 			for k, j := range idx {
 				act += val[k] * res.X[j]
+			}
+			if i < len(inst.apRowIdx) {
+				for k, j := range inst.apRowIdx[i] {
+					act += inst.apRowVal[i][k] * res.X[j]
+				}
 			}
 		}
 		if act < rlb-tol*(1+math.Abs(rlb)) || act > rub+tol*(1+math.Abs(rub)) {

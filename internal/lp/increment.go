@@ -174,6 +174,10 @@ func (s *solver) extendWarmStart(b *Basis, wf *sparselu.Factors) *Basis {
 	// Border block: the appended rows' coefficients on the old basic
 	// columns, stated in basis positions. Appended rows touch structural
 	// columns only, so basic slacks and artificials contribute nothing.
+	// The row-wise column overlay (apRowIdx) never contributes either: a
+	// column appended after this basis was snapshotted is nonbasic in it,
+	// and every column the basis can hold predates these border rows, so
+	// their coefficients live in the rows' own storage read by rowData.
 	// The position lookup and border storage are solver-owned scratch.
 	for p, j := range b.Basic {
 		s.posOf[j] = int32(p)

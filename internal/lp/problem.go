@@ -189,7 +189,7 @@ type Result struct {
 	Status     Status
 	Obj        float64   // objective in the problem's original sense
 	X          []float64 // structural column values (valid when Optimal)
-	Duals      []float64 // row duals (minimization convention)
+	Duals      []float64 // row duals, in the problem's original sense
 	Iterations int
 	Basis      *Basis // final basis snapshot (valid when Optimal or Infeasible-by-dual)
 	// BoundFlips counts nonbasic variables flipped between their bounds by
@@ -215,6 +215,11 @@ type Result struct {
 	// bordered block (sparselu.Extend) instead of refactorizing — the
 	// cutting-plane/admission hot-restart fast path.
 	BasisExtended bool
+	// ColumnsRemapped reports that the warm start adopted a basis predating
+	// columns appended with AppendColumn, remapped onto the widened column
+	// space — the column-generation hot-restart path. The appended columns
+	// enter nonbasic, so the old factorization is reused unchanged.
+	ColumnsRemapped bool
 }
 
 // Options tunes a solve.

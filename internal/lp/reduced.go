@@ -57,6 +57,17 @@ func (s *solver) pivotRow(r int) {
 			}
 			s.arow[j] += rv * val[k]
 		}
+		// Columns appended after the row's storage was written live in the
+		// row-wise overlay (see Instance.apRowIdx).
+		if ap := s.inst.apRowIdx; i < len(ap) && ap[i] != nil {
+			for k, j := range ap[i] {
+				if !s.arowTag[j] {
+					s.arowTag[j] = true
+					s.arowNZ = append(s.arowNZ, j) //lint:allow hotalloc -- amortized sparse-row scratch; steady state is pre-reserved
+				}
+				s.arow[j] += rv * s.inst.apRowVal[i][k]
+			}
+		}
 		s.arow[n+i] = -rv // slack column −e_i
 		s.arow[nm+i] = rv // artificial column +e_i
 		if !s.arowTag[n+i] {

@@ -91,6 +91,15 @@ type Instance struct {
 	extraIdx [][]int32
 	extraVal [][]float64
 
+	// Columns added by AppendColumn (priced path columns), overlaid row-wise:
+	// apRowIdx[i]/apRowVal[i] list the appended columns touching row i that
+	// the row's own storage predates (values scaled). The column-major matrix
+	// above already contains their entries; this overlay completes the row
+	// view for the row-wise consumers. nil when no columns were appended.
+	baseCols int
+	apRowIdx [][]int32
+	apRowVal [][]float64
+
 	// Scaled row view of the compiled rows (indices shared with the
 	// Problem); nil when the instance is unscaled.
 	baseRowVal [][]float64
@@ -122,6 +131,7 @@ func NewInstance(p *Problem) *Instance {
 	inst := &Instance{
 		p: p, n: n, m: m,
 		baseRows: m,
+		baseCols: n,
 		colIdx:   make([][]int32, n),
 		colVal:   make([][]float64, n),
 		lb:       make([]float64, n+m),
@@ -186,10 +196,13 @@ func (inst *Instance) Clone() *Instance {
 	out := &Instance{
 		p: inst.p, n: inst.n, m: inst.m,
 		baseRows:    inst.baseRows,
+		baseCols:    inst.baseCols,
 		colIdx:      append([][]int32(nil), inst.colIdx...),
 		colVal:      append([][]float64(nil), inst.colVal...),
 		extraIdx:    append([][]int32(nil), inst.extraIdx...),
 		extraVal:    append([][]float64(nil), inst.extraVal...),
+		apRowIdx:    append([][]int32(nil), inst.apRowIdx...),
+		apRowVal:    append([][]float64(nil), inst.apRowVal...),
 		baseRowVal:  inst.baseRowVal,
 		unitIdx:     inst.unitIdx,
 		lb:          append([]float64(nil), inst.lb...),

@@ -58,6 +58,11 @@ var (
 	// rows and whose LU factors were extended with a bordered block instead
 	// of refactorized (the lazy-cut hot-restart path).
 	DebugBasisExtensions atomic.Int64
+	// DebugColumnExtensions counts warm starts whose basis predated columns
+	// appended with AppendColumn and was remapped onto the widened column
+	// space with the old factorization reused (the column-generation
+	// hot-restart path).
+	DebugColumnExtensions atomic.Int64
 )
 
 // solveWarm attempts a dual-simplex warm start. The boolean result reports
@@ -70,6 +75,18 @@ func (inst *Instance) solveWarm(o Options) (res Result, iters int, ok bool) {
 	copy(s.cost, s.real)
 	wb := o.WarmBasis
 	extended := false
+	remapped := false
+	nOld := len(wb.Status) - 2*len(wb.Basic)
+	if nOld != inst.n {
+		// The basis predates columns appended by AppendColumn: remap it onto
+		// the widened column space. The basic set is untouched, so the factor
+		// handoff below still matches.
+		if nOld < 0 || nOld > inst.n {
+			return Result{}, 0, false
+		}
+		wb = inst.extendWarmStartCols(wb, nOld)
+		remapped = true
+	}
 	if len(wb.Basic) < s.m {
 		// The basis predates rows appended by AppendRow: extend it (new
 		// slacks basic) and, when the factor handoff matches, extend the LU
@@ -88,13 +105,37 @@ func (inst *Instance) solveWarm(o Options) (res Result, iters int, ok bool) {
 		return Result{}, 0, false
 	}
 	DebugWarmOK.Add(1)
+	if remapped {
+		DebugColumnExtensions.Add(1)
+	}
 	// warmResult stamps the per-solve warm-start provenance onto a
-	// successful result; see Result.WarmUsed/BasisExtended.
+	// successful result; see Result.WarmUsed/BasisExtended/ColumnsRemapped.
 	warmResult := func(st Status) Result {
 		r := s.result(st)
 		r.WarmUsed = true
 		r.BasisExtended = extended
+		r.ColumnsRemapped = remapped
 		return r
+	}
+	if remapped && !s.appendedColsDualFeasible(nOld, o.OptTol) {
+		// An appended column prices in at the adopted point, so the point is
+		// dual infeasible and the dual restart below would be unsound (its
+		// phase logic assumes dual feasibility throughout). With only columns
+		// appended the basic values are unchanged and the point stays primal
+		// feasible — verify (branching may have moved bounds since the
+		// snapshot) and optimize with the primal simplex directly.
+		if s.primalInfeasibility() > 10*o.FeasTol {
+			return Result{}, s.iters, false
+		}
+		s.dValid = false
+		switch s.primal(o.MaxIters) {
+		case iterOptimal:
+			return warmResult(StatusOptimal), s.iters, true
+		case iterUnbounded:
+			return warmResult(StatusUnbounded), s.iters, true
+		default:
+			return Result{}, s.iters, false
+		}
 	}
 	st := s.dual(o.MaxIters)
 	switch st {

@@ -304,30 +304,37 @@ func (s *searcher) separate(x []float64, seed bool) int {
 		pe.added = true
 		s.inst.AppendRow(pe.cut.Idx, pe.cut.Val, pe.cut.LB, pe.cut.UB)
 		s.applied = append(s.applied, pe.cut)
+		s.opOrder = append(s.opOrder, opCut)
 	}
 	if len(batch) > 0 {
-		s.eng.publishCuts(s.applied)
+		s.eng.publishOps(s.applied, s.appliedCols, s.opOrder)
 		s.sepRounds++
 	}
 	s.pool.endRound(s.opts.CutMaxAge)
 	return len(batch)
 }
 
-// solveSeparated resolves the node's relaxation, interleaving separation
-// rounds: while the point is fractional and a round adds cuts, the same node
-// is re-solved at the new epoch, warm-started from its own final basis and
-// factors (the appended rows ride the bordered factor extension). Root nodes
-// get RootCutRounds rounds, tree nodes TreeCutRounds. Committed iteration
-// accounting for every round happens here, so the totals stay deterministic.
+// solveSeparated resolves the node's relaxation, interleaving pricing and
+// separation rounds: while a round adds columns or cuts, the same node is
+// re-solved at the new epoch, warm-started from its own final basis and
+// factors (appended rows ride the bordered factor extension, appended
+// columns the basis remap + primal restart). Pricing runs first and to
+// convergence — the relaxation value is only a valid node bound once no
+// column prices in, so it runs at every node, on integral points too, and
+// its per-node cap (Options.PriceRounds) is a safety net rather than a
+// budget. Cut rounds follow: root nodes get RootCutRounds, tree nodes
+// TreeCutRounds. Committed iteration accounting for every round happens
+// here, so the totals stay deterministic.
 func (s *searcher) solveSeparated(nd *node) (*lpTask, bool) {
-	maxRounds := 0
+	maxCutRounds := 0
 	if s.pool != nil {
-		maxRounds = s.opts.TreeCutRounds
+		maxCutRounds = s.opts.TreeCutRounds
 		if nd.col == -1 {
-			maxRounds = s.opts.RootCutRounds
+			maxCutRounds = s.opts.RootCutRounds
 		}
 	}
-	for round := 0; ; round++ {
+	cutRounds, priceRounds := 0, 0
+	for {
 		t, ok := s.eng.resolve(nd)
 		if !ok {
 			return nil, false
@@ -338,22 +345,36 @@ func (s *searcher) solveSeparated(nd *node) (*lpTask, bool) {
 		s.bflips += res.BoundFlips
 		s.rpasses += res.RatioPasses
 		s.lastWorker = t.worker
-		// Integral points (children == nil) satisfy every valid cut by the
-		// Separator contract, so only fractional optima are worth separating.
-		if round >= maxRounds || res.Status != lp.StatusOptimal || t.children == nil {
+		if res.Status != lp.StatusOptimal {
 			return t, true
 		}
 		root := nd.col == -1
-		if s.separate(res.X, root && round == 0) == 0 {
+		if s.colPool != nil && priceRounds < s.opts.PriceRounds && s.price(res) > 0 {
+			// Hot-restart the same node at the new epoch from its own final
+			// basis (the appended columns enter nonbasic, so the basis stays
+			// valid after the remap); the stale task — and its speculated
+			// children, built from the restricted point — is discarded by
+			// the epoch check in engine.resolve.
+			priceRounds++
+			nd.basis, nd.fac = res.Basis, res.Factors
+			nd.task = nil
+			continue
+		}
+		// Integral points (children == nil) satisfy every valid cut by the
+		// Separator contract, so only fractional optima are worth separating.
+		if cutRounds >= maxCutRounds || t.children == nil {
 			return t, true
 		}
-		// Hot-restart the same node at the new epoch from its own final
-		// basis; the stale task (and its speculated children, built from the
-		// pre-cut point) is discarded by the epoch check in engine.resolve.
-		// The root instead restarts cold: its relaxation is solved once per
-		// search, and a from-scratch trajectory over the strengthened row
-		// set reaches the same vertex a static build would start from,
-		// which is what makes the two pipelines' trees comparable.
+		if s.separate(res.X, root && cutRounds == 0) == 0 {
+			return t, true
+		}
+		cutRounds++
+		// Hot-restart from the node's own final basis, as above. The root
+		// instead restarts cold after a cut round: its relaxation is solved
+		// once per search, and a from-scratch trajectory over the
+		// strengthened row set reaches the same vertex a static build would
+		// start from, which is what makes the two pipelines' trees
+		// comparable.
 		nd.basis, nd.fac = res.Basis, res.Factors
 		if root {
 			nd.basis, nd.fac = nil, nil

@@ -43,11 +43,12 @@ type lpTask struct {
 	children *branch // non-nil iff res is optimal and fractional
 	worker   int     // 1-based id of the solving worker
 	skipped  bool    // dominated speculative work, not evaluated
-	// epoch is the number of committed cut rows the solving worker had
-	// applied to its instance when it evaluated the task. The committer
-	// discards results from older epochs (re-demanding the node), so every
-	// committed relaxation saw the full committed cut list — which is what
-	// keeps separation deterministic under speculation.
+	// epoch is the number of committed incremental ops (cut rows and priced
+	// columns, interleaved in commit order) the solving worker had applied
+	// to its instance when it evaluated the task. The committer discards
+	// results from older epochs (re-demanding the node), so every committed
+	// relaxation saw the full committed op log — which is what keeps
+	// separation and pricing deterministic under speculation.
 	epoch int
 
 	done chan struct{}
@@ -164,17 +165,36 @@ type engine struct {
 	// Result.WastedLPIterations.
 	taskIters atomic.Int64
 
-	// cuts is the committer-published snapshot of the committed cut rows.
-	// The committer appends to its master slice and re-publishes the
-	// header after each batch, so every snapshot is a prefix of an
-	// append-only list: a worker holding an older header can never observe
-	// the elements a newer batch appends behind it.
-	cuts atomic.Pointer[cutSnap]
+	// ops is the committer-published snapshot of the committed incremental
+	// ops: cut rows and priced columns, interleaved in commit order. The
+	// committer appends to its master slices and re-publishes the header
+	// after each batch, so every snapshot is a prefix of an append-only
+	// log: a worker holding an older header can never observe the elements
+	// a newer batch appends behind it. Replaying the interleaved order —
+	// not cuts-then-columns — is what lets a committed cut reference any
+	// column that existed when it was committed and vice versa.
+	ops atomic.Pointer[opSnap]
 }
 
-// cutSnap is an immutable view of the first len(rows) committed cut rows.
-type cutSnap struct {
-	rows []Cut
+// The two op kinds of the incremental log; opSnap.order holds one entry per
+// committed op, and its value selects which master slice the op came from.
+const (
+	opCut byte = iota
+	opCol
+)
+
+// opSnap is an immutable view of the first len(order) committed ops; the
+// cuts and cols slices hold the ops of each kind in commit order.
+type opSnap struct {
+	cuts  []Cut
+	cols  []Column
+	order []byte
+}
+
+// workerSync tracks how much of the committed op log one worker's instance
+// has replayed, split per kind (cursor into each master slice).
+type workerSync struct {
+	ops, cuts, cols int
 }
 
 func newEngine(s *searcher) *engine {
@@ -186,7 +206,7 @@ func newEngine(s *searcher) *engine {
 	}
 	e.ctx, e.stopf = context.WithCancel(s.ctx)
 	e.incBits.Store(math.Float64bits(math.Inf(1)))
-	e.cuts.Store(&cutSnap{})
+	e.ops.Store(&opSnap{})
 	s.eng = e
 	e.wg.Add(s.opts.Workers)
 	for id := 1; id <= s.opts.Workers; id++ {
@@ -215,10 +235,11 @@ func (e *engine) publishIncumbent(objMin float64) {
 	e.incBits.Store(math.Float64bits(objMin))
 }
 
-// publishCuts is called by the committer (only) after appending a cut batch
-// to its own instance; rows is the committer's master slice (searcher.applied).
-func (e *engine) publishCuts(rows []Cut) {
-	e.cuts.Store(&cutSnap{rows: rows})
+// publishOps is called by the committer (only) after appending a cut or
+// column batch to its own instance; the arguments are the committer's master
+// slices (searcher.applied/appliedCols/opOrder).
+func (e *engine) publishOps(cuts []Cut, cols []Column, order []byte) {
+	e.ops.Store(&opSnap{cuts: cuts, cols: cols, order: order})
 }
 
 // resolve hands the committer the evaluated task for nd, creating and
@@ -240,14 +261,14 @@ func (e *engine) resolve(nd *node) (t *lpTask, ok bool) {
 		case <-e.s.ctx.Done():
 			return nil, false
 		}
-		if !t.skipped && t.epoch == len(e.s.applied) {
+		if !t.skipped && t.epoch == len(e.s.opOrder) {
 			return t, true
 		}
 		// Stale: a worker raced the demand flag and skipped the task as
-		// dominated, or evaluated it speculatively before the latest cut
-		// batch was committed. Retry with a fresh, pre-demanded task:
+		// dominated, or evaluated it speculatively before the latest cut or
+		// column batch was committed. Retry with a fresh, pre-demanded task:
 		// workers never skip those, and a demanded task is always solved at
-		// the current epoch because the committer publishes the cut
+		// the current epoch because the committer publishes the op-log
 		// snapshot before enqueueing the demand and the worker syncs its
 		// instance from the snapshot before solving.
 		nd.task = nil
@@ -258,7 +279,7 @@ func (e *engine) resolve(nd *node) (t *lpTask, ok bool) {
 // clone, so no simplex state is ever shared.
 func (e *engine) worker(id int, inst *lp.Instance) {
 	defer e.wg.Done()
-	applied := 0 // committed cut rows already appended to this instance
+	var sync workerSync // committed ops already applied to this instance
 	for {
 		t := e.q.pop()
 		if t == nil {
@@ -267,14 +288,14 @@ func (e *engine) worker(id int, inst *lp.Instance) {
 		if !t.claimed.CompareAndSwap(false, true) {
 			continue
 		}
-		e.evaluate(inst, id, t, &applied)
+		e.evaluate(inst, id, t, &sync)
 	}
 }
 
 // evaluate solves one node relaxation on the worker's instance and, when it
-// branches, creates the node's children and speculates on them. applied
-// tracks how many committed cut rows this worker's instance carries.
-func (e *engine) evaluate(inst *lp.Instance, id int, t *lpTask, applied *int) {
+// branches, creates the node's children and speculates on them. sync tracks
+// how much of the committed op log this worker's instance carries.
+func (e *engine) evaluate(inst *lp.Instance, id int, t *lpTask, sync *workerSync) {
 	defer close(t.done)
 	s := e.s
 	t.worker = id
@@ -286,17 +307,26 @@ func (e *engine) evaluate(inst *lp.Instance, id int, t *lpTask, applied *int) {
 		t.skipped = true
 		return
 	}
-	// Replay committed cut rows this instance has not seen yet. Cuts are
-	// globally valid inequalities, so appending them to every subsequent
-	// node relaxation is sound; the recorded epoch lets the committer
-	// reject results that predate the rows it has committed.
-	snap := e.cuts.Load()
-	for *applied < len(snap.rows) {
-		c := snap.rows[*applied]
-		inst.AppendRow(c.Idx, c.Val, c.LB, c.UB)
-		*applied++
+	// Replay committed ops this instance has not seen yet, in commit order.
+	// Cuts are globally valid inequalities and priced columns are genuine
+	// variables of the full formulation, so applying them to every
+	// subsequent node relaxation is sound; the recorded epoch lets the
+	// committer reject results that predate the ops it has committed.
+	snap := e.ops.Load()
+	for sync.ops < len(snap.order) {
+		switch snap.order[sync.ops] {
+		case opCut:
+			c := snap.cuts[sync.cuts]
+			inst.AppendRow(c.Idx, c.Val, c.LB, c.UB)
+			sync.cuts++
+		default:
+			c := snap.cols[sync.cols]
+			inst.AppendColumn(c.Idx, c.Val, c.LB, c.UB, c.Obj)
+			sync.cols++
+		}
+		sync.ops++
 	}
-	t.epoch = *applied
+	t.epoch = sync.ops
 	if !applyBoundsOn(inst, s.rootLB, s.rootUB, nd) {
 		// Empty bound interval: the relaxation is infeasible by
 		// construction (the committer never demands such nodes).

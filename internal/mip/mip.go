@@ -112,10 +112,10 @@ type Progress struct {
 	Worker int
 }
 
-// Options tunes the branch-and-bound search. Direct construction is an
-// internal lowering target (model.SolveOptions lowers onto it) and
-// deprecated for API consumers: configure solves through the pkg/tvnep
-// facade's functional options.
+// Options tunes the branch-and-bound search. It is the lowering target of
+// model.SolveOptions: external callers configure solves through the
+// pkg/tvnep facade's functional options, which lower onto this struct in
+// exactly one place (model.Optimize).
 type Options struct {
 	TimeLimit time.Duration // 0 → none
 	NodeLimit int           // 0 → none
@@ -159,6 +159,23 @@ type Options struct {
 	// rounds without a violation (0 → the default of 8; negative → never
 	// evict).
 	CutMaxAge int
+	// Pricers generate structural columns lazily instead of having the model
+	// emit them all up front; see the Pricer contract in price.go. Pricing
+	// runs only on the committing goroutine and — unlike separation — to
+	// convergence at every node, since a restricted relaxation's value is
+	// only a valid node bound once no column prices in.
+	Pricers []Pricer
+	// PriceRounds caps the pricing rounds per node (0 → the default of 200).
+	// It is a safety net against a non-converging Pricer, not a budget:
+	// hitting it leaves the node with a possibly-invalid bound.
+	PriceRounds int
+	// PriceBatch is the maximum number of columns appended per pricing
+	// round, taken in decreasing reduced-cost order (0 → the default of 32).
+	PriceBatch int
+	// ColMaxAge evicts a pooled-but-never-appended column after this many
+	// pricing rounds without an improving reduced cost (0 → the default of
+	// 8; negative → never evict).
+	ColMaxAge int
 }
 
 func (o *Options) withDefaults() Options {
@@ -197,6 +214,15 @@ func (o *Options) withDefaults() Options {
 	if out.CutMaxAge == 0 {
 		out.CutMaxAge = 8
 	}
+	if out.PriceRounds <= 0 {
+		out.PriceRounds = 200
+	}
+	if out.PriceBatch <= 0 {
+		out.PriceBatch = 32
+	}
+	if out.ColMaxAge == 0 {
+		out.ColMaxAge = 8
+	}
 	return out
 }
 
@@ -231,6 +257,17 @@ type Result struct {
 	// the LP relaxation, so callers can re-validate them independently
 	// (internal/certify checks each against the dependency graph).
 	AppliedCuts []Cut
+	// Columns summarizes column generation (zero-valued apart from
+	// ColsAtRoot when no pricers were registered). All of its fields are
+	// part of the committed search and therefore deterministic.
+	Columns ColumnStats
+	// AppliedColumns lists, in append order, every column pricing added to
+	// the LP relaxation: the k-th entry is LP column ColsAtRoot+k, so
+	// callers can map incumbent values back to pricer payloads (Column.Tag)
+	// and re-validate each column independently. Note that X may be shorter
+	// than ColsAtRoot+len(AppliedColumns): an incumbent found before later
+	// pricing rounds simply does not use the columns appended after it.
+	AppliedColumns []Column
 }
 
 // node is a branch-and-bound node: a chain of bound overrides on top of the
@@ -304,12 +341,19 @@ type searcher struct {
 	nextSeq    int64
 	lastWorker int
 
-	// Lazy-cut state, touched only by the committer. pool is nil when no
-	// separators are registered; applied is the append-only list of cut
-	// rows added to the LP, whose length is the current cut epoch.
-	pool      *cutPool
-	applied   []Cut
-	sepRounds int
+	// Lazy-cut and pricing state, touched only by the committer. pool is
+	// nil when no separators are registered, colPool when no pricers are;
+	// applied/appliedCols are the append-only lists of cut rows and priced
+	// columns added to the LP, and opOrder is their interleaved commit
+	// order (one opCut/opCol byte per append), whose length is the current
+	// op epoch the workers replay to.
+	pool        *cutPool
+	applied     []Cut
+	sepRounds   int
+	colPool     *columnPool
+	appliedCols []Column
+	opOrder     []byte
+	priceRounds int
 
 	deadline    time.Time
 	hasDL       bool
@@ -343,6 +387,9 @@ func Solve(ctx context.Context, p *Problem, opts *Options) Result {
 	}
 	if len(o.Separators) > 0 {
 		s.pool = newCutPool(n)
+	}
+	if len(o.Pricers) > 0 {
+		s.colPool = newColumnPool()
 	}
 	s.rootLB = make([]float64, n)
 	s.rootUB = make([]float64, n)
@@ -378,6 +425,15 @@ func Solve(ctx context.Context, p *Problem, opts *Options) Result {
 		res.Cuts.PoolHits = s.pool.hits
 		res.Cuts.Evicted = s.pool.evicted
 		res.AppliedCuts = s.applied
+	}
+	res.Columns = ColumnStats{ColsAtRoot: n}
+	if s.colPool != nil {
+		res.Columns.PricedCols = len(s.appliedCols)
+		res.Columns.Rounds = s.priceRounds
+		res.Columns.Offered = s.colPool.offered
+		res.Columns.PoolHits = s.colPool.hits
+		res.Columns.Evicted = s.colPool.evicted
+		res.AppliedColumns = s.appliedCols
 	}
 	bound := s.globalBoundMin()
 	if s.hasInc {

@@ -88,6 +88,7 @@ type Model struct {
 	integer []bool
 	sense   Sense
 	seps    []Separator
+	prs     []Pricer
 }
 
 // New creates an empty model with the given objective sense.
@@ -229,6 +230,37 @@ func (m *Model) RegisterSeparator(sep Separator) {
 // read-only).
 func (m *Model) Separators() []Separator { return m.seps }
 
+// RegisterPricer attaches a column-generation pricer to the model: instead of
+// emitting a variable family as static columns, Optimize will call the pricer
+// on relaxation dual values and append only improving members. Pricers must
+// satisfy the validity and determinism contract documented on mip.Pricer;
+// registration order is significant (it is the order pricers are consulted
+// each round).
+func (m *Model) RegisterPricer(pr Pricer) {
+	m.prs = append(m.prs, pr)
+}
+
+// Pricers returns the registered pricers (shared slice; treat as read-only).
+func (m *Model) Pricers() []Pricer { return m.prs }
+
+// BumpObjective adds delta to a variable's objective coefficient without
+// replacing the rest of the objective. It exists for penalty terms attached
+// after SetObjective has installed the real objective (e.g. the path-flow
+// artificials' big-M penalties in internal/core).
+func (m *Model) BumpObjective(v Var, delta float64) {
+	m.lp.Obj[v.idx] += delta
+}
+
+// AbsObjSum returns Σ_j |obj_j|, the scale from which big-M penalty weights
+// that must dominate the whole objective can be derived.
+func (m *Model) AbsObjSum() float64 {
+	s := 0.0
+	for _, c := range m.lp.Obj {
+		s += math.Abs(c)
+	}
+	return s
+}
+
 // Solution is the result of optimizing a model.
 type Solution struct {
 	Status       Status
@@ -250,7 +282,14 @@ type Solution struct {
 	// AppliedCuts lists every cut row the search appended, in order, for
 	// independent re-validation (internal/certify).
 	AppliedCuts []Cut
-	x           []float64
+	// Columns summarizes column generation (zero apart from ColsAtRoot when
+	// no pricers were registered).
+	Columns ColumnStats
+	// AppliedColumns lists every column pricing appended, in order: the k-th
+	// entry is raw LP column Columns.ColsAtRoot + k. Extractors use it to
+	// map incumbent values back to pricer payloads (Column.Tag).
+	AppliedColumns []Column
+	x              []float64
 }
 
 // Value returns the solution value of v (NaN when no solution exists).
@@ -298,21 +337,29 @@ func (m *Model) Optimize(ctx context.Context, opts *SolveOptions) *Solution {
 		}
 		mo.Separators = m.seps
 	}
+	if len(m.prs) > 0 {
+		if mo == nil {
+			mo = &mip.Options{}
+		}
+		mo.Pricers = m.prs
+	}
 	res := mip.Solve(ctx, mp, mo)
 	return &Solution{
-		Status:       statusFromMIP(res.Status, res.HasSolution),
-		HasSolution:  res.HasSolution,
-		Obj:          res.Obj,
-		Bound:        res.Bound,
-		Gap:          res.Gap,
-		Nodes:        res.Nodes,
-		LPIterations: res.LPIterations,
-		BoundFlips:   res.BoundFlips,
-		RatioPasses:  res.RatioPasses,
-		Runtime:      res.Runtime,
-		Cuts:         res.Cuts,
-		AppliedCuts:  res.AppliedCuts,
-		x:            res.X,
+		Status:         statusFromMIP(res.Status, res.HasSolution),
+		HasSolution:    res.HasSolution,
+		Obj:            res.Obj,
+		Bound:          res.Bound,
+		Gap:            res.Gap,
+		Nodes:          res.Nodes,
+		LPIterations:   res.LPIterations,
+		BoundFlips:     res.BoundFlips,
+		RatioPasses:    res.RatioPasses,
+		Runtime:        res.Runtime,
+		Cuts:           res.Cuts,
+		AppliedCuts:    res.AppliedCuts,
+		Columns:        res.Columns,
+		AppliedColumns: res.AppliedColumns,
+		x:              res.X,
 	}
 }
 

@@ -29,6 +29,18 @@ type Separator = mip.Separator
 // CutStats summarizes the lazy-separation work of one solve.
 type CutStats = mip.CutStats
 
+// Column is one lazily generated structural column produced by a Pricer; it
+// aliases the branch-and-bound solver's column record.
+type Column = mip.Column
+
+// Pricer lazily generates improving columns from relaxation dual values;
+// register implementations with Model.RegisterPricer. The interface (and its
+// validity/determinism contract) is the branch-and-bound solver's.
+type Pricer = mip.Pricer
+
+// ColumnStats summarizes the column-generation work of one solve.
+type ColumnStats = mip.ColumnStats
+
 // SolveOptions is the single options struct for every solve in the
 // repository: exact MIP solves (Model.Optimize, core.Built.Solve), the
 // per-iteration subproblems of the greedy algorithm, the admission engine's

@@ -103,6 +103,13 @@ const (
 	// LPFeasTol, since basic variable values carry that much noise.
 	MIPIntTol = 1e-6
 
+	// PriceRedTol is the minimum improving reduced cost a pooled column must
+	// show before a pricing round appends it to the LP relaxation. Duals
+	// carry LPOptTol-level noise accumulated over O(rows) terms, so anything
+	// below this is indistinguishable from a non-improving column; appending
+	// it would cost a hot restart and improve nothing.
+	PriceRedTol = 1e-6
+
 	// CutViolTol is the minimum amount by which a fractional point must
 	// violate a pooled cut before the cut is worth appending to the LP
 	// relaxation. Row activities are sums of LPFeasTol-accurate values, so

@@ -1,0 +1,93 @@
+package substrate
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tvnep/internal/graph"
+)
+
+// Waxman parameters for WAN generation: alpha scales the overall link
+// probability, beta the tolerance for long-haul links (the classic
+// ISP-topology values).
+const (
+	waxmanAlpha = 0.9
+	waxmanBeta  = 0.3
+)
+
+// WAN builds a deterministic ISP-style wide-area substrate with n points of
+// presence: nodes are placed uniformly at random in the unit square, wired
+// into a bidirected ring in placement-angle order (the national backbone
+// loop, guaranteeing strong connectivity) plus Waxman shortcut links —
+// accepted with probability α·exp(−d(u,v)/(β·L)), L = √2 — until the
+// average degree reaches avgDeg. Backbone ring links model aggregated
+// trunks and carry 2·linkCap; shortcuts carry linkCap, so WAN substrates
+// exercise per-link capacities, unlike the paper's uniform grid. The result
+// is a pure function of (n, avgDeg, seed).
+func WAN(n int, avgDeg, nodeCap, linkCap float64, seed int64) *Network {
+	if n < 3 {
+		panic(fmt.Sprintf("substrate: a WAN needs at least 3 PoPs, got %d", n))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	dist := func(u, v int) float64 {
+		return math.Hypot(xs[u]-xs[v], ys[u]-ys[v])
+	}
+
+	// Ring order: sort PoPs by angle around the centroid so the backbone
+	// visits them as a loop rather than a random tour.
+	cx, cy := 0.0, 0.0
+	for i := range xs {
+		cx += xs[i] / float64(n)
+		cy += ys[i] / float64(n)
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	angle := func(i int) float64 { return math.Atan2(ys[i]-cy, xs[i]-cx) }
+	for i := 1; i < n; i++ { // insertion sort: deterministic, n is small
+		for j := i; j > 0 && angle(order[j]) < angle(order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+
+	g := graph.NewDigraph(n)
+	var caps []float64
+	addBoth := func(u, v int, c float64) {
+		g.AddEdge(u, v)
+		caps = append(caps, c)
+		g.AddEdge(v, u)
+		caps = append(caps, c)
+	}
+	for i := 0; i < n; i++ {
+		addBoth(order[i], order[(i+1)%n], 2*linkCap)
+	}
+
+	// Waxman shortcuts until the average degree target; the attempt cap
+	// bounds generation on parameter sets the acceptance probability can
+	// barely satisfy (dense targets over spread-out PoPs).
+	targetEdges := int(avgDeg * float64(n))
+	maxL := math.Sqrt2
+	for attempts := 50 * (targetEdges + 1); g.NumEdges() < targetEdges && attempts > 0; attempts-- {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		if rng.Float64() < waxmanAlpha*math.Exp(-dist(u, v)/(waxmanBeta*maxL)) {
+			addBoth(u, v, linkCap)
+		}
+	}
+
+	net := &Network{G: g, NodeCap: make([]float64, n), LinkCap: caps}
+	for i := range net.NodeCap {
+		net.NodeCap[i] = nodeCap
+	}
+	return net
+}

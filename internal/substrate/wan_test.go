@@ -1,0 +1,95 @@
+package substrate
+
+import (
+	"testing"
+)
+
+func TestWANDeterministic(t *testing.T) {
+	a := WAN(12, 4, 3.5, 5, 42)
+	b := WAN(12, 4, 3.5, 5, 42)
+	if a.NumNodes() != b.NumNodes() || a.NumLinks() != b.NumLinks() {
+		t.Fatalf("shape differs across identical seeds: %d/%d vs %d/%d",
+			a.NumNodes(), a.NumLinks(), b.NumNodes(), b.NumLinks())
+	}
+	for e := 0; e < a.NumLinks(); e++ {
+		au, av := a.G.Edge(e)
+		bu, bv := b.G.Edge(e)
+		if au != bu || av != bv || a.LinkCap[e] != b.LinkCap[e] {
+			t.Fatalf("edge %d differs across identical seeds: %d→%d cap %v vs %d→%d cap %v",
+				e, au, av, a.LinkCap[e], bu, bv, b.LinkCap[e])
+		}
+	}
+	c := WAN(12, 4, 3.5, 5, 43)
+	same := a.NumLinks() == c.NumLinks()
+	if same {
+		for e := 0; e < a.NumLinks(); e++ {
+			au, av := a.G.Edge(e)
+			cu, cv := c.G.Edge(e)
+			if au != cu || av != cv {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical WANs")
+	}
+}
+
+func TestWANStronglyConnected(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 99} {
+		n := WAN(15, 4, 3.5, 5, seed)
+		if err := n.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for src := 0; src < n.NumNodes(); src++ {
+			reach := n.G.Reachable(src)
+			for v, ok := range reach {
+				if !ok {
+					t.Fatalf("seed %d: node %d unreachable from %d", seed, v, src)
+				}
+			}
+		}
+	}
+}
+
+func TestWANCapacities(t *testing.T) {
+	n := WAN(20, 5, 3.5, 5, 7)
+	for _, c := range n.NodeCap {
+		if c != 3.5 {
+			t.Fatalf("node cap %v, want 3.5", c)
+		}
+	}
+	var trunks, shortcuts int
+	for e, c := range n.LinkCap {
+		switch c {
+		case 10: // backbone ring trunks carry 2·linkCap
+			trunks++
+		case 5:
+			shortcuts++
+		default:
+			t.Fatalf("link %d has cap %v, want 5 or 10", e, c)
+		}
+	}
+	if trunks != 2*20 {
+		t.Fatalf("%d trunk links, want 40 (bidirected 20-node ring)", trunks)
+	}
+	if shortcuts == 0 {
+		t.Fatal("no Waxman shortcut links generated")
+	}
+	// The average-degree target should be roughly met: 5·20 = 100 directed
+	// edges requested; the attempt cap may leave it short but never by much
+	// at this density.
+	if n.NumLinks() < 80 {
+		t.Fatalf("%d links, want ≥80 for avgDeg 5 on 20 nodes", n.NumLinks())
+	}
+}
+
+func TestWANRejectsTiny(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WAN(2, ...) did not panic")
+		}
+	}()
+	WAN(2, 4, 1, 1, 1)
+}

@@ -17,8 +17,15 @@ import (
 // Config describes one scenario family. The zero value is not useful; use
 // Default() (the paper's parameters, scaled) or PaperScale().
 type Config struct {
-	// Substrate.
+	// Substrate. Topology selects the generator: "" or "grid" builds the
+	// paper's bidirected rows×cols grid with uniform capacities; "wan"
+	// builds an ISP-style Waxman WAN (substrate.WAN) with WANNodes PoPs,
+	// WANAvgDeg average degree and per-link capacities (backbone trunks
+	// carry 2·LinkCap). The WAN layout is deterministic per scenario seed.
+	Topology           string
 	GridRows, GridCols int
+	WANNodes           int     // wan: PoP count (0 → GridRows·GridCols)
+	WANAvgDeg          float64 // wan: average-degree target (0 → 4)
 	NodeCap, LinkCap   float64
 
 	// Requests.
@@ -79,7 +86,23 @@ func Exponential(rng *rand.Rand, mean float64) float64 {
 // Generate builds a scenario from cfg deterministically from seed.
 func Generate(cfg Config, seed int64) *Scenario {
 	rng := rand.New(rand.NewSource(seed))
-	sub := substrate.Grid(cfg.GridRows, cfg.GridCols, cfg.NodeCap, cfg.LinkCap)
+	var sub *substrate.Network
+	switch cfg.Topology {
+	case "", "grid":
+		sub = substrate.Grid(cfg.GridRows, cfg.GridCols, cfg.NodeCap, cfg.LinkCap)
+	case "wan":
+		nodes := cfg.WANNodes
+		if nodes == 0 {
+			nodes = cfg.GridRows * cfg.GridCols
+		}
+		deg := cfg.WANAvgDeg
+		if deg <= 0 {
+			deg = 4
+		}
+		sub = substrate.WAN(nodes, deg, cfg.NodeCap, cfg.LinkCap, seed)
+	default:
+		panic(fmt.Sprintf("workload: unknown topology %q (want grid or wan)", cfg.Topology))
+	}
 
 	sc := &Scenario{Substrate: sub, Seed: seed}
 	arrival := 0.0

@@ -159,3 +159,58 @@ func TestQuickScenarioInvariants(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestGenerateWANTopology(t *testing.T) {
+	cfg := Default()
+	cfg.Topology = "wan"
+	cfg.WANNodes = 12
+	cfg.WANAvgDeg = 4
+	for seed := int64(1); seed <= 5; seed++ {
+		sc := Generate(cfg, seed)
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if sc.Substrate.NumNodes() != 12 {
+			t.Fatalf("seed %d: %d PoPs, want 12", seed, sc.Substrate.NumNodes())
+		}
+	}
+	// WAN scenarios round-trip through the JSON wire format: it carries the
+	// full edge list and per-link capacities, so nothing grid-specific leaks.
+	sc := Generate(cfg, 3)
+	data, err := sc.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Scenario
+	if err := back.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.Substrate.NumLinks() != sc.Substrate.NumLinks() {
+		t.Fatalf("round trip lost links: %d vs %d", back.Substrate.NumLinks(), sc.Substrate.NumLinks())
+	}
+	for e := range sc.Substrate.LinkCap {
+		if back.Substrate.LinkCap[e] != sc.Substrate.LinkCap[e] {
+			t.Fatalf("link %d cap %v after round trip, want %v", e, back.Substrate.LinkCap[e], sc.Substrate.LinkCap[e])
+		}
+	}
+}
+
+func TestGenerateWANDefaults(t *testing.T) {
+	cfg := Default() // 3×3 grid dims
+	cfg.Topology = "wan"
+	sc := Generate(cfg, 1)
+	if sc.Substrate.NumNodes() != 9 {
+		t.Fatalf("%d PoPs, want GridRows·GridCols = 9 when WANNodes is 0", sc.Substrate.NumNodes())
+	}
+}
+
+func TestGenerateRejectsUnknownTopology(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown topology not rejected")
+		}
+	}()
+	cfg := Default()
+	cfg.Topology = "torus"
+	Generate(cfg, 1)
+}

@@ -14,6 +14,13 @@ func (s *Solver) engine() (*admit.Engine, error) {
 			s.engErr = ErrNoHorizon
 			return
 		}
+		if s.cfg.flowMode == core.FlowPath {
+			// The admission tiers (integral-LP shortcut, rounding, warm
+			// commit-restart) all decompose arc flows; path mode has no
+			// incremental counterpart here.
+			s.engErr = &OptionConflictError{Option: "WithFlowMode(path)", Online: true}
+			return
+		}
 		s.eng, s.engErr = admit.New(admit.Config{
 			Sub:             s.sub,
 			Horizon:         s.cfg.horizon,

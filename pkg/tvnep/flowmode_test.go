@@ -1,0 +1,137 @@
+package tvnep_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"tvnep/pkg/tvnep"
+)
+
+// TestFlowModeFacade solves the same scenario through the facade in both
+// flow modes with full certification and requires the same certified
+// optimum; the path run additionally carries a (possibly trivially passing)
+// column certificate.
+func TestFlowModeFacade(t *testing.T) {
+	sc := scenario(t, 4, 7)
+	solve := func(m tvnep.FlowMode) *tvnep.Result {
+		solver, err := tvnep.New(sc.Substrate,
+			tvnep.WithFlowMode(m),
+			tvnep.WithCertify(),
+			tvnep.WithHorizon(sc.Horizon),
+		)
+		if err != nil {
+			t.Fatalf("New(%v): %v", m, err)
+		}
+		res, err := solver.Solve(context.Background(), sc.Requests, sc.Mapping)
+		if err != nil {
+			t.Fatalf("Solve(%v): %v", m, err)
+		}
+		if res.Status != tvnep.StatusOptimal {
+			t.Fatalf("Solve(%v): status %v", m, res.Status)
+		}
+		return res
+	}
+	arc := solve(tvnep.FlowArc)
+	path := solve(tvnep.FlowPath)
+	if math.Abs(arc.Solution.Objective-path.Solution.Objective) > 1e-6*(1+math.Abs(arc.Solution.Objective)) {
+		t.Fatalf("arc optimum %v != path optimum %v", arc.Solution.Objective, path.Solution.Objective)
+	}
+	if path.Certificate == nil || path.Certificate.Columns == nil {
+		t.Fatalf("path solve missing the column certificate: %+v", path.Certificate)
+	}
+	if !path.Certificate.Columns.OK() {
+		t.Fatalf("column certificate failed: %v", path.Certificate.Columns.Err())
+	}
+	if path.ModelStats.Vars >= arc.ModelStats.Vars {
+		t.Fatalf("path build has %d variables, arc %d — path mode must compress the model",
+			path.ModelStats.Vars, arc.ModelStats.Vars)
+	}
+}
+
+// TestFlowModeConflicts pins the typed-error contract for every combination
+// path mode does not support.
+func TestFlowModeConflicts(t *testing.T) {
+	sub := tvnep.Grid(2, 2, 1, 1)
+	cases := []struct {
+		name string
+		opts []tvnep.Option
+	}{
+		{"delta", []tvnep.Option{tvnep.WithFormulation(tvnep.Delta), tvnep.WithFlowMode(tvnep.FlowPath)}},
+		{"sigma", []tvnep.Option{tvnep.WithFormulation(tvnep.Sigma), tvnep.WithFlowMode(tvnep.FlowPath)}},
+		{"rounding", []tvnep.Option{tvnep.WithAlgorithm(tvnep.Rounding), tvnep.WithFlowMode(tvnep.FlowPath)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tvnep.New(sub, tc.opts...)
+			var conflict *tvnep.OptionConflictError
+			if !errors.As(err, &conflict) {
+				t.Fatalf("want *OptionConflictError, got %v", err)
+			}
+			if !strings.Contains(conflict.Option, "WithFlowMode") {
+				t.Errorf("Option = %q, want a WithFlowMode conflict", conflict.Option)
+			}
+		})
+	}
+
+	// Online admission rejects path mode with the typed error too.
+	solver, err := tvnep.New(sub, tvnep.WithFlowMode(tvnep.FlowPath), tvnep.WithHorizon(10))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	req := tvnep.Star("r", 1, false, 0.5, 0.25)
+	req.Duration, req.Earliest, req.Latest = 1, 0, 2
+	_, err = solver.Admit(context.Background(), req, []int{0, 1})
+	var conflict *tvnep.OptionConflictError
+	if !errors.As(err, &conflict) || !conflict.Online {
+		t.Fatalf("Admit under path mode: want an online *OptionConflictError, got %v", err)
+	}
+
+	// Path mode without a node mapping is a Solve-time error: the builder
+	// needs the path endpoints.
+	if _, err := solver.Solve(context.Background(), []*tvnep.Request{req}, nil); err == nil {
+		t.Fatal("path-mode Solve without a mapping must fail")
+	}
+
+	// Greedy combines with path mode (it pins mappings per iteration).
+	if _, err := tvnep.New(sub, tvnep.WithAlgorithm(tvnep.Greedy), tvnep.WithFlowMode(tvnep.FlowPath)); err != nil {
+		t.Fatalf("greedy + path must construct: %v", err)
+	}
+}
+
+// TestGreedyFlowModesAgree runs the greedy heuristic in both flow modes;
+// the heuristic is deterministic, so the accept sets and schedules must
+// coincide exactly.
+func TestGreedyFlowModesAgree(t *testing.T) {
+	sc := scenario(t, 5, 11)
+	run := func(m tvnep.FlowMode) *tvnep.Result {
+		solver, err := tvnep.New(sc.Substrate,
+			tvnep.WithAlgorithm(tvnep.Greedy),
+			tvnep.WithFlowMode(m),
+			tvnep.WithHorizon(sc.Horizon),
+		)
+		if err != nil {
+			t.Fatalf("New(%v): %v", m, err)
+		}
+		res, err := solver.Solve(context.Background(), sc.Requests, sc.Mapping)
+		if err != nil {
+			t.Fatalf("Solve(%v): %v", m, err)
+		}
+		return res
+	}
+	arc := run(tvnep.FlowArc)
+	path := run(tvnep.FlowPath)
+	for r := range sc.Requests {
+		if arc.Solution.Accepted[r] != path.Solution.Accepted[r] {
+			t.Fatalf("request %d: arc accepted %v, path %v", r, arc.Solution.Accepted[r], path.Solution.Accepted[r])
+		}
+		if arc.Solution.Accepted[r] &&
+			(math.Float64bits(arc.Solution.Start[r]) != math.Float64bits(path.Solution.Start[r]) ||
+				math.Float64bits(arc.Solution.End[r]) != math.Float64bits(path.Solution.End[r])) {
+			t.Fatalf("request %d: arc schedule [%v,%v], path [%v,%v]", r,
+				arc.Solution.Start[r], arc.Solution.End[r], path.Solution.Start[r], path.Solution.End[r])
+		}
+	}
+}

@@ -29,6 +29,9 @@ type Result struct {
 	Runtime time.Duration
 	// Cuts summarizes lazy separation (zero without separators).
 	Cuts model.CutStats
+	// ColumnStats summarizes column generation (zero without pricers, i.e.
+	// outside FlowPath mode).
+	ColumnStats model.ColumnStats
 	// ModelStats describes the built formulation (nil for greedy runs).
 	ModelStats *ModelStats
 	// Greedy carries the heuristic's per-run statistics (nil for exact
@@ -61,6 +64,9 @@ type Certificate struct {
 	// Cuts re-validates every applied lazy cut (exact solves; nil
 	// otherwise).
 	Cuts *certify.Report
+	// Columns re-validates every priced path column against the substrate
+	// graph (exact FlowPath solves; nil otherwise).
+	Columns *certify.Report
 	// RootLP is the primal/dual optimality certificate of the root
 	// relaxation (exact solves; nil otherwise).
 	RootLP *certify.LPCertificate
@@ -84,6 +90,9 @@ func (s *Solver) Solve(ctx context.Context, reqs []*Request, mapping NodeMapping
 	if err := inst.Validate(); err != nil {
 		return nil, fmt.Errorf("tvnep: %w", err)
 	}
+	if s.cfg.flowMode == core.FlowPath && mapping == nil {
+		return nil, fmt.Errorf("tvnep: WithFlowMode(path) requires a node mapping (path endpoints must be known at build time)")
+	}
 	switch s.cfg.algorithm {
 	case Greedy:
 		return s.solveGreedy(ctx, inst, mapping)
@@ -94,12 +103,12 @@ func (s *Solver) Solve(ctx context.Context, reqs []*Request, mapping NodeMapping
 }
 
 func (s *Solver) solveGreedy(ctx context.Context, inst *core.Instance, mapping NodeMapping) (*Result, error) {
-	opts := greedy.Options{
-		Solve:           s.cfg.solve,
+	build := core.BuildOptions{
+		CutMode:         s.cfg.cutMode,
+		FlowMode:        s.cfg.flowMode,
 		DisablePresolve: s.cfg.noPresolve,
-		DisableCuts:     s.cfg.cutModeSet && s.cfg.cutMode == CutOff,
 	}
-	sol, stats, err := greedy.Solve(ctx, inst, mapping, opts)
+	sol, stats, err := greedy.Solve(ctx, inst, mapping, build, &s.cfg.solve)
 	if err != nil {
 		return nil, fmt.Errorf("tvnep: %w", err)
 	}
@@ -157,6 +166,7 @@ func (s *Solver) solveExact(ctx context.Context, inst *core.Instance, mapping No
 		LoadFraction:    s.cfg.loadFraction,
 		FixedMapping:    mapping,
 		CutMode:         s.cfg.cutMode,
+		FlowMode:        s.cfg.flowMode,
 		DisablePresolve: s.cfg.noPresolve,
 	})
 	sol, ms := b.Solve(ctx, &s.cfg.solve)
@@ -167,6 +177,7 @@ func (s *Solver) solveExact(ctx context.Context, inst *core.Instance, mapping No
 		LPIterations: ms.LPIterations,
 		Runtime:      ms.Runtime,
 		Cuts:         ms.Cuts,
+		ColumnStats:  ms.Columns,
 		ModelStats: &ModelStats{
 			Formulation:   s.cfg.formulation,
 			Objective:     s.cfg.objective,
@@ -216,6 +227,10 @@ func (s *Solver) verify(inst *core.Instance, sol *Solution, mapping NodeMapping,
 		cert.Cuts = certify.Cuts(b, ms)
 		if err := cert.Cuts.Err(); err != nil {
 			return &CertificationError{Stage: "cuts", Err: err}
+		}
+		cert.Columns = certify.Columns(b, ms)
+		if err := cert.Columns.Err(); err != nil {
+			return &CertificationError{Stage: "columns", Err: err}
 		}
 		lpp := b.Model.LP()
 		lpRes := lp.Solve(lpp, nil)

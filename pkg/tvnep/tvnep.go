@@ -47,6 +47,8 @@ type (
 	Objective = core.Objective
 	// CutMode selects the Constraint-(20) cut pipeline (cΣ only).
 	CutMode = core.CutMode
+	// FlowMode selects arc-based or path-based link flows (cΣ only).
+	FlowMode = core.FlowMode
 
 	// SolveStatus is the typed outcome of a solve.
 	SolveStatus = model.Status
@@ -91,6 +93,12 @@ const (
 	CutOff    = core.CutOff
 )
 
+// Flow modes.
+const (
+	FlowArc  = core.FlowArc
+	FlowPath = core.FlowPath
+)
+
 // Solve statuses.
 const (
 	StatusOptimal    = model.StatusOptimal
@@ -124,6 +132,8 @@ var (
 	PaperWorkload   = workload.PaperScale
 	// ParseCutMode parses the CLI spelling of a cut mode.
 	ParseCutMode = core.ParseCutMode
+	// ParseFlowMode parses the CLI spelling of a flow mode.
+	ParseFlowMode = core.ParseFlowMode
 	// WriteTimeline prints the piecewise-constant utilization timeline.
 	WriteTimeline = solution.WriteTimeline
 	// CheckSolution is the independent Definition-2.1 feasibility checker.
@@ -182,10 +192,16 @@ type OptionConflictError struct {
 	// Algorithm is the algorithm the option does not combine with (for
 	// algorithm conflicts, e.g. WithCutMode(lazy) with Rounding).
 	Algorithm Algorithm
+	// Online is set when the option does not combine with online admission
+	// (Solver.Admit), whose incremental tiers run the arc-flow engine.
+	Online bool
 }
 
 // Error implements error.
 func (e *OptionConflictError) Error() string {
+	if e.Online {
+		return fmt.Sprintf("tvnep: %s does not combine with online admission", e.Option)
+	}
 	if e.Algorithm != Exact {
 		return fmt.Sprintf("tvnep: %s does not combine with the %v algorithm",
 			e.Option, e.Algorithm)
@@ -197,7 +213,8 @@ func (e *OptionConflictError) Error() string {
 // CertificationError reports that a solve or admission produced a solution
 // the independent certifier rejected.
 type CertificationError struct {
-	// Stage names the certificate that failed ("solution", "cuts", "root-lp").
+	// Stage names the certificate that failed ("solution", "cuts",
+	// "columns", "root-lp").
 	Stage string
 	// Err is the underlying certificate error (all named violations).
 	Err error
@@ -227,6 +244,8 @@ type config struct {
 	algorithm       Algorithm
 	cutMode         CutMode
 	cutModeSet      bool
+	flowMode        FlowMode
+	flowModeSet     bool
 	noPresolve      bool
 	loadFraction    float64
 	horizon         float64
@@ -264,6 +283,22 @@ func WithCutMode(m CutMode) Option {
 		c.cutMode = m
 		c.cutModeSet = true
 		c.conflictingOpts = append(c.conflictingOpts, "WithCutMode")
+	}
+}
+
+// WithFlowMode selects arc-based or path-based link flows (default arc).
+// Path mode replaces the per-link arc variables and conservation rows with
+// one convexity row per virtual link and path columns priced on demand by a
+// reduced-cost shortest-path pricer; both modes reach the same certified
+// optimum. cΣ only: combining it with Delta or Sigma makes New fail with
+// *OptionConflictError, as do the rounding algorithm and online admission,
+// whose tiers decompose arc flows. Path mode requires a node mapping at
+// Solve time (path endpoints must be known when the model is built).
+func WithFlowMode(m FlowMode) Option {
+	return func(c *config) {
+		c.flowMode = m
+		c.flowModeSet = true
+		c.conflictingOpts = append(c.conflictingOpts, "WithFlowMode")
 	}
 }
 
@@ -379,6 +414,12 @@ func New(sub *Substrate, opts ...Option) (*Solver, error) {
 	if cfg.algorithm == Rounding {
 		if cfg.formulation != CSigma {
 			return nil, &OptionConflictError{Option: "WithAlgorithm(rounding)", Formulation: cfg.formulation}
+		}
+		if cfg.flowMode == FlowPath {
+			// The rounding tier samples from an arc-flow relaxation and its
+			// path decomposition; it has no column-generation loop to price
+			// path variables with.
+			return nil, &OptionConflictError{Option: "WithFlowMode(path)", Algorithm: Rounding}
 		}
 		if cfg.cutModeSet && cfg.cutMode == CutLazy {
 			// Rounding solves a bare relaxation: nothing ever separates

@@ -111,7 +111,7 @@ func TestFacadeMatchesDirect(t *testing.T) {
 func TestGreedyFacadeMatchesDirect(t *testing.T) {
 	sc := scenario(t, 8, 4)
 	inst := &core.Instance{Sub: sc.Substrate, Reqs: sc.Requests, Horizon: sc.Horizon}
-	wantSol, wantStats, err := greedy.Solve(context.Background(), inst, sc.Mapping, greedy.Options{})
+	wantSol, wantStats, err := greedy.Solve(context.Background(), inst, sc.Mapping, core.BuildOptions{}, nil)
 	if err != nil {
 		t.Fatalf("direct greedy: %v", err)
 	}
